@@ -1,0 +1,55 @@
+//! Fig. 4 — Spark execution time, local vs remote, in isolation.
+//!
+//! Paper: suite-average degradation ≈20 %; `nweight` and `lr` ≈2×;
+//! `gmm` and `pca` below 10 %.
+
+use adrias_bench::banner;
+use adrias_orchestrator::engine::{run_isolated, EngineConfig};
+use adrias_sim::TestbedConfig;
+use adrias_workloads::{spark, MemoryMode};
+
+fn main() {
+    banner(
+        "Fig. 4",
+        "BE local-vs-remote runtime in isolation",
+        "avg ~20% remote degradation; nweight/lr ~2x; gmm/pca <10% (R4)",
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>10}",
+        "app", "local [s]", "remote [s]", "slowdown"
+    );
+    let mut ratios = Vec::new();
+    for app in spark::suite() {
+        let (local, _) = run_isolated(
+            TestbedConfig::paper(),
+            EngineConfig::default(),
+            app.clone(),
+            MemoryMode::Local,
+        );
+        let (remote, _) = run_isolated(
+            TestbedConfig::paper(),
+            EngineConfig::default(),
+            app.clone(),
+            MemoryMode::Remote,
+        );
+        let ratio = (remote.runtime_s / local.runtime_s) as f32;
+        ratios.push(ratio);
+        println!(
+            "{:>10} {:>12.1} {:>12.1} {:>9.2}x",
+            app.name(),
+            local.runtime_s,
+            remote.runtime_s,
+            ratio
+        );
+    }
+    let avg = ratios.iter().sum::<f32>() / ratios.len() as f32;
+    println!(
+        "\nmeasured: suite average slowdown {:.2}x (paper ~1.2x);",
+        avg
+    );
+    println!(
+        "extremes: max {:.2}x (paper: nweight ~2x), min {:.2}x (paper: gmm ~1.05x)",
+        ratios.iter().copied().fold(0.0f32, f32::max),
+        ratios.iter().copied().fold(f32::INFINITY, f32::min)
+    );
+}

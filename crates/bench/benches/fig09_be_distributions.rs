@@ -1,0 +1,75 @@
+//! Fig. 9 — Spark runtime distributions, local vs remote, across the
+//! randomized trace scenarios.
+//!
+//! Paper: remote distributions shift toward higher values; some apps
+//! (gmm) overlap between modes while others (nweight) clearly separate.
+
+use adrias_bench::{banner, dist_summary, env_f64, env_usize, threads};
+use adrias_scenarios::{collect_traces, scaled_corpus};
+use adrias_sim::TestbedConfig;
+use adrias_telemetry::stats;
+use adrias_workloads::{spark, MemoryMode, WorkloadCatalog, WorkloadClass};
+
+fn main() {
+    banner(
+        "Fig. 9",
+        "BE runtime distributions over randomized scenarios",
+        "remote distributions tend higher; overlapping for gmm-like apps, \
+         clearly separated for nweight-like apps",
+    );
+    let corpus = scaled_corpus(
+        env_usize("ADRIAS_SCENARIOS", 10),
+        env_f64("ADRIAS_DURATION", 1500.0),
+    );
+    let bundle = collect_traces(
+        TestbedConfig::paper(),
+        &WorkloadCatalog::paper(),
+        &corpus,
+        threads(),
+    );
+    let records = bundle.perf_records(WorkloadClass::BestEffort);
+    println!("({} BE deployments over {} scenarios)\n", records.len(), corpus.len());
+    println!(
+        "{:>10} {:>6} {:>24} {:>24} {:>8}",
+        "app", "n", "local med [p25,p75] s", "remote med [p25,p75] s", "rem/loc"
+    );
+    let mut overlap_gmm = 0.0;
+    let mut sep_nweight = 0.0;
+    for app in spark::suite() {
+        let local: Vec<f32> = records
+            .iter()
+            .filter(|r| r.app == app.name() && r.mode == MemoryMode::Local)
+            .map(|r| r.perf)
+            .collect();
+        let remote: Vec<f32> = records
+            .iter()
+            .filter(|r| r.app == app.name() && r.mode == MemoryMode::Remote)
+            .map(|r| r.perf)
+            .collect();
+        let ratio = if local.is_empty() || remote.is_empty() {
+            f32::NAN
+        } else {
+            stats::median(&remote) / stats::median(&local)
+        };
+        if app.name() == "gmm" {
+            overlap_gmm = ratio;
+        }
+        if app.name() == "nweight" {
+            sep_nweight = ratio;
+        }
+        println!(
+            "{:>10} {:>6} {:>24} {:>24} {:>8.2}",
+            app.name(),
+            local.len() + remote.len(),
+            dist_summary(&local),
+            dist_summary(&remote),
+            ratio
+        );
+    }
+    println!(
+        "\nmeasured: gmm median rem/loc {overlap_gmm:.2} (paper: overlapping, ~1.0x);"
+    );
+    println!(
+        "nweight median rem/loc {sep_nweight:.2} (paper: clearly separated, ~2x)."
+    );
+}

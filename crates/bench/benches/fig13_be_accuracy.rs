@@ -1,0 +1,96 @@
+//! Fig. 13 — BE performance-model accuracy:
+//!
+//! * (a) R² with ground-truth future state, split by memory mode
+//!   (paper: 0.945 local / 0.939 remote, 0.942 average);
+//! * (b) the stacked-model input ablation over `{train, test}` pairs of
+//!   the `Ŝ` source (paper: `{exec,exec}` best but non-pragmatic,
+//!   `{120,Ŝ}` the best practical, `{None,None}` ~2 % lower);
+//! * (c) MAE per application and (d) runtime R² with propagated `Ŝ`
+//!   (paper: 0.905).
+
+use adrias_bench::{banner, bench_stack};
+use adrias_predictor::SHatSource;
+use adrias_telemetry::stats;
+use adrias_workloads::MemoryMode;
+
+fn main() {
+    banner(
+        "Fig. 13",
+        "BE performance model accuracy + stacked-model ablation",
+        "(a) R²≈0.945 local / 0.939 remote with actual future state; \
+         (b) {120,S_hat} best practical pair; (c/d) runtime R²≈0.905",
+    );
+    let mut stack = bench_stack();
+    let (train, test) = stack.be_split.clone();
+
+    // (a) Ground-truth future state (Actual120 in train and test).
+    let train_hats = SHatSource::Actual120.materialize(&train, None);
+    let test_hats = SHatSource::Actual120.materialize(&test, None);
+    let mut model = adrias_predictor::PerfModel::new(*stack.be_model.config());
+    model.train(&train, &train_hats);
+    let report = model.evaluate(&test, &test_hats);
+    for mode in MemoryMode::BOTH {
+        let (truth, pred): (Vec<f32>, Vec<f32>) = test
+            .records()
+            .iter()
+            .zip(&report.pairs)
+            .filter(|(r, _)| r.mode == mode)
+            .map(|(_, &(t, p))| (t, p))
+            .unzip();
+        if truth.len() > 1 {
+            println!(
+                "(a) {mode:<7} R² = {:.3}  (paper: {})",
+                stats::r2_score(&truth, &pred),
+                if mode == MemoryMode::Local { "0.945" } else { "0.939" }
+            );
+        }
+    }
+    println!("(a) overall R² = {:.3}  (paper avg: 0.942)\n", report.r2);
+
+    // (b) Ablation matrix.
+    println!("(b) stacked-model ablation {{train, test}} of the S_hat source:");
+    let pairs = [
+        (SHatSource::None, SHatSource::None),
+        (SHatSource::Actual120, SHatSource::Actual120),
+        (SHatSource::ActualExec, SHatSource::ActualExec),
+        (SHatSource::Actual120, SHatSource::Propagated),
+        (SHatSource::Propagated, SHatSource::Propagated),
+    ];
+    let cells = adrias_predictor::ablation::run_ablation_matrix(
+        &pairs,
+        &train,
+        &test,
+        *stack.be_model.config(),
+        Some(&mut stack.system_model),
+    );
+    println!("{:>16} {:>10}", "{train,test}", "R²");
+    for cell in &cells {
+        println!(
+            "{:>16} {:>10.3}",
+            format!("{{{},{}}}", cell.train_source.label(), cell.test_source.label()),
+            cell.report.r2
+        );
+    }
+    println!("paper ordering: {{exec,exec}} >= {{120,120}} > {{120,S_hat}} > {{None,None}}\n");
+
+    // (c)+(d) Runtime accuracy with propagated S_hat.
+    let rt_test_hats = SHatSource::Propagated.materialize(&test, Some(&mut stack.system_model));
+    let runtime_report = stack.be_model.evaluate(&test, &rt_test_hats);
+    println!(
+        "(d) runtime (propagated S_hat) R² = {:.3}  (paper: 0.905)",
+        runtime_report.r2
+    );
+    println!("\n(c) MAE per application [s]:");
+    println!("{:>10} {:>8} {:>10} {:>12}", "app", "n", "MAE", "median perf");
+    for (app, r) in stack.be_model.evaluate_per_app(&test, &rt_test_hats) {
+        let med: Vec<f32> = r.pairs.iter().map(|(t, _)| *t).collect();
+        println!(
+            "{:>10} {:>8} {:>10.1} {:>12.1}",
+            app,
+            r.len(),
+            r.mae,
+            stats::median(&med)
+        );
+    }
+    println!("\npaper: even the largest MAEs stay ~10% of the app's median runtime.");
+}

@@ -1,0 +1,45 @@
+//! Fig. 14 — LC performance-model accuracy: MAE per store and the
+//! actual-vs-predicted residuals.
+//!
+//! Paper: overall LC R² ≈ 0.874.
+
+use adrias_bench::{banner, bench_stack};
+use adrias_predictor::SHatSource;
+use adrias_telemetry::stats;
+
+fn main() {
+    banner(
+        "Fig. 14",
+        "LC performance model accuracy (p99 prediction)",
+        "runtime R² ≈ 0.874; MAEs small relative to median p99",
+    );
+    let mut stack = bench_stack();
+    let Some((_, test)) = stack.lc_split.clone() else {
+        println!("not enough LC records at this corpus scale; raise ADRIAS_SCENARIOS");
+        return;
+    };
+    let hats = SHatSource::Propagated.materialize(&test, Some(&mut stack.system_model));
+    let report = stack.lc_model.evaluate(&test, &hats);
+    println!(
+        "(a) overall R² = {:.3}  (paper: 0.874), MAE = {:.3} ms over {} records\n",
+        report.r2,
+        report.mae,
+        report.len()
+    );
+    println!("{:>12} {:>6} {:>10} {:>14}", "app", "n", "MAE [ms]", "median p99");
+    for (app, r) in stack.lc_model.evaluate_per_app(&test, &hats) {
+        let med: Vec<f32> = r.pairs.iter().map(|(t, _)| *t).collect();
+        println!(
+            "{:>12} {:>6} {:>10.3} {:>14.2}",
+            app,
+            r.len(),
+            r.mae,
+            stats::median(&med)
+        );
+    }
+    let (truth, pred): (Vec<f32>, Vec<f32>) = report.pairs.iter().copied().unzip();
+    println!(
+        "\n(b) residual correlation (45° line fit): r = {:.3}",
+        stats::pearson(&truth, &pred)
+    );
+}

@@ -1,0 +1,88 @@
+//! Fig. 15 — generalization of the universal BE model:
+//!
+//! * (a) leave-one-out validation: R² on each application when it is
+//!   excluded from training (paper: good for some apps, e.g. gbt ≈0.72;
+//!   poor for others ≈0.30 — motivating signature capture + retraining);
+//! * (b) accuracy vs number of training samples for one application.
+
+use adrias_bench::{banner, bench_stack, env_usize};
+use adrias_predictor::ablation::{leave_one_out, sample_count_sweep};
+use adrias_predictor::SHatSource;
+
+fn main() {
+    banner(
+        "Fig. 15",
+        "leave-one-out generalization + sample-count sensitivity",
+        "(a) high LOO R² for some apps (gbt ~0.72), low for others \
+         (~0.30); (b) accuracy grows with available samples",
+    );
+    let mut stack = bench_stack();
+    let (train, test) = stack.be_split.clone();
+
+    // Merge train+test: LOO re-splits by application.
+    let all = {
+        use adrias_workloads::AppSignature;
+        let sigs: Vec<AppSignature> = train
+            .signatures()
+            .iter()
+            .map(|(name, rows)| AppSignature::new(name.clone(), rows.clone()))
+            .collect();
+        let mut records = train.records().to_vec();
+        records.extend_from_slice(test.records());
+        adrias_predictor::PerfDataset::new(records, &sigs)
+    };
+
+    // Keep LOO affordable: cap retraining epochs.
+    let mut cfg = *stack.be_model.config();
+    cfg.epochs = env_usize("ADRIAS_LOO_EPOCHS", cfg.epochs.min(25));
+
+    let apps: Vec<String> = {
+        let mut names: Vec<String> = all.records().iter().map(|r| r.app.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    };
+    let app_refs: Vec<&str> = apps.iter().map(String::as_str).collect();
+    println!("(a) leave-one-out R² per excluded application:");
+    println!("{:>10} {:>8} {:>10}", "app", "n", "LOO R²");
+    let cells = leave_one_out(
+        &all,
+        &app_refs,
+        cfg,
+        SHatSource::Actual120,
+        Some(&mut stack.system_model),
+    );
+    let mut best = ("-".to_owned(), f32::NEG_INFINITY);
+    let mut worst = ("-".to_owned(), f32::INFINITY);
+    for c in &cells {
+        if c.report.r2 > best.1 {
+            best = (c.app.clone(), c.report.r2);
+        }
+        if c.report.r2 < worst.1 {
+            worst = (c.app.clone(), c.report.r2);
+        }
+        println!("{:>10} {:>8} {:>10.3}", c.app, c.report.len(), c.report.r2);
+    }
+    println!(
+        "\nmeasured: best {} ({:.2}), worst {} ({:.2}) — paper: 0.72 (gbt) vs 0.30;"
+        , best.0, best.1, worst.0, worst.1
+    );
+    println!("the spread confirms that unseen apps need signature capture + retraining.\n");
+
+    // (b) accuracy vs training-set size.
+    println!("(b) accuracy vs number of training samples:");
+    let sizes = [20usize, 40, 80, 160, 320, 640];
+    let sweep = sample_count_sweep(
+        &train,
+        &test,
+        &sizes,
+        cfg,
+        SHatSource::Actual120,
+        Some(&mut stack.system_model),
+    );
+    println!("{:>10} {:>10}", "samples", "R²");
+    for (n, r) in &sweep {
+        println!("{:>10} {:>10.3}", n, r.r2);
+    }
+    println!("\npaper: accuracy saturates once enough samples are available.");
+}

@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks for the hot paths: simulator stepping,
+//! LSTM training/inference and the full Adrias scheduling decision.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use adrias_nn::{Lstm, Tensor};
+use adrias_sim::{Testbed, TestbedConfig};
+use adrias_telemetry::{Metric, MetricVec};
+use adrias_workloads::{spark, MemoryMode, WorkloadCatalog};
+
+fn bench_sim_step(c: &mut Criterion) {
+    c.bench_function("testbed_step_20_apps", |b| {
+        b.iter_batched(
+            || {
+                let mut tb = Testbed::new(TestbedConfig::paper(), 1);
+                let catalog = WorkloadCatalog::paper();
+                let mut rng = StdRng::seed_from_u64(5);
+                for i in 0..20 {
+                    let w = catalog.pick(&mut rng).clone();
+                    let mode = if i % 2 == 0 {
+                        MemoryMode::Local
+                    } else {
+                        MemoryMode::Remote
+                    };
+                    tb.deploy_for(w, mode, 100_000.0);
+                }
+                tb
+            },
+            |mut tb| {
+                for _ in 0..100 {
+                    criterion::black_box(tb.step());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_lstm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut lstm = Lstm::new(7, 32, &mut rng);
+    let seq: Vec<Tensor> = (0..24)
+        .map(|_| adrias_nn::init::uniform(32, 7, 1.0, &mut rng))
+        .collect();
+    c.bench_function("lstm_forward_b32_t24_h32", |b| {
+        b.iter(|| criterion::black_box(lstm.forward_last(&seq)))
+    });
+    c.bench_function("lstm_forward_backward_b32_t24_h32", |b| {
+        b.iter(|| {
+            let h = lstm.forward_last(&seq);
+            lstm.zero_grad();
+            criterion::black_box(lstm.backward_last(&h));
+        })
+    });
+}
+
+fn bench_decision(c: &mut Criterion) {
+    use adrias_orchestrator::{DecisionContext, Policy};
+    use adrias_scenarios::{train_stack, StackOptions};
+
+    let catalog = WorkloadCatalog::paper();
+    let stack = train_stack(&catalog, &StackOptions::quick());
+    let mut policy = stack.policy(0.8, 5.0);
+    let app = spark::by_name("lr").unwrap();
+    let history: Vec<MetricVec> = (0..120)
+        .map(|t| {
+            let mut v = MetricVec::zero();
+            v.set(Metric::LlcLoads, 1e8 + t as f32 * 1e5);
+            v.set(Metric::LinkLatency, 360.0);
+            v
+        })
+        .collect();
+    c.bench_function("adrias_decision", |b| {
+        b.iter(|| {
+            let ctx = DecisionContext {
+                profile: &app,
+                history: Some(&history),
+                qos_p99_ms: Some(5.0),
+            };
+            criterion::black_box(policy.decide(&ctx))
+        })
+    });
+}
+
+criterion_group!(benches, bench_sim_step, bench_lstm, bench_decision);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! The paper's non-linear block: Linear → ReLU → BatchNorm → Dropout.
+//!
+//! Both Adrias models route their hidden representation through a
+//! "triplet of non-linear blocks, that combine fully-connected layers
+//! with ReLU activation functions, batch normalization and dropout
+//! layers to expose non-linearity and avoid overfit" (§V-B2). This module
+//! packages one such block.
+
+use rand::Rng;
+
+use crate::layer::{BatchNorm1d, Dropout, Layer, Linear, Relu};
+use crate::tensor::Tensor;
+
+/// One fully-connected non-linear block.
+///
+/// # Examples
+///
+/// ```
+/// use adrias_nn::{Layer, NonLinearBlock, Tensor};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut block = NonLinearBlock::new(8, 16, 0.1, &mut rng);
+/// let x = Tensor::zeros(4, 8);
+/// assert_eq!(block.forward(&x, true).shape(), (4, 16));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NonLinearBlock {
+    linear: Linear,
+    relu: Relu,
+    norm: BatchNorm1d,
+    dropout: Dropout,
+}
+
+impl NonLinearBlock {
+    /// Creates a block mapping `in_features` → `out_features` with the
+    /// given dropout probability.
+    pub fn new<R: Rng + ?Sized>(
+        in_features: usize,
+        out_features: usize,
+        dropout_p: f32,
+        rng: &mut R,
+    ) -> Self {
+        let seed = rng.gen::<u64>();
+        Self {
+            linear: Linear::new(in_features, out_features, rng),
+            relu: Relu::new(),
+            norm: BatchNorm1d::new(out_features),
+            dropout: Dropout::new(dropout_p, seed),
+        }
+    }
+
+    /// Output dimensionality.
+    pub fn out_features(&self) -> usize {
+        self.linear.out_features()
+    }
+
+    /// Visits the batch-norm running statistics (see
+    /// [`BatchNorm1d::visit_buffers`]).
+    pub fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.norm.visit_buffers(f);
+    }
+}
+
+impl Layer for NonLinearBlock {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let x = self.linear.forward(input, train);
+        let x = self.relu.forward(&x, train);
+        let x = self.norm.forward(&x, train);
+        self.dropout.forward(&x, train)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.dropout.backward(grad_out);
+        let g = self.norm.backward(&g);
+        let g = self.relu.backward(&g);
+        self.linear.backward(&g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        self.linear.visit_params(f);
+        self.norm.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut block = NonLinearBlock::new(5, 7, 0.2, &mut rng);
+        let x = crate::init::uniform(3, 5, 1.0, &mut rng);
+        let y = block.forward(&x, true);
+        assert_eq!(y.shape(), (3, 7));
+        let dx = block.backward(&Tensor::full(3, 7, 1.0));
+        assert_eq!(dx.shape(), (3, 5));
+    }
+
+    #[test]
+    fn eval_mode_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut block = NonLinearBlock::new(4, 4, 0.5, &mut rng);
+        let x = crate::init::uniform(2, 4, 1.0, &mut rng);
+        let a = block.forward(&x, false);
+        let b = block.forward(&x, false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn has_linear_and_norm_params() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut block = NonLinearBlock::new(4, 4, 0.1, &mut rng);
+        let mut count = 0;
+        block.visit_params(&mut |_, _| count += 1);
+        // Linear (W, b) + BatchNorm (γ, β).
+        assert_eq!(count, 4);
+        assert_eq!(block.out_features(), 4);
+    }
+
+    #[test]
+    fn block_trains_on_simple_regression() {
+        use crate::adam::Adam;
+        use crate::layer::Sequential;
+        use crate::loss::MseLoss;
+
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = Sequential::new(vec![
+            Box::new(NonLinearBlock::new(2, 16, 0.05, &mut rng)),
+            Box::new(Linear::new(16, 1, &mut rng)),
+        ]);
+        let x = crate::init::uniform(64, 2, 1.0, &mut rng);
+        let y = Tensor::from_fn(64, 1, |r, _| x.get(r, 0) - 0.5 * x.get(r, 1));
+        let mut opt = Adam::new(1e-2);
+        let mut loss = MseLoss::new();
+        let mut last = f32::MAX;
+        for _ in 0..400 {
+            let pred = net.forward(&x, true);
+            last = loss.forward(&pred, &y);
+            let g = loss.backward();
+            net.zero_grad();
+            net.backward(&g);
+            opt.begin_step();
+            net.visit_params(&mut |p, g| opt.update(p, g));
+        }
+        assert!(last < 0.05, "block failed to train: {last}");
+    }
+}

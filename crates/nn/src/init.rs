@@ -1,0 +1,66 @@
+//! Weight initialization.
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Xavier/Glorot uniform initialization for a `rows × cols` weight
+/// matrix: samples from `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let w = adrias_nn::init::xavier_uniform(8, 4, &mut rng);
+/// assert_eq!(w.shape(), (8, 4));
+/// ```
+pub fn xavier_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Tensor {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    Tensor::from_fn(rows, cols, |_, _| rng.gen_range(-a..=a))
+}
+
+/// Uniform initialization in `U(-bound, bound)`, used for LSTM weights
+/// (PyTorch's default is `bound = 1/sqrt(hidden)`).
+pub fn uniform<R: Rng + ?Sized>(rows: usize, cols: usize, bound: f32, rng: &mut R) -> Tensor {
+    assert!(bound > 0.0, "bound must be positive");
+    Tensor::from_fn(rows, cols, |_, _| rng.gen_range(-bound..=bound))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = xavier_uniform(10, 10, &mut rng);
+        let a = (6.0f32 / 20.0).sqrt();
+        assert!(w.data().iter().all(|&v| v.abs() <= a));
+        // Not all-zero.
+        assert!(w.norm() > 0.0);
+    }
+
+    #[test]
+    fn uniform_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = uniform(5, 5, 0.1, &mut rng);
+        assert!(w.data().iter().all(|&v| v.abs() <= 0.1));
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let a = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(7));
+        let b = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn uniform_rejects_zero_bound() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = uniform(2, 2, 0.0, &mut rng);
+    }
+}

@@ -1,0 +1,580 @@
+//! Feed-forward layers and the [`Layer`] trait.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::init;
+use crate::tensor::Tensor;
+
+/// A differentiable module with explicit forward/backward passes.
+///
+/// Inputs and outputs are `batch × features` tensors. `forward` caches
+/// whatever the subsequent `backward` needs; calling `backward` without a
+/// preceding `forward` panics. Parameter gradients accumulate until
+/// [`Layer::zero_grad`].
+pub trait Layer {
+    /// Computes the layer output. `train` toggles training-only behaviour
+    /// (dropout masking, batch-norm statistics updates).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Backpropagates `grad_out` (gradient w.r.t. the output), returning
+    /// the gradient w.r.t. the input and accumulating parameter
+    /// gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits every `(parameter, gradient)` pair in a stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor));
+
+    /// Zeroes all accumulated parameter gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |_, g| g.scale_assign(0.0));
+    }
+}
+
+/// A fully-connected layer `y = x·Wᵀ + b`.
+///
+/// # Examples
+///
+/// ```
+/// use adrias_nn::{Layer, Linear, Tensor};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut lin = Linear::new(3, 2, &mut rng);
+/// let x = Tensor::zeros(4, 3);
+/// let y = lin.forward(&x, true);
+/// assert_eq!(y.shape(), (4, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Tensor, // out × in
+    bias: Tensor,   // 1 × out
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer mapping `in_features` to `out_features`.
+    pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        Self {
+            weight: init::xavier_uniform(out_features, in_features, rng),
+            bias: Tensor::zeros(1, out_features),
+            grad_weight: Tensor::zeros(out_features, in_features),
+            grad_bias: Tensor::zeros(1, out_features),
+            cached_input: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_features(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Output dimensionality.
+    pub fn out_features(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// The weight matrix (`out × in`).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The bias row vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(
+            input.cols(),
+            self.in_features(),
+            "linear expects {} features, got {}",
+            self.in_features(),
+            input.cols()
+        );
+        self.cached_input = Some(input.clone());
+        input.matmul(&self.weight.transpose()).add_row_broadcast(&self.bias)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Linear::backward before forward");
+        // dW = dYᵀ · X, db = Σ dY, dX = dY · W
+        self.grad_weight.add_assign(&grad_out.transpose().matmul(input));
+        self.grad_bias.add_assign(&grad_out.sum_rows());
+        grad_out.matmul(&self.weight)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.weight, &mut self.grad_weight);
+        f(&mut self.bias, &mut self.grad_bias);
+    }
+}
+
+/// Rectified linear unit.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.mask = Some(input.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+        input.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("Relu::backward before forward");
+        grad_out * mask
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+}
+
+/// 1-D batch normalization over the batch dimension.
+///
+/// Training mode normalizes with batch statistics and maintains running
+/// estimates; evaluation mode uses the running estimates.
+#[derive(Debug, Clone)]
+pub struct BatchNorm1d {
+    gamma: Tensor,
+    beta: Tensor,
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    running_mean: Tensor,
+    running_var: Tensor,
+    momentum: f32,
+    eps: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm1d {
+    /// Creates a batch-norm layer over `features` columns.
+    pub fn new(features: usize) -> Self {
+        Self {
+            gamma: Tensor::full(1, features, 1.0),
+            beta: Tensor::zeros(1, features),
+            grad_gamma: Tensor::zeros(1, features),
+            grad_beta: Tensor::zeros(1, features),
+            running_mean: Tensor::zeros(1, features),
+            running_var: Tensor::full(1, features, 1.0),
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Number of normalized features.
+    pub fn features(&self) -> usize {
+        self.gamma.cols()
+    }
+}
+
+impl BatchNorm1d {
+    /// Visits the non-trainable state (running mean and variance) in a
+    /// stable order — used by model persistence; optimizers must not
+    /// touch these.
+    pub fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
+    }
+}
+
+impl Layer for BatchNorm1d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let (n, d) = input.shape();
+        assert_eq!(d, self.features(), "batchnorm feature mismatch");
+        if train && n > 1 {
+            let mut mean = vec![0.0f32; d];
+            let mut var = vec![0.0f32; d];
+            for c in 0..d {
+                let mut s = 0.0;
+                for r in 0..n {
+                    s += input.get(r, c);
+                }
+                mean[c] = s / n as f32;
+                let mut v = 0.0;
+                for r in 0..n {
+                    v += (input.get(r, c) - mean[c]).powi(2);
+                }
+                var[c] = v / n as f32;
+            }
+            for c in 0..d {
+                let rm = self.running_mean.get(0, c);
+                let rv = self.running_var.get(0, c);
+                self.running_mean
+                    .set(0, c, (1.0 - self.momentum) * rm + self.momentum * mean[c]);
+                self.running_var
+                    .set(0, c, (1.0 - self.momentum) * rv + self.momentum * var[c]);
+            }
+            let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+            let x_hat =
+                Tensor::from_fn(n, d, |r, c| (input.get(r, c) - mean[c]) * inv_std[c]);
+            let out = Tensor::from_fn(n, d, |r, c| {
+                self.gamma.get(0, c) * x_hat.get(r, c) + self.beta.get(0, c)
+            });
+            self.cache = Some(BnCache { x_hat, inv_std });
+            out
+        } else {
+            // Evaluation (or degenerate single-sample batch): use running
+            // statistics and skip cache; backward through eval mode
+            // treats the normalization as a fixed affine map.
+            let out = Tensor::from_fn(n, d, |r, c| {
+                let inv = 1.0 / (self.running_var.get(0, c) + self.eps).sqrt();
+                self.gamma.get(0, c) * (input.get(r, c) - self.running_mean.get(0, c)) * inv
+                    + self.beta.get(0, c)
+            });
+            let inv_std = (0..d)
+                .map(|c| 1.0 / (self.running_var.get(0, c) + self.eps).sqrt())
+                .collect();
+            let x_hat = Tensor::from_fn(n, d, |r, c| {
+                (input.get(r, c) - self.running_mean.get(0, c))
+                    / (self.running_var.get(0, c) + self.eps).sqrt()
+            });
+            self.cache = Some(BnCache { x_hat, inv_std });
+            out
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm1d::backward before forward");
+        let (n, d) = grad_out.shape();
+        assert_eq!(cache.x_hat.shape(), (n, d), "batchnorm grad shape mismatch");
+        let mut sum_dy = vec![0.0f32; d];
+        let mut sum_dy_xhat = vec![0.0f32; d];
+        for c in 0..d {
+            for r in 0..n {
+                let dy = grad_out.get(r, c);
+                sum_dy[c] += dy;
+                sum_dy_xhat[c] += dy * cache.x_hat.get(r, c);
+            }
+        }
+        for c in 0..d {
+            self.grad_beta.set(0, c, self.grad_beta.get(0, c) + sum_dy[c]);
+            self.grad_gamma
+                .set(0, c, self.grad_gamma.get(0, c) + sum_dy_xhat[c]);
+        }
+        let nf = n as f32;
+        Tensor::from_fn(n, d, |r, c| {
+            let dy = grad_out.get(r, c);
+            self.gamma.get(0, c) * cache.inv_std[c] / nf
+                * (nf * dy - sum_dy[c] - cache.x_hat.get(r, c) * sum_dy_xhat[c])
+        })
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.gamma, &mut self.grad_gamma);
+        f(&mut self.beta, &mut self.grad_beta);
+    }
+}
+
+/// Inverted dropout: zeroes activations with probability `p` during
+/// training and scales survivors by `1/(1-p)`; identity in evaluation.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1), got {p}");
+        Self {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.mask = Some(Tensor::full(input.rows(), input.cols(), 1.0));
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let mask = Tensor::from_fn(input.rows(), input.cols(), |_, _| {
+            if self.rng.gen::<f32>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        });
+        let out = input * &mask;
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("Dropout::backward before forward");
+        grad_out * mask
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+}
+
+/// A feed-forward container applying layers in order.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates a container from boxed layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Self { layers }
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the container is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    /// Numerical-gradient check for Linear.
+    #[test]
+    fn linear_gradients_match_finite_differences() {
+        let mut r = rng();
+        let mut lin = Linear::new(3, 2, &mut r);
+        let x = init::xavier_uniform(4, 3, &mut r);
+        let target = init::xavier_uniform(4, 2, &mut r);
+
+        let loss_of = |lin: &mut Linear, x: &Tensor| {
+            let y = lin.forward(x, true);
+            (&y - &target).map(|v| v * v).data().iter().sum::<f32>()
+        };
+
+        // Analytic gradient.
+        let y = lin.forward(&x, true);
+        let dy = (&y - &target).map(|v| 2.0 * v);
+        lin.zero_grad();
+        let dx = lin.backward(&dy);
+
+        // Finite differences on one weight and one input element.
+        let eps = 1e-3;
+        let base = loss_of(&mut lin, &x);
+
+        let mut lin2 = lin.clone();
+        let w = lin2.weight.get(1, 2);
+        lin2.weight.set(1, 2, w + eps);
+        let num_dw = (loss_of(&mut lin2, &x) - base) / eps;
+        assert!(
+            (num_dw - lin.grad_weight.get(1, 2)).abs() < 0.05 * num_dw.abs().max(1.0),
+            "dW numeric {num_dw} vs analytic {}",
+            lin.grad_weight.get(1, 2)
+        );
+
+        let mut x2 = x.clone();
+        x2.set(0, 1, x.get(0, 1) + eps);
+        let num_dx = (loss_of(&mut lin, &x2) - base) / eps;
+        assert!(
+            (num_dx - dx.get(0, 1)).abs() < 0.05 * num_dx.abs().max(1.0),
+            "dX numeric {num_dx} vs analytic {}",
+            dx.get(0, 1)
+        );
+    }
+
+    #[test]
+    fn relu_zeroes_negatives_and_their_grads() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(1, 4, vec![-1.0, 0.5, -0.1, 2.0]);
+        let y = relu.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 0.5, 0.0, 2.0]);
+        let g = relu.backward(&Tensor::full(1, 4, 1.0));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn batchnorm_normalizes_batch_in_training() {
+        let mut bn = BatchNorm1d::new(2);
+        let x = Tensor::from_vec(4, 2, vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0]);
+        let y = bn.forward(&x, true);
+        for c in 0..2 {
+            let col: Vec<f32> = (0..4).map(|r| y.get(r, c)).collect();
+            let mean: f32 = col.iter().sum::<f32>() / 4.0;
+            let var: f32 = col.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "column {c} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "column {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut bn = BatchNorm1d::new(1);
+        let x = Tensor::from_vec(8, 1, (0..8).map(|i| i as f32).collect());
+        for _ in 0..50 {
+            bn.forward(&x, true);
+        }
+        // After many updates the running stats approximate the batch ones,
+        // so eval output should be close to normalized too.
+        let y = bn.forward(&x, false);
+        assert!(y.mean().abs() < 0.2);
+    }
+
+    #[test]
+    fn batchnorm_gradients_match_finite_differences() {
+        let mut bn = BatchNorm1d::new(2);
+        let mut r = rng();
+        let x = init::xavier_uniform(6, 2, &mut r);
+        let target = init::xavier_uniform(6, 2, &mut r);
+        let y = bn.forward(&x, true);
+        let dy = (&y - &target).map(|v| 2.0 * v);
+        bn.zero_grad();
+        let dx = bn.backward(&dy);
+
+        let loss_of = |bn: &mut BatchNorm1d, x: &Tensor| {
+            let y = bn.forward(x, true);
+            (&y - &target).map(|v| v * v).data().iter().sum::<f32>()
+        };
+        let eps = 1e-3;
+        let mut bn_probe = bn.clone();
+        let base = loss_of(&mut bn_probe, &x);
+        let mut x2 = x.clone();
+        x2.set(2, 1, x.get(2, 1) + eps);
+        let mut bn_probe2 = bn.clone();
+        let num = (loss_of(&mut bn_probe2, &x2) - base) / eps;
+        assert!(
+            (num - dx.get(2, 1)).abs() < 0.1 * num.abs().max(1.0),
+            "numeric {num} vs analytic {}",
+            dx.get(2, 1)
+        );
+    }
+
+    #[test]
+    fn dropout_is_identity_in_eval() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::full(4, 4, 2.0);
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation_in_train() {
+        let mut d = Dropout::new(0.3, 5);
+        let x = Tensor::full(200, 50, 1.0);
+        let y = d.forward(&x, true);
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+        // Some elements must actually be dropped.
+        assert!(y.data().iter().any(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 8);
+        let x = Tensor::full(4, 4, 1.0);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::full(4, 4, 1.0));
+        assert_eq!(y, g, "forward and backward must share the mask");
+    }
+
+    #[test]
+    fn sequential_chains_forward_and_backward() {
+        let mut r = rng();
+        let mut net = Sequential::new(vec![
+            Box::new(Linear::new(2, 4, &mut r)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(4, 1, &mut r)),
+        ]);
+        let x = Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = net.forward(&x, true);
+        assert_eq!(y.shape(), (3, 1));
+        let dx = net.backward(&Tensor::full(3, 1, 1.0));
+        assert_eq!(dx.shape(), (3, 2));
+        let mut count = 0;
+        net.visit_params(&mut |_, _| count += 1);
+        assert_eq!(count, 4, "two Linear layers × (W, b)");
+    }
+
+    #[test]
+    #[should_panic(expected = "before forward")]
+    fn backward_before_forward_panics() {
+        let mut relu = Relu::new();
+        let _ = relu.backward(&Tensor::zeros(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout p")]
+    fn dropout_rejects_p_one() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

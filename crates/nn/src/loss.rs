@@ -1,0 +1,110 @@
+//! Loss functions.
+
+use crate::tensor::Tensor;
+
+/// Mean-squared-error loss with cached backward pass.
+///
+/// # Examples
+///
+/// ```
+/// use adrias_nn::{MseLoss, Tensor};
+///
+/// let mut loss = MseLoss::new();
+/// let pred = Tensor::from_vec(1, 2, vec![1.0, 2.0]);
+/// let target = Tensor::from_vec(1, 2, vec![0.0, 2.0]);
+/// assert_eq!(loss.forward(&pred, &target), 0.5);
+/// let grad = loss.backward();
+/// assert_eq!(grad.shape(), (1, 2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MseLoss {
+    cached_diff: Option<Tensor>,
+}
+
+impl MseLoss {
+    /// Creates an MSE loss.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes `mean((pred - target)²)` and caches the residual.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or empty inputs.
+    pub fn forward(&mut self, pred: &Tensor, target: &Tensor) -> f32 {
+        assert_eq!(
+            pred.shape(),
+            target.shape(),
+            "loss shape mismatch: {:?} vs {:?}",
+            pred.shape(),
+            target.shape()
+        );
+        assert!(!pred.is_empty(), "loss of empty tensors");
+        let diff = pred - target;
+        let loss = diff.map(|v| v * v).mean();
+        self.cached_diff = Some(diff);
+        loss
+    }
+
+    /// Gradient of the loss w.r.t. the predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`MseLoss::forward`].
+    pub fn backward(&self) -> Tensor {
+        let diff = self
+            .cached_diff
+            .as_ref()
+            .expect("MseLoss::backward before forward");
+        let n = diff.len() as f32;
+        diff.map(|v| 2.0 * v / n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_loss_for_perfect_prediction() {
+        let mut l = MseLoss::new();
+        let t = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(l.forward(&t, &t), 0.0);
+        assert!(l.backward().data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn gradient_points_toward_target() {
+        let mut l = MseLoss::new();
+        let pred = Tensor::from_vec(1, 1, vec![3.0]);
+        let target = Tensor::from_vec(1, 1, vec![1.0]);
+        let loss = l.forward(&pred, &target);
+        assert_eq!(loss, 4.0);
+        // d/dpred mean((p-t)^2) = 2(p-t)/n = 4.
+        assert_eq!(l.backward().get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn gradient_is_normalized_by_element_count() {
+        let mut l = MseLoss::new();
+        let pred = Tensor::full(2, 2, 2.0);
+        let target = Tensor::zeros(2, 2);
+        l.forward(&pred, &target);
+        assert_eq!(l.backward().get(0, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before forward")]
+    fn backward_before_forward_panics() {
+        let l = MseLoss::new();
+        let _ = l.backward();
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_shapes_rejected() {
+        let mut l = MseLoss::new();
+        let _ = l.forward(&Tensor::zeros(1, 2), &Tensor::zeros(2, 1));
+    }
+}

@@ -1,0 +1,395 @@
+//! A sequence-input LSTM layer with backpropagation through time.
+//!
+//! Gate layout follows the usual convention: for input `x_t` (batch × in)
+//! and previous hidden `h_{t-1}` (batch × hidden),
+//!
+//! ```text
+//! z_t = x_t·W_ihᵀ + h_{t-1}·W_hhᵀ + b          (batch × 4·hidden)
+//! i = σ(z[0:H])   f = σ(z[H:2H])
+//! g = tanh(z[2H:3H])   o = σ(z[3H:4H])
+//! c_t = f ⊙ c_{t-1} + i ⊙ g
+//! h_t = o ⊙ tanh(c_t)
+//! ```
+//!
+//! [`Lstm::forward_seq`] returns the hidden state at every step so LSTMs
+//! can be stacked (the paper's models use two); [`Lstm::backward_seq`]
+//! accepts a per-step output gradient (zeros everywhere except the last
+//! step for a last-hidden-state readout) and returns per-step input
+//! gradients for the layer below.
+
+use rand::Rng;
+
+use crate::init;
+use crate::tensor::Tensor;
+
+/// Per-timestep cache for BPTT.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Tensor,
+    h_prev: Tensor,
+    c_prev: Tensor,
+    i: Tensor,
+    f: Tensor,
+    g: Tensor,
+    o: Tensor,
+    tanh_c: Tensor,
+}
+
+/// A single LSTM layer.
+///
+/// # Examples
+///
+/// ```
+/// use adrias_nn::{Lstm, Tensor};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut lstm = Lstm::new(3, 8, &mut rng);
+/// let seq: Vec<Tensor> = (0..5).map(|_| Tensor::zeros(2, 3)).collect();
+/// let hidden = lstm.forward_seq(&seq);
+/// assert_eq!(hidden.len(), 5);
+/// assert_eq!(hidden[4].shape(), (2, 8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    input_size: usize,
+    hidden_size: usize,
+    w_ih: Tensor, // 4H × in
+    w_hh: Tensor, // 4H × H
+    bias: Tensor, // 1 × 4H
+    grad_w_ih: Tensor,
+    grad_w_hh: Tensor,
+    grad_bias: Tensor,
+    cache: Vec<StepCache>,
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Lstm {
+    /// Creates an LSTM mapping `input_size` features to a hidden state of
+    /// `hidden_size`, with PyTorch-style `U(-1/√H, 1/√H)` initialization.
+    pub fn new<R: Rng + ?Sized>(input_size: usize, hidden_size: usize, rng: &mut R) -> Self {
+        let bound = 1.0 / (hidden_size as f32).sqrt();
+        Self {
+            input_size,
+            hidden_size,
+            w_ih: init::uniform(4 * hidden_size, input_size, bound, rng),
+            w_hh: init::uniform(4 * hidden_size, hidden_size, bound, rng),
+            bias: init::uniform(1, 4 * hidden_size, bound, rng),
+            grad_w_ih: Tensor::zeros(4 * hidden_size, input_size),
+            grad_w_hh: Tensor::zeros(4 * hidden_size, hidden_size),
+            grad_bias: Tensor::zeros(1, 4 * hidden_size),
+            cache: Vec::new(),
+        }
+    }
+
+    /// Input feature count.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Hidden-state width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// Runs the LSTM over `seq` (each element `batch × input_size`),
+    /// returning the hidden state after every step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is empty or any step has the wrong width.
+    pub fn forward_seq(&mut self, seq: &[Tensor]) -> Vec<Tensor> {
+        assert!(!seq.is_empty(), "LSTM requires a non-empty sequence");
+        let batch = seq[0].rows();
+        let h = self.hidden_size;
+        let mut h_prev = Tensor::zeros(batch, h);
+        let mut c_prev = Tensor::zeros(batch, h);
+        self.cache.clear();
+        let mut outputs = Vec::with_capacity(seq.len());
+        for x in seq {
+            assert_eq!(
+                x.cols(),
+                self.input_size,
+                "LSTM expects {} input features, got {}",
+                self.input_size,
+                x.cols()
+            );
+            assert_eq!(x.rows(), batch, "inconsistent batch size inside sequence");
+            let z = {
+                let zx = x.matmul(&self.w_ih.transpose());
+                let zh = h_prev.matmul(&self.w_hh.transpose());
+                (&zx + &zh).add_row_broadcast(&self.bias)
+            };
+            let i = z.columns(0, h).map(sigmoid);
+            let f = z.columns(h, 2 * h).map(sigmoid);
+            let g = z.columns(2 * h, 3 * h).map(f32::tanh);
+            let o = z.columns(3 * h, 4 * h).map(sigmoid);
+            let c = &(&f * &c_prev) + &(&i * &g);
+            let tanh_c = c.map(f32::tanh);
+            let h_t = &o * &tanh_c;
+            self.cache.push(StepCache {
+                x: x.clone(),
+                h_prev: h_prev.clone(),
+                c_prev: c_prev.clone(),
+                i,
+                f,
+                g,
+                o,
+                tanh_c,
+            });
+            h_prev = h_t.clone();
+            c_prev = c;
+            outputs.push(h_t);
+        }
+        outputs
+    }
+
+    /// Convenience: forward and return only the final hidden state.
+    pub fn forward_last(&mut self, seq: &[Tensor]) -> Tensor {
+        self.forward_seq(seq)
+            .pop()
+            .expect("non-empty sequence yields an output")
+    }
+
+    /// Backpropagates through time.
+    ///
+    /// `grad_hidden[t]` is the gradient of the loss w.r.t. the hidden
+    /// output at step `t` (pass zero tensors for unused steps). Parameter
+    /// gradients accumulate; the return value is the gradient w.r.t. each
+    /// input step, for a stacked layer below.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_hidden` does not match the cached forward pass.
+    pub fn backward_seq(&mut self, grad_hidden: &[Tensor]) -> Vec<Tensor> {
+        assert_eq!(
+            grad_hidden.len(),
+            self.cache.len(),
+            "gradient steps {} do not match cached forward steps {}",
+            grad_hidden.len(),
+            self.cache.len()
+        );
+        assert!(!self.cache.is_empty(), "Lstm::backward_seq before forward_seq");
+        let batch = self.cache[0].x.rows();
+        let h = self.hidden_size;
+        let mut d_h_next = Tensor::zeros(batch, h);
+        let mut d_c_next = Tensor::zeros(batch, h);
+        let mut d_inputs = vec![Tensor::zeros(batch, self.input_size); self.cache.len()];
+        for t in (0..self.cache.len()).rev() {
+            let cache = &self.cache[t];
+            let d_h = &grad_hidden[t] + &d_h_next;
+            // h = o ⊙ tanh(c)
+            let d_o = &d_h * &cache.tanh_c;
+            let d_c = &(&d_h * &cache.o).zip(&cache.tanh_c, |dh_o, tc| dh_o * (1.0 - tc * tc))
+                + &d_c_next;
+            // c = f ⊙ c_prev + i ⊙ g
+            let d_f = &d_c * &cache.c_prev;
+            let d_i = &d_c * &cache.g;
+            let d_g = &d_c * &cache.i;
+            d_c_next = &d_c * &cache.f;
+            // Pre-activation gradients.
+            let dz_i = d_i.zip(&cache.i, |d, s| d * s * (1.0 - s));
+            let dz_f = d_f.zip(&cache.f, |d, s| d * s * (1.0 - s));
+            let dz_g = d_g.zip(&cache.g, |d, g| d * (1.0 - g * g));
+            let dz_o = d_o.zip(&cache.o, |d, s| d * s * (1.0 - s));
+            let dz = dz_i.hcat(&dz_f).hcat(&dz_g).hcat(&dz_o); // batch × 4H
+            // Parameter gradients.
+            self.grad_w_ih.add_assign(&dz.transpose().matmul(&cache.x));
+            self.grad_w_hh
+                .add_assign(&dz.transpose().matmul(&cache.h_prev));
+            self.grad_bias.add_assign(&dz.sum_rows());
+            // Input and recurrent gradients.
+            d_inputs[t] = dz.matmul(&self.w_ih);
+            d_h_next = dz.matmul(&self.w_hh);
+        }
+        d_inputs
+    }
+
+    /// Backpropagates a gradient on the **final** hidden state only.
+    pub fn backward_last(&mut self, grad_last: &Tensor) -> Vec<Tensor> {
+        assert!(!self.cache.is_empty(), "Lstm::backward_last before forward_seq");
+        let batch = self.cache[0].x.rows();
+        let mut grads = vec![Tensor::zeros(batch, self.hidden_size); self.cache.len()];
+        let last = grads.len() - 1;
+        grads[last] = grad_last.clone();
+        self.backward_seq(&grads)
+    }
+
+    /// Visits `(parameter, gradient)` pairs in a stable order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.w_ih, &mut self.grad_w_ih);
+        f(&mut self.w_hh, &mut self.grad_w_hh);
+        f(&mut self.bias, &mut self.grad_bias);
+    }
+
+    /// Zeroes accumulated parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.visit_params(&mut |_, g| g.scale_assign(0.0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    fn toy_seq(t: usize, batch: usize, dim: usize, rng: &mut StdRng) -> Vec<Tensor> {
+        (0..t).map(|_| init::uniform(batch, dim, 1.0, rng)).collect()
+    }
+
+    #[test]
+    fn forward_shapes_are_consistent() {
+        let mut r = rng();
+        let mut lstm = Lstm::new(4, 6, &mut r);
+        let seq = toy_seq(7, 3, 4, &mut r);
+        let out = lstm.forward_seq(&seq);
+        assert_eq!(out.len(), 7);
+        for h in &out {
+            assert_eq!(h.shape(), (3, 6));
+        }
+    }
+
+    #[test]
+    fn hidden_states_are_bounded_by_tanh() {
+        let mut r = rng();
+        let mut lstm = Lstm::new(2, 4, &mut r);
+        let seq = toy_seq(20, 2, 2, &mut r);
+        for h in lstm.forward_seq(&seq) {
+            assert!(h.data().iter().all(|&v| v.abs() <= 1.0));
+        }
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let mut r1 = rng();
+        let mut lstm1 = Lstm::new(3, 5, &mut r1);
+        let mut r2 = rng();
+        let mut lstm2 = Lstm::new(3, 5, &mut r2);
+        let seq = toy_seq(4, 2, 3, &mut rng());
+        assert_eq!(lstm1.forward_last(&seq), lstm2.forward_last(&seq));
+    }
+
+    /// BPTT gradient check against finite differences on several
+    /// parameters and an input element.
+    #[test]
+    fn bptt_gradients_match_finite_differences() {
+        let mut r = rng();
+        let mut lstm = Lstm::new(3, 4, &mut r);
+        let seq = toy_seq(5, 2, 3, &mut r);
+        let target = init::uniform(2, 4, 1.0, &mut r);
+
+        let loss_of = |lstm: &mut Lstm, seq: &[Tensor]| -> f32 {
+            let h = lstm.forward_last(seq);
+            (&h - &target).map(|v| v * v).data().iter().sum::<f32>()
+        };
+
+        // Analytic gradients.
+        let h = lstm.forward_last(&seq);
+        let d_h = (&h - &target).map(|v| 2.0 * v);
+        lstm.zero_grad();
+        let d_inputs = lstm.backward_last(&d_h);
+
+        let eps = 1e-3;
+        let base = loss_of(&mut lstm.clone(), &seq);
+
+        // Check several weight coordinates across all three parameters.
+        for (pick, coords) in [(0usize, (2usize, 1usize)), (1, (5, 2)), (2, (0, 7))] {
+            let mut probe = lstm.clone();
+            let mut analytic = 0.0;
+            {
+                let mut idx = 0;
+                probe.visit_params(&mut |p, g| {
+                    if idx == pick {
+                        let v = p.get(coords.0.min(p.rows() - 1), coords.1.min(p.cols() - 1));
+                        p.set(coords.0.min(p.rows() - 1), coords.1.min(p.cols() - 1), v + eps);
+                        analytic =
+                            g.get(coords.0.min(g.rows() - 1), coords.1.min(g.cols() - 1));
+                    }
+                    idx += 1;
+                });
+            }
+            let numeric = (loss_of(&mut probe, &seq) - base) / eps;
+            assert!(
+                (numeric - analytic).abs() < 0.08 * numeric.abs().max(0.5),
+                "param {pick}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+
+        // Check an input gradient at t=1.
+        let mut seq2: Vec<Tensor> = seq.clone();
+        let v = seq2[1].get(1, 2);
+        seq2[1].set(1, 2, v + eps);
+        let numeric = (loss_of(&mut lstm.clone(), &seq2) - base) / eps;
+        let analytic = d_inputs[1].get(1, 2);
+        assert!(
+            (numeric - analytic).abs() < 0.08 * numeric.abs().max(0.5),
+            "input grad numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn lstm_can_learn_to_sum_a_sequence() {
+        // A sanity training task: predict the (scaled) sum of a short
+        // scalar sequence from the last hidden state through a fixed
+        // linear readout learned jointly.
+        use crate::adam::Adam;
+        use crate::layer::{Layer, Linear};
+        use crate::loss::MseLoss;
+
+        let mut r = rng();
+        let mut lstm = Lstm::new(1, 8, &mut r);
+        let mut head = Linear::new(8, 1, &mut r);
+        let mut opt = Adam::new(5e-3);
+        let mut loss = MseLoss::new();
+
+        // 32 sequences of length 6.
+        let seqs: Vec<Vec<f32>> = (0..32)
+            .map(|_| (0..6).map(|_| r.gen_range(-0.5..0.5)).collect())
+            .collect();
+        let targets = Tensor::from_fn(32, 1, |row, _| seqs[row].iter().sum::<f32>() * 0.5);
+        let batch_seq: Vec<Tensor> = (0..6)
+            .map(|t| Tensor::from_fn(32, 1, |row, _| seqs[row][t]))
+            .collect();
+
+        let mut final_loss = f32::MAX;
+        for _ in 0..300 {
+            let h = lstm.forward_last(&batch_seq);
+            let pred = head.forward(&h, true);
+            final_loss = loss.forward(&pred, &targets);
+            let d_pred = loss.backward();
+            lstm.zero_grad();
+            head.zero_grad();
+            let d_h = head.backward(&d_pred);
+            lstm.backward_last(&d_h);
+            opt.begin_step();
+            head.visit_params(&mut |p, g| opt.update(p, g));
+            lstm.visit_params(&mut |p, g| opt.update(p, g));
+        }
+        assert!(
+            final_loss < 0.01,
+            "LSTM failed to learn sequence sum: loss {final_loss}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty sequence")]
+    fn empty_sequence_rejected() {
+        let mut lstm = Lstm::new(1, 1, &mut rng());
+        let _ = lstm.forward_seq(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before forward")]
+    fn backward_before_forward_rejected() {
+        let mut lstm = Lstm::new(1, 1, &mut rng());
+        let _ = lstm.backward_last(&Tensor::zeros(1, 1));
+    }
+}

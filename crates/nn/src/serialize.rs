@@ -1,0 +1,169 @@
+//! Plain-text tensor (de)serialization.
+//!
+//! Trained model weights are persisted in a line-oriented text format so
+//! no serialization dependency is needed:
+//!
+//! ```text
+//! tensor <name> <rows> <cols>
+//! v v v ...      # one line per row
+//! ```
+
+use std::fmt::Write as _;
+use std::num::ParseFloatError;
+
+use crate::tensor::Tensor;
+
+/// Error returned when parsing serialized tensors fails.
+#[derive(Debug)]
+pub enum ParseTensorError {
+    /// A header line was malformed.
+    BadHeader(String),
+    /// A row had the wrong number of values or a bad float.
+    BadRow {
+        /// Tensor being parsed.
+        name: String,
+        /// Row index.
+        row: usize,
+    },
+    /// The input ended before all declared rows were read.
+    UnexpectedEof,
+}
+
+impl std::fmt::Display for ParseTensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseTensorError::BadHeader(line) => write!(f, "malformed tensor header `{line}`"),
+            ParseTensorError::BadRow { name, row } => {
+                write!(f, "malformed row {row} of tensor `{name}`")
+            }
+            ParseTensorError::UnexpectedEof => f.write_str("unexpected end of tensor data"),
+        }
+    }
+}
+
+impl std::error::Error for ParseTensorError {}
+
+impl From<ParseFloatError> for ParseTensorError {
+    fn from(_: ParseFloatError) -> Self {
+        ParseTensorError::UnexpectedEof
+    }
+}
+
+/// Serializes named tensors to the text format.
+///
+/// # Examples
+///
+/// ```
+/// use adrias_nn::serialize::{read_tensors, write_tensors};
+/// use adrias_nn::Tensor;
+///
+/// let w = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+/// let text = write_tensors(&[("w", &w)]);
+/// let restored = read_tensors(&text).unwrap();
+/// assert_eq!(restored[0].0, "w");
+/// assert_eq!(restored[0].1, w);
+/// ```
+pub fn write_tensors(tensors: &[(&str, &Tensor)]) -> String {
+    let mut out = String::new();
+    for (name, t) in tensors {
+        assert!(
+            !name.contains(char::is_whitespace),
+            "tensor names must not contain whitespace: `{name}`"
+        );
+        let _ = writeln!(out, "tensor {name} {} {}", t.rows(), t.cols());
+        for r in 0..t.rows() {
+            let row: Vec<String> = t.row(r).iter().map(|v| format!("{v:e}")).collect();
+            let _ = writeln!(out, "{}", row.join(" "));
+        }
+    }
+    out
+}
+
+/// Parses tensors previously produced by [`write_tensors`].
+///
+/// # Errors
+///
+/// Returns [`ParseTensorError`] on malformed headers, rows with the wrong
+/// arity, unparsable floats, or truncated input.
+pub fn read_tensors(text: &str) -> Result<Vec<(String, Tensor)>, ParseTensorError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let mut out = Vec::new();
+    while let Some(header) = lines.next() {
+        let parts: Vec<&str> = header.split_whitespace().collect();
+        let (name, rows, cols) = match parts.as_slice() {
+            ["tensor", name, rows, cols] => {
+                let rows: usize = rows
+                    .parse()
+                    .map_err(|_| ParseTensorError::BadHeader(header.to_owned()))?;
+                let cols: usize = cols
+                    .parse()
+                    .map_err(|_| ParseTensorError::BadHeader(header.to_owned()))?;
+                ((*name).to_owned(), rows, cols)
+            }
+            _ => return Err(ParseTensorError::BadHeader(header.to_owned())),
+        };
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            let line = lines.next().ok_or(ParseTensorError::UnexpectedEof)?;
+            let values: Result<Vec<f32>, _> =
+                line.split_whitespace().map(str::parse::<f32>).collect();
+            let values = values.map_err(|_| ParseTensorError::BadRow {
+                name: name.clone(),
+                row: r,
+            })?;
+            if values.len() != cols {
+                return Err(ParseTensorError::BadRow { name, row: r });
+            }
+            data.extend(values);
+        }
+        out.push((name, Tensor::from_vec(rows, cols, data)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let a = Tensor::from_vec(2, 3, vec![1.5, -2.25, 3.0e-7, 4.0, 5.5, -6.125]);
+        let b = Tensor::from_vec(1, 1, vec![42.0]);
+        let text = write_tensors(&[("a", &a), ("b", &b)]);
+        let restored = read_tensors(&text).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored[0], ("a".to_owned(), a));
+        assert_eq!(restored[1], ("b".to_owned(), b));
+    }
+
+    #[test]
+    fn empty_input_yields_no_tensors() {
+        assert!(read_tensors("").unwrap().is_empty());
+        assert!(read_tensors("\n  \n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_header_is_reported() {
+        let err = read_tensors("nonsense 1 2").unwrap_err();
+        assert!(err.to_string().contains("malformed tensor header"));
+    }
+
+    #[test]
+    fn truncated_input_is_reported() {
+        let err = read_tensors("tensor w 2 2\n1 2\n").unwrap_err();
+        assert!(matches!(err, ParseTensorError::UnexpectedEof));
+    }
+
+    #[test]
+    fn wrong_arity_row_is_reported() {
+        let err = read_tensors("tensor w 1 3\n1 2\n").unwrap_err();
+        assert!(err.to_string().contains("malformed row 0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "whitespace")]
+    fn whitespace_names_rejected() {
+        let t = Tensor::zeros(1, 1);
+        let _ = write_tensors(&[("bad name", &t)]);
+    }
+}

@@ -1,0 +1,473 @@
+//! A row-major 2-D `f32` matrix.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A dense row-major matrix of `f32` values.
+///
+/// This is deliberately small: just the operations the layers in this
+/// crate need. Shapes are validated eagerly; mismatches panic with the
+/// offending dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use adrias_nn::Tensor;
+///
+/// let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+/// let b = Tensor::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+/// let c = a.matmul(&b);
+/// assert_eq!(c.shape(), (2, 2));
+/// assert_eq!(c.get(0, 0), 58.0);
+/// ```
+#[derive(Clone, PartialEq, Default)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A `rows × cols` tensor of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A `rows × cols` tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Builds a tensor from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match shape {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a tensor element-wise from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// A `1 × values.len()` row vector.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self @ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions do not match.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[r * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let out_row = &mut out.data[r * other.cols..(r + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Tensor {
+        Tensor::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise combination with another tensor of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        self.assert_same_shape(other, "zip");
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// In-place element-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        self.assert_same_shape(other, "add_assign");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scaling.
+    pub fn scale_assign(&mut self, factor: f32) {
+        for a in &mut self.data {
+            *a *= factor;
+        }
+    }
+
+    /// Adds a `1 × cols` row vector to every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 × self.cols`.
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Tensor {
+        assert_eq!(
+            (1, self.cols),
+            bias.shape(),
+            "broadcast bias must be 1x{}, got {:?}",
+            self.cols,
+            bias.shape()
+        );
+        Tensor::from_fn(self.rows, self.cols, |r, c| self.get(r, c) + bias.get(0, c))
+    }
+
+    /// Column-wise sum, producing a `1 × cols` row vector.
+    pub fn sum_rows(&self) -> Tensor {
+        let mut out = Tensor::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.get(r, c);
+            }
+        }
+        out
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn hcat(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "hcat row mismatch: {} vs {}",
+            self.rows, other.rows
+        );
+        Tensor::from_fn(self.rows, self.cols + other.cols, |r, c| {
+            if c < self.cols {
+                self.get(r, c)
+            } else {
+                other.get(r, c - self.cols)
+            }
+        })
+    }
+
+    /// The sub-matrix of columns `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is invalid.
+    pub fn columns(&self, start: usize, end: usize) -> Tensor {
+        assert!(start <= end && end <= self.cols, "bad column range {start}..{end}");
+        Tensor::from_fn(self.rows, end - start, |r, c| self.get(r, start + c))
+    }
+
+    /// The sub-matrix of rows `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is invalid.
+    pub fn rows_slice(&self, start: usize, end: usize) -> Tensor {
+        assert!(start <= end && end <= self.rows, "bad row range {start}..{end}");
+        Tensor::from_vec(
+            end - start,
+            self.cols,
+            self.data[start * self.cols..end * self.cols].to_vec(),
+        )
+    }
+
+    /// Vertical concatenation of `tensors` (all with equal column count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tensors` is empty or column counts differ.
+    pub fn vcat(tensors: &[&Tensor]) -> Tensor {
+        assert!(!tensors.is_empty(), "vcat of nothing");
+        let cols = tensors[0].cols;
+        let rows: usize = tensors.iter().map(|t| t.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for t in tensors {
+            assert_eq!(t.cols, cols, "vcat column mismatch");
+            data.extend_from_slice(&t.data);
+        }
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Mean of all elements; `0.0` when empty.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f32>() / self.data.len() as f32
+        }
+    }
+
+    fn assert_same_shape(&self, other: &Tensor, op: &str) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "{op} shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}x{})", self.rows, self.cols)?;
+        if self.len() <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Add for &Tensor {
+    type Output = Tensor;
+
+    fn add(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub for &Tensor {
+    type Output = Tensor;
+
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a - b)
+    }
+}
+
+impl Mul for &Tensor {
+    type Output = Tensor;
+
+    /// Element-wise (Hadamard) product.
+    fn mul(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Tensor::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), (3, 2));
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn broadcast_and_sum_rows_are_inverse_ish() {
+        let x = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::row_vector(&[10.0, 20.0]);
+        let y = x.add_row_broadcast(&b);
+        assert_eq!(y.data(), &[11.0, 22.0, 13.0, 24.0]);
+        assert_eq!(x.sum_rows().data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn hcat_and_columns_round_trip() {
+        let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(2, 1, vec![5.0, 6.0]);
+        let cat = a.hcat(&b);
+        assert_eq!(cat.shape(), (2, 3));
+        assert_eq!(cat.columns(0, 2), a);
+        assert_eq!(cat.columns(2, 3), b);
+    }
+
+    #[test]
+    fn vcat_and_rows_slice_round_trip() {
+        let a = Tensor::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Tensor::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
+        let cat = Tensor::vcat(&[&a, &b]);
+        assert_eq!(cat.shape(), (3, 2));
+        assert_eq!(cat.rows_slice(0, 1), a);
+        assert_eq!(cat.rows_slice(1, 3), b);
+    }
+
+    #[test]
+    fn elementwise_operators() {
+        let a = Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(1, 3, vec![4.0, 5.0, 6.0]);
+        assert_eq!((&a + &b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!((&b - &a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!((&a * &b).data(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn map_and_scale() {
+        let a = Tensor::from_vec(1, 2, vec![1.0, -2.0]);
+        assert_eq!(a.map(f32::abs).data(), &[1.0, 2.0]);
+        let mut b = a.clone();
+        b.scale_assign(3.0);
+        assert_eq!(b.data(), &[3.0, -6.0]);
+    }
+
+    #[test]
+    fn norm_and_mean() {
+        let a = Tensor::from_vec(1, 2, vec![3.0, 4.0]);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.mean(), 3.5);
+        assert_eq!(Tensor::zeros(0, 0).mean(), 0.0);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        let t = Tensor::zeros(1, 1);
+        assert!(!format!("{t:?}").is_empty());
+        let big = Tensor::zeros(100, 100);
+        assert!(format!("{big:?}").contains("100x100"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let t = Tensor::zeros(1, 1);
+        let _ = t.get(1, 0);
+    }
+}

@@ -1,0 +1,370 @@
+//! The Adrias policy: prediction-driven memory-mode selection.
+
+use std::collections::HashMap;
+
+use adrias_predictor::{PerfModel, SystemStateModel};
+use adrias_workloads::{AppSignature, MemoryMode, WorkloadClass};
+
+use crate::policy::{DecisionContext, Policy};
+
+/// The deep-learning-driven orchestration policy (§V-C).
+///
+/// Holds the trained system-state model, the two universal performance
+/// models (one for BE, one for LC) and the application-signature store.
+/// Placement rules:
+///
+/// * **Unknown app** (no signature): schedule **remote**, so a signature
+///   can be captured from an isolated-remote profile run.
+/// * **BE**: `local` iff `t̂_local < β · t̂_remote`, else `remote`.
+/// * **LC**: `remote` iff `p̂99_remote ≤ QoS`, else `local`.
+/// * During Watcher warm-up (no full history window) known apps fall
+///   back to local, the safe default.
+pub struct AdriasPolicy {
+    name: String,
+    system_model: SystemStateModel,
+    be_model: PerfModel,
+    lc_model: PerfModel,
+    signatures: HashMap<String, AppSignature>,
+    beta: f32,
+    default_qos_p99_ms: f32,
+}
+
+impl std::fmt::Debug for AdriasPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "AdriasPolicy(beta={}, {} signatures)",
+            self.beta,
+            self.signatures.len()
+        )
+    }
+}
+
+impl AdriasPolicy {
+    /// Builds the policy from trained models and the signature store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any model is untrained, `beta` is outside `(0, 1]`, or
+    /// the QoS constraint is not positive.
+    pub fn new(
+        system_model: SystemStateModel,
+        be_model: PerfModel,
+        lc_model: PerfModel,
+        signatures: Vec<AppSignature>,
+        beta: f32,
+        default_qos_p99_ms: f32,
+    ) -> Self {
+        assert!(system_model.is_trained(), "system-state model untrained");
+        assert!(be_model.is_trained(), "BE performance model untrained");
+        assert!(lc_model.is_trained(), "LC performance model untrained");
+        assert!(
+            beta > 0.0 && beta <= 1.0,
+            "beta must be in (0, 1], got {beta}"
+        );
+        assert!(
+            default_qos_p99_ms > 0.0,
+            "QoS constraint must be positive"
+        );
+        Self {
+            name: format!("Adrias(b={beta})"),
+            system_model,
+            be_model,
+            lc_model,
+            signatures: signatures
+                .into_iter()
+                .map(|s| (s.app_name().to_owned(), s))
+                .collect(),
+            beta,
+            default_qos_p99_ms,
+        }
+    }
+
+    /// The slack parameter β.
+    pub fn beta(&self) -> f32 {
+        self.beta
+    }
+
+    /// The default p99 QoS constraint, milliseconds.
+    pub fn default_qos_p99_ms(&self) -> f32 {
+        self.default_qos_p99_ms
+    }
+
+    /// Whether a signature is stored for `app`.
+    pub fn knows(&self, app: &str) -> bool {
+        self.signatures.contains_key(app)
+    }
+
+    /// Stores (or replaces) a captured signature.
+    pub fn store_signature(&mut self, signature: AppSignature) {
+        self.signatures
+            .insert(signature.app_name().to_owned(), signature);
+    }
+
+    /// Predicted performance (execution time for BE, p99 for LC) for one
+    /// mode, or `None` when no history window or signature is available.
+    pub fn predict_perf(
+        &mut self,
+        ctx: &DecisionContext<'_>,
+        mode: MemoryMode,
+    ) -> Option<f32> {
+        let history = ctx.history?;
+        let signature = self.signatures.get(ctx.profile.name())?.clone();
+        let s_hat = self.system_model.predict(history);
+        let model = match ctx.profile.class() {
+            WorkloadClass::LatencyCritical => &mut self.lc_model,
+            _ => &mut self.be_model,
+        };
+        Some(model.predict(history, &signature, mode, Some(&s_hat)))
+    }
+}
+
+impl Policy for AdriasPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> MemoryMode {
+        if !self.knows(ctx.profile.name()) {
+            // Unknown application: remote-first to capture a signature.
+            return MemoryMode::Remote;
+        }
+        let (Some(pred_local), Some(pred_remote)) = (
+            self.predict_perf(ctx, MemoryMode::Local),
+            self.predict_perf(ctx, MemoryMode::Remote),
+        ) else {
+            // Watcher warm-up: play safe.
+            return MemoryMode::Local;
+        };
+        match ctx.profile.class() {
+            WorkloadClass::LatencyCritical => {
+                let qos = ctx.qos_p99_ms.unwrap_or(self.default_qos_p99_ms);
+                if pred_remote <= qos {
+                    MemoryMode::Remote
+                } else {
+                    MemoryMode::Local
+                }
+            }
+            _ => {
+                if pred_local < self.beta * pred_remote {
+                    MemoryMode::Local
+                } else {
+                    MemoryMode::Remote
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adrias_predictor::dataset::{PerfRecord, HISTORY_S};
+    use adrias_predictor::{
+        PerfDataset, PerfModelConfig, SystemStateDataset, SystemStateModelConfig,
+    };
+    use adrias_telemetry::{Metric, MetricSample, MetricVec};
+    use adrias_workloads::{keyvalue, spark, WorkloadProfile};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn metric_row(x: f32) -> MetricVec {
+        let mut v = MetricVec::zero();
+        v.set(Metric::LlcLoads, 1e8 * (1.0 + x));
+        v.set(Metric::MemLoads, 4e7 * (1.0 + x));
+        v.set(Metric::LinkLatency, 350.0 + 100.0 * x);
+        v
+    }
+
+    /// Trains minimal models on synthetic data that encodes "remote is
+    /// `penalty`× slower" so decide() behaves predictably.
+    fn policy_with_beta(beta: f32) -> AdriasPolicy {
+        let mut rng = StdRng::seed_from_u64(0);
+
+        // System model on a flat synthetic trace.
+        let trace: Vec<MetricSample> = (0..400)
+            .map(|t| MetricSample::new(t as f64, metric_row(((t as f32) * 0.02).sin() * 0.2)))
+            .collect();
+        let sys_ds = SystemStateDataset::from_traces(&[trace], 10);
+        let mut system_model = SystemStateModel::new(SystemStateModelConfig {
+            epochs: 4,
+            hidden: 6,
+            block_width: 8,
+            ..SystemStateModelConfig::tiny()
+        });
+        system_model.train(&sys_ds);
+
+        // Perf datasets: gmm cheap remote (1.05×), nweight costly (2×);
+        // redis p99 1.2 local / 2.4 remote.
+        let be_apps: Vec<(WorkloadProfile, f32)> = vec![
+            (spark::by_name("gmm").unwrap(), 1.05),
+            (spark::by_name("nweight").unwrap(), 2.0),
+        ];
+        // Records vary in background load `x`, which shows up in the
+        // history window, the future state and (mildly) the performance —
+        // mirroring the structure of real traces so the Ŝ input weights
+        // are properly constrained during training.
+        let mut be_records = Vec::new();
+        for _ in 0..60 {
+            let (app, penalty) = &be_apps[rng.gen_range(0..be_apps.len())];
+            let x: f32 = rng.gen_range(-0.2..0.2);
+            for mode in MemoryMode::BOTH {
+                let perf = app.base_runtime_s()
+                    * if mode == MemoryMode::Remote { *penalty } else { 1.0 }
+                    * (1.0 + 0.1 * (x + 0.2));
+                be_records.push(PerfRecord {
+                    app: app.name().to_owned(),
+                    mode,
+                    history: vec![metric_row(x); HISTORY_S],
+                    future_120: metric_row(x),
+                    future_exec: metric_row(x),
+                    perf,
+                });
+            }
+        }
+        let mut lc_records = Vec::new();
+        for _ in 0..40 {
+            let x: f32 = rng.gen_range(-0.2..0.2);
+            for mode in MemoryMode::BOTH {
+                lc_records.push(PerfRecord {
+                    app: "redis".to_owned(),
+                    mode,
+                    history: vec![metric_row(x); HISTORY_S],
+                    future_120: metric_row(x),
+                    future_exec: metric_row(x),
+                    perf: (if mode == MemoryMode::Remote { 2.4 } else { 1.2 })
+                        * (1.0 + 0.1 * (x + 0.2)),
+                });
+            }
+        }
+        let signatures: Vec<AppSignature> = vec![
+            AppSignature::new("gmm", vec![metric_row(0.1); 20]),
+            AppSignature::new("nweight", vec![metric_row(0.9); 20]),
+            AppSignature::new("redis", vec![metric_row(0.5); 20]),
+        ];
+        let be_ds = PerfDataset::new(be_records, &signatures);
+        let lc_ds = PerfDataset::new(lc_records, &signatures);
+        let cfg = PerfModelConfig {
+            epochs: 80,
+            hidden: 8,
+            block_width: 12,
+            learning_rate: 4e-3,
+            dropout: 0.0,
+            ..PerfModelConfig::tiny()
+        };
+        let be_hats: Vec<Option<MetricVec>> =
+            be_ds.records().iter().map(|r| Some(r.future_120)).collect();
+        let lc_hats: Vec<Option<MetricVec>> =
+            lc_ds.records().iter().map(|r| Some(r.future_120)).collect();
+        let mut be_model = PerfModel::new(cfg);
+        be_model.train(&be_ds, &be_hats);
+        let mut lc_model = PerfModel::new(cfg);
+        lc_model.train(&lc_ds, &lc_hats);
+
+        AdriasPolicy::new(system_model, be_model, lc_model, signatures, beta, 2.0)
+    }
+
+    fn ctx_for<'a>(
+        profile: &'a WorkloadProfile,
+        history: &'a [MetricVec],
+        qos: Option<f32>,
+    ) -> DecisionContext<'a> {
+        DecisionContext {
+            profile,
+            history: Some(history),
+            qos_p99_ms: qos,
+        }
+    }
+
+    #[test]
+    fn unknown_apps_go_remote_first() {
+        let mut policy = policy_with_beta(0.9);
+        let unknown = spark::by_name("pca").unwrap();
+        let history = vec![metric_row(0.0); HISTORY_S];
+        assert!(!policy.knows("pca"));
+        assert_eq!(
+            policy.decide(&ctx_for(&unknown, &history, None)),
+            MemoryMode::Remote
+        );
+        policy.store_signature(AppSignature::new("pca", vec![metric_row(0.2); 10]));
+        assert!(policy.knows("pca"));
+    }
+
+    #[test]
+    fn warmup_defaults_to_local_for_known_apps() {
+        let mut policy = policy_with_beta(0.9);
+        let gmm = spark::by_name("gmm").unwrap();
+        let ctx = DecisionContext {
+            profile: &gmm,
+            history: None,
+            qos_p99_ms: None,
+        };
+        assert_eq!(policy.decide(&ctx), MemoryMode::Local);
+    }
+
+    #[test]
+    fn beta_governs_be_offloading() {
+        let history = vec![metric_row(0.0); HISTORY_S];
+        let gmm = spark::by_name("gmm").unwrap();
+        let nweight = spark::by_name("nweight").unwrap();
+
+        // β = 1: nweight (2× remote penalty) must stay local. gmm's
+        // margin (5 %) is within model error, so it is not asserted —
+        // the paper itself attributes β = 1 behaving like All-Local
+        // partly to "implicit accuracy errors".
+        let mut strict = policy_with_beta(1.0);
+        assert_eq!(
+            strict.decide(&ctx_for(&nweight, &history, None)),
+            MemoryMode::Local
+        );
+
+        // β = 0.7: tolerate ≈43 % degradation → offload gmm (1.05×) but
+        // never nweight (2×).
+        let mut relaxed = policy_with_beta(0.7);
+        assert_eq!(
+            relaxed.decide(&ctx_for(&gmm, &history, None)),
+            MemoryMode::Remote
+        );
+        assert_eq!(
+            relaxed.decide(&ctx_for(&nweight, &history, None)),
+            MemoryMode::Local
+        );
+
+        // The predicted remote/local ratio must separate the two apps.
+        let ctx_g = ctx_for(&gmm, &history, None);
+        let ratio_gmm = relaxed.predict_perf(&ctx_g, MemoryMode::Remote).unwrap()
+            / relaxed.predict_perf(&ctx_g, MemoryMode::Local).unwrap();
+        let ctx_n = ctx_for(&nweight, &history, None);
+        let ratio_nweight = relaxed.predict_perf(&ctx_n, MemoryMode::Remote).unwrap()
+            / relaxed.predict_perf(&ctx_n, MemoryMode::Local).unwrap();
+        assert!(
+            ratio_nweight > ratio_gmm + 0.3,
+            "ratios should separate: nweight {ratio_nweight} vs gmm {ratio_gmm}"
+        );
+    }
+
+    #[test]
+    fn lc_follows_qos_constraint() {
+        let mut policy = policy_with_beta(0.8);
+        let redis = keyvalue::redis();
+        let history = vec![metric_row(0.0); HISTORY_S];
+        // Loose QoS (10 ms): predicted remote p99 ≈ 2.4 ms fits → remote.
+        assert_eq!(
+            policy.decide(&ctx_for(&redis, &history, Some(10.0))),
+            MemoryMode::Remote
+        );
+        // Strict QoS (1.5 ms): remote violates → local.
+        assert_eq!(
+            policy.decide(&ctx_for(&redis, &history, Some(1.5))),
+            MemoryMode::Local
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be in")]
+    fn invalid_beta_rejected() {
+        // Cheap construction path: reuse trained models from a valid
+        // policy is expensive, so validate via a fresh policy with bad β.
+        let _ = policy_with_beta(1.5);
+    }
+}

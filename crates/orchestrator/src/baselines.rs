@@ -1,0 +1,165 @@
+//! The paper's comparison schedulers (§VI-B): Random, Round-Robin and
+//! All-Local, plus an All-Remote strawman.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use adrias_workloads::MemoryMode;
+
+use crate::policy::{DecisionContext, Policy};
+
+/// Chooses local or remote uniformly at random.
+#[derive(Debug)]
+pub struct RandomPolicy {
+    rng: StdRng,
+}
+
+impl RandomPolicy {
+    /// Creates a seeded random policy.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Policy for RandomPolicy {
+    fn name(&self) -> &str {
+        "Random"
+    }
+
+    fn decide(&mut self, _ctx: &DecisionContext<'_>) -> MemoryMode {
+        if self.rng.gen_bool(0.5) {
+            MemoryMode::Local
+        } else {
+            MemoryMode::Remote
+        }
+    }
+}
+
+/// Alternates local/remote on successive arrivals.
+#[derive(Debug, Default)]
+pub struct RoundRobinPolicy {
+    next_remote: bool,
+}
+
+impl RoundRobinPolicy {
+    /// Creates a round-robin policy starting with local.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Policy for RoundRobinPolicy {
+    fn name(&self) -> &str {
+        "Round-Robin"
+    }
+
+    fn decide(&mut self, _ctx: &DecisionContext<'_>) -> MemoryMode {
+        let mode = if self.next_remote {
+            MemoryMode::Remote
+        } else {
+            MemoryMode::Local
+        };
+        self.next_remote = !self.next_remote;
+        mode
+    }
+}
+
+/// Places everything in local DRAM (the conventional baseline).
+#[derive(Debug, Default)]
+pub struct AllLocalPolicy;
+
+impl AllLocalPolicy {
+    /// Creates the all-local policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Policy for AllLocalPolicy {
+    fn name(&self) -> &str {
+        "All-Local"
+    }
+
+    fn decide(&mut self, _ctx: &DecisionContext<'_>) -> MemoryMode {
+        MemoryMode::Local
+    }
+}
+
+/// Places everything in remote memory (a stress strawman, not in the
+/// paper's comparison but useful for characterization).
+#[derive(Debug, Default)]
+pub struct AllRemotePolicy;
+
+impl AllRemotePolicy {
+    /// Creates the all-remote policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Policy for AllRemotePolicy {
+    fn name(&self) -> &str {
+        "All-Remote"
+    }
+
+    fn decide(&mut self, _ctx: &DecisionContext<'_>) -> MemoryMode {
+        MemoryMode::Remote
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adrias_workloads::spark;
+
+    fn ctx(app: &adrias_workloads::WorkloadProfile) -> DecisionContext<'_> {
+        DecisionContext {
+            profile: app,
+            history: None,
+            qos_p99_ms: None,
+        }
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let app = spark::by_name("gmm").unwrap();
+        let mut rr = RoundRobinPolicy::new();
+        let modes: Vec<MemoryMode> = (0..4).map(|_| rr.decide(&ctx(&app))).collect();
+        assert_eq!(
+            modes,
+            vec![
+                MemoryMode::Local,
+                MemoryMode::Remote,
+                MemoryMode::Local,
+                MemoryMode::Remote
+            ]
+        );
+    }
+
+    #[test]
+    fn random_is_seeded_and_roughly_balanced() {
+        let app = spark::by_name("gmm").unwrap();
+        let mut a = RandomPolicy::new(11);
+        let mut b = RandomPolicy::new(11);
+        let seq_a: Vec<MemoryMode> = (0..50).map(|_| a.decide(&ctx(&app))).collect();
+        let seq_b: Vec<MemoryMode> = (0..50).map(|_| b.decide(&ctx(&app))).collect();
+        assert_eq!(seq_a, seq_b, "same seed, same decisions");
+        let remotes = seq_a.iter().filter(|&&m| m == MemoryMode::Remote).count();
+        assert!((10..=40).contains(&remotes), "wildly unbalanced: {remotes}");
+    }
+
+    #[test]
+    fn constant_policies_are_constant() {
+        let app = spark::by_name("lr").unwrap();
+        let mut local = AllLocalPolicy::new();
+        let mut remote = AllRemotePolicy::new();
+        for _ in 0..5 {
+            assert_eq!(local.decide(&ctx(&app)), MemoryMode::Local);
+            assert_eq!(remote.decide(&ctx(&app)), MemoryMode::Remote);
+        }
+        assert_eq!(local.name(), "All-Local");
+        assert_eq!(remote.name(), "All-Remote");
+    }
+}

@@ -1,0 +1,550 @@
+//! The deployment engine: replays an arrival schedule against the
+//! testbed under a policy and records everything the evaluation needs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use adrias_sim::{Testbed, TestbedConfig};
+use adrias_telemetry::{MetricSample, MetricVec, Watcher};
+use adrias_workloads::keyvalue::tail_latency;
+use adrias_workloads::{LoadSpec, MemoryMode, WorkloadClass, WorkloadProfile};
+
+use crate::policy::{DecisionContext, Policy};
+
+/// One entry of an arrival schedule.
+#[derive(Debug, Clone)]
+pub struct ScheduledArrival {
+    /// Arrival time, seconds from scenario start.
+    pub at_s: f64,
+    /// The workload to deploy.
+    pub profile: WorkloadProfile,
+    /// Residency override (used for open-ended iBench stressors);
+    /// `None` uses the profile's nominal duration.
+    pub duration_s: Option<f32>,
+    /// When set, bypasses the policy (random placement during trace
+    /// collection; interference stressors in orchestration runs).
+    pub forced_mode: Option<MemoryMode>,
+}
+
+impl ScheduledArrival {
+    /// A policy-decided arrival with the profile's nominal duration.
+    pub fn new(at_s: f64, profile: WorkloadProfile) -> Self {
+        Self {
+            at_s,
+            profile,
+            duration_s: None,
+            forced_mode: None,
+        }
+    }
+
+    /// Forces the memory mode, bypassing the policy.
+    pub fn with_mode(mut self, mode: MemoryMode) -> Self {
+        self.forced_mode = Some(mode);
+        self
+    }
+
+    /// Overrides the residency duration.
+    pub fn with_duration(mut self, duration_s: f32) -> Self {
+        self.duration_s = Some(duration_s);
+        self
+    }
+}
+
+/// Engine parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Watcher history window handed to policies, seconds.
+    pub history_window_s: usize,
+    /// After the last arrival, keep stepping until every deployment
+    /// finishes, at most this many extra seconds.
+    pub max_drain_s: f64,
+    /// Requests sampled per LC measurement when computing tail latency.
+    pub lc_latency_samples: usize,
+    /// Active p99 QoS constraint handed to policies, milliseconds.
+    pub qos_p99_ms: Option<f32>,
+    /// RNG seed for LC latency sampling.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            history_window_s: 120,
+            max_drain_s: 2400.0,
+            lc_latency_samples: 8000,
+            qos_p99_ms: None,
+            seed: 7,
+        }
+    }
+}
+
+/// Outcome of one finished application.
+#[derive(Debug, Clone)]
+pub struct AppOutcome {
+    /// Workload name.
+    pub name: String,
+    /// Workload class.
+    pub class: WorkloadClass,
+    /// Mode it ran in.
+    pub mode: MemoryMode,
+    /// Whether the mode came from the policy (vs forced).
+    pub policy_decided: bool,
+    /// Arrival time, seconds.
+    pub arrived_s: f64,
+    /// Completion time, seconds.
+    pub finished_s: f64,
+    /// Wall-clock runtime, seconds (the BE performance metric).
+    pub runtime_s: f64,
+    /// Mean slowdown experienced.
+    pub mean_slowdown: f32,
+    /// p99 response time, ms (LC only).
+    pub p99_ms: Option<f32>,
+    /// p99.9 response time, ms (LC only).
+    pub p999_ms: Option<f32>,
+    /// Time to serve the configured load, seconds (LC only).
+    pub lc_total_time_s: Option<f32>,
+}
+
+/// Everything recorded during one engine run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Name of the policy that ran.
+    pub policy: String,
+    /// Finished applications in completion order.
+    pub outcomes: Vec<AppOutcome>,
+    /// The full 1 Hz metric trace.
+    pub samples: Vec<MetricSample>,
+    /// Total bytes moved over the ThymesisFlow link.
+    pub link_bytes: f64,
+    /// Final simulation time, seconds.
+    pub end_time_s: f64,
+    /// Arrivals that never completed within the drain budget.
+    pub unfinished: usize,
+}
+
+impl RunReport {
+    /// Outcomes of policy-decided applications of one class.
+    pub fn decided_of_class(&self, class: WorkloadClass) -> impl Iterator<Item = &AppOutcome> {
+        self.outcomes
+            .iter()
+            .filter(move |o| o.class == class && o.policy_decided)
+    }
+
+    /// `(local, remote)` placement counts over policy-decided apps.
+    pub fn placement_counts(&self) -> (usize, usize) {
+        let mut local = 0;
+        let mut remote = 0;
+        for o in self.outcomes.iter().filter(|o| o.policy_decided) {
+            match o.mode {
+                MemoryMode::Local => local += 1,
+                MemoryMode::Remote => remote += 1,
+            }
+        }
+        (local, remote)
+    }
+
+    /// Fraction of policy-decided apps placed on remote memory.
+    pub fn offload_fraction(&self) -> f32 {
+        let (local, remote) = self.placement_counts();
+        let total = local + remote;
+        if total == 0 {
+            0.0
+        } else {
+            remote as f32 / total as f32
+        }
+    }
+
+    /// The 1 Hz history window (`window_s` rows) preceding `at_s`, if the
+    /// trace covers it. Used to extract model inputs for trace records.
+    pub fn history_before(&self, at_s: f64, window_s: usize) -> Option<Vec<MetricVec>> {
+        let end = at_s.floor() as usize;
+        if end < window_s || end > self.samples.len() {
+            return None;
+        }
+        Some(
+            self.samples[end - window_s..end]
+                .iter()
+                .map(|s| *s.vec())
+                .collect(),
+        )
+    }
+
+    /// Mean metric vector over `[from_s, to_s)`, if the trace covers at
+    /// least one sample of it.
+    pub fn mean_between(&self, from_s: f64, to_s: f64) -> Option<MetricVec> {
+        let lo = (from_s.floor() as usize).min(self.samples.len());
+        let hi = (to_s.ceil() as usize).min(self.samples.len());
+        if lo >= hi {
+            return None;
+        }
+        let mut acc = MetricVec::zero();
+        for s in &self.samples[lo..hi] {
+            acc = acc.add(s.vec());
+        }
+        Some(acc.scale(1.0 / (hi - lo) as f32))
+    }
+}
+
+/// The load specification used to measure a store's tail latency,
+/// mirroring the paper: 10 k requests/client for Redis, 40 k for
+/// Memcached (≈30 k and ≈100 k ops/s respectively).
+pub fn lc_load_spec(profile: &WorkloadProfile) -> LoadSpec {
+    match profile.name() {
+        "memcached" => LoadSpec::paper_default(40_000),
+        _ => LoadSpec::paper_default(10_000),
+    }
+}
+
+/// Replays `arrivals` on a fresh testbed under `policy`.
+///
+/// Each simulated second: deploy due arrivals (consulting the policy
+/// unless the arrival forces a mode), step the testbed, feed the Watcher
+/// and collect completions. LC completions get their tail latency
+/// measured from the contention environment averaged over their
+/// residency.
+///
+/// # Panics
+///
+/// Panics if `arrivals` is not sorted by arrival time.
+pub fn run_schedule(
+    testbed_cfg: TestbedConfig,
+    engine_cfg: EngineConfig,
+    arrivals: &[ScheduledArrival],
+    policy: &mut dyn Policy,
+) -> RunReport {
+    assert!(
+        arrivals.windows(2).all(|w| w[0].at_s <= w[1].at_s),
+        "arrivals must be sorted by time"
+    );
+    let mut testbed = Testbed::new(testbed_cfg, engine_cfg.seed);
+    let mut watcher = Watcher::new(engine_cfg.history_window_s.max(1));
+    let mut lc_rng = StdRng::seed_from_u64(engine_cfg.seed ^ 0x1C);
+    let mut outcomes = Vec::new();
+    let mut samples = Vec::new();
+    let mut next_arrival = 0usize;
+    // Deployment id → (policy_decided, profile)
+    let mut decided: std::collections::HashMap<adrias_sim::DeploymentId, (bool, WorkloadProfile)> =
+        std::collections::HashMap::new();
+
+    let last_arrival_s = arrivals.last().map_or(0.0, |a| a.at_s);
+    let deadline_s = last_arrival_s + engine_cfg.max_drain_s;
+
+    loop {
+        let now = testbed.time_s();
+        // Deploy everything due at or before `now`.
+        while next_arrival < arrivals.len() && arrivals[next_arrival].at_s <= now {
+            let arrival = &arrivals[next_arrival];
+            next_arrival += 1;
+            let history = watcher.history_window(engine_cfg.history_window_s);
+            let history_rows: Option<Vec<MetricVec>> =
+                history.map(|w| w.rows().to_vec());
+            let (mode, was_decided) = match arrival.forced_mode {
+                Some(m) => (m, false),
+                None => {
+                    let ctx = DecisionContext {
+                        profile: &arrival.profile,
+                        history: history_rows.as_deref(),
+                        qos_p99_ms: engine_cfg.qos_p99_ms,
+                    };
+                    (policy.decide(&ctx), true)
+                }
+            };
+            let duration = arrival
+                .duration_s
+                .unwrap_or_else(|| arrival.profile.base_runtime_s());
+            let id = testbed.deploy_for(arrival.profile.clone(), mode, duration);
+            decided.insert(id, (was_decided, arrival.profile.clone()));
+        }
+
+        let report = testbed.step();
+        watcher.record(report.sample);
+        samples.push(report.sample);
+
+        for done in report.finished {
+            let (policy_decided, profile) = decided
+                .remove(&done.id)
+                .expect("completion for unknown deployment");
+            let (p99, p999, total) = if done.class == WorkloadClass::LatencyCritical {
+                let spec = lc_load_spec(&profile);
+                let tl = tail_latency(
+                    &profile,
+                    &spec,
+                    &done.average_env,
+                    engine_cfg.lc_latency_samples,
+                    &mut lc_rng,
+                );
+                (Some(tl.p99_ms), Some(tl.p999_ms), Some(tl.total_time_s))
+            } else {
+                (None, None, None)
+            };
+            outcomes.push(AppOutcome {
+                name: done.name,
+                class: done.class,
+                mode: done.mode,
+                policy_decided,
+                arrived_s: done.arrived_s,
+                finished_s: done.finished_s,
+                runtime_s: done.runtime_s,
+                mean_slowdown: done.mean_slowdown,
+                p99_ms: p99,
+                p999_ms: p999,
+                lc_total_time_s: total,
+            });
+        }
+
+        let all_arrived = next_arrival == arrivals.len();
+        if (all_arrived && testbed.resident_count() == 0) || testbed.time_s() >= deadline_s {
+            break;
+        }
+    }
+
+    RunReport {
+        policy: policy.name().to_owned(),
+        outcomes,
+        samples,
+        link_bytes: testbed.link_bytes_total(),
+        end_time_s: testbed.time_s(),
+        unfinished: testbed.resident_count() + (arrivals.len() - next_arrival),
+    }
+}
+
+/// Runs `profile` isolated on an empty testbed in `mode` and returns its
+/// outcome paired with the metric trace — the signature-capture primitive
+/// and the Figs. 3–4 isolation experiment.
+pub fn run_isolated(
+    testbed_cfg: TestbedConfig,
+    engine_cfg: EngineConfig,
+    profile: WorkloadProfile,
+    mode: MemoryMode,
+) -> (AppOutcome, Vec<MetricSample>) {
+    let mut testbed = Testbed::new(testbed_cfg, engine_cfg.seed);
+    let mut lc_rng = StdRng::seed_from_u64(engine_cfg.seed ^ 0x150);
+    let (done, trace) = testbed.run_isolated(profile.clone(), mode);
+    let (p99, p999, total) = if done.class == WorkloadClass::LatencyCritical {
+        let spec = lc_load_spec(&profile);
+        let tl = tail_latency(
+            &profile,
+            &spec,
+            &done.average_env,
+            engine_cfg.lc_latency_samples,
+            &mut lc_rng,
+        );
+        (Some(tl.p99_ms), Some(tl.p999_ms), Some(tl.total_time_s))
+    } else {
+        (None, None, None)
+    };
+    (
+        AppOutcome {
+            name: done.name,
+            class: done.class,
+            mode: done.mode,
+            policy_decided: false,
+            arrived_s: done.arrived_s,
+            finished_s: done.finished_s,
+            runtime_s: done.runtime_s,
+            mean_slowdown: done.mean_slowdown,
+            p99_ms: p99,
+            p999_ms: p999,
+            lc_total_time_s: total,
+        },
+        trace,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{AllLocalPolicy, AllRemotePolicy, RoundRobinPolicy};
+    use adrias_workloads::{ibench, spark, IbenchKind};
+
+    fn quick_engine() -> EngineConfig {
+        EngineConfig {
+            lc_latency_samples: 2000,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn empty_schedule_terminates_immediately() {
+        let mut policy = AllLocalPolicy::new();
+        let report = run_schedule(
+            TestbedConfig::noiseless(),
+            quick_engine(),
+            &[],
+            &mut policy,
+        );
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.unfinished, 0);
+    }
+
+    #[test]
+    fn single_be_app_completes_with_base_runtime() {
+        let app = spark::by_name("wordcount").unwrap();
+        let arrivals = [ScheduledArrival::new(0.0, app.clone())];
+        let mut policy = AllLocalPolicy::new();
+        let report = run_schedule(
+            TestbedConfig::noiseless(),
+            quick_engine(),
+            &arrivals,
+            &mut policy,
+        );
+        assert_eq!(report.outcomes.len(), 1);
+        let o = &report.outcomes[0];
+        assert!(o.policy_decided);
+        assert_eq!(o.mode, MemoryMode::Local);
+        assert!((o.runtime_s - f64::from(app.base_runtime_s())).abs() <= 1.5);
+        assert_eq!(report.unfinished, 0);
+        assert!(!report.samples.is_empty());
+    }
+
+    #[test]
+    fn forced_modes_bypass_policy() {
+        let app = spark::by_name("gmm").unwrap();
+        let arrivals =
+            [ScheduledArrival::new(0.0, app).with_mode(MemoryMode::Remote)];
+        let mut policy = AllLocalPolicy::new();
+        let report = run_schedule(
+            TestbedConfig::noiseless(),
+            quick_engine(),
+            &arrivals,
+            &mut policy,
+        );
+        assert_eq!(report.outcomes[0].mode, MemoryMode::Remote);
+        assert!(!report.outcomes[0].policy_decided);
+        assert_eq!(report.placement_counts(), (0, 0));
+    }
+
+    #[test]
+    fn lc_outcomes_carry_tail_latency() {
+        let redis = adrias_workloads::keyvalue::redis();
+        let arrivals = [ScheduledArrival::new(0.0, redis).with_duration(40.0)];
+        let mut policy = AllRemotePolicy::new();
+        let report = run_schedule(
+            TestbedConfig::noiseless(),
+            quick_engine(),
+            &arrivals,
+            &mut policy,
+        );
+        let o = &report.outcomes[0];
+        assert!(o.p99_ms.unwrap() > 0.0);
+        assert!(o.p999_ms.unwrap() >= o.p99_ms.unwrap());
+        assert!(o.lc_total_time_s.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn round_robin_alternates_across_schedule() {
+        let app = spark::by_name("gmm").unwrap();
+        let arrivals: Vec<ScheduledArrival> = (0..4)
+            .map(|i| ScheduledArrival::new(i as f64 * 5.0, app.clone()))
+            .collect();
+        let mut policy = RoundRobinPolicy::new();
+        let report = run_schedule(
+            TestbedConfig::noiseless(),
+            quick_engine(),
+            &arrivals,
+            &mut policy,
+        );
+        assert_eq!(report.placement_counts(), (2, 2));
+        assert!((report.offload_fraction() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn remote_apps_generate_link_traffic_local_do_not() {
+        let app = spark::by_name("lr").unwrap();
+        let mut all_local = AllLocalPolicy::new();
+        let local_report = run_schedule(
+            TestbedConfig::noiseless(),
+            quick_engine(),
+            &[ScheduledArrival::new(0.0, app.clone())],
+            &mut all_local,
+        );
+        assert_eq!(local_report.link_bytes, 0.0);
+
+        let mut all_remote = AllRemotePolicy::new();
+        let remote_report = run_schedule(
+            TestbedConfig::noiseless(),
+            quick_engine(),
+            &[ScheduledArrival::new(0.0, app)],
+            &mut all_remote,
+        );
+        assert!(remote_report.link_bytes > 0.0);
+    }
+
+    #[test]
+    fn trace_windows_are_extractable() {
+        let app = spark::by_name("sort").unwrap();
+        let stressor = ibench::profile(IbenchKind::MemBw);
+        let arrivals = vec![
+            ScheduledArrival::new(0.0, stressor)
+                .with_mode(MemoryMode::Local)
+                .with_duration(400.0),
+            ScheduledArrival::new(150.0, app),
+        ];
+        let mut policy = AllLocalPolicy::new();
+        let report = run_schedule(
+            TestbedConfig::noiseless(),
+            quick_engine(),
+            &arrivals,
+            &mut policy,
+        );
+        let o = report
+            .outcomes
+            .iter()
+            .find(|o| o.name == "sort")
+            .expect("sort finished");
+        let hist = report.history_before(o.arrived_s, 120).expect("window");
+        assert_eq!(hist.len(), 120);
+        assert!(report.history_before(50.0, 120).is_none());
+        let fut = report
+            .mean_between(o.arrived_s, o.arrived_s + 120.0)
+            .expect("future mean");
+        assert!(fut.get(adrias_telemetry::Metric::LlcLoads) > 0.0);
+    }
+
+    #[test]
+    fn drain_budget_bounds_runtime() {
+        let stressor = ibench::profile(IbenchKind::Cpu);
+        let arrivals = [ScheduledArrival::new(0.0, stressor)
+            .with_mode(MemoryMode::Local)
+            .with_duration(100_000.0)];
+        let cfg = EngineConfig {
+            max_drain_s: 50.0,
+            ..quick_engine()
+        };
+        let mut policy = AllLocalPolicy::new();
+        let report = run_schedule(TestbedConfig::noiseless(), cfg, &arrivals, &mut policy);
+        assert!(report.end_time_s <= 60.0);
+        assert_eq!(report.unfinished, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by time")]
+    fn unsorted_arrivals_rejected() {
+        let app = spark::by_name("gmm").unwrap();
+        let arrivals = vec![
+            ScheduledArrival::new(10.0, app.clone()),
+            ScheduledArrival::new(5.0, app),
+        ];
+        let mut policy = AllLocalPolicy::new();
+        let _ = run_schedule(
+            TestbedConfig::noiseless(),
+            quick_engine(),
+            &arrivals,
+            &mut policy,
+        );
+    }
+
+    #[test]
+    fn isolated_run_matches_testbed_isolation() {
+        let app = spark::by_name("nweight").unwrap();
+        let (outcome, trace) = run_isolated(
+            TestbedConfig::noiseless(),
+            quick_engine(),
+            app.clone(),
+            MemoryMode::Remote,
+        );
+        let ratio = outcome.runtime_s / f64::from(app.base_runtime_s());
+        assert!((ratio - f64::from(app.remote_penalty())).abs() < 0.1);
+        assert_eq!(trace.len(), outcome.finished_s.ceil() as usize);
+    }
+}

@@ -1,0 +1,36 @@
+//! The Adrias *Orchestrator* (§V-C of the paper) and its evaluation
+//! engine.
+//!
+//! When a workload arrives, the orchestrator decides between **local**
+//! and **remote** memory:
+//!
+//! * best-effort apps use the β-slack rule — deploy local iff
+//!   `t̂_local < β · t̂_remote`, where β encodes the performance loss the
+//!   operator will tolerate to exploit disaggregated memory;
+//! * latency-critical apps deploy remote iff the predicted 99th
+//!   percentile under remote mode still meets the QoS constraint;
+//! * applications with no stored signature are scheduled remote-first so
+//!   a signature can be captured.
+//!
+//! The crate provides the [`Policy`] trait, the deep-learning-driven
+//! [`AdriasPolicy`], the paper's comparison baselines (Random,
+//! Round-Robin, All-Local, plus All-Remote), QoS-level derivation and a
+//! deployment [`engine`] that replays an arrival schedule on the testbed
+//! simulator and records per-application outcomes and link traffic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adrias;
+pub mod baselines;
+pub mod engine;
+pub mod online;
+pub mod policy;
+pub mod qos;
+
+pub use adrias::AdriasPolicy;
+pub use online::{absorb_signatures, capture_unknown_signatures};
+pub use baselines::{AllLocalPolicy, AllRemotePolicy, RandomPolicy, RoundRobinPolicy};
+pub use engine::{run_schedule, AppOutcome, EngineConfig, RunReport, ScheduledArrival};
+pub use policy::{DecisionContext, Policy};
+pub use qos::qos_levels;

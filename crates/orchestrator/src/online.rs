@@ -1,0 +1,136 @@
+//! On-line signature capture (§V-C).
+//!
+//! "When a new workload is deployed on the system, if Adrias does not
+//! own any prior information regarding its application signature, it
+//! schedules it on the remote memory, captures and stores the respective
+//! metrics." [`AdriasPolicy`] already implements the remote-first rule;
+//! this module implements the *capture* half: after a scenario runs,
+//! extract the metric sequences observed during the residency of every
+//! unknown remote-mode application and turn them into signatures the
+//! policy can store for subsequent arrivals.
+//!
+//! Captured signatures are noisier than the offline isolated-remote ones
+//! (they include co-runner traffic), which is exactly the trade-off the
+//! paper accepts for unknown applications until a retraining pass
+//! happens.
+
+use adrias_telemetry::MetricVec;
+use adrias_workloads::{AppSignature, MemoryMode, WorkloadClass};
+
+use crate::adrias::AdriasPolicy;
+use crate::engine::RunReport;
+
+/// Extracts candidate signatures for applications the policy does not
+/// know yet, from one finished engine run.
+///
+/// A candidate is produced for the **first completed remote-mode
+/// deployment** of each unknown BE/LC application; the signature rows are
+/// the Watcher samples covering its residency.
+pub fn capture_unknown_signatures(
+    report: &RunReport,
+    is_known: impl Fn(&str) -> bool,
+) -> Vec<AppSignature> {
+    let mut captured: Vec<AppSignature> = Vec::new();
+    for o in &report.outcomes {
+        if o.class == WorkloadClass::Interference
+            || o.mode != MemoryMode::Remote
+            || is_known(&o.name)
+            || captured.iter().any(|s| s.app_name() == o.name)
+        {
+            continue;
+        }
+        let lo = (o.arrived_s.floor() as usize).min(report.samples.len());
+        let hi = (o.finished_s.ceil() as usize).min(report.samples.len());
+        if hi <= lo {
+            continue;
+        }
+        let rows: Vec<MetricVec> = report.samples[lo..hi].iter().map(|s| *s.vec()).collect();
+        captured.push(AppSignature::new(o.name.clone(), rows));
+    }
+    captured
+}
+
+/// Runs the full §V-C loop on a policy: capture signatures for every
+/// application the policy did not know in `report`, store them, and
+/// return how many were added.
+pub fn absorb_signatures(policy: &mut AdriasPolicy, report: &RunReport) -> usize {
+    let captured = capture_unknown_signatures(report, |name| policy.knows(name));
+    let count = captured.len();
+    for sig in captured {
+        policy.store_signature(sig);
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::AllRemotePolicy;
+    use crate::engine::{run_schedule, EngineConfig, ScheduledArrival};
+    use adrias_sim::TestbedConfig;
+    use adrias_workloads::spark;
+
+    fn remote_run(apps: &[&str]) -> RunReport {
+        let arrivals: Vec<ScheduledArrival> = apps
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                ScheduledArrival::new(i as f64 * 10.0, spark::by_name(name).unwrap())
+            })
+            .collect();
+        let mut policy = AllRemotePolicy::new();
+        run_schedule(
+            TestbedConfig::noiseless(),
+            EngineConfig {
+                lc_latency_samples: 500,
+                ..EngineConfig::default()
+            },
+            &arrivals,
+            &mut policy,
+        )
+    }
+
+    #[test]
+    fn captures_only_unknown_remote_apps() {
+        let report = remote_run(&["gmm", "pca", "gmm"]);
+        let sigs = capture_unknown_signatures(&report, |name| name == "pca");
+        assert_eq!(sigs.len(), 1, "gmm once, pca skipped as known");
+        assert_eq!(sigs[0].app_name(), "gmm");
+        assert!(!sigs[0].is_empty());
+    }
+
+    #[test]
+    fn captured_rows_cover_the_residency() {
+        let report = remote_run(&["wordcount"]);
+        let sigs = capture_unknown_signatures(&report, |_| false);
+        let outcome = &report.outcomes[0];
+        let expected = (outcome.finished_s.ceil() - outcome.arrived_s.floor()) as usize;
+        assert!(
+            (sigs[0].len() as i64 - expected as i64).abs() <= 1,
+            "signature rows {} vs residency {}",
+            sigs[0].len(),
+            expected
+        );
+    }
+
+    #[test]
+    fn local_mode_apps_are_not_captured() {
+        use crate::baselines::AllLocalPolicy;
+        let arrivals = vec![ScheduledArrival::new(0.0, spark::by_name("gmm").unwrap())];
+        let mut policy = AllLocalPolicy::new();
+        let report = run_schedule(
+            TestbedConfig::noiseless(),
+            EngineConfig::default(),
+            &arrivals,
+            &mut policy,
+        );
+        assert!(capture_unknown_signatures(&report, |_| false).is_empty());
+    }
+
+    #[test]
+    fn duplicate_arrivals_capture_once() {
+        let report = remote_run(&["lda", "lda", "lda"]);
+        let sigs = capture_unknown_signatures(&report, |_| false);
+        assert_eq!(sigs.len(), 1);
+    }
+}

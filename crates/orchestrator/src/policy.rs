@@ -1,0 +1,61 @@
+//! The scheduling-policy abstraction.
+
+use adrias_telemetry::MetricVec;
+use adrias_workloads::{MemoryMode, WorkloadProfile};
+
+/// Everything a policy may consult when placing one arriving workload.
+#[derive(Debug, Clone, Copy)]
+pub struct DecisionContext<'a> {
+    /// The arriving workload.
+    pub profile: &'a WorkloadProfile,
+    /// The Watcher's 1 Hz history window (`None` during warm-up, before
+    /// the window has filled).
+    pub history: Option<&'a [MetricVec]>,
+    /// The active p99 QoS constraint for latency-critical workloads,
+    /// milliseconds.
+    pub qos_p99_ms: Option<f32>,
+}
+
+/// A memory-mode placement policy.
+///
+/// Policies are consulted once per arrival and must return a mode
+/// immediately (placement is L1 orchestration: static, decided at
+/// deployment time).
+pub trait Policy {
+    /// Human-readable policy name (used in figure legends).
+    fn name(&self) -> &str;
+
+    /// Chooses the memory mode for one arriving workload.
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> MemoryMode;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adrias_workloads::spark;
+
+    struct Always(MemoryMode);
+
+    impl Policy for Always {
+        fn name(&self) -> &str {
+            "always"
+        }
+
+        fn decide(&mut self, _ctx: &DecisionContext<'_>) -> MemoryMode {
+            self.0
+        }
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let app = spark::by_name("gmm").unwrap();
+        let ctx = DecisionContext {
+            profile: &app,
+            history: None,
+            qos_p99_ms: None,
+        };
+        let mut p: Box<dyn Policy> = Box::new(Always(MemoryMode::Remote));
+        assert_eq!(p.decide(&ctx), MemoryMode::Remote);
+        assert_eq!(p.name(), "always");
+    }
+}

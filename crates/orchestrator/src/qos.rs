@@ -1,0 +1,87 @@
+//! QoS-level derivation for latency-critical workloads.
+//!
+//! The paper defines five p99 QoS levels per store from the observed
+//! performance distributions of the trace scenarios (Fig. 10), spanning
+//! loose (level 0, easily met even remote) to strict (level 4, barely met
+//! even local).
+
+use adrias_telemetry::stats;
+
+/// Derives `n_levels` QoS thresholds from observed p99 samples.
+///
+/// Level 0 is the loosest (a high quantile of the distribution), the last
+/// level the strictest (a low quantile). Thresholds are strictly
+/// decreasing across levels for any non-degenerate distribution.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or `n_levels` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use adrias_orchestrator::qos_levels;
+///
+/// let p99s: Vec<f32> = (1..=100).map(|i| i as f32 / 10.0).collect();
+/// let levels = qos_levels(&p99s, 5);
+/// assert_eq!(levels.len(), 5);
+/// assert!(levels.windows(2).all(|w| w[0] >= w[1]));
+/// ```
+pub fn qos_levels(samples: &[f32], n_levels: usize) -> Vec<f32> {
+    assert!(!samples.is_empty(), "no p99 samples to derive QoS from");
+    assert!(n_levels > 0, "need at least one QoS level");
+    // Quantiles from 90 % (loose) down to 30 % (strict), evenly spaced.
+    let hi = 90.0;
+    let lo = 30.0;
+    (0..n_levels)
+        .map(|i| {
+            let q = if n_levels == 1 {
+                hi
+            } else {
+                hi - (hi - lo) * i as f64 / (n_levels - 1) as f64
+            };
+            stats::percentile(samples, q)
+        })
+        .collect()
+}
+
+/// Counts how many outcomes violate a QoS threshold.
+pub fn count_violations(p99s: &[f32], qos: f32) -> usize {
+    p99s.iter().filter(|&&p| p > qos).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_span_loose_to_strict() {
+        let samples: Vec<f32> = (0..1000).map(|i| 1.0 + i as f32 * 0.01).collect();
+        let levels = qos_levels(&samples, 5);
+        assert_eq!(levels.len(), 5);
+        assert!(levels[0] > levels[4]);
+        // Loose level admits most samples; strict admits fewer.
+        assert!(count_violations(&samples, levels[0]) < count_violations(&samples, levels[4]));
+    }
+
+    #[test]
+    fn single_level_is_loose() {
+        let samples = [1.0, 2.0, 3.0];
+        let levels = qos_levels(&samples, 1);
+        assert_eq!(levels.len(), 1);
+        assert!(levels[0] >= 2.0);
+    }
+
+    #[test]
+    fn violations_counted_strictly_above() {
+        assert_eq!(count_violations(&[1.0, 2.0, 3.0], 2.0), 1);
+        assert_eq!(count_violations(&[1.0, 2.0, 3.0], 0.5), 3);
+        assert_eq!(count_violations(&[], 1.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no p99 samples")]
+    fn empty_samples_rejected() {
+        let _ = qos_levels(&[], 5);
+    }
+}

@@ -1,0 +1,41 @@
+//! The Adrias *Predictor* (§V-B of the paper).
+//!
+//! Adrias stacks two deep models:
+//!
+//! 1. a **system-state model** ([`SystemStateModel`]) that receives the
+//!    Watcher's history window `S` (120 s × 7 metrics) and forecasts the
+//!    mean of every monitored metric over the next 120 s (`Ŝ`);
+//! 2. a **performance model** ([`PerfModel`]) that receives `S`, `Ŝ`, the
+//!    candidate memory mode and the application signature `k`, and
+//!    predicts the execution time (best-effort) or the 99th-percentile
+//!    response time (latency-critical) of the arriving application under
+//!    that mode.
+//!
+//! Both follow the paper's architecture: two stacked LSTM layers feeding
+//! a triplet of non-linear blocks (Linear→ReLU→BatchNorm→Dropout) and a
+//! linear read-out, trained with Adam on MSE.
+//!
+//! The crate also hosts the evaluation machinery for the accuracy section
+//! of the paper: train/test splits ([`dataset`]), `R²`/MAE reports
+//! ([`eval`]), the stacked-model input ablation of Fig. 13b
+//! ([`ablation`]) and leave-one-out generalization of Fig. 15
+//! ([`ablation::leave_one_out`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod dataset;
+pub mod eval;
+pub mod norm;
+pub mod perf_model;
+pub mod persist;
+pub mod system_model;
+
+pub use ablation::SHatSource;
+pub use persist::{load_perf_model, load_system_model, save_perf_model, save_system_model};
+pub use dataset::{PerfDataset, PerfRecord, SystemStateDataset};
+pub use eval::RegressionReport;
+pub use norm::Normalizer;
+pub use perf_model::{PerfModel, PerfModelConfig};
+pub use system_model::{SystemStateModel, SystemStateModelConfig};

@@ -1,0 +1,527 @@
+//! The application-performance prediction model (Fig. 11b).
+//!
+//! Inputs per deployment: the history window `S`, the application
+//! signature `k` (both LSTM-encoded), the candidate memory mode (one-hot)
+//! and the predicted future system state `Ŝ`. Output: predicted execution
+//! time (BE) or p99 (LC), modeled in log space.
+//!
+//! The paper trains one *universal* BE model over all 17 Spark apps and
+//! one LC model over Redis + Memcached, rather than one model per
+//! application (§V-B2).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use adrias_nn::{Adam, Layer, Linear, Lstm, MseLoss, NonLinearBlock, Tensor};
+use adrias_telemetry::{Metric, MetricVec, METRIC_COUNT};
+use adrias_workloads::{AppSignature, MemoryMode};
+
+use crate::dataset::{pool_rows, seq_tensors, PerfDataset, SEQ_LEN};
+use crate::eval::RegressionReport;
+use crate::norm::{Normalizer, ScalarNormalizer};
+
+/// Width of the non-sequence side input: mode one-hot (2) + `Ŝ` (7).
+const SIDE_WIDTH: usize = 2 + METRIC_COUNT;
+
+/// Hyper-parameters for [`PerfModel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfModelConfig {
+    /// Hidden width of each LSTM stream.
+    pub hidden: usize,
+    /// Width of the non-linear blocks.
+    pub block_width: usize,
+    /// Dropout probability inside the blocks.
+    pub dropout: f32,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PerfModelConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 24,
+            block_width: 48,
+            dropout: 0.1,
+            learning_rate: 2e-3,
+            epochs: 40,
+            batch_size: 32,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+impl PerfModelConfig {
+    /// A tiny configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            hidden: 10,
+            block_width: 16,
+            dropout: 0.05,
+            epochs: 20,
+            batch_size: 16,
+            ..Self::default()
+        }
+    }
+}
+
+/// The universal performance predictor.
+#[derive(Debug, Clone)]
+pub struct PerfModel {
+    cfg: PerfModelConfig,
+    lstm_s1: Lstm,
+    lstm_s2: Lstm,
+    lstm_k1: Lstm,
+    lstm_k2: Lstm,
+    blocks: Vec<NonLinearBlock>,
+    out: Linear,
+    metric_norm: Option<Normalizer>,
+    target_norm: Option<ScalarNormalizer>,
+}
+
+impl PerfModel {
+    /// Creates an untrained model.
+    pub fn new(cfg: PerfModelConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let lstm_s1 = Lstm::new(METRIC_COUNT, cfg.hidden, &mut rng);
+        let lstm_s2 = Lstm::new(cfg.hidden, cfg.hidden, &mut rng);
+        let lstm_k1 = Lstm::new(METRIC_COUNT, cfg.hidden, &mut rng);
+        let lstm_k2 = Lstm::new(cfg.hidden, cfg.hidden, &mut rng);
+        let concat = 2 * cfg.hidden + SIDE_WIDTH;
+        let blocks = vec![
+            NonLinearBlock::new(concat, cfg.block_width, cfg.dropout, &mut rng),
+            NonLinearBlock::new(cfg.block_width, cfg.block_width, cfg.dropout, &mut rng),
+            NonLinearBlock::new(cfg.block_width, cfg.block_width, cfg.dropout, &mut rng),
+        ];
+        let out = Linear::new(cfg.block_width, 1, &mut rng);
+        Self {
+            cfg,
+            lstm_s1,
+            lstm_s2,
+            lstm_k1,
+            lstm_k2,
+            blocks,
+            out,
+            metric_norm: None,
+            target_norm: None,
+        }
+    }
+
+    /// The configuration the model was built with.
+    pub fn config(&self) -> &PerfModelConfig {
+        &self.cfg
+    }
+
+    /// Whether [`PerfModel::train`] has run.
+    pub fn is_trained(&self) -> bool {
+        self.metric_norm.is_some()
+    }
+
+    fn forward(
+        &mut self,
+        seq_s: &[Tensor],
+        seq_k: &[Tensor],
+        side: &Tensor,
+        train: bool,
+    ) -> Tensor {
+        let h_s = self.lstm_s2.forward_last(&self.lstm_s1.forward_seq(seq_s));
+        let h_k = self.lstm_k2.forward_last(&self.lstm_k1.forward_seq(seq_k));
+        let mut x = h_s.hcat(&h_k).hcat(side);
+        for b in &mut self.blocks {
+            x = b.forward(&x, train);
+        }
+        self.out.forward(&x, train)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) {
+        let mut g = self.out.backward(grad_out);
+        for b in self.blocks.iter_mut().rev() {
+            g = b.backward(&g);
+        }
+        let h = self.cfg.hidden;
+        let d_h_s = g.columns(0, h);
+        let d_h_k = g.columns(h, 2 * h);
+        let d_seq_s = self.lstm_s2.backward_last(&d_h_s);
+        self.lstm_s1.backward_seq(&d_seq_s);
+        let d_seq_k = self.lstm_k2.backward_last(&d_h_k);
+        self.lstm_k1.backward_seq(&d_seq_k);
+    }
+
+    fn zero_grad(&mut self) {
+        self.lstm_s1.zero_grad();
+        self.lstm_s2.zero_grad();
+        self.lstm_k1.zero_grad();
+        self.lstm_k2.zero_grad();
+        for b in &mut self.blocks {
+            b.zero_grad();
+        }
+        self.out.zero_grad();
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        self.lstm_s1.visit_params(f);
+        self.lstm_s2.visit_params(f);
+        self.lstm_k1.visit_params(f);
+        self.lstm_k2.visit_params(f);
+        for b in &mut self.blocks {
+            b.visit_params(f);
+        }
+        self.out.visit_params(f);
+    }
+
+    /// Persistence hook: the captured normalizers, if trained. The
+    /// scalar target normalizer is returned as `(mean, std)`.
+    pub(crate) fn norms_for_persist(&self) -> Option<(Normalizer, (f32, f32))> {
+        let metric = self.metric_norm.clone()?;
+        let target = self.target_norm?;
+        Some((metric, (target.mean(), target.std())))
+    }
+
+    /// Persistence hook: restores the normalizers on load.
+    pub(crate) fn set_norms_for_persist(&mut self, metric: Normalizer, target: (f32, f32)) {
+        self.metric_norm = Some(metric);
+        self.target_norm = Some(ScalarNormalizer::from_parts(target.0, target.1));
+    }
+
+    /// Persistence hook: visits parameters read-only in stable order,
+    /// then the batch-norm running statistics.
+    pub(crate) fn visit_params_for_persist(&mut self, f: &mut dyn FnMut(&Tensor)) {
+        self.visit_params(&mut |p, _| f(p));
+        for b in &mut self.blocks {
+            b.visit_buffers(&mut |p| f(p));
+        }
+    }
+
+    /// Persistence hook: visits parameters mutably in stable order, then
+    /// the batch-norm running statistics.
+    pub(crate) fn visit_params_for_persist_mut(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.visit_params(&mut |p, _| f(p));
+        for b in &mut self.blocks {
+            b.visit_buffers(f);
+        }
+    }
+
+    /// Builds the side-input tensor (mode one-hot ++ normalized `Ŝ`) for
+    /// a batch of records.
+    fn side_tensor(
+        ds: &PerfDataset,
+        idxs: &[usize],
+        s_hats: &[Option<MetricVec>],
+    ) -> Tensor {
+        Tensor::from_fn(idxs.len(), SIDE_WIDTH, |b, c| {
+            let i = idxs[b];
+            let mode = ds.records()[i].mode.one_hot();
+            if c < 2 {
+                mode[c]
+            } else {
+                match &s_hats[i] {
+                    Some(vec) => ds
+                        .metric_norm()
+                        .normalize(vec)
+                        .get(Metric::ALL[c - 2]),
+                    None => 0.0,
+                }
+            }
+        })
+    }
+
+    fn batch(
+        &self,
+        ds: &PerfDataset,
+        idxs: &[usize],
+        s_hats: &[Option<MetricVec>],
+    ) -> (Vec<Tensor>, Vec<Tensor>, Tensor, Tensor) {
+        let windows_s: Vec<_> = idxs.iter().map(|&i| ds.history_window(i)).collect();
+        let windows_k: Vec<_> = idxs.iter().map(|&i| ds.signature_window(i)).collect();
+        let seq_s = seq_tensors(&windows_s);
+        let seq_k = seq_tensors(&windows_k);
+        let side = Self::side_tensor(ds, idxs, s_hats);
+        let target = Tensor::from_fn(idxs.len(), 1, |b, _| ds.target(idxs[b]));
+        (seq_s, seq_k, side, target)
+    }
+
+    /// Trains on `dataset`, feeding `s_hats[i]` as the `Ŝ` input of
+    /// record `i` (`None` ⇒ zeros, the `{None,·}` ablation variant).
+    /// Returns the mean loss per epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s_hats.len() != dataset.len()`.
+    pub fn train(&mut self, dataset: &PerfDataset, s_hats: &[Option<MetricVec>]) -> Vec<f32> {
+        assert_eq!(
+            s_hats.len(),
+            dataset.len(),
+            "one Ŝ entry required per record"
+        );
+        self.metric_norm = Some(dataset.metric_norm().clone());
+        self.target_norm = Some(*dataset.target_norm());
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x7EA1);
+        let mut opt = Adam::new(self.cfg.learning_rate);
+        let mut loss_fn = MseLoss::new();
+        let mut idx: Vec<usize> = (0..dataset.len()).collect();
+        let mut epoch_losses = Vec::with_capacity(self.cfg.epochs);
+        for _ in 0..self.cfg.epochs {
+            idx.shuffle(&mut rng);
+            let mut total = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in idx.chunks(self.cfg.batch_size) {
+                let (seq_s, seq_k, side, target) = self.batch(dataset, chunk, s_hats);
+                let pred = self.forward(&seq_s, &seq_k, &side, true);
+                let loss = loss_fn.forward(&pred, &target);
+                let grad = loss_fn.backward();
+                self.zero_grad();
+                self.backward(&grad);
+                opt.begin_step();
+                self.visit_params(&mut |p, g| opt.update(p, g));
+                total += f64::from(loss);
+                batches += 1;
+            }
+            epoch_losses.push((total / batches.max(1) as f64) as f32);
+        }
+        epoch_losses
+    }
+
+    /// Evaluates on a test dataset, returning the report in original
+    /// performance units (seconds / milliseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if untrained, the dataset is empty, or `s_hats` misaligns.
+    pub fn evaluate(
+        &mut self,
+        dataset: &PerfDataset,
+        s_hats: &[Option<MetricVec>],
+    ) -> RegressionReport {
+        assert!(self.is_trained(), "evaluate before train");
+        assert!(!dataset.is_empty(), "empty evaluation dataset");
+        assert_eq!(s_hats.len(), dataset.len(), "Ŝ misalignment");
+        let target_norm = self.target_norm.expect("trained");
+        let mut truth = Vec::with_capacity(dataset.len());
+        let mut pred = Vec::with_capacity(dataset.len());
+        let idx: Vec<usize> = (0..dataset.len()).collect();
+        for chunk in idx.chunks(self.cfg.batch_size.max(1)) {
+            let (seq_s, seq_k, side, _) = self.batch(dataset, chunk, s_hats);
+            let out = self.forward(&seq_s, &seq_k, &side, false);
+            for (b, &i) in chunk.iter().enumerate() {
+                truth.push(dataset.records()[i].perf);
+                pred.push(target_norm.denormalize(out.get(b, 0).clamp(-10.0, 10.0)).exp());
+            }
+        }
+        RegressionReport::new(&truth, &pred)
+    }
+
+    /// Per-application evaluation (MAE plots of Figs. 13c / 14a).
+    pub fn evaluate_per_app(
+        &mut self,
+        dataset: &PerfDataset,
+        s_hats: &[Option<MetricVec>],
+    ) -> Vec<(String, RegressionReport)> {
+        let mut apps: Vec<String> = dataset
+            .records()
+            .iter()
+            .map(|r| r.app.clone())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        apps.sort();
+        let overall = self.evaluate(dataset, s_hats);
+        apps.into_iter()
+            .map(|app| {
+                let (truth, pred): (Vec<f32>, Vec<f32>) = dataset
+                    .records()
+                    .iter()
+                    .zip(&overall.pairs)
+                    .filter(|(r, _)| r.app == app)
+                    .map(|(_, &(t, p))| (t, p))
+                    .unzip();
+                (app, RegressionReport::new(&truth, &pred))
+            })
+            .collect()
+    }
+
+    /// Predicts the performance of one arriving application, in original
+    /// units.
+    ///
+    /// `history_1hz` is the raw Watcher window, `signature` the stored
+    /// isolated-remote signature, `s_hat` the (raw) predicted future
+    /// state from the system model, `None` to omit it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if untrained or the inputs are empty.
+    pub fn predict(
+        &mut self,
+        history_1hz: &[MetricVec],
+        signature: &AppSignature,
+        mode: MemoryMode,
+        s_hat: Option<&MetricVec>,
+    ) -> f32 {
+        let metric_norm = self
+            .metric_norm
+            .clone()
+            .expect("PerfModel::predict before train");
+        let target_norm = self.target_norm.expect("trained");
+        let window_s = metric_norm.normalize_window(&pool_rows(history_1hz, SEQ_LEN));
+        let window_k =
+            metric_norm.normalize_window(signature.resampled(SEQ_LEN).rows());
+        let seq_s = seq_tensors(std::slice::from_ref(&window_s));
+        let seq_k = seq_tensors(std::slice::from_ref(&window_k));
+        let one_hot = mode.one_hot();
+        let side = Tensor::from_fn(1, SIDE_WIDTH, |_, c| {
+            if c < 2 {
+                one_hot[c]
+            } else {
+                match s_hat {
+                    Some(v) => metric_norm.normalize(v).get(Metric::ALL[c - 2]),
+                    None => 0.0,
+                }
+            }
+        });
+        let out = self.forward(&seq_s, &seq_k, &side, false);
+        target_norm.denormalize(out.get(0, 0).clamp(-10.0, 10.0)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{PerfRecord, HISTORY_S};
+    use rand::Rng;
+
+    /// Builds a synthetic perf dataset whose target is a deterministic
+    /// function of (app, mode, future state) — the structure the real
+    /// traces have.
+    fn synthetic_dataset(n: usize, seed: u64) -> (PerfDataset, Vec<Option<MetricVec>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let apps = ["alpha", "beta", "gamma"];
+        let base = [40.0f32, 80.0, 60.0];
+        let penalty = [1.1f32, 1.9, 1.3];
+        let mut records = Vec::new();
+        for _ in 0..n {
+            let a = rng.gen_range(0..apps.len());
+            let mode = if rng.gen_bool(0.5) {
+                MemoryMode::Local
+            } else {
+                MemoryMode::Remote
+            };
+            let load = rng.gen_range(0.0f32..2.0);
+            let mut history = Vec::with_capacity(HISTORY_S);
+            for t in 0..HISTORY_S {
+                let mut v = MetricVec::zero();
+                let x = load + 0.1 * ((t as f32) * 0.2).sin();
+                v.set(Metric::LlcLoads, 1e8 * (1.0 + x));
+                v.set(Metric::MemLoads, 4e7 * (1.0 + x));
+                v.set(Metric::LinkLatency, 350.0 + 250.0 * x);
+                history.push(v);
+            }
+            let mut future = MetricVec::zero();
+            future.set(Metric::LlcLoads, 1e8 * (1.0 + load));
+            future.set(Metric::MemLoads, 4e7 * (1.0 + load));
+            future.set(Metric::LinkLatency, 350.0 + 250.0 * load);
+            let slow = match mode {
+                MemoryMode::Local => 1.0 + 0.3 * load,
+                MemoryMode::Remote => penalty[a] * (1.0 + 0.6 * load),
+            };
+            records.push(PerfRecord {
+                app: apps[a].to_owned(),
+                mode,
+                history,
+                future_120: future,
+                future_exec: future,
+                perf: base[a] * slow,
+            });
+        }
+        let signatures: Vec<AppSignature> = apps
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let rows: Vec<MetricVec> = (0..40)
+                    .map(|t| {
+                        let mut v = MetricVec::zero();
+                        v.set(Metric::LlcLoads, 1e8 * (i as f32 + 1.0));
+                        v.set(Metric::MemLoads, 2e7 * ((t % 5) as f32 + i as f32));
+                        v
+                    })
+                    .collect();
+                AppSignature::new(*name, rows)
+            })
+            .collect();
+        let ds = PerfDataset::new(records, &signatures);
+        let s_hats: Vec<Option<MetricVec>> =
+            ds.records().iter().map(|r| Some(r.future_120)).collect();
+        (ds, s_hats)
+    }
+
+    #[test]
+    fn training_learns_mode_and_app_structure() {
+        let (ds, s_hats) = synthetic_dataset(240, 5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let (train, test) = ds.split(0.6, &mut rng);
+        let train_hats: Vec<Option<MetricVec>> =
+            train.records().iter().map(|r| Some(r.future_120)).collect();
+        let test_hats: Vec<Option<MetricVec>> =
+            test.records().iter().map(|r| Some(r.future_120)).collect();
+        let _ = s_hats;
+        let mut model = PerfModel::new(PerfModelConfig::tiny());
+        let losses = model.train(&train, &train_hats);
+        assert!(losses.last().unwrap() < &(losses[0] * 0.5), "{losses:?}");
+        let report = model.evaluate(&test, &test_hats);
+        assert!(report.r2 > 0.7, "R² too low: {}", report.r2);
+    }
+
+    #[test]
+    fn per_app_reports_cover_all_apps() {
+        let (ds, s_hats) = synthetic_dataset(120, 6);
+        let mut model = PerfModel::new(PerfModelConfig::tiny());
+        model.train(&ds, &s_hats);
+        let per_app = model.evaluate_per_app(&ds, &s_hats);
+        let names: Vec<&str> = per_app.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "beta", "gamma"]);
+        for (_, r) in &per_app {
+            assert!(!r.is_empty());
+        }
+    }
+
+    #[test]
+    fn predict_distinguishes_local_from_remote() {
+        let (ds, s_hats) = synthetic_dataset(240, 7);
+        let mut model = PerfModel::new(PerfModelConfig::tiny());
+        model.train(&ds, &s_hats);
+        // "beta" has a 1.9× remote penalty in the generator.
+        let rec = ds
+            .records()
+            .iter()
+            .find(|r| r.app == "beta")
+            .expect("beta present");
+        let sig_rows = ds.signature("beta").unwrap().to_vec();
+        let sig = AppSignature::new("beta", sig_rows);
+        let local = model.predict(&rec.history, &sig, MemoryMode::Local, Some(&rec.future_120));
+        let remote = model.predict(&rec.history, &sig, MemoryMode::Remote, Some(&rec.future_120));
+        assert!(
+            remote > 1.2 * local,
+            "remote {remote} should clearly exceed local {local} for beta"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "before train")]
+    fn predict_before_train_panics() {
+        let mut model = PerfModel::new(PerfModelConfig::tiny());
+        let sig = AppSignature::new("x", vec![MetricVec::zero(); 4]);
+        let _ = model.predict(&[MetricVec::zero(); 10], &sig, MemoryMode::Local, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "one Ŝ entry required per record")]
+    fn train_rejects_misaligned_s_hats() {
+        let (ds, _) = synthetic_dataset(40, 8);
+        let mut model = PerfModel::new(PerfModelConfig::tiny());
+        model.train(&ds, &[]);
+    }
+}

@@ -1,0 +1,402 @@
+//! Persistence for trained models.
+//!
+//! A deployed Adrias instance trains its models in the offline phase and
+//! loads them at orchestrator start-up. Models are serialized to a
+//! line-oriented text format built on [`adrias_nn::serialize`]: a config
+//! header, the normalizer statistics, and every parameter tensor in
+//! stable visitation order.
+
+use std::fmt;
+
+use adrias_nn::serialize::{read_tensors, write_tensors, ParseTensorError};
+use adrias_nn::Tensor;
+use adrias_telemetry::{Metric, MetricVec};
+
+use crate::norm::Normalizer;
+use crate::perf_model::{PerfModel, PerfModelConfig};
+use crate::system_model::{SystemStateModel, SystemStateModelConfig};
+
+/// Error returned when loading a persisted model fails.
+#[derive(Debug)]
+pub enum LoadModelError {
+    /// The header line was missing or malformed.
+    BadHeader(String),
+    /// The tensor section failed to parse.
+    BadTensors(ParseTensorError),
+    /// Parameter count or shapes do not match the declared config.
+    ShapeMismatch {
+        /// Which tensor disagreed.
+        slot: String,
+    },
+    /// The model type tag does not match the loader.
+    WrongKind {
+        /// Tag found in the header.
+        found: String,
+        /// Tag the loader expected.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for LoadModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadModelError::BadHeader(line) => write!(f, "malformed model header `{line}`"),
+            LoadModelError::BadTensors(e) => write!(f, "malformed tensor section: {e}"),
+            LoadModelError::ShapeMismatch { slot } => {
+                write!(f, "parameter shape mismatch at `{slot}`")
+            }
+            LoadModelError::WrongKind { found, expected } => {
+                write!(f, "model kind `{found}` does not match expected `{expected}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadModelError {}
+
+impl From<ParseTensorError> for LoadModelError {
+    fn from(e: ParseTensorError) -> Self {
+        LoadModelError::BadTensors(e)
+    }
+}
+
+fn normalizer_tensors(norm: &Normalizer) -> (Tensor, Tensor) {
+    let mean = Tensor::from_fn(1, Metric::ALL.len(), |_, c| norm.mean(Metric::ALL[c]));
+    let std = Tensor::from_fn(1, Metric::ALL.len(), |_, c| norm.std(Metric::ALL[c]));
+    (mean, std)
+}
+
+fn normalizer_from(mean: &Tensor, std: &Tensor) -> Result<Normalizer, LoadModelError> {
+    if mean.shape() != (1, Metric::ALL.len()) || std.shape() != (1, Metric::ALL.len()) {
+        return Err(LoadModelError::ShapeMismatch {
+            slot: "normalizer".to_owned(),
+        });
+    }
+    // Reconstruct by fitting on two synthetic rows that reproduce the
+    // exact mean/std: mean ± std per metric.
+    let mut lo = MetricVec::zero();
+    let mut hi = MetricVec::zero();
+    for m in Metric::ALL {
+        lo.set(m, mean.get(0, m.index()) - std.get(0, m.index()));
+        hi.set(m, mean.get(0, m.index()) + std.get(0, m.index()));
+    }
+    Ok(Normalizer::fit(&[lo, hi]))
+}
+
+/// Serializes a trained system-state model.
+///
+/// # Panics
+///
+/// Panics if the model is untrained.
+pub fn save_system_model(model: &mut SystemStateModel) -> String {
+    let norm = model
+        .normalizer_for_persist()
+        .expect("cannot save an untrained model");
+    let cfg = *model.config();
+    let mut header = format!(
+        "adrias-model system {} {} {} {} {} {} {}\n",
+        cfg.hidden,
+        cfg.block_width,
+        cfg.dropout,
+        cfg.learning_rate,
+        cfg.epochs,
+        cfg.batch_size,
+        cfg.seed
+    );
+    let (mean, std) = normalizer_tensors(&norm);
+    let mut named: Vec<(String, Tensor)> =
+        vec![("norm_mean".into(), mean), ("norm_std".into(), std)];
+    let mut idx = 0usize;
+    model.visit_params_for_persist(&mut |p| {
+        named.push((format!("p{idx}"), p.clone()));
+        idx += 1;
+    });
+    let refs: Vec<(&str, &Tensor)> = named.iter().map(|(n, t)| (n.as_str(), t)).collect();
+    header.push_str(&write_tensors(&refs));
+    header
+}
+
+/// Restores a system-state model saved by [`save_system_model`].
+///
+/// # Errors
+///
+/// Returns [`LoadModelError`] on malformed input or mismatched shapes.
+pub fn load_system_model(text: &str) -> Result<SystemStateModel, LoadModelError> {
+    let (header, rest) = text
+        .split_once('\n')
+        .ok_or_else(|| LoadModelError::BadHeader(text.to_owned()))?;
+    let parts: Vec<&str> = header.split_whitespace().collect();
+    match parts.as_slice() {
+        ["adrias-model", kind, ..] if *kind != "system" => {
+            return Err(LoadModelError::WrongKind {
+                found: (*kind).to_owned(),
+                expected: "system",
+            });
+        }
+        _ => {}
+    }
+    let ["adrias-model", _, hidden, block, dropout, lr, epochs, batch, seed] = parts[..]
+    else {
+        return Err(LoadModelError::BadHeader(header.to_owned()));
+    };
+    let parse_err = || LoadModelError::BadHeader(header.to_owned());
+    let cfg = SystemStateModelConfig {
+        hidden: hidden.parse().map_err(|_| parse_err())?,
+        block_width: block.parse().map_err(|_| parse_err())?,
+        dropout: dropout.parse().map_err(|_| parse_err())?,
+        learning_rate: lr.parse().map_err(|_| parse_err())?,
+        epochs: epochs.parse().map_err(|_| parse_err())?,
+        batch_size: batch.parse().map_err(|_| parse_err())?,
+        seed: seed.parse().map_err(|_| parse_err())?,
+    };
+    let tensors = read_tensors(rest)?;
+    let mut model = SystemStateModel::new(cfg);
+    let norm = restore_params(tensors, |f| model.visit_params_for_persist_mut(f))?;
+    model.set_normalizer_for_persist(norm);
+    Ok(model)
+}
+
+/// Serializes a trained performance model.
+///
+/// # Panics
+///
+/// Panics if the model is untrained.
+pub fn save_perf_model(model: &mut PerfModel) -> String {
+    let (norm, target) = model
+        .norms_for_persist()
+        .expect("cannot save an untrained model");
+    let cfg = *model.config();
+    let mut header = format!(
+        "adrias-model perf {} {} {} {} {} {} {} {} {}\n",
+        cfg.hidden,
+        cfg.block_width,
+        cfg.dropout,
+        cfg.learning_rate,
+        cfg.epochs,
+        cfg.batch_size,
+        cfg.seed,
+        target.0,
+        target.1
+    );
+    let (mean, std) = normalizer_tensors(&norm);
+    let mut named: Vec<(String, Tensor)> =
+        vec![("norm_mean".into(), mean), ("norm_std".into(), std)];
+    let mut idx = 0usize;
+    model.visit_params_for_persist(&mut |p| {
+        named.push((format!("p{idx}"), p.clone()));
+        idx += 1;
+    });
+    let refs: Vec<(&str, &Tensor)> = named.iter().map(|(n, t)| (n.as_str(), t)).collect();
+    header.push_str(&write_tensors(&refs));
+    header
+}
+
+/// Restores a performance model saved by [`save_perf_model`].
+///
+/// # Errors
+///
+/// Returns [`LoadModelError`] on malformed input or mismatched shapes.
+pub fn load_perf_model(text: &str) -> Result<PerfModel, LoadModelError> {
+    let (header, rest) = text
+        .split_once('\n')
+        .ok_or_else(|| LoadModelError::BadHeader(text.to_owned()))?;
+    let parts: Vec<&str> = header.split_whitespace().collect();
+    match parts.as_slice() {
+        ["adrias-model", kind, ..] if *kind != "perf" => {
+            return Err(LoadModelError::WrongKind {
+                found: (*kind).to_owned(),
+                expected: "perf",
+            });
+        }
+        _ => {}
+    }
+    let ["adrias-model", _, hidden, block, dropout, lr, epochs, batch, seed, t_mean, t_std] =
+        parts[..]
+    else {
+        return Err(LoadModelError::BadHeader(header.to_owned()));
+    };
+    let parse_err = || LoadModelError::BadHeader(header.to_owned());
+    let cfg = PerfModelConfig {
+        hidden: hidden.parse().map_err(|_| parse_err())?,
+        block_width: block.parse().map_err(|_| parse_err())?,
+        dropout: dropout.parse().map_err(|_| parse_err())?,
+        learning_rate: lr.parse().map_err(|_| parse_err())?,
+        epochs: epochs.parse().map_err(|_| parse_err())?,
+        batch_size: batch.parse().map_err(|_| parse_err())?,
+        seed: seed.parse().map_err(|_| parse_err())?,
+    };
+    let target_mean: f32 = t_mean.parse().map_err(|_| parse_err())?;
+    let target_std: f32 = t_std.parse().map_err(|_| parse_err())?;
+    let tensors = read_tensors(rest)?;
+    let mut model = PerfModel::new(cfg);
+    let norm = restore_params(tensors, |f| model.visit_params_for_persist_mut(f))?;
+    model.set_norms_for_persist(norm, (target_mean, target_std));
+    Ok(model)
+}
+
+fn restore_params(
+    tensors: Vec<(String, Tensor)>,
+    mut visit: impl FnMut(&mut dyn FnMut(&mut Tensor)),
+) -> Result<Normalizer, LoadModelError> {
+    let mut mean = None;
+    let mut std = None;
+    let mut params = Vec::new();
+    for (name, t) in tensors {
+        match name.as_str() {
+            "norm_mean" => mean = Some(t),
+            "norm_std" => std = Some(t),
+            _ => params.push((name, t)),
+        }
+    }
+    let mean = mean.ok_or(LoadModelError::ShapeMismatch {
+        slot: "norm_mean".to_owned(),
+    })?;
+    let std = std.ok_or(LoadModelError::ShapeMismatch {
+        slot: "norm_std".to_owned(),
+    })?;
+    let norm = normalizer_from(&mean, &std)?;
+
+    let mut cursor = 0usize;
+    let mut error: Option<LoadModelError> = None;
+    visit(&mut |p: &mut Tensor| {
+        if error.is_some() {
+            return;
+        }
+        match params.get(cursor) {
+            Some((name, t)) if t.shape() == p.shape() => {
+                *p = t.clone();
+                let _ = name;
+            }
+            Some((name, _)) => {
+                error = Some(LoadModelError::ShapeMismatch { slot: name.clone() });
+            }
+            None => {
+                error = Some(LoadModelError::ShapeMismatch {
+                    slot: format!("p{cursor} (missing)"),
+                });
+            }
+        }
+        cursor += 1;
+    });
+    if let Some(e) = error {
+        return Err(e);
+    }
+    if cursor != params.len() {
+        return Err(LoadModelError::ShapeMismatch {
+            slot: format!("trailing parameters ({} loaded, {} provided)", cursor, params.len()),
+        });
+    }
+    Ok(norm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{PerfRecord, SystemStateDataset, HISTORY_S};
+    use crate::PerfDataset;
+    use adrias_telemetry::MetricSample;
+    use adrias_workloads::{AppSignature, MemoryMode};
+
+    fn rowv(x: f32) -> MetricVec {
+        let mut v = MetricVec::zero();
+        v.set(Metric::LlcLoads, 1e8 * (1.0 + x));
+        v.set(Metric::MemLoads, 4e7 * (1.0 + 0.5 * x));
+        v.set(Metric::LinkLatency, 350.0 + 100.0 * x);
+        v
+    }
+
+    fn trained_system_model() -> SystemStateModel {
+        let trace: Vec<MetricSample> = (0..420)
+            .map(|t| MetricSample::new(t as f64, rowv(((t as f32) * 0.03).sin())))
+            .collect();
+        let ds = SystemStateDataset::from_traces(&[trace], 20);
+        let mut model = SystemStateModel::new(SystemStateModelConfig {
+            epochs: 3,
+            hidden: 6,
+            block_width: 8,
+            ..SystemStateModelConfig::tiny()
+        });
+        model.train(&ds);
+        model
+    }
+
+    #[test]
+    fn system_model_round_trips() {
+        let mut model = trained_system_model();
+        let text = save_system_model(&mut model);
+        let mut restored = load_system_model(&text).expect("loads");
+        let window: Vec<MetricVec> = (0..HISTORY_S).map(|t| rowv((t as f32) * 0.01)).collect();
+        let a = model.predict(&window);
+        let b = restored.predict(&window);
+        for m in Metric::ALL {
+            assert!(
+                (a.get(m) - b.get(m)).abs() <= 1e-3 * a.get(m).abs().max(1.0),
+                "{m}: {} vs {}",
+                a.get(m),
+                b.get(m)
+            );
+        }
+    }
+
+    #[test]
+    fn perf_model_round_trips() {
+        let records: Vec<PerfRecord> = (0..24)
+            .map(|i| {
+                let x = i as f32 / 24.0;
+                PerfRecord {
+                    app: "a".into(),
+                    mode: if i % 2 == 0 {
+                        MemoryMode::Local
+                    } else {
+                        MemoryMode::Remote
+                    },
+                    history: vec![rowv(x); HISTORY_S],
+                    future_120: rowv(x),
+                    future_exec: rowv(x),
+                    perf: 50.0 + 20.0 * x,
+                }
+            })
+            .collect();
+        let sig = AppSignature::new("a", vec![rowv(0.3); 10]);
+        let ds = PerfDataset::new(records, std::slice::from_ref(&sig));
+        let hats: Vec<Option<MetricVec>> =
+            ds.records().iter().map(|r| Some(r.future_120)).collect();
+        let mut model = PerfModel::new(PerfModelConfig {
+            epochs: 3,
+            hidden: 5,
+            block_width: 8,
+            ..PerfModelConfig::tiny()
+        });
+        model.train(&ds, &hats);
+
+        let text = save_perf_model(&mut model);
+        let mut restored = load_perf_model(&text).expect("loads");
+        let window = vec![rowv(0.4); HISTORY_S];
+        let a = model.predict(&window, &sig, MemoryMode::Remote, Some(&rowv(0.4)));
+        let b = restored.predict(&window, &sig, MemoryMode::Remote, Some(&rowv(0.4)));
+        assert!((a - b).abs() <= 1e-3 * a.abs().max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn kind_mismatch_is_reported() {
+        let mut model = trained_system_model();
+        let text = save_system_model(&mut model);
+        let err = load_perf_model(&text).unwrap_err();
+        assert!(matches!(err, LoadModelError::WrongKind { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_input_is_reported() {
+        let mut model = trained_system_model();
+        let text = save_system_model(&mut model);
+        let lines: Vec<&str> = text.lines().collect();
+        let truncated = lines[..lines.len() / 2].join("\n");
+        assert!(load_system_model(&truncated).is_err());
+    }
+
+    #[test]
+    fn garbage_header_is_reported() {
+        let err = load_system_model("nonsense\n").unwrap_err();
+        assert!(err.to_string().contains("malformed"));
+    }
+}

@@ -1,0 +1,369 @@
+//! The system-state prediction model (Fig. 11a of the paper).
+//!
+//! Input: the Watcher history window `S` (pooled to [`SEQ_LEN`] steps of
+//! 7 metrics). Output: the predicted mean value `Ŝ` of each metric over
+//! the next horizon window. Architecture per the paper: two stacked LSTM
+//! layers, a triplet of non-linear blocks, and a linear read-out.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use adrias_nn::{Adam, Layer, Linear, Lstm, MseLoss, NonLinearBlock, Tensor};
+use adrias_telemetry::{Metric, MetricVec, METRIC_COUNT};
+
+use crate::dataset::{pool_rows, seq_tensors, SystemStateDataset, SEQ_LEN};
+use crate::eval::RegressionReport;
+use crate::norm::Normalizer;
+
+/// Hyper-parameters for [`SystemStateModel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemStateModelConfig {
+    /// LSTM hidden width.
+    pub hidden: usize,
+    /// Width of the non-linear blocks.
+    pub block_width: usize,
+    /// Dropout probability inside the blocks.
+    pub dropout: f32,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// RNG seed for initialization, shuffling and dropout.
+    pub seed: u64,
+}
+
+impl Default for SystemStateModelConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 32,
+            block_width: 48,
+            dropout: 0.1,
+            learning_rate: 2e-3,
+            epochs: 25,
+            batch_size: 32,
+            seed: 0xADA5,
+        }
+    }
+}
+
+impl SystemStateModelConfig {
+    /// A tiny configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            hidden: 12,
+            block_width: 16,
+            dropout: 0.05,
+            learning_rate: 4e-3,
+            epochs: 40,
+            batch_size: 16,
+            ..Self::default()
+        }
+    }
+}
+
+/// The stacked-LSTM system-state forecaster.
+///
+/// # Examples
+///
+/// See [`crate::system_model`] module docs and the `train_predictor`
+/// example; unit tests below exercise the full train/predict/evaluate
+/// cycle on synthetic traces.
+#[derive(Debug, Clone)]
+pub struct SystemStateModel {
+    cfg: SystemStateModelConfig,
+    lstm1: Lstm,
+    lstm2: Lstm,
+    blocks: Vec<NonLinearBlock>,
+    out: Linear,
+    normalizer: Option<Normalizer>,
+}
+
+impl SystemStateModel {
+    /// Creates an untrained model.
+    pub fn new(cfg: SystemStateModelConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let lstm1 = Lstm::new(METRIC_COUNT, cfg.hidden, &mut rng);
+        let lstm2 = Lstm::new(cfg.hidden, cfg.hidden, &mut rng);
+        let blocks = vec![
+            NonLinearBlock::new(cfg.hidden, cfg.block_width, cfg.dropout, &mut rng),
+            NonLinearBlock::new(cfg.block_width, cfg.block_width, cfg.dropout, &mut rng),
+            NonLinearBlock::new(cfg.block_width, cfg.block_width, cfg.dropout, &mut rng),
+        ];
+        let out = Linear::new(cfg.block_width, METRIC_COUNT, &mut rng);
+        Self {
+            cfg,
+            lstm1,
+            lstm2,
+            blocks,
+            out,
+            normalizer: None,
+        }
+    }
+
+    /// The configuration the model was built with.
+    pub fn config(&self) -> &SystemStateModelConfig {
+        &self.cfg
+    }
+
+    /// Whether [`SystemStateModel::train`] has run.
+    pub fn is_trained(&self) -> bool {
+        self.normalizer.is_some()
+    }
+
+    fn forward(&mut self, seq: &[Tensor], train: bool) -> Tensor {
+        let h1 = self.lstm1.forward_seq(seq);
+        let h2 = self.lstm2.forward_last(&h1);
+        let mut x = h2;
+        for b in &mut self.blocks {
+            x = b.forward(&x, train);
+        }
+        self.out.forward(&x, train)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) {
+        let mut g = self.out.backward(grad_out);
+        for b in self.blocks.iter_mut().rev() {
+            g = b.backward(&g);
+        }
+        let d_seq1 = self.lstm2.backward_last(&g);
+        self.lstm1.backward_seq(&d_seq1);
+    }
+
+    fn zero_grad(&mut self) {
+        self.lstm1.zero_grad();
+        self.lstm2.zero_grad();
+        for b in &mut self.blocks {
+            b.zero_grad();
+        }
+        self.out.zero_grad();
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        self.lstm1.visit_params(f);
+        self.lstm2.visit_params(f);
+        for b in &mut self.blocks {
+            b.visit_params(f);
+        }
+        self.out.visit_params(f);
+    }
+
+    /// Persistence hook: the captured normalizer, if trained.
+    pub(crate) fn normalizer_for_persist(&self) -> Option<Normalizer> {
+        self.normalizer.clone()
+    }
+
+    /// Persistence hook: restores the normalizer on load.
+    pub(crate) fn set_normalizer_for_persist(&mut self, norm: Normalizer) {
+        self.normalizer = Some(norm);
+    }
+
+    /// Persistence hook: visits parameters read-only in stable order,
+    /// then the batch-norm running statistics.
+    pub(crate) fn visit_params_for_persist(&mut self, f: &mut dyn FnMut(&Tensor)) {
+        self.visit_params(&mut |p, _| f(p));
+        for b in &mut self.blocks {
+            b.visit_buffers(&mut |p| f(p));
+        }
+    }
+
+    /// Persistence hook: visits parameters mutably in stable order, then
+    /// the batch-norm running statistics.
+    pub(crate) fn visit_params_for_persist_mut(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.visit_params(&mut |p, _| f(p));
+        for b in &mut self.blocks {
+            b.visit_buffers(f);
+        }
+    }
+
+    /// Trains on `dataset` and returns the mean loss per epoch.
+    ///
+    /// The dataset's normalizer is captured so that
+    /// [`SystemStateModel::predict`] can consume raw (unnormalized)
+    /// windows at run time.
+    pub fn train(&mut self, dataset: &SystemStateDataset) -> Vec<f32> {
+        self.normalizer = Some(dataset.normalizer().clone());
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5EED);
+        let mut opt = Adam::new(self.cfg.learning_rate);
+        let mut loss_fn = MseLoss::new();
+        let mut epoch_losses = Vec::with_capacity(self.cfg.epochs);
+        let mut idx: Vec<usize> = (0..dataset.len()).collect();
+        for _epoch in 0..self.cfg.epochs {
+            idx.shuffle(&mut rng);
+            let mut total = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in idx.chunks(self.cfg.batch_size) {
+                let (seq, target) = dataset.batch(chunk);
+                let pred = self.forward(&seq, true);
+                let loss = loss_fn.forward(&pred, &target);
+                let grad = loss_fn.backward();
+                self.zero_grad();
+                self.backward(&grad);
+                opt.begin_step();
+                self.visit_params(&mut |p, g| opt.update(p, g));
+                total += f64::from(loss);
+                batches += 1;
+            }
+            epoch_losses.push((total / batches.max(1) as f64) as f32);
+        }
+        epoch_losses
+    }
+
+    /// Predicts `Ŝ` (denormalized per-metric horizon means) from a raw
+    /// 1 Hz history window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is untrained or the window is empty.
+    pub fn predict(&mut self, history_1hz: &[MetricVec]) -> MetricVec {
+        let norm = self
+            .normalizer
+            .clone()
+            .expect("SystemStateModel::predict before train");
+        let pooled = pool_rows(history_1hz, SEQ_LEN);
+        let window = norm.normalize_window(&pooled);
+        let seq = seq_tensors(std::slice::from_ref(&window));
+        let out = self.forward(&seq, false);
+        let mut vec = MetricVec::zero();
+        for m in Metric::ALL {
+            vec.set(m, out.get(0, m.index()));
+        }
+        norm.denormalize(&vec)
+    }
+
+    /// Evaluates on a test dataset: per-metric `R²` plus the overall
+    /// report across all metrics (normalized space for the overall one so
+    /// metrics with different scales contribute equally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is untrained or `dataset` is empty.
+    pub fn evaluate(
+        &mut self,
+        dataset: &SystemStateDataset,
+    ) -> (Vec<(Metric, RegressionReport)>, RegressionReport) {
+        assert!(self.is_trained(), "evaluate before train");
+        assert!(!dataset.is_empty(), "empty evaluation dataset");
+        let mut truth: Vec<Vec<f32>> = vec![Vec::new(); METRIC_COUNT];
+        let mut pred: Vec<Vec<f32>> = vec![Vec::new(); METRIC_COUNT];
+        let mut truth_norm = Vec::new();
+        let mut pred_norm = Vec::new();
+        let norm = dataset.normalizer().clone();
+        let idx: Vec<usize> = (0..dataset.len()).collect();
+        for chunk in idx.chunks(self.cfg.batch_size.max(1)) {
+            let (seq, target) = dataset.batch(chunk);
+            let out = self.forward(&seq, false);
+            for (b, &i) in chunk.iter().enumerate() {
+                let raw_target = dataset.samples()[i].target;
+                let mut raw_pred = MetricVec::zero();
+                for m in Metric::ALL {
+                    raw_pred.set(m, out.get(b, m.index()));
+                    truth_norm.push(target.get(b, m.index()));
+                    pred_norm.push(out.get(b, m.index()));
+                }
+                let raw_pred = norm.denormalize(&raw_pred);
+                for m in Metric::ALL {
+                    truth[m.index()].push(raw_target.get(m));
+                    pred[m.index()].push(raw_pred.get(m));
+                }
+            }
+        }
+        let per_metric = Metric::ALL
+            .iter()
+            .map(|&m| {
+                (
+                    m,
+                    RegressionReport::new(&truth[m.index()], &pred[m.index()]),
+                )
+            })
+            .collect();
+        let overall = RegressionReport::new(&truth_norm, &pred_norm);
+        (per_metric, overall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adrias_telemetry::MetricSample;
+
+    /// A synthetic trace with learnable structure: slow sinusoidal
+    /// "load" driving several correlated metrics.
+    fn synthetic_trace(len: usize, phase: f32) -> Vec<MetricSample> {
+        (0..len)
+            .map(|t| {
+                let x = (t as f32 * 0.01 + phase).sin() * 0.5 + 1.0;
+                let mut v = MetricVec::zero();
+                v.set(Metric::LlcLoads, 1e8 * x);
+                v.set(Metric::LlcMisses, 1e7 * x * x);
+                v.set(Metric::MemLoads, 5e7 * x);
+                v.set(Metric::MemStores, 2e7 * x);
+                v.set(Metric::LinkFlitsTx, 1e6 * (2.0 - x));
+                v.set(Metric::LinkFlitsRx, 1.5e6 * (2.0 - x));
+                v.set(Metric::LinkLatency, 350.0 + 200.0 * (x - 0.5).max(0.0));
+                MetricSample::new(t as f64, v)
+            })
+            .collect()
+    }
+
+    fn dataset() -> SystemStateDataset {
+        let traces: Vec<Vec<MetricSample>> = (0..3)
+            .map(|i| synthetic_trace(1200, i as f32 * 2.0))
+            .collect();
+        SystemStateDataset::from_traces(&traces, 15)
+    }
+
+    #[test]
+    fn untrained_model_reports_untrained() {
+        let model = SystemStateModel::new(SystemStateModelConfig::tiny());
+        assert!(!model.is_trained());
+    }
+
+    #[test]
+    #[should_panic(expected = "before train")]
+    fn predict_before_train_panics() {
+        let mut model = SystemStateModel::new(SystemStateModelConfig::tiny());
+        let window = vec![MetricVec::zero(); 120];
+        let _ = model.predict(&window);
+    }
+
+    #[test]
+    fn training_reduces_loss_and_achieves_high_r2() {
+        let ds = dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, test) = ds.split(0.6, &mut rng);
+        let mut model = SystemStateModel::new(SystemStateModelConfig::tiny());
+        let losses = model.train(&train);
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.5),
+            "loss did not halve: {losses:?}"
+        );
+        let (per_metric, overall) = model.evaluate(&test);
+        assert_eq!(per_metric.len(), METRIC_COUNT);
+        assert!(
+            overall.r2 > 0.8,
+            "overall R² too low on synthetic data: {}",
+            overall.r2
+        );
+    }
+
+    #[test]
+    fn predict_returns_plausible_scale() {
+        let ds = dataset();
+        let mut model = SystemStateModel::new(SystemStateModelConfig::tiny());
+        model.train(&ds);
+        let trace = synthetic_trace(200, 0.3);
+        let window: Vec<MetricVec> = trace[..120].iter().map(|s| *s.vec()).collect();
+        let pred = model.predict(&window);
+        // Predictions should land in the value range of the trace.
+        let llc = pred.get(Metric::LlcLoads);
+        assert!(
+            (2e7..5e8).contains(&llc),
+            "LLC loads prediction off-scale: {llc}"
+        );
+        let lat = pred.get(Metric::LinkLatency);
+        assert!((200.0..1100.0).contains(&lat), "latency off-scale: {lat}");
+    }
+}

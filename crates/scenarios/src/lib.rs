@@ -1,0 +1,35 @@
+//! Scenario generation, trace collection and evaluation runners.
+//!
+//! The offline phase of Adrias (§V-B1) simulates 72 one-hour scenarios
+//! with randomized arrivals (spawn intervals from `{5, 20}` up to
+//! `{5, 60}` seconds), random benchmark choice and random local/remote
+//! placement, recording both the Watcher metric streams and every
+//! application's performance. This crate reproduces that pipeline on the
+//! testbed simulator:
+//!
+//! * [`spec`] — scenario specifications and the 72-scenario corpus;
+//! * [`schedule`] — deterministic arrival-schedule generation;
+//! * [`traces`] — trace collection and conversion into the predictor's
+//!   datasets;
+//! * [`signatures`] — application-signature capture (isolated remote
+//!   runs);
+//! * [`stack`] — one-call training of the full Adrias model stack;
+//! * [`runner`] — the orchestration-evaluation loop comparing policies
+//!   across scenarios (Figs. 16–17), with parallel execution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod schedule;
+pub mod signatures;
+pub mod spec;
+pub mod stack;
+pub mod traces;
+
+pub use runner::{run_comparison, PolicyOutcome};
+pub use schedule::build_schedule;
+pub use signatures::collect_signatures;
+pub use spec::{paper_corpus, scaled_corpus, ScenarioSpec};
+pub use stack::{train_stack, StackOptions, TrainedStack};
+pub use traces::{collect_traces, TraceBundle};

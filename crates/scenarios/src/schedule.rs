@@ -1,0 +1,161 @@
+//! Deterministic arrival-schedule generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use adrias_orchestrator::ScheduledArrival;
+use adrias_workloads::{MemoryMode, WorkloadCatalog, WorkloadClass};
+
+use crate::spec::ScenarioSpec;
+
+/// How memory modes are assigned in a generated schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementStyle {
+    /// Every arrival gets a random forced mode (offline trace
+    /// collection, §V-B1).
+    RandomForced,
+    /// BE/LC arrivals are policy-decided; interference micro-benchmarks
+    /// keep a random forced mode (orchestration evaluation, §VI-B).
+    PolicyDecided,
+}
+
+/// Residency bounds for open-ended iBench stressors, seconds.
+const IBENCH_MIN_S: f32 = 120.0;
+const IBENCH_MAX_S: f32 = 600.0;
+
+/// Builds the arrival schedule for `spec` over `catalog`.
+///
+/// The schedule is fully determined by `spec.seed`, so the same scenario
+/// can be replayed under different policies: arrival instants, workload
+/// choices, iBench durations and every forced mode are identical across
+/// replays. Only whether BE/LC modes are forced differs by `style`.
+///
+/// # Examples
+///
+/// ```
+/// use adrias_scenarios::schedule::{build_schedule, PlacementStyle};
+/// use adrias_scenarios::ScenarioSpec;
+/// use adrias_workloads::WorkloadCatalog;
+///
+/// let spec = ScenarioSpec::new(5.0, 20.0, 600.0, 1);
+/// let catalog = WorkloadCatalog::paper();
+/// let schedule = build_schedule(&spec, &catalog, PlacementStyle::PolicyDecided);
+/// assert!(!schedule.is_empty());
+/// ```
+pub fn build_schedule(
+    spec: &ScenarioSpec,
+    catalog: &WorkloadCatalog,
+    style: PlacementStyle,
+) -> Vec<ScheduledArrival> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let times = spec.arrivals().times_until(spec.duration_s, &mut rng);
+    times
+        .into_iter()
+        .map(|at_s| {
+            let profile = catalog.pick(&mut rng).clone();
+            // Draw the random quantities unconditionally so the stream of
+            // random numbers — and therefore the rest of the schedule —
+            // does not depend on the placement style.
+            let random_mode = if rng.gen_bool(0.5) {
+                MemoryMode::Local
+            } else {
+                MemoryMode::Remote
+            };
+            let ibench_duration = rng.gen_range(IBENCH_MIN_S..=IBENCH_MAX_S);
+            let mut arrival = ScheduledArrival::new(at_s, profile.clone());
+            if profile.class() == WorkloadClass::Interference {
+                arrival = arrival.with_duration(ibench_duration);
+            }
+            let force = match style {
+                PlacementStyle::RandomForced => true,
+                PlacementStyle::PolicyDecided => {
+                    profile.class() == WorkloadClass::Interference
+                }
+            };
+            if force {
+                arrival = arrival.with_mode(random_mode);
+            }
+            arrival
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec::new(5.0, 25.0, 1200.0, 42)
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let catalog = WorkloadCatalog::paper();
+        let a = build_schedule(&spec(), &catalog, PlacementStyle::RandomForced);
+        let b = build_schedule(&spec(), &catalog, PlacementStyle::RandomForced);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at_s, y.at_s);
+            assert_eq!(x.profile.name(), y.profile.name());
+            assert_eq!(x.forced_mode, y.forced_mode);
+        }
+    }
+
+    #[test]
+    fn styles_share_arrivals_and_ibench_modes() {
+        let catalog = WorkloadCatalog::paper();
+        let traced = build_schedule(&spec(), &catalog, PlacementStyle::RandomForced);
+        let decided = build_schedule(&spec(), &catalog, PlacementStyle::PolicyDecided);
+        assert_eq!(traced.len(), decided.len());
+        for (t, d) in traced.iter().zip(&decided) {
+            assert_eq!(t.at_s, d.at_s);
+            assert_eq!(t.profile.name(), d.profile.name());
+            if t.profile.class() == WorkloadClass::Interference {
+                assert_eq!(t.forced_mode, d.forced_mode, "iBench modes must match");
+            } else {
+                assert!(t.forced_mode.is_some());
+                assert!(d.forced_mode.is_none(), "BE/LC must be policy-decided");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_style_forces_every_mode() {
+        let catalog = WorkloadCatalog::paper();
+        let schedule = build_schedule(&spec(), &catalog, PlacementStyle::RandomForced);
+        assert!(schedule.iter().all(|a| a.forced_mode.is_some()));
+        // Both modes appear.
+        assert!(schedule.iter().any(|a| a.forced_mode == Some(MemoryMode::Local)));
+        assert!(schedule.iter().any(|a| a.forced_mode == Some(MemoryMode::Remote)));
+    }
+
+    #[test]
+    fn ibench_arrivals_have_duration_overrides() {
+        let catalog = WorkloadCatalog::paper();
+        let schedule = build_schedule(&spec(), &catalog, PlacementStyle::RandomForced);
+        for a in &schedule {
+            if a.profile.class() == WorkloadClass::Interference {
+                let d = a.duration_s.expect("iBench gets explicit duration");
+                assert!((IBENCH_MIN_S..=IBENCH_MAX_S).contains(&d));
+            } else {
+                assert!(a.duration_s.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn arrival_count_matches_congestion() {
+        let catalog = WorkloadCatalog::paper();
+        let heavy = build_schedule(
+            &ScenarioSpec::new(5.0, 20.0, 1800.0, 3),
+            &catalog,
+            PlacementStyle::RandomForced,
+        );
+        let relaxed = build_schedule(
+            &ScenarioSpec::new(5.0, 60.0, 1800.0, 3),
+            &catalog,
+            PlacementStyle::RandomForced,
+        );
+        assert!(heavy.len() > relaxed.len());
+    }
+}

@@ -1,0 +1,107 @@
+//! Application-signature capture.
+//!
+//! A signature is "the sequence of monitored metrics during application's
+//! execution in isolation on remote memory mode" (§V-B2). This module
+//! captures one per catalog application by running it alone on an empty
+//! testbed in remote mode.
+
+use adrias_orchestrator::engine::{run_isolated, EngineConfig};
+use adrias_sim::TestbedConfig;
+use adrias_workloads::{AppSignature, MemoryMode, WorkloadCatalog, WorkloadClass};
+
+/// How long a latency-critical service is profiled for its signature,
+/// seconds (BE apps run to completion instead).
+const LC_SIGNATURE_WINDOW_S: f32 = 120.0;
+
+/// Captures signatures for every BE and LC application in `catalog`.
+///
+/// # Examples
+///
+/// ```no_run
+/// use adrias_scenarios::collect_signatures;
+/// use adrias_sim::TestbedConfig;
+/// use adrias_workloads::WorkloadCatalog;
+///
+/// let sigs = collect_signatures(TestbedConfig::paper(), &WorkloadCatalog::paper(), 1);
+/// assert_eq!(sigs.len(), 19); // 17 Spark + Redis + Memcached
+/// ```
+pub fn collect_signatures(
+    testbed_cfg: TestbedConfig,
+    catalog: &WorkloadCatalog,
+    seed: u64,
+) -> Vec<AppSignature> {
+    catalog
+        .entries()
+        .iter()
+        .filter(|w| w.class() != WorkloadClass::Interference)
+        .map(|w| {
+            let profile = w.clone();
+            // LC services are open-ended; profile a fixed window.
+            let engine = EngineConfig {
+                seed,
+                lc_latency_samples: 1000,
+                ..EngineConfig::default()
+            };
+            if w.class() == WorkloadClass::LatencyCritical {
+                // Re-deploy with a bounded duration via a fresh testbed.
+                let mut tb = adrias_sim::Testbed::new(testbed_cfg, seed);
+                let id = tb.deploy_for(profile.clone(), MemoryMode::Remote, LC_SIGNATURE_WINDOW_S);
+                let mut rows = Vec::new();
+                loop {
+                    let report = tb.step();
+                    rows.push(*report.sample.vec());
+                    if report.finished.iter().any(|c| c.id == id) {
+                        break;
+                    }
+                }
+                AppSignature::new(w.name(), rows)
+            } else {
+                let (_, trace) = run_isolated(testbed_cfg, engine, profile, MemoryMode::Remote);
+                AppSignature::new(w.name(), trace.iter().map(|s| *s.vec()).collect())
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adrias_telemetry::Metric;
+    use adrias_workloads::spark;
+
+    #[test]
+    fn signatures_cover_be_and_lc_apps() {
+        let catalog = WorkloadCatalog::from_profiles(vec![
+            spark::by_name("gmm").unwrap(),
+            adrias_workloads::keyvalue::redis(),
+            adrias_workloads::ibench::profile(adrias_workloads::IbenchKind::Cpu),
+        ]);
+        let sigs = collect_signatures(TestbedConfig::noiseless(), &catalog, 5);
+        let names: Vec<&str> = sigs.iter().map(|s| s.app_name()).collect();
+        assert_eq!(names, vec!["gmm", "redis"], "iBench excluded");
+    }
+
+    #[test]
+    fn be_signature_length_tracks_remote_runtime() {
+        let catalog = WorkloadCatalog::from_profiles(vec![spark::by_name("nweight").unwrap()]);
+        let sigs = collect_signatures(TestbedConfig::noiseless(), &catalog, 5);
+        let expected = spark::by_name("nweight").unwrap().base_runtime_s()
+            * spark::by_name("nweight").unwrap().remote_penalty();
+        let len = sigs[0].len() as f32;
+        assert!(
+            (len - expected).abs() <= 3.0,
+            "signature length {len} vs expected ≈{expected}"
+        );
+    }
+
+    #[test]
+    fn signatures_carry_remote_traffic() {
+        let catalog = WorkloadCatalog::from_profiles(vec![spark::by_name("lr").unwrap()]);
+        let sigs = collect_signatures(TestbedConfig::noiseless(), &catalog, 5);
+        let mean = sigs[0].mean_vec();
+        assert!(
+            mean.get(Metric::LinkFlitsRx) > 0.0,
+            "isolated remote runs must show link traffic"
+        );
+    }
+}

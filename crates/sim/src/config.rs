@@ -1,0 +1,158 @@
+//! Testbed configuration: borrower-node and link parameters.
+
+/// Borrower-node hardware parameters (defaults model one AC922).
+///
+/// Capacities are *contention* capacities: the point at which additional
+/// demand starts to visibly degrade co-runners, which for caches and
+/// memory controllers sits well below theoretical peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeConfig {
+    /// Logical cores (AC922: 2 sockets × 32).
+    pub cores: f32,
+    /// Aggregate private L2 capacity, MiB.
+    pub l2_mb: f32,
+    /// Last-level-cache capacity, MiB (10 MiB per socket).
+    pub llc_mb: f32,
+    /// Local DRAM contention bandwidth, Gbit/s.
+    pub dram_gbps: f32,
+    /// Idle local-DRAM load latency, nanoseconds.
+    pub dram_latency_ns: f32,
+}
+
+impl NodeConfig {
+    /// The paper's AC922 borrower node.
+    pub fn paper() -> Self {
+        Self {
+            cores: 64.0,
+            l2_mb: 32.0,
+            llc_mb: 20.0,
+            dram_gbps: 40.0,
+            dram_latency_ns: 80.0,
+        }
+    }
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// ThymesisFlow channel parameters.
+///
+/// The physical link is 100 Gbit/s (8×25 Gbit/s OpenCAPI toward the CPU),
+/// but the *effective* cache-line-granularity throughput observed in the
+/// paper's stress test caps out near 2.5 Gbit/s (R1), with the FPGA
+/// back-pressure mechanism stepping the channel latency from ≈350 to
+/// ≈900 cycles once the channel saturates (R2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Effective sustainable throughput, Gbit/s.
+    pub effective_cap_gbps: f32,
+    /// Channel latency at low utilization, cycles.
+    pub base_latency_cycles: f32,
+    /// Channel latency plateau under saturation, cycles.
+    pub saturated_latency_cycles: f32,
+    /// Utilization (offered/cap) at the centre of the latency transition.
+    pub latency_knee_utilization: f32,
+    /// Steepness of the latency transition.
+    pub latency_knee_steepness: f32,
+    /// Idle remote-access latency seen by applications, nanoseconds.
+    pub remote_latency_ns: f32,
+    /// Flit size on the channel, bytes.
+    pub flit_bytes: u32,
+    /// Fraction of an application's local-mode bandwidth demand that
+    /// materializes as offered link load when it runs remote (the high
+    /// remote latency self-throttles demand).
+    pub link_demand_factor: f32,
+    /// How strongly LLC pressure inflates the link demand of remote-mode
+    /// applications (misses convert to channel traffic, R6).
+    pub miss_traffic_coupling: f32,
+}
+
+impl LinkConfig {
+    /// The paper's ThymesisFlow prototype.
+    pub fn paper() -> Self {
+        Self {
+            effective_cap_gbps: 2.5,
+            base_latency_cycles: 350.0,
+            saturated_latency_cycles: 900.0,
+            latency_knee_utilization: 1.5,
+            latency_knee_steepness: 6.0,
+            remote_latency_ns: 900.0,
+            flit_bytes: 32,
+            link_demand_factor: 0.3,
+            miss_traffic_coupling: 0.6,
+        }
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Full testbed configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TestbedConfig {
+    /// Borrower-node parameters.
+    pub node: NodeConfig,
+    /// ThymesisFlow channel parameters.
+    pub link: LinkConfig,
+    /// Relative standard deviation of the multiplicative measurement
+    /// noise applied to generated counters.
+    pub noise_rel_std: f64,
+}
+
+impl TestbedConfig {
+    /// The paper's testbed with a small default measurement noise.
+    pub fn paper() -> Self {
+        Self {
+            node: NodeConfig::paper(),
+            link: LinkConfig::paper(),
+            noise_rel_std: 0.02,
+        }
+    }
+
+    /// A noise-free configuration, useful for deterministic tests.
+    pub fn noiseless() -> Self {
+        Self {
+            noise_rel_std: 0.0,
+            ..Self::paper()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_match_testbed_description() {
+        let node = NodeConfig::paper();
+        assert_eq!(node.cores, 64.0);
+        assert_eq!(node.llc_mb, 20.0);
+        assert_eq!(node.dram_latency_ns, 80.0);
+
+        let link = LinkConfig::paper();
+        assert_eq!(link.effective_cap_gbps, 2.5);
+        assert_eq!(link.base_latency_cycles, 350.0);
+        assert_eq!(link.saturated_latency_cycles, 900.0);
+        assert_eq!(link.remote_latency_ns, 900.0);
+        assert_eq!(link.flit_bytes, 32);
+    }
+
+    #[test]
+    fn noiseless_config_zeroes_noise() {
+        let cfg = TestbedConfig::noiseless();
+        assert_eq!(cfg.noise_rel_std, 0.0);
+        assert_eq!(cfg.node, NodeConfig::paper());
+    }
+
+    #[test]
+    fn defaults_are_paper_values() {
+        assert_eq!(NodeConfig::default(), NodeConfig::paper());
+        assert_eq!(LinkConfig::default(), LinkConfig::paper());
+    }
+}

@@ -1,0 +1,226 @@
+//! The ThymesisFlow communication channel model.
+
+use crate::config::LinkConfig;
+
+/// Instantaneous state of the channel for one simulation step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkState {
+    /// Load offered by remote-mode applications, Gbit/s.
+    pub offered_gbps: f32,
+    /// Load actually delivered after the throughput cap, Gbit/s.
+    pub delivered_gbps: f32,
+    /// Offered utilization: `offered / effective_cap`.
+    pub utilization: f32,
+    /// Average channel latency, cycles.
+    pub latency_cycles: f32,
+}
+
+impl LinkState {
+    /// An idle channel.
+    pub fn idle(cfg: &LinkConfig) -> Self {
+        Self {
+            offered_gbps: 0.0,
+            delivered_gbps: 0.0,
+            utilization: 0.0,
+            latency_cycles: cfg.base_latency_cycles,
+        }
+    }
+
+    /// Fraction of offered traffic that is delivered (1 when idle).
+    ///
+    /// The FPGA back-pressure mechanism delays transactions rather than
+    /// dropping them; this factor is how much remote-mode progress is
+    /// scaled down under saturation.
+    pub fn backpressure(&self) -> f32 {
+        if self.offered_gbps <= f32::EPSILON {
+            1.0
+        } else {
+            self.delivered_gbps / self.offered_gbps
+        }
+    }
+}
+
+/// The channel model: bounded throughput (R1) and two-regime latency
+/// (R2).
+///
+/// # Examples
+///
+/// ```
+/// use adrias_sim::{Interconnect, LinkConfig};
+///
+/// let link = Interconnect::new(LinkConfig::paper());
+/// let light = link.evaluate(0.6);
+/// let heavy = link.evaluate(10.0);
+/// assert!(light.delivered_gbps < 1.0);
+/// assert!(heavy.delivered_gbps <= 2.5);
+/// assert!(heavy.latency_cycles > 2.0 * light.latency_cycles);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interconnect {
+    cfg: LinkConfig,
+}
+
+impl Interconnect {
+    /// Creates a channel with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the effective cap is not strictly positive or the
+    /// latency bounds are inverted.
+    pub fn new(cfg: LinkConfig) -> Self {
+        assert!(cfg.effective_cap_gbps > 0.0, "link cap must be positive");
+        assert!(
+            cfg.saturated_latency_cycles >= cfg.base_latency_cycles,
+            "saturated latency below base latency"
+        );
+        Self { cfg }
+    }
+
+    /// The channel parameters.
+    pub fn config(&self) -> &LinkConfig {
+        &self.cfg
+    }
+
+    /// Evaluates the channel under `offered_gbps` of offered load.
+    ///
+    /// Delivered throughput follows a smooth-min against the effective
+    /// cap (steady rise, then plateau — Fig. 2 top), and latency follows
+    /// a logistic transition from the base to the saturated regime
+    /// centred at the knee utilization.
+    pub fn evaluate(&self, offered_gbps: f32) -> LinkState {
+        assert!(
+            offered_gbps >= 0.0 && offered_gbps.is_finite(),
+            "offered load must be finite and non-negative, got {offered_gbps}"
+        );
+        let cap = self.cfg.effective_cap_gbps;
+        let u = offered_gbps / cap;
+        // Smooth minimum via a p-norm: ≈linear below the cap, ≈cap above.
+        let delivered = if u <= f32::EPSILON {
+            0.0
+        } else {
+            cap * u / (1.0 + u.powi(8)).powf(1.0 / 8.0)
+        };
+        let x = self.cfg.latency_knee_steepness * (u - self.cfg.latency_knee_utilization);
+        let sigmoid = 1.0 / (1.0 + (-x).exp());
+        let latency = self.cfg.base_latency_cycles
+            + (self.cfg.saturated_latency_cycles - self.cfg.base_latency_cycles) * sigmoid;
+        LinkState {
+            offered_gbps,
+            delivered_gbps: delivered,
+            utilization: u,
+            latency_cycles: latency,
+        }
+    }
+
+    /// Converts a delivered throughput into flits per second.
+    pub fn flits_per_second(&self, delivered_gbps: f32) -> f32 {
+        let bytes_per_s = delivered_gbps * 1e9 / 8.0;
+        bytes_per_s / self.cfg.flit_bytes as f32
+    }
+}
+
+impl Default for Interconnect {
+    fn default() -> Self {
+        Self::new(LinkConfig::paper())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> Interconnect {
+        Interconnect::new(LinkConfig::paper())
+    }
+
+    #[test]
+    fn idle_channel_is_at_base_latency() {
+        let s = link().evaluate(0.0);
+        assert_eq!(s.delivered_gbps, 0.0);
+        assert!((s.latency_cycles - 350.0).abs() < 5.0);
+        assert_eq!(s.backpressure(), 1.0);
+    }
+
+    #[test]
+    fn throughput_never_exceeds_cap() {
+        let l = link();
+        for offered in [0.1, 0.5, 1.0, 2.0, 2.5, 3.0, 5.0, 10.0, 50.0] {
+            let s = l.evaluate(offered);
+            assert!(
+                s.delivered_gbps <= 2.5 + 1e-3,
+                "delivered {} at offered {offered}",
+                s.delivered_gbps
+            );
+            assert!(s.delivered_gbps <= offered + 1e-3);
+        }
+    }
+
+    #[test]
+    fn throughput_is_monotone_in_offered_load() {
+        let l = link();
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let s = l.evaluate(i as f32 * 0.2);
+            assert!(s.delivered_gbps >= prev - 1e-4);
+            prev = s.delivered_gbps;
+        }
+    }
+
+    #[test]
+    fn latency_regimes_match_r2() {
+        let l = link();
+        // 1–4 memBw micro-benchmarks: ~0.6 Gbps each offered.
+        for n in [1, 2, 4] {
+            let s = l.evaluate(0.6 * n as f32);
+            assert!(
+                s.latency_cycles < 420.0,
+                "{n} stressors: latency {} should be near base",
+                s.latency_cycles
+            );
+        }
+        // 8+ micro-benchmarks: saturated plateau near 900 cycles.
+        for n in [8, 16, 32] {
+            let s = l.evaluate(0.6 * n as f32);
+            assert!(
+                s.latency_cycles > 800.0,
+                "{n} stressors: latency {} should be saturated",
+                s.latency_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn latency_is_monotone_and_bounded() {
+        let l = link();
+        let mut prev = 0.0;
+        for i in 0..200 {
+            let s = l.evaluate(i as f32 * 0.1);
+            assert!(s.latency_cycles >= prev - 1e-3);
+            assert!(s.latency_cycles <= 900.0 + 1e-3);
+            prev = s.latency_cycles;
+        }
+    }
+
+    #[test]
+    fn backpressure_shrinks_under_saturation() {
+        let l = link();
+        let light = l.evaluate(0.5);
+        let heavy = l.evaluate(10.0);
+        assert!((light.backpressure() - 1.0).abs() < 0.05);
+        assert!(heavy.backpressure() < 0.3);
+    }
+
+    #[test]
+    fn flit_accounting_uses_32_byte_flits() {
+        let l = link();
+        let flits = l.flits_per_second(2.5);
+        // 2.5 Gbit/s = 312.5 MB/s = ~9.77e6 flits/s.
+        assert!((flits - 9.765e6).abs() / 9.765e6 < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_offered_load_rejected() {
+        let _ = link().evaluate(-1.0);
+    }
+}

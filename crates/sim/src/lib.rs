@@ -1,0 +1,62 @@
+//! Discrete-time simulator of a ThymesisFlow-like disaggregated-memory
+//! testbed.
+//!
+//! The paper evaluates Adrias on real hardware: two IBM AC922 POWER9
+//! servers whose FPGAs are cabled back-to-back, with ThymesisFlow
+//! exposing the lender's DRAM as a CPU-less NUMA node on the borrower
+//! (§III). That hardware is not available here, so this crate implements
+//! the closest synthetic equivalent: a 1 Hz discrete-time model of the
+//! borrower node and the communication channel, calibrated to the
+//! characterization results of §IV:
+//!
+//! * **R1 — bounded throughput:** the channel delivers at most
+//!   ≈2.5 Gbit/s regardless of offered load ([`Interconnect`]);
+//! * **R2 — two-regime latency:** channel latency sits at ≈350 cycles
+//!   until the knee and climbs to a ≈900-cycle plateau under saturation
+//!   (back-pressure);
+//! * **R3 — local side effects:** traffic from remote-mode applications
+//!   still traverses the borrower's LLC and memory controllers, so it
+//!   shows up in the local counters;
+//! * **R5/R7 — contention chasm and stacking:** the same interference
+//!   hurts remote-mode applications much more once the channel saturates,
+//!   and for *stacking* applications even CPU/L2 contention widens the
+//!   local-vs-remote gap.
+//!
+//! The simulator consumes [`WorkloadProfile`]s from `adrias-workloads`
+//! and produces per-second [`MetricSample`]s (the Watcher's input) plus
+//! per-application progress and completions.
+//!
+//! # Examples
+//!
+//! ```
+//! use adrias_sim::{Testbed, TestbedConfig};
+//! use adrias_workloads::{spark, MemoryMode};
+//!
+//! let mut testbed = Testbed::new(TestbedConfig::paper(), 42);
+//! let app = spark::by_name("gmm").unwrap();
+//! let id = testbed.deploy(app, MemoryMode::Local);
+//! let report = testbed.step();
+//! assert_eq!(report.time_s, 1.0);
+//! assert!(testbed.is_resident(id));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod contention;
+pub mod counters;
+pub mod interconnect;
+pub mod pressure;
+pub mod testbed;
+
+pub use config::{LinkConfig, NodeConfig, TestbedConfig};
+pub use contention::slowdown;
+pub use interconnect::{Interconnect, LinkState};
+pub use pressure::ResourcePressure;
+pub use testbed::{CompletedApp, Deployment, DeploymentId, StepReport, Testbed};
+
+// Re-exported so downstream crates do not need a direct dependency for
+// the common vocabulary types.
+pub use adrias_telemetry::{Metric, MetricSample};
+pub use adrias_workloads::{MemoryMode, WorkloadProfile};

@@ -1,0 +1,553 @@
+//! The stateful testbed: deployments, progress and completions.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use adrias_telemetry::MetricSample;
+use adrias_workloads::{LatencyEnv, MemoryMode, WorkloadClass, WorkloadProfile};
+
+use crate::config::TestbedConfig;
+use crate::contention::slowdown;
+use crate::counters;
+use crate::pressure::ResourcePressure;
+
+/// Opaque handle identifying one deployment on the testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeploymentId(u64);
+
+impl fmt::Display for DeploymentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dep-{}", self.0)
+    }
+}
+
+/// Accumulated environment statistics over a deployment's residency.
+#[derive(Debug, Clone, Copy, Default)]
+struct EnvAccumulator {
+    steps: u32,
+    cpu: f64,
+    l2: f64,
+    llc: f64,
+    mem_bw: f64,
+    link_util: f64,
+    link_lat: f64,
+    slowdown: f64,
+}
+
+impl EnvAccumulator {
+    fn push(&mut self, p: &ResourcePressure, sd: f32) {
+        self.steps += 1;
+        self.cpu += f64::from(p.cpu);
+        self.l2 += f64::from(p.l2);
+        self.llc += f64::from(p.llc);
+        self.mem_bw += f64::from(p.mem_bw);
+        self.link_util += f64::from(p.link_utilization);
+        self.link_lat += f64::from(p.link_latency_cycles);
+        self.slowdown += f64::from(sd);
+    }
+
+    fn average_env(&self, mode: MemoryMode) -> LatencyEnv {
+        let n = f64::from(self.steps.max(1));
+        LatencyEnv {
+            mode,
+            cpu_pressure: (self.cpu / n) as f32,
+            l2_pressure: (self.l2 / n) as f32,
+            llc_pressure: (self.llc / n) as f32,
+            mem_bw_pressure: (self.mem_bw / n) as f32,
+            link_utilization: (self.link_util / n) as f32,
+            link_latency_cycles: if self.steps == 0 {
+                350.0
+            } else {
+                (self.link_lat / n) as f32
+            },
+        }
+    }
+
+    fn mean_slowdown(&self) -> f32 {
+        if self.steps == 0 {
+            1.0
+        } else {
+            (self.slowdown / f64::from(self.steps)) as f32
+        }
+    }
+}
+
+/// One application resident on the testbed.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    id: DeploymentId,
+    profile: WorkloadProfile,
+    mode: MemoryMode,
+    arrived_s: f64,
+    duration_s: f32,
+    work_done_s: f64,
+    env: EnvAccumulator,
+}
+
+impl Deployment {
+    /// The deployment handle.
+    pub fn id(&self) -> DeploymentId {
+        self.id
+    }
+
+    /// The deployed workload.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// The memory mode the orchestrator chose.
+    pub fn mode(&self) -> MemoryMode {
+        self.mode
+    }
+
+    /// Arrival time, seconds.
+    pub fn arrived_s(&self) -> f64 {
+        self.arrived_s
+    }
+
+    /// Nominal work to complete, seconds of isolated execution.
+    pub fn duration_s(&self) -> f32 {
+        self.duration_s
+    }
+
+    /// Completed work, seconds of isolated-equivalent execution.
+    pub fn work_done_s(&self) -> f64 {
+        self.work_done_s
+    }
+
+    /// Environment averaged over residency so far.
+    pub fn average_env(&self) -> LatencyEnv {
+        self.env.average_env(self.mode)
+    }
+
+    /// Whether progress is scaled by contention (BE) or wall-clock
+    /// (LC services and micro-benchmarks run for a fixed duration).
+    fn contended_progress(&self) -> bool {
+        self.profile.class() == WorkloadClass::BestEffort
+    }
+}
+
+/// Record of one finished application.
+#[derive(Debug, Clone)]
+pub struct CompletedApp {
+    /// Deployment handle.
+    pub id: DeploymentId,
+    /// Workload name.
+    pub name: String,
+    /// Workload class.
+    pub class: WorkloadClass,
+    /// Memory mode it ran in.
+    pub mode: MemoryMode,
+    /// Arrival time, seconds.
+    pub arrived_s: f64,
+    /// Completion time, seconds.
+    pub finished_s: f64,
+    /// Wall-clock runtime, seconds.
+    pub runtime_s: f64,
+    /// Mean slowdown factor experienced while resident.
+    pub mean_slowdown: f32,
+    /// Environment averaged over the whole residency (for LC tail
+    /// latency evaluation).
+    pub average_env: LatencyEnv,
+}
+
+/// Output of one 1-second simulation step.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Simulation time after the step, seconds.
+    pub time_s: f64,
+    /// The Watcher sample generated for this step.
+    pub sample: MetricSample,
+    /// Pressure snapshot used during the step.
+    pub pressure: ResourcePressure,
+    /// Applications that finished during the step.
+    pub finished: Vec<CompletedApp>,
+}
+
+/// The disaggregated-memory testbed simulator.
+///
+/// Advances in fixed 1-second steps; see the crate docs for the model.
+///
+/// # Examples
+///
+/// ```
+/// use adrias_sim::{Testbed, TestbedConfig};
+/// use adrias_workloads::{spark, MemoryMode};
+///
+/// let mut tb = Testbed::new(TestbedConfig::noiseless(), 1);
+/// let gmm = spark::by_name("gmm").unwrap();
+/// let id = tb.deploy(gmm.clone(), MemoryMode::Local);
+/// let mut finished = None;
+/// for _ in 0..200 {
+///     let report = tb.step();
+///     if let Some(done) = report.finished.into_iter().find(|c| c.id == id) {
+///         finished = Some(done);
+///         break;
+///     }
+/// }
+/// let done = finished.expect("gmm finishes in isolation");
+/// assert!((done.runtime_s - gmm.base_runtime_s() as f64).abs() < 2.0);
+/// ```
+#[derive(Debug)]
+pub struct Testbed {
+    cfg: TestbedConfig,
+    time_s: f64,
+    next_id: u64,
+    resident: BTreeMap<DeploymentId, Deployment>,
+    rng: StdRng,
+    link_bytes_total: f64,
+}
+
+impl Testbed {
+    /// Simulation step length, seconds.
+    pub const STEP_S: f64 = 1.0;
+
+    /// Creates a testbed with the given configuration and RNG seed.
+    pub fn new(cfg: TestbedConfig, seed: u64) -> Self {
+        Self {
+            cfg,
+            time_s: 0.0,
+            next_id: 0,
+            resident: BTreeMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            link_bytes_total: 0.0,
+        }
+    }
+
+    /// The testbed configuration.
+    pub fn config(&self) -> &TestbedConfig {
+        &self.cfg
+    }
+
+    /// Current simulation time, seconds.
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    /// Cumulative bytes delivered over the ThymesisFlow link.
+    pub fn link_bytes_total(&self) -> f64 {
+        self.link_bytes_total
+    }
+
+    /// Deploys `profile` in `mode` with its nominal duration.
+    pub fn deploy(&mut self, profile: WorkloadProfile, mode: MemoryMode) -> DeploymentId {
+        let duration = profile.base_runtime_s();
+        self.deploy_for(profile, mode, duration)
+    }
+
+    /// Deploys `profile` in `mode` for an explicit `duration_s` (used for
+    /// open-ended micro-benchmarks in scenario traces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_s` is not strictly positive.
+    pub fn deploy_for(
+        &mut self,
+        profile: WorkloadProfile,
+        mode: MemoryMode,
+        duration_s: f32,
+    ) -> DeploymentId {
+        assert!(duration_s > 0.0, "duration must be positive");
+        let id = DeploymentId(self.next_id);
+        self.next_id += 1;
+        self.resident.insert(
+            id,
+            Deployment {
+                id,
+                profile,
+                mode,
+                arrived_s: self.time_s,
+                duration_s,
+                work_done_s: 0.0,
+                env: EnvAccumulator::default(),
+            },
+        );
+        id
+    }
+
+    /// Removes a deployment before completion; returns it if resident.
+    pub fn remove(&mut self, id: DeploymentId) -> Option<Deployment> {
+        self.resident.remove(&id)
+    }
+
+    /// Whether `id` is still resident.
+    pub fn is_resident(&self, id: DeploymentId) -> bool {
+        self.resident.contains_key(&id)
+    }
+
+    /// Number of resident deployments.
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Iterates over resident deployments in id order.
+    pub fn resident(&self) -> impl Iterator<Item = &Deployment> + '_ {
+        self.resident.values()
+    }
+
+    /// A deployment by id, if resident.
+    pub fn deployment(&self, id: DeploymentId) -> Option<&Deployment> {
+        self.resident.get(&id)
+    }
+
+    /// Pressure snapshot for the current resident set.
+    pub fn pressure(&self) -> ResourcePressure {
+        let refs: Vec<_> = self
+            .resident
+            .values()
+            .map(|d| (&d.profile, d.mode))
+            .collect();
+        ResourcePressure::compute(&self.cfg, &refs)
+    }
+
+    /// Instantaneous slowdown factor of a resident deployment.
+    pub fn slowdown_of(&self, id: DeploymentId) -> Option<f32> {
+        let d = self.resident.get(&id)?;
+        Some(slowdown(&d.profile, d.mode, &self.pressure()))
+    }
+
+    /// Advances the simulation by one second.
+    ///
+    /// Computes the pressure for the current resident set, advances every
+    /// deployment's progress, collects completions (with sub-second
+    /// completion-time interpolation) and synthesizes the Watcher sample.
+    pub fn step(&mut self) -> StepReport {
+        let pressure = self.pressure();
+        let refs: Vec<_> = self
+            .resident
+            .values()
+            .map(|d| (d.profile.clone(), d.mode))
+            .collect();
+        let ref_pairs: Vec<_> = refs.iter().map(|(w, m)| (w, *m)).collect();
+        let sample = counters::sample(
+            &self.cfg,
+            &ref_pairs,
+            &pressure,
+            self.time_s + Self::STEP_S,
+            &mut self.rng,
+        );
+        self.link_bytes_total += f64::from(pressure.link_delivered_gbps) * 1e9 / 8.0 * Self::STEP_S;
+
+        let mut finished = Vec::new();
+        let step_start = self.time_s;
+        for d in self.resident.values_mut() {
+            let sd = slowdown(&d.profile, d.mode, &pressure);
+            d.env.push(&pressure, sd);
+            let rate = if d.contended_progress() {
+                1.0 / f64::from(sd)
+            } else {
+                1.0
+            };
+            let before = d.work_done_s;
+            d.work_done_s += rate * Self::STEP_S;
+            if d.work_done_s >= f64::from(d.duration_s) {
+                // Interpolate the in-step completion instant.
+                let need = f64::from(d.duration_s) - before;
+                let frac = if rate > 0.0 { (need / rate).clamp(0.0, 1.0) } else { 1.0 };
+                let finished_s = step_start + frac * Self::STEP_S;
+                finished.push(CompletedApp {
+                    id: d.id,
+                    name: d.profile.name().to_owned(),
+                    class: d.profile.class(),
+                    mode: d.mode,
+                    arrived_s: d.arrived_s,
+                    finished_s,
+                    runtime_s: finished_s - d.arrived_s,
+                    mean_slowdown: d.env.mean_slowdown(),
+                    average_env: d.env.average_env(d.mode),
+                });
+            }
+        }
+        for c in &finished {
+            self.resident.remove(&c.id);
+        }
+        self.time_s += Self::STEP_S;
+        StepReport {
+            time_s: self.time_s,
+            sample,
+            pressure,
+            finished,
+        }
+    }
+
+    /// Runs `profile` to completion in isolation on an otherwise empty
+    /// testbed and returns its completion record together with the 1 Hz
+    /// metric samples captured while it ran.
+    ///
+    /// This is how application *signatures* are captured (§V-B2) and how
+    /// the isolation experiments of Figs. 3–4 are executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if other applications are resident.
+    pub fn run_isolated(
+        &mut self,
+        profile: WorkloadProfile,
+        mode: MemoryMode,
+    ) -> (CompletedApp, Vec<MetricSample>) {
+        assert!(
+            self.resident.is_empty(),
+            "run_isolated requires an empty testbed"
+        );
+        let id = self.deploy(profile, mode);
+        let mut samples = Vec::new();
+        loop {
+            let report = self.step();
+            samples.push(report.sample);
+            if let Some(done) = report.finished.into_iter().find(|c| c.id == id) {
+                return (done, samples);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adrias_workloads::{ibench, spark, IbenchKind};
+
+    fn testbed() -> Testbed {
+        Testbed::new(TestbedConfig::noiseless(), 99)
+    }
+
+    #[test]
+    fn isolated_local_run_matches_base_runtime() {
+        let mut tb = testbed();
+        let app = spark::by_name("wordcount").unwrap();
+        let (done, samples) = tb.run_isolated(app.clone(), MemoryMode::Local);
+        assert!((done.runtime_s - f64::from(app.base_runtime_s())).abs() <= 1.0);
+        assert_eq!(samples.len(), done.finished_s.ceil() as usize);
+        assert!((done.mean_slowdown - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn isolated_remote_run_suffers_penalty() {
+        let mut tb = testbed();
+        let app = spark::by_name("nweight").unwrap();
+        let (done, _) = tb.run_isolated(app.clone(), MemoryMode::Remote);
+        let ratio = done.runtime_s / f64::from(app.base_runtime_s());
+        assert!(
+            (ratio - f64::from(app.remote_penalty())).abs() < 0.1,
+            "remote/local ratio {ratio} vs penalty {}",
+            app.remote_penalty()
+        );
+    }
+
+    #[test]
+    fn co_located_apps_slow_each_other_down() {
+        let mut tb = testbed();
+        let app = spark::by_name("sort").unwrap();
+        let stressor = ibench::profile(IbenchKind::Llc);
+        for _ in 0..16 {
+            tb.deploy_for(stressor.clone(), MemoryMode::Local, 3600.0);
+        }
+        let id = tb.deploy(app.clone(), MemoryMode::Local);
+        let mut runtime = None;
+        for _ in 0..2000 {
+            let report = tb.step();
+            if let Some(done) = report.finished.iter().find(|c| c.id == id) {
+                runtime = Some(done.runtime_s);
+                break;
+            }
+        }
+        let runtime = runtime.expect("app should finish");
+        assert!(
+            runtime > 1.5 * f64::from(app.base_runtime_s()),
+            "contended runtime {runtime} vs base {}",
+            app.base_runtime_s()
+        );
+    }
+
+    #[test]
+    fn lc_services_run_wall_clock_durations() {
+        let mut tb = testbed();
+        let redis = adrias_workloads::keyvalue::redis();
+        let id = tb.deploy_for(redis, MemoryMode::Remote, 30.0);
+        let mut done = None;
+        for _ in 0..40 {
+            let report = tb.step();
+            if let Some(c) = report.finished.into_iter().find(|c| c.id == id) {
+                done = Some(c);
+                break;
+            }
+        }
+        let done = done.expect("LC session ends after its duration");
+        assert!((done.runtime_s - 30.0).abs() < 1.0);
+        assert_eq!(done.average_env.mode, MemoryMode::Remote);
+    }
+
+    #[test]
+    fn remove_prevents_completion() {
+        let mut tb = testbed();
+        let app = spark::by_name("gmm").unwrap();
+        let id = tb.deploy(app, MemoryMode::Local);
+        tb.step();
+        assert!(tb.is_resident(id));
+        let removed = tb.remove(id).expect("was resident");
+        assert_eq!(removed.id(), id);
+        assert!(!tb.is_resident(id));
+        assert_eq!(tb.resident_count(), 0);
+    }
+
+    #[test]
+    fn link_traffic_accumulates_only_for_remote() {
+        let mut tb = testbed();
+        let app = spark::by_name("lr").unwrap();
+        tb.deploy(app.clone(), MemoryMode::Local);
+        for _ in 0..10 {
+            tb.step();
+        }
+        assert_eq!(tb.link_bytes_total(), 0.0);
+
+        let mut tb2 = testbed();
+        tb2.deploy(app, MemoryMode::Remote);
+        for _ in 0..10 {
+            tb2.step();
+        }
+        assert!(tb2.link_bytes_total() > 0.0);
+    }
+
+    #[test]
+    fn deployment_ids_are_unique_and_ordered() {
+        let mut tb = testbed();
+        let app = spark::by_name("gmm").unwrap();
+        let a = tb.deploy(app.clone(), MemoryMode::Local);
+        let b = tb.deploy(app, MemoryMode::Remote);
+        assert_ne!(a, b);
+        assert!(a < b);
+        assert_eq!(tb.resident_count(), 2);
+        assert_eq!(tb.deployment(a).unwrap().mode(), MemoryMode::Local);
+        assert_eq!(tb.deployment(b).unwrap().mode(), MemoryMode::Remote);
+    }
+
+    #[test]
+    fn slowdown_of_reports_current_factor() {
+        let mut tb = testbed();
+        let app = spark::by_name("nweight").unwrap();
+        let id = tb.deploy(app.clone(), MemoryMode::Remote);
+        let sd = tb.slowdown_of(id).unwrap();
+        assert!((sd - app.remote_penalty()).abs() < 0.05);
+        assert!(tb.slowdown_of(DeploymentId(999)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty testbed")]
+    fn run_isolated_requires_empty_testbed() {
+        let mut tb = testbed();
+        let app = spark::by_name("gmm").unwrap();
+        tb.deploy(app.clone(), MemoryMode::Local);
+        let _ = tb.run_isolated(app, MemoryMode::Local);
+    }
+
+    #[test]
+    fn time_advances_one_second_per_step() {
+        let mut tb = testbed();
+        assert_eq!(tb.time_s(), 0.0);
+        tb.step();
+        tb.step();
+        assert_eq!(tb.time_s(), 2.0);
+    }
+}

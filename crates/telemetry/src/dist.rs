@@ -1,0 +1,134 @@
+//! Seeded samplers for the distributions used by the simulator.
+//!
+//! The allowed dependency set includes `rand` but not `rand_distr`, so the
+//! handful of continuous distributions the workload and interconnect
+//! models need (normal, lognormal, exponential) are implemented here via
+//! standard transforms (Box–Muller, inverse CDF).
+
+use rand::Rng;
+
+/// Samples a standard normal deviate via the Box–Muller transform.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let z = adrias_telemetry::dist::standard_normal(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples `N(mean, std_dev²)`.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0, "std_dev must be non-negative");
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Samples a lognormal whose *underlying* normal is `N(mu, sigma²)`.
+///
+/// Tail-latency samples in the key-value store model are lognormal, which
+/// matches the long-tailed response-time distributions measured with
+/// memtier in the paper.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Samples an exponential with the given `rate` (λ) via inverse CDF.
+///
+/// Used for arrival jitter in scenario generation.
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "rate must be positive");
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate
+}
+
+/// Multiplicative noise factor `max(0, 1 + N(0, rel_std²))`.
+///
+/// The simulator perturbs every generated counter with a small relative
+/// noise so that traces are not perfectly deterministic functions of the
+/// workload mix (mirroring measurement noise on real hardware).
+pub fn noise_factor<R: Rng + ?Sized>(rng: &mut R, rel_std: f64) -> f64 {
+    normal(rng, 1.0, rel_std).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_n(f: impl Fn(&mut StdRng) -> f64, n: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(42);
+        (0..n).map(|_| f(&mut rng)).collect()
+    }
+
+    #[test]
+    fn standard_normal_has_zero_mean_unit_var() {
+        let xs = sample_n(|r| standard_normal(r), 20_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.03, "mean drifted: {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance drifted: {var}");
+    }
+
+    #[test]
+    fn normal_is_shifted_and_scaled() {
+        let xs = sample_n(|r| normal(r, 10.0, 2.0), 20_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let xs = sample_n(|r| lognormal(r, 0.0, 1.0), 1_000);
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn exponential_matches_rate() {
+        let xs = sample_n(|r| exponential(r, 0.5), 20_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 2.0).abs() < 0.1, "exp mean {mean} != 2.0");
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn noise_factor_is_non_negative_and_centred() {
+        let xs = sample_n(|r| noise_factor(r, 0.05), 5_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!(xs.iter().all(|&x| x >= 0.0));
+        assert!((mean - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let a = sample_n(|r| standard_normal(r), 10);
+        let b = sample_n(|r| standard_normal(r), 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = exponential(&mut rng, 0.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! The Watcher: Adrias' monitoring front-end.
+
+use crate::metrics::{Metric, MetricSample, MetricVec, METRIC_COUNT};
+use crate::series::MetricRing;
+
+/// A fixed-length history window of the system state.
+///
+/// This is the two-dimensional feature vector `S` from the paper: one row
+/// per sampling instant (1 Hz), one column per monitored metric, oldest
+/// row first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateWindow {
+    rows: Vec<MetricVec>,
+}
+
+impl StateWindow {
+    /// Creates a window from rows ordered oldest-first.
+    pub fn new(rows: Vec<MetricVec>) -> Self {
+        Self { rows }
+    }
+
+    /// Number of sampling instants in the window.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the window holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rows ordered oldest-first.
+    pub fn rows(&self) -> &[MetricVec] {
+        &self.rows
+    }
+
+    /// Per-metric mean over the window.
+    pub fn mean_vec(&self) -> MetricVec {
+        if self.rows.is_empty() {
+            return MetricVec::zero();
+        }
+        let mut acc = [0.0f64; METRIC_COUNT];
+        for row in &self.rows {
+            for m in Metric::ALL {
+                acc[m.index()] += f64::from(row.get(m));
+            }
+        }
+        let mut out = MetricVec::zero();
+        for m in Metric::ALL {
+            out.set(m, (acc[m.index()] / self.rows.len() as f64) as f32);
+        }
+        out
+    }
+
+    /// The column of values for one metric, oldest first.
+    pub fn column(&self, metric: Metric) -> Vec<f32> {
+        self.rows.iter().map(|r| r.get(metric)).collect()
+    }
+
+    /// Downsamples the window by averaging consecutive groups of `factor`
+    /// rows; a trailing partial group is averaged as well.
+    ///
+    /// The predictor feeds 120 s windows to its LSTMs at a coarser step to
+    /// keep sequence lengths manageable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn downsample(&self, factor: usize) -> StateWindow {
+        assert!(factor > 0, "downsample factor must be non-zero");
+        let rows = self
+            .rows
+            .chunks(factor)
+            .map(|chunk| {
+                let mut acc = MetricVec::zero();
+                for r in chunk {
+                    acc = acc.add(r);
+                }
+                acc.scale(1.0 / chunk.len() as f32)
+            })
+            .collect();
+        StateWindow { rows }
+    }
+}
+
+/// The monitoring component of Adrias (§V-A).
+///
+/// A `Watcher` ingests one [`MetricSample`] per second from the testbed
+/// and retains the most recent `capacity` of them, exposing:
+///
+/// * [`Watcher::history_window`] — the feature matrix `S` handed to the
+///   system-state model (history length `r`, 120 s in the paper), and
+/// * [`Watcher::latest`] / [`Watcher::mean_over_last`] — point queries
+///   used by the orchestration logic and the evaluation harness.
+///
+/// # Examples
+///
+/// ```
+/// use adrias_telemetry::{Metric, MetricSample, Watcher};
+///
+/// let mut w = Watcher::new(120);
+/// for t in 0..120 {
+///     w.record(MetricSample::zero(t as f64));
+/// }
+/// assert!(w.history_window(120).is_some());
+/// assert!(w.history_window(121).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Watcher {
+    ring: MetricRing,
+}
+
+impl Watcher {
+    /// Creates a Watcher retaining at most `capacity` 1 Hz samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: MetricRing::new(capacity),
+        }
+    }
+
+    /// Ingests one sample (call once per simulated second).
+    pub fn record(&mut self, sample: MetricSample) {
+        self.ring.push(sample);
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no samples have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The most recent sample, if any.
+    pub fn latest(&self) -> Option<&MetricSample> {
+        self.ring.latest()
+    }
+
+    /// The last `r` samples as a [`StateWindow`], oldest-first.
+    ///
+    /// Returns `None` until at least `r` samples have been recorded, i.e.
+    /// the orchestrator falls back to a default policy during warm-up.
+    pub fn history_window(&self, r: usize) -> Option<StateWindow> {
+        let samples = self.ring.last_n(r)?;
+        Some(StateWindow::new(
+            samples.into_iter().map(|s| *s.vec()).collect(),
+        ))
+    }
+
+    /// Per-metric mean over the last `n` samples (or `None` if fewer).
+    pub fn mean_over_last(&self, n: usize) -> Option<MetricVec> {
+        let samples = self.ring.last_n(n)?;
+        let window = StateWindow::new(samples.into_iter().map(|s| *s.vec()).collect());
+        Some(window.mean_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64, load: f32) -> MetricSample {
+        let mut s = MetricSample::zero(t);
+        s.set(Metric::LlcLoads, load);
+        s.set(Metric::LinkLatency, 350.0);
+        s
+    }
+
+    #[test]
+    fn window_unavailable_until_filled() {
+        let mut w = Watcher::new(10);
+        for t in 0..5 {
+            w.record(sample(t as f64, t as f32));
+        }
+        assert!(w.history_window(6).is_none());
+        assert_eq!(w.history_window(5).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn window_rows_are_oldest_first() {
+        let mut w = Watcher::new(4);
+        for t in 0..8 {
+            w.record(sample(t as f64, t as f32));
+        }
+        let win = w.history_window(4).unwrap();
+        let col = win.column(Metric::LlcLoads);
+        assert_eq!(col, vec![4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn mean_over_last_matches_window_mean() {
+        let mut w = Watcher::new(8);
+        for t in 0..8 {
+            w.record(sample(t as f64, t as f32));
+        }
+        let mean = w.mean_over_last(4).unwrap();
+        assert_eq!(mean.get(Metric::LlcLoads), 5.5);
+        assert_eq!(mean.get(Metric::LinkLatency), 350.0);
+    }
+
+    #[test]
+    fn downsample_averages_groups() {
+        let rows = (0..6)
+            .map(|i| {
+                let mut v = MetricVec::zero();
+                v.set(Metric::MemLoads, i as f32);
+                v
+            })
+            .collect();
+        let win = StateWindow::new(rows);
+        let ds = win.downsample(2);
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.column(Metric::MemLoads), vec![0.5, 2.5, 4.5]);
+    }
+
+    #[test]
+    fn downsample_handles_partial_tail() {
+        let rows = (0..5)
+            .map(|i| {
+                let mut v = MetricVec::zero();
+                v.set(Metric::MemLoads, i as f32);
+                v
+            })
+            .collect();
+        let ds = StateWindow::new(rows).downsample(2);
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.column(Metric::MemLoads), vec![0.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn empty_window_mean_is_zero() {
+        let win = StateWindow::new(Vec::new());
+        assert!(win.is_empty());
+        assert_eq!(win.mean_vec(), MetricVec::zero());
+    }
+}

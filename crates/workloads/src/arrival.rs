@@ -1,0 +1,136 @@
+//! Application arrival processes for scenario generation.
+//!
+//! The paper's trace-collection scenarios spawn a new application after a
+//! random interval drawn uniformly from `{5, X}` seconds, with `X`
+//! ranging from 20 (heavily congested) to 60 (relaxed) — §V-B1.
+
+use rand::Rng;
+
+/// A uniform-interval arrival process.
+///
+/// # Examples
+///
+/// ```
+/// use adrias_workloads::ArrivalProcess;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let arrivals = ArrivalProcess::new(5.0, 40.0);
+/// let times = arrivals.times_until(300.0, &mut rng);
+/// assert!(!times.is_empty());
+/// assert!(times.windows(2).all(|w| w[0] < w[1]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalProcess {
+    min_interval_s: f64,
+    max_interval_s: f64,
+}
+
+impl ArrivalProcess {
+    /// Creates a process with inter-arrival times uniform in
+    /// `[min_interval_s, max_interval_s]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not `0 < min <= max`.
+    pub fn new(min_interval_s: f64, max_interval_s: f64) -> Self {
+        assert!(
+            min_interval_s > 0.0 && min_interval_s <= max_interval_s,
+            "invalid arrival bounds [{min_interval_s}, {max_interval_s}]"
+        );
+        Self {
+            min_interval_s,
+            max_interval_s,
+        }
+    }
+
+    /// The paper's `{5, max}` convention.
+    pub fn paper(max_interval_s: f64) -> Self {
+        Self::new(5.0, max_interval_s)
+    }
+
+    /// Lower inter-arrival bound, seconds.
+    pub fn min_interval_s(&self) -> f64 {
+        self.min_interval_s
+    }
+
+    /// Upper inter-arrival bound, seconds.
+    pub fn max_interval_s(&self) -> f64 {
+        self.max_interval_s
+    }
+
+    /// Samples the next inter-arrival gap.
+    pub fn next_interval<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.gen_range(self.min_interval_s..=self.max_interval_s)
+    }
+
+    /// All arrival instants strictly before `horizon_s`, starting from an
+    /// initial gap at time zero.
+    pub fn times_until<R: Rng + ?Sized>(&self, horizon_s: f64, rng: &mut R) -> Vec<f64> {
+        let mut t = 0.0;
+        let mut out = Vec::new();
+        loop {
+            t += self.next_interval(rng);
+            if t >= horizon_s {
+                return out;
+            }
+            out.push(t);
+        }
+    }
+
+    /// Expected number of arrivals per hour.
+    pub fn expected_hourly_rate(&self) -> f64 {
+        3600.0 / ((self.min_interval_s + self.max_interval_s) / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn intervals_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = ArrivalProcess::paper(20.0);
+        for _ in 0..1000 {
+            let dt = p.next_interval(&mut rng);
+            assert!((5.0..=20.0).contains(&dt));
+        }
+    }
+
+    #[test]
+    fn heavy_scenarios_spawn_more_apps() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let heavy = ArrivalProcess::paper(20.0).times_until(3600.0, &mut rng);
+        let relaxed = ArrivalProcess::paper(60.0).times_until(3600.0, &mut rng);
+        assert!(
+            heavy.len() > relaxed.len(),
+            "heavy {} <= relaxed {}",
+            heavy.len(),
+            relaxed.len()
+        );
+    }
+
+    #[test]
+    fn hourly_rate_matches_mean_interval() {
+        let p = ArrivalProcess::paper(40.0);
+        // Mean gap 22.5 s → 160 arrivals/hour.
+        assert!((p.expected_hourly_rate() - 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn times_are_sorted_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let times = ArrivalProcess::paper(30.0).times_until(600.0, &mut rng);
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+        assert!(times.iter().all(|&t| t < 600.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid arrival bounds")]
+    fn rejects_inverted_bounds() {
+        let _ = ArrivalProcess::new(10.0, 5.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! The workload catalog used by scenario generation.
+
+use rand::Rng;
+
+use crate::ibench;
+use crate::keyvalue;
+use crate::profile::{WorkloadClass, WorkloadProfile};
+use crate::spark;
+
+/// The pool of deployable workloads: 17 BE Spark apps, 2 LC stores and
+/// the 4 iBench micro-benchmarks.
+///
+/// Scenario generation picks uniformly from this pool (§V-B1: "within
+/// each interval we pick a random benchmark either from the examined
+/// applications, or from the iBench pool").
+///
+/// # Examples
+///
+/// ```
+/// use adrias_workloads::WorkloadCatalog;
+///
+/// let catalog = WorkloadCatalog::paper();
+/// assert_eq!(catalog.len(), 23);
+/// assert_eq!(catalog.best_effort().count(), 17);
+/// assert_eq!(catalog.latency_critical().count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadCatalog {
+    entries: Vec<WorkloadProfile>,
+}
+
+impl WorkloadCatalog {
+    /// The full catalog from the paper's evaluation.
+    pub fn paper() -> Self {
+        let mut entries = spark::suite();
+        entries.extend(keyvalue::suite());
+        entries.extend(ibench::all_profiles());
+        Self { entries }
+    }
+
+    /// A catalog restricted to the given profiles.
+    pub fn from_profiles(entries: Vec<WorkloadProfile>) -> Self {
+        Self { entries }
+    }
+
+    /// Number of catalog entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[WorkloadProfile] {
+        &self.entries
+    }
+
+    /// Looks up a profile by name.
+    pub fn by_name(&self, name: &str) -> Option<&WorkloadProfile> {
+        self.entries.iter().find(|w| w.name() == name)
+    }
+
+    /// Iterates over best-effort entries.
+    pub fn best_effort(&self) -> impl Iterator<Item = &WorkloadProfile> + '_ {
+        self.entries
+            .iter()
+            .filter(|w| w.class() == WorkloadClass::BestEffort)
+    }
+
+    /// Iterates over latency-critical entries.
+    pub fn latency_critical(&self) -> impl Iterator<Item = &WorkloadProfile> + '_ {
+        self.entries
+            .iter()
+            .filter(|w| w.class() == WorkloadClass::LatencyCritical)
+    }
+
+    /// Iterates over interference micro-benchmarks.
+    pub fn interference(&self) -> impl Iterator<Item = &WorkloadProfile> + '_ {
+        self.entries
+            .iter()
+            .filter(|w| w.class() == WorkloadClass::Interference)
+    }
+
+    /// Picks a uniformly random entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog is empty.
+    pub fn pick<R: Rng + ?Sized>(&self, rng: &mut R) -> &WorkloadProfile {
+        assert!(!self.entries.is_empty(), "catalog is empty");
+        &self.entries[rng.gen_range(0..self.entries.len())]
+    }
+
+    /// Picks a uniformly random entry of one class, if any exists.
+    pub fn pick_class<R: Rng + ?Sized>(
+        &self,
+        class: WorkloadClass,
+        rng: &mut R,
+    ) -> Option<&WorkloadProfile> {
+        let of_class: Vec<&WorkloadProfile> =
+            self.entries.iter().filter(|w| w.class() == class).collect();
+        if of_class.is_empty() {
+            None
+        } else {
+            Some(of_class[rng.gen_range(0..of_class.len())])
+        }
+    }
+}
+
+impl Default for WorkloadCatalog {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_catalog_composition() {
+        let c = WorkloadCatalog::paper();
+        assert_eq!(c.best_effort().count(), 17);
+        assert_eq!(c.latency_critical().count(), 2);
+        assert_eq!(c.interference().count(), 4);
+        assert_eq!(c.len(), 23);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let c = WorkloadCatalog::paper();
+        assert_eq!(c.by_name("redis").unwrap().name(), "redis");
+        assert!(c.by_name("nope").is_none());
+    }
+
+    #[test]
+    fn pick_visits_every_entry_eventually() {
+        let c = WorkloadCatalog::paper();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            seen.insert(c.pick(&mut rng).name().to_owned());
+        }
+        assert_eq!(seen.len(), c.len());
+    }
+
+    #[test]
+    fn pick_class_respects_class() {
+        let c = WorkloadCatalog::paper();
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..100 {
+            let w = c.pick_class(WorkloadClass::LatencyCritical, &mut rng).unwrap();
+            assert!(w.is_latency_critical());
+        }
+        let empty = WorkloadCatalog::from_profiles(Vec::new());
+        assert!(empty
+            .pick_class(WorkloadClass::BestEffort, &mut rng)
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "catalog is empty")]
+    fn pick_from_empty_panics() {
+        let empty = WorkloadCatalog::from_profiles(Vec::new());
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = empty.pick(&mut rng);
+    }
+}

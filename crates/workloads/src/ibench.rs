@@ -1,0 +1,188 @@
+//! iBench-style interference micro-benchmarks.
+//!
+//! The paper uses the iBench suite to trash one shared resource at a time
+//! (CPU, L2 cache, LLC, memory bandwidth) at a configurable intensity
+//! (1–32 concurrent instances). They serve two roles: the axes of the
+//! characterization sweeps (Figs. 2 and 5) and supplementary interference
+//! in the randomized training scenarios (§V-B1).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::profile::{Sensitivity, WorkloadClass, WorkloadProfile};
+
+/// The shared resource an iBench micro-benchmark targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IbenchKind {
+    /// Pure compute pressure.
+    Cpu,
+    /// Private L2-cache pressure.
+    L2,
+    /// Last-level-cache pressure.
+    Llc,
+    /// Memory-bandwidth pressure.
+    MemBw,
+}
+
+impl IbenchKind {
+    /// All kinds in the order used by the paper's heatmap (Fig. 5).
+    pub const ALL: [IbenchKind; 4] = [
+        IbenchKind::Cpu,
+        IbenchKind::L2,
+        IbenchKind::Llc,
+        IbenchKind::MemBw,
+    ];
+
+    /// Lower-case label used in figures (e.g. `memBw`).
+    pub fn label(self) -> &'static str {
+        match self {
+            IbenchKind::Cpu => "cpu",
+            IbenchKind::L2 => "l2",
+            IbenchKind::Llc => "l3",
+            IbenchKind::MemBw => "memBw",
+        }
+    }
+}
+
+impl fmt::Display for IbenchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing an [`IbenchKind`] from an unknown label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIbenchKindError {
+    label: String,
+}
+
+impl fmt::Display for ParseIbenchKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown ibench kind `{}`", self.label)
+    }
+}
+
+impl std::error::Error for ParseIbenchKindError {}
+
+impl FromStr for IbenchKind {
+    type Err = ParseIbenchKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        IbenchKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.label().eq_ignore_ascii_case(s))
+            .ok_or_else(|| ParseIbenchKindError {
+                label: s.to_owned(),
+            })
+    }
+}
+
+/// Builds the profile of **one** micro-benchmark instance of `kind`.
+///
+/// Intensity in the paper is expressed as a *count* of concurrent
+/// instances; deploy `n` copies of this profile to model intensity `n`.
+/// Micro-benchmarks run until explicitly removed, so the nominal runtime
+/// is effectively unbounded (a large constant here).
+///
+/// # Examples
+///
+/// ```
+/// use adrias_workloads::ibench::{profile, IbenchKind};
+///
+/// let membw = profile(IbenchKind::MemBw);
+/// assert!(membw.demand().mem_bw_gbps > 0.5);
+/// let cpu = profile(IbenchKind::Cpu);
+/// assert_eq!(cpu.demand().mem_bw_gbps, 0.0);
+/// ```
+pub fn profile(kind: IbenchKind) -> WorkloadProfile {
+    let builder = WorkloadProfile::builder(format!("ibench-{kind}"), WorkloadClass::Interference)
+        .base_runtime_s(3600.0)
+        .remote_penalty(1.0);
+    let builder = match kind {
+        // One iBench "instance" saturates several SMT lanes; the paper's
+        // sweeps reach visible CPU pressure with 16 instances on a
+        // 64-logical-core node.
+        IbenchKind::Cpu => builder.cpu_cores(4.0).sensitivity(Sensitivity {
+            cpu: 0.05,
+            ..Sensitivity::default()
+        }),
+        IbenchKind::L2 => builder.cpu_cores(0.5).l2_mb(2.0).sensitivity(Sensitivity {
+            l2: 0.05,
+            ..Sensitivity::default()
+        }),
+        IbenchKind::Llc => builder
+            .cpu_cores(0.5)
+            .llc_mb(2.5)
+            .mem_bw_gbps(0.2)
+            .sensitivity(Sensitivity {
+                llc: 0.05,
+                ..Sensitivity::default()
+            }),
+        IbenchKind::MemBw => builder
+            .cpu_cores(0.5)
+            .llc_mb(0.5)
+            .mem_bw_gbps(2.0)
+            .footprint_gb(2.0)
+            .sensitivity(Sensitivity {
+                mem_bw: 0.05,
+                ..Sensitivity::default()
+            }),
+    };
+    builder.build()
+}
+
+/// Profiles for all four kinds, in [`IbenchKind::ALL`] order.
+pub fn all_profiles() -> Vec<WorkloadProfile> {
+    IbenchKind::ALL.iter().map(|&k| profile(k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for k in IbenchKind::ALL {
+            assert_eq!(k.label().parse::<IbenchKind>().unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        let err = "l9".parse::<IbenchKind>().unwrap_err();
+        assert!(err.to_string().contains("l9"));
+    }
+
+    #[test]
+    fn each_kind_pressures_its_own_resource() {
+        let cpu = profile(IbenchKind::Cpu);
+        assert!(cpu.demand().cpu_cores >= 1.0);
+        assert_eq!(cpu.demand().llc_mb, 0.0);
+
+        let l2 = profile(IbenchKind::L2);
+        assert!(l2.demand().l2_mb > 0.0);
+        assert_eq!(l2.demand().mem_bw_gbps, 0.0);
+
+        let llc = profile(IbenchKind::Llc);
+        assert!(llc.demand().llc_mb > 0.0);
+
+        let membw = profile(IbenchKind::MemBw);
+        assert!(membw.demand().mem_bw_gbps > 0.0);
+    }
+
+    #[test]
+    fn profiles_are_interference_class() {
+        for p in all_profiles() {
+            assert_eq!(p.class(), WorkloadClass::Interference);
+            assert!(p.name().starts_with("ibench-"));
+        }
+    }
+
+    #[test]
+    fn microbenchmarks_run_long() {
+        for p in all_profiles() {
+            assert!(p.base_runtime_s() >= 600.0);
+        }
+    }
+}

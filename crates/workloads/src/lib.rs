@@ -1,0 +1,50 @@
+//! Workload models for the Adrias reproduction.
+//!
+//! The paper evaluates three families of in-memory cloud workloads on the
+//! ThymesisFlow testbed (§IV-A):
+//!
+//! * **Best-effort (BE)** — 17 Spark analytics jobs from the HiBench
+//!   suite, characterized by total execution time ([`spark`]);
+//! * **Latency-critical (LC)** — Redis and Memcached serving a
+//!   memtier-style closed-loop load, characterized by 99th/99.9th
+//!   percentile response time ([`keyvalue`]);
+//! * **Interference micro-benchmarks** — iBench-style resource trashers
+//!   targeting CPU, L2, LLC and memory bandwidth ([`ibench`]).
+//!
+//! Since the real applications cannot run here, each workload is a
+//! [`WorkloadProfile`]: a set of resource demands and interference
+//! sensitivities calibrated to the behaviour the paper reports
+//! (Figs. 3–5, 9–10). The testbed simulator in `adrias-sim` consumes
+//! these profiles to produce performance counters and per-application
+//! progress.
+//!
+//! # Examples
+//!
+//! ```
+//! use adrias_workloads::{spark, WorkloadClass};
+//!
+//! let suite = spark::suite();
+//! assert_eq!(suite.len(), 17);
+//! assert!(suite.iter().all(|w| w.class() == WorkloadClass::BestEffort));
+//! // nweight suffers the worst remote-memory penalty (≈2×, Fig. 4).
+//! let nweight = spark::by_name("nweight").unwrap();
+//! assert!(nweight.remote_penalty() >= 1.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod catalog;
+pub mod ibench;
+pub mod keyvalue;
+pub mod profile;
+pub mod signature;
+pub mod spark;
+
+pub use arrival::ArrivalProcess;
+pub use catalog::WorkloadCatalog;
+pub use ibench::IbenchKind;
+pub use keyvalue::{LatencyEnv, LoadSpec};
+pub use profile::{MemoryMode, ResourceDemand, Sensitivity, WorkloadClass, WorkloadProfile};
+pub use signature::AppSignature;

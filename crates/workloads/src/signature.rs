@@ -1,0 +1,146 @@
+//! Application signatures.
+//!
+//! The performance-prediction model receives, for every known
+//! application, a *signature* `k`: the sequence of monitored metrics
+//! captured while the application ran **in isolation on remote memory**
+//! (§V-B2). The signature is the model's handle on the inherent
+//! characteristics of the application; when Adrias sees an app with no
+//! stored signature it schedules it remote-first and records one (§V-C).
+
+use adrias_telemetry::{Metric, MetricVec};
+
+/// The isolated-remote-run metric sequence identifying one application.
+///
+/// # Examples
+///
+/// ```
+/// use adrias_telemetry::MetricVec;
+/// use adrias_workloads::AppSignature;
+///
+/// let sig = AppSignature::new("lr", vec![MetricVec::zero(); 24]);
+/// assert_eq!(sig.app_name(), "lr");
+/// assert_eq!(sig.len(), 24);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSignature {
+    app_name: String,
+    rows: Vec<MetricVec>,
+}
+
+impl AppSignature {
+    /// Creates a signature for `app_name` from metric rows (oldest first).
+    pub fn new(app_name: impl Into<String>, rows: Vec<MetricVec>) -> Self {
+        Self {
+            app_name: app_name.into(),
+            rows,
+        }
+    }
+
+    /// Name of the application this signature identifies.
+    pub fn app_name(&self) -> &str {
+        &self.app_name
+    }
+
+    /// Number of sampling instants in the signature.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the signature holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Metric rows, oldest first.
+    pub fn rows(&self) -> &[MetricVec] {
+        &self.rows
+    }
+
+    /// Resamples the signature to exactly `len` rows by nearest-neighbour
+    /// index mapping, so signatures of differently-sized apps can share
+    /// one model input shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature is empty or `len` is zero.
+    pub fn resampled(&self, len: usize) -> AppSignature {
+        assert!(!self.rows.is_empty(), "cannot resample an empty signature");
+        assert!(len > 0, "target length must be non-zero");
+        let rows = (0..len)
+            .map(|i| {
+                let src = i * self.rows.len() / len;
+                self.rows[src.min(self.rows.len() - 1)]
+            })
+            .collect();
+        AppSignature {
+            app_name: self.app_name.clone(),
+            rows,
+        }
+    }
+
+    /// Per-metric mean over the signature.
+    pub fn mean_vec(&self) -> MetricVec {
+        let mut acc = MetricVec::zero();
+        if self.rows.is_empty() {
+            return acc;
+        }
+        for row in &self.rows {
+            acc = acc.add(row);
+        }
+        acc.scale(1.0 / self.rows.len() as f32)
+    }
+
+    /// Column for one metric, oldest first.
+    pub fn column(&self, metric: Metric) -> Vec<f32> {
+        self.rows.iter().map(|r| r.get(metric)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: f32) -> MetricVec {
+        let mut m = MetricVec::zero();
+        m.set(Metric::MemLoads, v);
+        m
+    }
+
+    #[test]
+    fn resample_up_and_down() {
+        let sig = AppSignature::new("a", (0..10).map(|i| row(i as f32)).collect());
+        let down = sig.resampled(5);
+        assert_eq!(down.len(), 5);
+        assert_eq!(down.column(Metric::MemLoads), vec![0.0, 2.0, 4.0, 6.0, 8.0]);
+        let up = sig.resampled(20);
+        assert_eq!(up.len(), 20);
+        assert_eq!(up.rows()[0], row(0.0));
+        assert_eq!(up.rows()[19], row(9.0));
+    }
+
+    #[test]
+    fn resample_preserves_name() {
+        let sig = AppSignature::new("kmeans", vec![row(1.0)]);
+        assert_eq!(sig.resampled(4).app_name(), "kmeans");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty signature")]
+    fn resample_empty_panics() {
+        let sig = AppSignature::new("a", Vec::new());
+        let _ = sig.resampled(4);
+    }
+
+    #[test]
+    fn mean_vec_averages_rows() {
+        let sig = AppSignature::new("a", vec![row(2.0), row(6.0)]);
+        assert_eq!(sig.mean_vec().get(Metric::MemLoads), 4.0);
+    }
+
+    #[test]
+    fn empty_signature_reports_empty() {
+        let sig = AppSignature::new("a", Vec::new());
+        assert!(sig.is_empty());
+        assert_eq!(sig.mean_vec(), MetricVec::zero());
+    }
+}

@@ -1,0 +1,380 @@
+//! The 17 Spark/HiBench best-effort analytics workloads.
+//!
+//! The paper evaluates 17 Spark applications from the HiBench suite with
+//! the small dataset (§IV-A). Each entry below is a synthetic profile
+//! calibrated to the characterization results:
+//!
+//! * isolated remote/local penalties follow Fig. 4 — `nweight` and `lr`
+//!   suffer ≈2×, `gmm`/`pca` stay below 10 %, suite average ≈20 %;
+//! * LLC contention dominates most apps (R6); `nweight`, `sort` and
+//!   `kmeans` additionally show stacking interference on CPU/L2 (R7);
+//! * base runtimes sit in the 30–120 s range typical of HiBench-small.
+
+use crate::profile::{Sensitivity, WorkloadClass, WorkloadProfile};
+
+/// Names of the 17 HiBench-derived applications, in canonical order.
+pub const APP_NAMES: [&str; 17] = [
+    "wordcount",
+    "sort",
+    "terasort",
+    "kmeans",
+    "bayes",
+    "gbt",
+    "lr",
+    "linear",
+    "als",
+    "pca",
+    "gmm",
+    "rf",
+    "svd",
+    "svm",
+    "nweight",
+    "pagerank",
+    "lda",
+];
+
+struct Spec {
+    name: &'static str,
+    runtime_s: f32,
+    cpu: f32,
+    l2_mb: f32,
+    llc_mb: f32,
+    bw_gbps: f32,
+    footprint_gb: f32,
+    sens: Sensitivity,
+    remote_penalty: f32,
+    stacking: bool,
+}
+
+const fn sens(cpu: f32, l2: f32, llc: f32, mem_bw: f32) -> Sensitivity {
+    Sensitivity {
+        cpu,
+        l2,
+        llc,
+        mem_bw,
+    }
+}
+
+/// Calibrated per-application constants (see module docs).
+const SPECS: [Spec; 17] = [
+    Spec {
+        name: "wordcount",
+        runtime_s: 45.0,
+        cpu: 2.0,
+        l2_mb: 1.2,
+        llc_mb: 1.5,
+        bw_gbps: 0.9,
+        footprint_gb: 6.0,
+        sens: sens(0.18, 0.08, 0.42, 0.30),
+        remote_penalty: 1.15,
+        stacking: false,
+    },
+    Spec {
+        name: "sort",
+        runtime_s: 55.0,
+        cpu: 2.0,
+        l2_mb: 1.6,
+        llc_mb: 2.5,
+        bw_gbps: 1.6,
+        footprint_gb: 10.0,
+        sens: sens(0.22, 0.18, 0.55, 0.48),
+        remote_penalty: 1.35,
+        stacking: true,
+    },
+    Spec {
+        name: "terasort",
+        runtime_s: 80.0,
+        cpu: 2.5,
+        l2_mb: 1.5,
+        llc_mb: 2.8,
+        bw_gbps: 1.8,
+        footprint_gb: 12.0,
+        sens: sens(0.20, 0.10, 0.52, 0.50),
+        remote_penalty: 1.22,
+        stacking: false,
+    },
+    Spec {
+        name: "kmeans",
+        runtime_s: 70.0,
+        cpu: 2.5,
+        l2_mb: 1.8,
+        llc_mb: 2.2,
+        bw_gbps: 1.4,
+        footprint_gb: 8.0,
+        sens: sens(0.25, 0.20, 0.50, 0.42),
+        remote_penalty: 1.30,
+        stacking: true,
+    },
+    Spec {
+        name: "bayes",
+        runtime_s: 50.0,
+        cpu: 2.0,
+        l2_mb: 1.0,
+        llc_mb: 1.8,
+        bw_gbps: 1.0,
+        footprint_gb: 7.0,
+        sens: sens(0.15, 0.07, 0.45, 0.32),
+        remote_penalty: 1.12,
+        stacking: false,
+    },
+    Spec {
+        name: "gbt",
+        runtime_s: 95.0,
+        cpu: 3.0,
+        l2_mb: 1.1,
+        llc_mb: 1.2,
+        bw_gbps: 0.7,
+        footprint_gb: 6.0,
+        sens: sens(0.28, 0.06, 0.35, 0.22),
+        remote_penalty: 1.12,
+        stacking: false,
+    },
+    Spec {
+        name: "lr",
+        runtime_s: 60.0,
+        cpu: 2.5,
+        l2_mb: 1.4,
+        llc_mb: 3.0,
+        bw_gbps: 2.2,
+        footprint_gb: 14.0,
+        sens: sens(0.20, 0.10, 0.48, 0.62),
+        remote_penalty: 1.90,
+        stacking: false,
+    },
+    Spec {
+        name: "linear",
+        runtime_s: 65.0,
+        cpu: 2.5,
+        l2_mb: 1.3,
+        llc_mb: 2.5,
+        bw_gbps: 1.9,
+        footprint_gb: 12.0,
+        sens: sens(0.18, 0.09, 0.46, 0.55),
+        remote_penalty: 1.35,
+        stacking: false,
+    },
+    Spec {
+        name: "als",
+        runtime_s: 85.0,
+        cpu: 2.5,
+        l2_mb: 1.2,
+        llc_mb: 1.5,
+        bw_gbps: 0.8,
+        footprint_gb: 7.0,
+        sens: sens(0.24, 0.08, 0.38, 0.26),
+        remote_penalty: 1.10,
+        stacking: false,
+    },
+    Spec {
+        name: "pca",
+        runtime_s: 75.0,
+        cpu: 2.5,
+        l2_mb: 1.0,
+        llc_mb: 1.0,
+        bw_gbps: 0.6,
+        footprint_gb: 5.0,
+        sens: sens(0.26, 0.05, 0.30, 0.18),
+        remote_penalty: 1.08,
+        stacking: false,
+    },
+    Spec {
+        name: "gmm",
+        runtime_s: 90.0,
+        cpu: 3.0,
+        l2_mb: 0.9,
+        llc_mb: 0.9,
+        bw_gbps: 0.5,
+        footprint_gb: 5.0,
+        sens: sens(0.27, 0.05, 0.28, 0.15),
+        remote_penalty: 1.05,
+        stacking: false,
+    },
+    Spec {
+        name: "rf",
+        runtime_s: 100.0,
+        cpu: 3.0,
+        l2_mb: 1.1,
+        llc_mb: 1.4,
+        bw_gbps: 0.7,
+        footprint_gb: 6.0,
+        sens: sens(0.26, 0.07, 0.36, 0.20),
+        remote_penalty: 1.12,
+        stacking: false,
+    },
+    Spec {
+        name: "svd",
+        runtime_s: 70.0,
+        cpu: 2.5,
+        l2_mb: 1.2,
+        llc_mb: 2.0,
+        bw_gbps: 1.2,
+        footprint_gb: 9.0,
+        sens: sens(0.20, 0.09, 0.44, 0.38),
+        remote_penalty: 1.20,
+        stacking: false,
+    },
+    Spec {
+        name: "svm",
+        runtime_s: 60.0,
+        cpu: 2.5,
+        l2_mb: 1.3,
+        llc_mb: 2.1,
+        bw_gbps: 1.1,
+        footprint_gb: 8.0,
+        sens: sens(0.21, 0.10, 0.46, 0.34),
+        remote_penalty: 1.18,
+        stacking: false,
+    },
+    Spec {
+        name: "nweight",
+        runtime_s: 110.0,
+        cpu: 2.5,
+        l2_mb: 2.0,
+        llc_mb: 3.5,
+        bw_gbps: 2.4,
+        footprint_gb: 16.0,
+        sens: sens(0.30, 0.24, 0.58, 0.65),
+        remote_penalty: 2.00,
+        stacking: true,
+    },
+    Spec {
+        name: "pagerank",
+        runtime_s: 90.0,
+        cpu: 2.2,
+        l2_mb: 1.5,
+        llc_mb: 2.8,
+        bw_gbps: 1.7,
+        footprint_gb: 11.0,
+        sens: sens(0.19, 0.11, 0.50, 0.45),
+        remote_penalty: 1.28,
+        stacking: false,
+    },
+    Spec {
+        name: "lda",
+        runtime_s: 105.0,
+        cpu: 2.5,
+        l2_mb: 1.0,
+        llc_mb: 1.1,
+        bw_gbps: 0.6,
+        footprint_gb: 5.0,
+        sens: sens(0.25, 0.06, 0.32, 0.17),
+        remote_penalty: 1.10,
+        stacking: false,
+    },
+];
+
+fn profile_from(spec: &Spec) -> WorkloadProfile {
+    WorkloadProfile::builder(spec.name, WorkloadClass::BestEffort)
+        .base_runtime_s(spec.runtime_s)
+        .cpu_cores(spec.cpu)
+        .l2_mb(spec.l2_mb)
+        .llc_mb(spec.llc_mb)
+        .mem_bw_gbps(spec.bw_gbps)
+        .footprint_gb(spec.footprint_gb)
+        .sensitivity(spec.sens)
+        .remote_penalty(spec.remote_penalty)
+        .stacking(spec.stacking)
+        .build()
+}
+
+/// All 17 BE application profiles, in canonical order.
+///
+/// # Examples
+///
+/// ```
+/// let suite = adrias_workloads::spark::suite();
+/// let mean_penalty: f32 =
+///     suite.iter().map(|w| w.remote_penalty()).sum::<f32>() / suite.len() as f32;
+/// // Suite-average remote degradation ≈ 20 % (Fig. 4).
+/// assert!((1.1..1.4).contains(&mean_penalty));
+/// ```
+pub fn suite() -> Vec<WorkloadProfile> {
+    SPECS.iter().map(profile_from).collect()
+}
+
+/// The profile for one application by name, if it exists.
+pub fn by_name(name: &str) -> Option<WorkloadProfile> {
+    SPECS
+        .iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+        .map(profile_from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_all_seventeen_apps() {
+        let suite = suite();
+        assert_eq!(suite.len(), 17);
+        for name in APP_NAMES {
+            assert!(
+                suite.iter().any(|w| w.name() == name),
+                "missing app {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = SPECS.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 17);
+    }
+
+    #[test]
+    fn remote_penalties_match_fig4_extremes() {
+        assert!(by_name("nweight").unwrap().remote_penalty() >= 1.9);
+        assert!(by_name("lr").unwrap().remote_penalty() >= 1.8);
+        assert!(by_name("gmm").unwrap().remote_penalty() <= 1.10);
+        assert!(by_name("pca").unwrap().remote_penalty() <= 1.10);
+    }
+
+    #[test]
+    fn suite_average_penalty_is_about_twenty_percent() {
+        let suite = suite();
+        let mean: f32 =
+            suite.iter().map(|w| w.remote_penalty()).sum::<f32>() / suite.len() as f32;
+        assert!(
+            (1.12..=1.35).contains(&mean),
+            "suite mean penalty {mean} outside the 20%-ish band"
+        );
+    }
+
+    #[test]
+    fn stacking_apps_match_r7() {
+        for name in ["nweight", "sort", "kmeans"] {
+            assert!(by_name(name).unwrap().stacking(), "{name} should stack");
+        }
+        assert!(!by_name("gmm").unwrap().stacking());
+    }
+
+    #[test]
+    fn llc_sensitivity_dominates_for_most_apps() {
+        let suite = suite();
+        let llc_dominant = suite
+            .iter()
+            .filter(|w| {
+                let s = w.sensitivity();
+                s.llc >= s.cpu && s.llc >= s.l2
+            })
+            .count();
+        assert!(llc_dominant >= 12, "only {llc_dominant} LLC-dominant apps");
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_total() {
+        assert!(by_name("NWEIGHT").is_some());
+        assert!(by_name("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn runtimes_are_hibench_small_scale() {
+        for w in suite() {
+            let rt = w.base_runtime_s();
+            assert!((30.0..=120.0).contains(&rt), "{}: {rt}", w.name());
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # Adrias — interference-aware memory orchestration, reproduced in Rust
+//!
+//! This is the facade crate of a full reproduction of *“Adrias:
+//! Interference-Aware Memory Orchestration for Disaggregated Cloud
+//! Infrastructures”* (HPCA 2023). It re-exports the seven subsystem
+//! crates under stable module names:
+//!
+//! * [`workloads`] — Spark/HiBench BE jobs, Redis/Memcached LC services,
+//!   iBench stressors, arrival processes, application signatures;
+//! * [`sim`] — the ThymesisFlow-like testbed simulator (channel model,
+//!   contention, performance counters);
+//! * [`telemetry`] — the Watcher, metric time series and statistics;
+//! * [`nn`] — the LSTM/MLP deep-learning substrate;
+//! * [`predictor`] — the system-state forecaster and the universal
+//!   performance models;
+//! * [`orchestrator`] — the Adrias policy, the baseline schedulers and
+//!   the deployment engine;
+//! * [`scenarios`] — scenario corpora, trace collection and the
+//!   one-call [`scenarios::train_stack`] offline phase.
+//!
+//! # Examples
+//!
+//! Train a small stack and place one arriving application:
+//!
+//! ```no_run
+//! use adrias::orchestrator::{DecisionContext, Policy};
+//! use adrias::scenarios::{train_stack, StackOptions};
+//! use adrias::workloads::{spark, WorkloadCatalog};
+//!
+//! let catalog = WorkloadCatalog::paper();
+//! let stack = train_stack(&catalog, &StackOptions::quick());
+//! let mut policy = stack.policy(0.8, 5.0);
+//! let app = spark::by_name("gmm").expect("known app");
+//! let mode = policy.decide(&DecisionContext {
+//!     profile: &app,
+//!     history: None, // warm-up: falls back to local
+//!     qos_p99_ms: None,
+//! });
+//! println!("place gmm on {mode}");
+//! ```
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `crates/bench/benches/` for the harnesses regenerating every table
+//! and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use adrias_nn as nn;
+pub use adrias_orchestrator as orchestrator;
+pub use adrias_predictor as predictor;
+pub use adrias_scenarios as scenarios;
+pub use adrias_sim as sim;
+pub use adrias_telemetry as telemetry;
+pub use adrias_workloads as workloads;

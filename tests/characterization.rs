@@ -1,0 +1,201 @@
+//! Cross-crate integration tests reproducing the characterization
+//! remarks R1–R7 of §IV through the public API.
+
+use adrias::orchestrator::engine::{run_isolated, EngineConfig};
+use adrias::sim::{Interconnect, LinkConfig, Testbed, TestbedConfig};
+use adrias::telemetry::Metric;
+use adrias::workloads::{ibench, keyvalue, spark, IbenchKind, MemoryMode};
+
+fn engine() -> EngineConfig {
+    EngineConfig {
+        lc_latency_samples: 4000,
+        ..EngineConfig::default()
+    }
+}
+
+/// R1: the channel's delivered throughput is bounded near 2.5 Gbit/s no
+/// matter how many stressors offer load.
+#[test]
+fn r1_bounded_throughput() {
+    let link = Interconnect::new(LinkConfig::paper());
+    for stressors in [1, 2, 4, 8, 16, 32, 64] {
+        let offered = 0.6 * stressors as f32;
+        let delivered = link.evaluate(offered).delivered_gbps;
+        assert!(delivered <= 2.5 + 1e-3, "{stressors}: {delivered}");
+    }
+}
+
+/// R2: channel latency is flat (~350 cycles) below the knee and roughly
+/// triples (~900 cycles) under saturation.
+#[test]
+fn r2_latency_regimes() {
+    let mut tb = Testbed::new(TestbedConfig::noiseless(), 0);
+    let stressor = ibench::profile(IbenchKind::MemBw);
+    // 2 stressors: low traffic.
+    let ids: Vec<_> = (0..2)
+        .map(|_| tb.deploy_for(stressor.clone(), MemoryMode::Remote, 3600.0))
+        .collect();
+    let low = tb.step().pressure.link_latency_cycles;
+    assert!(low < 450.0, "low-traffic latency {low}");
+    // 24 more: saturated.
+    for _ in 0..24 {
+        tb.deploy_for(stressor.clone(), MemoryMode::Remote, 3600.0);
+    }
+    let high = tb.step().pressure.link_latency_cycles;
+    assert!(high > 800.0, "saturated latency {high}");
+    assert!(high / low > 1.8, "latency should roughly triple: {low} -> {high}");
+    drop(ids);
+}
+
+/// R3: remote-mode traffic appears in the local memory-controller
+/// counters.
+#[test]
+fn r3_remote_traffic_hits_local_counters() {
+    let mut tb = Testbed::new(TestbedConfig::noiseless(), 0);
+    tb.deploy_for(
+        ibench::profile(IbenchKind::MemBw),
+        MemoryMode::Remote,
+        3600.0,
+    );
+    let report = tb.step();
+    assert!(report.sample.get(Metric::MemLoads) > 0.0);
+    assert!(report.sample.get(Metric::MemStores) > 0.0);
+    assert!(report.sample.get(Metric::LinkFlitsRx) > 0.0);
+}
+
+/// R4: LC tail latency is nearly mode-independent in isolation, and BE
+/// degradation is non-uniform across applications.
+#[test]
+fn r4_non_uniform_performance_variation() {
+    // Redis: local ≈ remote in isolation.
+    let (local, _) = run_isolated(
+        TestbedConfig::noiseless(),
+        engine(),
+        keyvalue::redis(),
+        MemoryMode::Local,
+    );
+    let (remote, _) = run_isolated(
+        TestbedConfig::noiseless(),
+        engine(),
+        keyvalue::redis(),
+        MemoryMode::Remote,
+    );
+    let ratio = remote.p99_ms.unwrap() / local.p99_ms.unwrap();
+    assert!((0.9..1.3).contains(&ratio), "redis idle ratio {ratio}");
+
+    // Spark: nweight ≈2× slower remote; gmm nearly unaffected.
+    let mut ratios = Vec::new();
+    for app in ["nweight", "gmm"] {
+        let profile = spark::by_name(app).unwrap();
+        let (l, _) = run_isolated(
+            TestbedConfig::noiseless(),
+            engine(),
+            profile.clone(),
+            MemoryMode::Local,
+        );
+        let (r, _) = run_isolated(
+            TestbedConfig::noiseless(),
+            engine(),
+            profile,
+            MemoryMode::Remote,
+        );
+        ratios.push((r.runtime_s / l.runtime_s) as f32);
+    }
+    assert!(ratios[0] > 1.8, "nweight remote penalty {}", ratios[0]);
+    assert!(ratios[1] < 1.15, "gmm remote penalty {}", ratios[1]);
+}
+
+/// R5: the same interference causes far more damage on remote memory
+/// once the channel saturates.
+#[test]
+fn r5_performance_chasm_under_contention() {
+    let app = spark::by_name("lr").unwrap();
+    let mut runtimes = Vec::new();
+    for mode in MemoryMode::BOTH {
+        let mut tb = Testbed::new(TestbedConfig::noiseless(), 0);
+        for _ in 0..16 {
+            tb.deploy_for(ibench::profile(IbenchKind::MemBw), mode, 36_000.0);
+        }
+        let id = tb.deploy(app.clone(), mode);
+        let mut runtime = None;
+        for _ in 0..20_000 {
+            let report = tb.step();
+            if let Some(done) = report.finished.iter().find(|c| c.id == id) {
+                runtime = Some(done.runtime_s);
+                break;
+            }
+        }
+        runtimes.push(runtime.expect("app finishes"));
+    }
+    let gap = (runtimes[1] / runtimes[0]) as f32;
+    assert!(
+        gap > 1.5 * app.remote_penalty(),
+        "contended remote/local gap {gap} vs isolated penalty {}",
+        app.remote_penalty()
+    );
+}
+
+/// R6: LLC contention is the worst local-mode interference for
+/// cache-heavy Spark apps; memBw dominates for the in-memory stores.
+#[test]
+fn r6_llc_vitality() {
+    let app = spark::by_name("pagerank").unwrap();
+    let mut runtimes = Vec::new();
+    for kind in [IbenchKind::Cpu, IbenchKind::L2, IbenchKind::Llc] {
+        let mut tb = Testbed::new(TestbedConfig::noiseless(), 0);
+        for _ in 0..16 {
+            tb.deploy_for(ibench::profile(kind), MemoryMode::Local, 36_000.0);
+        }
+        let id = tb.deploy(app.clone(), MemoryMode::Local);
+        let mut runtime = None;
+        for _ in 0..20_000 {
+            let report = tb.step();
+            if let Some(done) = report.finished.iter().find(|c| c.id == id) {
+                runtime = Some(done.runtime_s);
+                break;
+            }
+        }
+        runtimes.push(runtime.expect("finishes"));
+    }
+    let llc = runtimes[2];
+    assert!(
+        llc > runtimes[0] && llc > runtimes[1],
+        "LLC contention should dominate: cpu={} l2={} llc={}",
+        runtimes[0],
+        runtimes[1],
+        runtimes[2]
+    );
+}
+
+/// R7: stacking applications lose more on remote under CPU/L2 pressure
+/// than non-stacking ones.
+#[test]
+fn r7_stacking_interference() {
+    let gap_of = |name: &str| {
+        let app = spark::by_name(name).unwrap();
+        let mut per_mode = Vec::new();
+        for mode in MemoryMode::BOTH {
+            let mut tb = Testbed::new(TestbedConfig::noiseless(), 0);
+            for _ in 0..90 {
+                tb.deploy_for(ibench::profile(IbenchKind::Cpu), MemoryMode::Local, 36_000.0);
+            }
+            let id = tb.deploy(app.clone(), mode);
+            let mut runtime = None;
+            for _ in 0..20_000 {
+                let report = tb.step();
+                if let Some(done) = report.finished.iter().find(|c| c.id == id) {
+                    runtime = Some(done.runtime_s);
+                    break;
+                }
+            }
+            per_mode.push(runtime.expect("finishes"));
+        }
+        (per_mode[1] / per_mode[0]) as f32 / app.remote_penalty()
+    };
+    let stacker = gap_of("kmeans");
+    let plain = gap_of("terasort");
+    assert!(
+        stacker > plain,
+        "kmeans (stacking) normalized gap {stacker} should exceed terasort {plain}"
+    );
+}
