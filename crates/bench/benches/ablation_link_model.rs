@@ -59,27 +59,45 @@ fn main() {
         latency_step_at(base)
     );
 
-    println!("{:>26} {:>10} {:>18}", "parameter", "value", "latency step [n]");
+    println!(
+        "{:>26} {:>10} {:>18}",
+        "parameter", "value", "latency step [n]"
+    );
     for knee in [1.1f32, 1.3, 1.5, 1.7, 2.0] {
         let cfg = LinkConfig {
             latency_knee_utilization: knee,
             ..base
         };
-        println!("{:>26} {:>10.2} {:>18}", "knee utilization", knee, latency_step_at(cfg));
+        println!(
+            "{:>26} {:>10.2} {:>18}",
+            "knee utilization",
+            knee,
+            latency_step_at(cfg)
+        );
     }
     for steep in [3.0f32, 4.5, 6.0, 8.0, 12.0] {
         let cfg = LinkConfig {
             latency_knee_steepness: steep,
             ..base
         };
-        println!("{:>26} {:>10.2} {:>18}", "knee steepness", steep, latency_step_at(cfg));
+        println!(
+            "{:>26} {:>10.2} {:>18}",
+            "knee steepness",
+            steep,
+            latency_step_at(cfg)
+        );
     }
     for factor in [0.2f32, 0.25, 0.3, 0.35, 0.4] {
         let cfg = LinkConfig {
             link_demand_factor: factor,
             ..base
         };
-        println!("{:>26} {:>10.2} {:>18}", "link demand factor", factor, latency_step_at(cfg));
+        println!(
+            "{:>26} {:>10.2} {:>18}",
+            "link demand factor",
+            factor,
+            latency_step_at(cfg)
+        );
     }
     println!("\nmeasured: the step stays between 5 and 10 stressors across the");
     println!("whole neighbourhood — the R2 regime change is structural.");

@@ -2,10 +2,10 @@
 //! curves should nearly coincide (R4).
 
 use adrias_bench::banner;
+use adrias_core::rng::SeedableRng;
+use adrias_core::rng::Xoshiro256pp;
 use adrias_workloads::keyvalue::{self, tail_latency};
 use adrias_workloads::{LatencyEnv, LoadSpec, MemoryMode};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     banner(
@@ -14,7 +14,7 @@ fn main() {
         "local and remote provide almost identical tail-latency curves \
          across all load levels (R4)",
     );
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = Xoshiro256pp::seed_from_u64(3);
     for profile in [keyvalue::redis(), keyvalue::memcached()] {
         println!("\n--- {} ---", profile.name());
         println!(

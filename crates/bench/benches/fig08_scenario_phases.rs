@@ -19,7 +19,11 @@ fn main() {
          different congestion phases (paper: up to 35 concurrent apps)",
     );
     let catalog = WorkloadCatalog::paper();
-    for (label, max_gap, seed) in [("heavy {5,20}", 20.0, 81u64), ("moderate {5,40}", 40.0, 82), ("relaxed {5,60}", 60.0, 83)] {
+    for (label, max_gap, seed) in [
+        ("heavy {5,20}", 20.0, 81u64),
+        ("moderate {5,40}", 40.0, 82),
+        ("relaxed {5,60}", 60.0, 83),
+    ] {
         let spec = ScenarioSpec::new(5.0, max_gap, 1800.0, seed);
         let schedule = build_schedule(&spec, &catalog, PlacementStyle::RandomForced);
 
@@ -37,7 +41,7 @@ fn main() {
             }
             tb.step();
             concurrent.push(tb.resident_count() as f32);
-            if (tb.time_s() as usize) % 300 == 0 {
+            if (tb.time_s() as usize).is_multiple_of(300) {
                 timeline.push(tb.resident_count());
             }
         }

@@ -28,7 +28,11 @@ fn main() {
         threads(),
     );
     let records = bundle.perf_records(WorkloadClass::BestEffort);
-    println!("({} BE deployments over {} scenarios)\n", records.len(), corpus.len());
+    println!(
+        "({} BE deployments over {} scenarios)\n",
+        records.len(),
+        corpus.len()
+    );
     println!(
         "{:>10} {:>6} {:>24} {:>24} {:>8}",
         "app", "n", "local med [p25,p75] s", "remote med [p25,p75] s", "rem/loc"
@@ -66,10 +70,6 @@ fn main() {
             ratio
         );
     }
-    println!(
-        "\nmeasured: gmm median rem/loc {overlap_gmm:.2} (paper: overlapping, ~1.0x);"
-    );
-    println!(
-        "nweight median rem/loc {sep_nweight:.2} (paper: clearly separated, ~2x)."
-    );
+    println!("\nmeasured: gmm median rem/loc {overlap_gmm:.2} (paper: overlapping, ~1.0x);");
+    println!("nweight median rem/loc {sep_nweight:.2} (paper: clearly separated, ~2x).");
 }

@@ -41,7 +41,11 @@ fn main() {
             println!(
                 "(a) {mode:<7} R² = {:.3}  (paper: {})",
                 stats::r2_score(&truth, &pred),
-                if mode == MemoryMode::Local { "0.945" } else { "0.939" }
+                if mode == MemoryMode::Local {
+                    "0.945"
+                } else {
+                    "0.939"
+                }
             );
         }
     }
@@ -67,7 +71,11 @@ fn main() {
     for cell in &cells {
         println!(
             "{:>16} {:>10.3}",
-            format!("{{{},{}}}", cell.train_source.label(), cell.test_source.label()),
+            format!(
+                "{{{},{}}}",
+                cell.train_source.label(),
+                cell.test_source.label()
+            ),
             cell.report.r2
         );
     }
@@ -81,7 +89,10 @@ fn main() {
         runtime_report.r2
     );
     println!("\n(c) MAE per application [s]:");
-    println!("{:>10} {:>8} {:>10} {:>12}", "app", "n", "MAE", "median perf");
+    println!(
+        "{:>10} {:>8} {:>10} {:>12}",
+        "app", "n", "MAE", "median perf"
+    );
     for (app, r) in stack.be_model.evaluate_per_app(&test, &rt_test_hats) {
         let med: Vec<f32> = r.pairs.iter().map(|(t, _)| *t).collect();
         println!(

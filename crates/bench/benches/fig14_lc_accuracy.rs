@@ -26,7 +26,10 @@ fn main() {
         report.mae,
         report.len()
     );
-    println!("{:>12} {:>6} {:>10} {:>14}", "app", "n", "MAE [ms]", "median p99");
+    println!(
+        "{:>12} {:>6} {:>10} {:>14}",
+        "app", "n", "MAE [ms]", "median p99"
+    );
     for (app, r) in stack.lc_model.evaluate_per_app(&test, &hats) {
         let med: Vec<f32> = r.pairs.iter().map(|(t, _)| *t).collect();
         println!(

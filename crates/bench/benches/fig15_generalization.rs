@@ -64,8 +64,8 @@ fn main() {
         println!("{:>10} {:>8} {:>10.3}", c.app, c.report.len(), c.report.r2);
     }
     println!(
-        "\nmeasured: best {} ({:.2}), worst {} ({:.2}) — paper: 0.72 (gbt) vs 0.30;"
-        , best.0, best.1, worst.0, worst.1
+        "\nmeasured: best {} ({:.2}), worst {} ({:.2}) — paper: 0.72 (gbt) vs 0.30;",
+        best.0, best.1, worst.0, worst.1
     );
     println!("the spread confirms that unseen apps need signature capture + retraining.\n");
 

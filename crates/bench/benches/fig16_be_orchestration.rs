@@ -52,13 +52,10 @@ fn main() {
     for o in &outcomes {
         let runtimes = o.all_be_runtimes();
         let med = stats::median(&runtimes);
-        let (l, r) = o
-            .reports
-            .iter()
-            .fold((0usize, 0usize), |(al, ar), rep| {
-                let (x, y) = rep.placement_counts();
-                (al + x, ar + y)
-            });
+        let (l, r) = o.reports.iter().fold((0usize, 0usize), |(al, ar), rep| {
+            let (x, y) = rep.placement_counts();
+            (al + x, ar + y)
+        });
         println!(
             "{:<16} {:>24} {:>9.1}% {:>+11.1}% {:>12}",
             o.policy,

@@ -1,22 +1,22 @@
-//! Criterion micro-benchmarks for the hot paths: simulator stepping,
-//! LSTM training/inference and the full Adrias scheduling decision.
+//! Micro-benchmarks for the hot paths: simulator stepping, LSTM
+//! training/inference and the full Adrias scheduling decision. Runs on
+//! the in-tree `adrias_core::bench` harness (median/p95 wall-clock).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use adrias_core::bench::{black_box, Harness};
+use adrias_core::rng::{SeedableRng, Xoshiro256pp};
 
 use adrias_nn::{Lstm, Tensor};
 use adrias_sim::{Testbed, TestbedConfig};
 use adrias_telemetry::{Metric, MetricVec};
 use adrias_workloads::{spark, MemoryMode, WorkloadCatalog};
 
-fn bench_sim_step(c: &mut Criterion) {
-    c.bench_function("testbed_step_20_apps", |b| {
+fn bench_sim_step(h: &mut Harness) {
+    h.bench_function("testbed_step_20_apps", |b| {
         b.iter_batched(
             || {
                 let mut tb = Testbed::new(TestbedConfig::paper(), 1);
                 let catalog = WorkloadCatalog::paper();
-                let mut rng = StdRng::seed_from_u64(5);
+                let mut rng = Xoshiro256pp::seed_from_u64(5);
                 for i in 0..20 {
                     let w = catalog.pick(&mut rng).clone();
                     let mode = if i % 2 == 0 {
@@ -30,33 +30,32 @@ fn bench_sim_step(c: &mut Criterion) {
             },
             |mut tb| {
                 for _ in 0..100 {
-                    criterion::black_box(tb.step());
+                    black_box(tb.step());
                 }
             },
-            BatchSize::SmallInput,
         )
     });
 }
 
-fn bench_lstm(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(2);
+fn bench_lstm(h: &mut Harness) {
+    let mut rng = Xoshiro256pp::seed_from_u64(2);
     let mut lstm = Lstm::new(7, 32, &mut rng);
     let seq: Vec<Tensor> = (0..24)
         .map(|_| adrias_nn::init::uniform(32, 7, 1.0, &mut rng))
         .collect();
-    c.bench_function("lstm_forward_b32_t24_h32", |b| {
-        b.iter(|| criterion::black_box(lstm.forward_last(&seq)))
+    h.bench_function("lstm_forward_b32_t24_h32", |b| {
+        b.iter(|| black_box(lstm.forward_last(&seq)))
     });
-    c.bench_function("lstm_forward_backward_b32_t24_h32", |b| {
+    h.bench_function("lstm_forward_backward_b32_t24_h32", |b| {
         b.iter(|| {
-            let h = lstm.forward_last(&seq);
+            let out = lstm.forward_last(&seq);
             lstm.zero_grad();
-            criterion::black_box(lstm.backward_last(&h));
+            black_box(lstm.backward_last(&out));
         })
     });
 }
 
-fn bench_decision(c: &mut Criterion) {
+fn bench_decision(h: &mut Harness) {
     use adrias_orchestrator::{DecisionContext, Policy};
     use adrias_scenarios::{train_stack, StackOptions};
 
@@ -72,17 +71,21 @@ fn bench_decision(c: &mut Criterion) {
             v
         })
         .collect();
-    c.bench_function("adrias_decision", |b| {
+    h.bench_function("adrias_decision", |b| {
         b.iter(|| {
             let ctx = DecisionContext {
                 profile: &app,
                 history: Some(&history),
                 qos_p99_ms: Some(5.0),
             };
-            criterion::black_box(policy.decide(&ctx))
+            black_box(policy.decide(&ctx))
         })
     });
 }
 
-criterion_group!(benches, bench_sim_step, bench_lstm, bench_decision);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("micro");
+    bench_sim_step(&mut h);
+    bench_lstm(&mut h);
+    bench_decision(&mut h);
+}

@@ -46,5 +46,8 @@ fn main() {
         0.9932,
         sum / per_metric.len() as f32
     );
-    println!("\noverall (normalized space across all events): R² = {:.4}", overall.r2);
+    println!(
+        "\noverall (normalized space across all events): R² = {:.4}",
+        overall.r2
+    );
 }

@@ -27,6 +27,7 @@ use adrias_workloads::{MemoryMode, WorkloadCatalog};
 
 /// A single type unifying all compared schedulers, so the benches can
 /// return them from one `make_policy` closure.
+#[allow(clippy::large_enum_variant)]
 pub enum ComparedPolicy {
     /// The deep-learning-driven Adrias policy.
     Adrias(Box<AdriasPolicy>),

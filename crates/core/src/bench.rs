@@ -1,0 +1,230 @@
+//! Lightweight wall-clock benchmark harness.
+//!
+//! Replaces the external `criterion` dependency for the workspace's
+//! micro-benchmarks: each benchmark is warmed up, then timed over a
+//! fixed number of sample windows, and the median / p95 per-iteration
+//! times are printed. No statistics engine, no plots — just numbers
+//! that are comparable run-to-run on the same machine.
+//!
+//! Environment knobs: `ADRIAS_BENCH_SAMPLES` (default 30 windows) and
+//! `ADRIAS_BENCH_WARMUP_MS` (default 200 ms per benchmark).
+//!
+//! ```no_run
+//! use adrias_core::bench::{black_box, Harness};
+//!
+//! let mut h = Harness::new("micro");
+//! h.bench_function("sum_1k", |b| {
+//!     b.iter(|| (0..1000u64).map(black_box).sum::<u64>())
+//! });
+//! ```
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed sample windows (`ADRIAS_BENCH_SAMPLES`, default 30).
+fn sample_count() -> usize {
+    std::env::var("ADRIAS_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30)
+        .max(2)
+}
+
+/// Warm-up budget per benchmark (`ADRIAS_BENCH_WARMUP_MS`, default 200).
+fn warmup_budget() -> Duration {
+    Duration::from_millis(
+        std::env::var("ADRIAS_BENCH_WARMUP_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200),
+    )
+}
+
+/// Summary statistics of one benchmark, nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchReport {
+    /// Median over sample windows.
+    pub median_ns: f64,
+    /// 95th percentile over sample windows.
+    pub p95_ns: f64,
+    /// Total timed iterations.
+    pub iterations: u64,
+}
+
+/// Passed to the measured closure; collects timing samples.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Self {
+            samples_ns: Vec::new(),
+            iterations: 0,
+        }
+    }
+
+    /// Times `routine` directly: warm-up, then `sample_count()` windows
+    /// whose per-iteration cost is recorded. The routine's output is
+    /// passed through [`black_box`] so it is never optimized away.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up while estimating the per-call cost.
+        let budget = warmup_budget();
+        let warm_start = Instant::now();
+        let mut calls: u64 = 0;
+        while warm_start.elapsed() < budget {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / calls.max(1) as f64;
+        // Size each window to ≥ ~1 ms so timer resolution is negligible.
+        let per_window = ((1e-3 / per_call.max(1e-9)) as u64).clamp(1, 1_000_000);
+        for _ in 0..sample_count() {
+            let t0 = Instant::now();
+            for _ in 0..per_window {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed().as_secs_f64();
+            self.samples_ns.push(elapsed * 1e9 / per_window as f64);
+            self.iterations += per_window;
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement. Each window is a single call, so
+    /// this suits routines that are ≥ microseconds.
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        let budget = warmup_budget();
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < budget {
+            black_box(routine(setup()));
+        }
+        for _ in 0..sample_count() {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples_ns.push(t0.elapsed().as_secs_f64() * 1e9);
+            self.iterations += 1;
+        }
+    }
+
+    fn report(mut self) -> BenchReport {
+        assert!(
+            !self.samples_ns.is_empty(),
+            "benchmark closure never called iter/iter_batched"
+        );
+        self.samples_ns
+            .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let n = self.samples_ns.len();
+        let median_ns = self.samples_ns[n / 2];
+        let p95_ns = self.samples_ns[((n as f64 * 0.95) as usize).min(n - 1)];
+        BenchReport {
+            median_ns,
+            p95_ns,
+            iterations: self.iterations,
+        }
+    }
+}
+
+/// A named group of benchmarks; prints one line per benchmark.
+pub struct Harness {
+    group: String,
+    reports: Vec<(String, BenchReport)>,
+}
+
+impl Harness {
+    /// Creates a harness and prints the group header.
+    pub fn new(group: &str) -> Self {
+        println!("bench group: {group}");
+        Self {
+            group: group.to_owned(),
+            reports: Vec::new(),
+        }
+    }
+
+    /// Runs one benchmark and prints its median / p95.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        let report = b.report();
+        println!(
+            "  {name:<40} median {:>12} p95 {:>12} ({} iters)",
+            fmt_ns(report.median_ns),
+            fmt_ns(report.p95_ns),
+            report.iterations
+        );
+        self.reports.push((name.to_owned(), report));
+        self
+    }
+
+    /// All collected reports, in execution order.
+    pub fn reports(&self) -> &[(String, BenchReport)] {
+        &self.reports
+    }
+
+    /// The group name.
+    pub fn group(&self) -> &str {
+        &self.group
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_env() {
+        // Keep unit tests quick regardless of ambient configuration.
+        std::env::set_var("ADRIAS_BENCH_SAMPLES", "3");
+        std::env::set_var("ADRIAS_BENCH_WARMUP_MS", "1");
+    }
+
+    #[test]
+    fn iter_produces_positive_timings() {
+        fast_env();
+        let mut h = Harness::new("test");
+        h.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let (_, r) = &h.reports()[0];
+        assert!(r.median_ns > 0.0);
+        assert!(r.p95_ns >= r.median_ns);
+        assert!(r.iterations > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        fast_env();
+        let mut h = Harness::new("test");
+        h.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 1024],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            )
+        });
+        assert_eq!(h.reports().len(), 1);
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2e9).ends_with('s'));
+    }
+}

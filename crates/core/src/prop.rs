@@ -1,0 +1,511 @@
+//! Minimal in-tree property-testing harness.
+//!
+//! Replaces the external `proptest` dependency with a deterministic,
+//! seed-reporting engine built on the workspace PRNG:
+//!
+//! * every test derives its base seed from its own name (stable across
+//!   runs and platforms), overridable with `ADRIAS_PROP_SEED`;
+//! * the number of generated cases defaults to 64, overridable with
+//!   `ADRIAS_PROP_CASES`;
+//! * on failure the input is shrunk by repeated halving toward the
+//!   range origin (numbers) / toward shorter vectors, and the panic
+//!   message reports the minimal input plus the seed to replay it.
+//!
+//! ```
+//! adrias_core::proptest! {
+//!     fn addition_commutes(a in -1e3f32..1e3, b in -1e3f32..1e3) {
+//!         adrias_core::prop_assert!((a + b - (b + a)).abs() < 1e-6);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+
+use core::fmt;
+use core::ops::{Range, RangeInclusive};
+
+use crate::rng::{Rng, SeedableRng, Xoshiro256pp};
+
+/// A falsified property: the assertion message plus source location.
+#[derive(Debug, Clone)]
+pub struct PropFail {
+    message: String,
+    file: &'static str,
+    line: u32,
+}
+
+impl PropFail {
+    /// Builds a failure record (used by the `prop_assert!` macros).
+    pub fn new(message: String, file: &'static str, line: u32) -> Self {
+        Self {
+            message,
+            file,
+            line,
+        }
+    }
+}
+
+impl fmt::Display for PropFail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}:{}", self.message, self.file, self.line)
+    }
+}
+
+/// Something that can generate (and shrink) random values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut Xoshiro256pp) -> Self::Value;
+
+    /// Proposes strictly "smaller" candidate values, best first.
+    /// Returning an empty vector ends shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Xoshiro256pp) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let origin: $t = if self.start <= 0 as $t && 0 as $t < self.end {
+                    0 as $t
+                } else {
+                    self.start
+                };
+                let mut out = Vec::new();
+                if *value != origin {
+                    out.push(origin);
+                    let half = *value - (*value - origin) / 2;
+                    if half != *value && half != origin {
+                        out.push(half);
+                    }
+                }
+                out
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Xoshiro256pp) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let origin: $t = if *self.start() <= 0 as $t && 0 as $t <= *self.end() {
+                    0 as $t
+                } else {
+                    *self.start()
+                };
+                let mut out = Vec::new();
+                if *value != origin {
+                    out.push(origin);
+                    let half = *value - (*value - origin) / 2;
+                    if half != *value && half != origin {
+                        out.push(half);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Xoshiro256pp) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let origin: $t = if self.start <= 0.0 && 0.0 < self.end {
+                    0.0
+                } else {
+                    self.start
+                };
+                let mut out = Vec::new();
+                if (*value - origin).abs() > <$t>::EPSILON {
+                    out.push(origin);
+                    let half = origin + (*value - origin) / 2.0;
+                    if half != *value {
+                        out.push(half);
+                    }
+                }
+                out
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Xoshiro256pp) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                let origin: $t = if lo <= 0.0 && 0.0 <= hi { 0.0 } else { lo };
+                let mut out = Vec::new();
+                if (*value - origin).abs() > <$t>::EPSILON {
+                    out.push(origin);
+                    let half = origin + (*value - origin) / 2.0;
+                    if half != *value {
+                        out.push(half);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// Length specification for [`collection::vec`]: an exact `usize`, a
+/// half-open `lo..hi`, or an inclusive `lo..=hi`.
+#[derive(Debug, Clone, Copy)]
+pub struct LenRange {
+    lo: usize,
+    /// Exclusive upper bound.
+    hi: usize,
+}
+
+/// Conversion into [`LenRange`] (mirrors proptest's `Into<SizeRange>`).
+pub trait IntoLenRange {
+    /// The equivalent length range.
+    fn into_len_range(self) -> LenRange;
+}
+
+impl IntoLenRange for usize {
+    fn into_len_range(self) -> LenRange {
+        LenRange {
+            lo: self,
+            hi: self + 1,
+        }
+    }
+}
+
+impl IntoLenRange for Range<usize> {
+    fn into_len_range(self) -> LenRange {
+        assert!(self.start < self.end, "empty length range");
+        LenRange {
+            lo: self.start,
+            hi: self.end,
+        }
+    }
+}
+
+impl IntoLenRange for RangeInclusive<usize> {
+    fn into_len_range(self) -> LenRange {
+        assert!(self.start() <= self.end(), "empty length range");
+        LenRange {
+            lo: *self.start(),
+            hi: *self.end() + 1,
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of values from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    len: LenRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> Self::Value {
+        let len = rng.gen_range(self.len.lo..self.len.hi);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        // Halve the length first (toward the minimum), then drop one
+        // element, then shrink the first shrinkable element.
+        let half_len = self.len.lo.max(value.len() / 2);
+        if half_len < value.len() {
+            out.push(value[..half_len].to_vec());
+        }
+        if value.len() > self.len.lo {
+            out.push(value[..value.len() - 1].to_vec());
+        }
+        for (i, v) in value.iter().enumerate() {
+            if let Some(c) = self.elem.shrink(v).into_iter().next() {
+                let mut cand = value.clone();
+                cand[i] = c;
+                out.push(cand);
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// Collection strategies, namespaced like proptest's `prop::collection`.
+pub mod collection {
+    use super::{IntoLenRange, Strategy, VecStrategy};
+
+    /// `Vec` strategy: `len` elements drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: impl IntoLenRange) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            len: len.into_len_range(),
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident . $i:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut Xoshiro256pp) -> Self::Value {
+                ($( self.$i.generate(rng), )+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for c in self.$i.shrink(&value.$i) {
+                        let mut cand = value.clone();
+                        cand.$i = c;
+                        out.push(cand);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0.0);
+impl_tuple_strategy!(S0.0, S1.1);
+impl_tuple_strategy!(S0.0, S1.1, S2.2);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+
+/// Number of generated cases per property (`ADRIAS_PROP_CASES`,
+/// default 64).
+pub fn case_count() -> u64 {
+    std::env::var("ADRIAS_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// FNV-1a, used to derive a stable per-test base seed from its name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Base seed for one property (`ADRIAS_PROP_SEED` as decimal or
+/// `0x`-hex overrides the name-derived default).
+pub fn base_seed(name: &str) -> u64 {
+    if let Ok(v) = std::env::var("ADRIAS_PROP_SEED") {
+        let parsed = if let Some(hex) = v.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            v.parse().ok()
+        };
+        if let Some(seed) = parsed {
+            return seed;
+        }
+    }
+    fnv1a(name.as_bytes())
+}
+
+const MAX_SHRINK_STEPS: usize = 512;
+
+/// Drives one property: generates `case_count()` inputs, checks each,
+/// and on failure shrinks the input before panicking with the minimal
+/// counterexample and replay seed. Used via the [`crate::proptest!`]
+/// macro rather than directly.
+pub fn run<S, F>(name: &str, strat: &S, check: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), PropFail>,
+{
+    let cases = case_count();
+    let base = base_seed(name);
+    for case in 0..cases {
+        // Per-case stream: decorrelate cases while staying replayable.
+        let mut rng = Xoshiro256pp::seed_from_u64(base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let value = strat.generate(&mut rng);
+        if let Err(first_fail) = check(value.clone()) {
+            let mut best = value;
+            let mut best_fail = first_fail;
+            let mut steps = 0;
+            'outer: while steps < MAX_SHRINK_STEPS {
+                for cand in strat.shrink(&best) {
+                    if let Err(f) = check(cand.clone()) {
+                        best = cand;
+                        best_fail = f;
+                        steps += 1;
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+            panic!(
+                "property `{name}` falsified on case {case}/{cases} (base seed {base:#x})\n  \
+                 minimal input after {steps} shrink step(s): {best:?}\n  {best_fail}\n  \
+                 replay with ADRIAS_PROP_SEED={base:#x} ADRIAS_PROP_CASES={cases}",
+            );
+        }
+    }
+}
+
+/// Everything a property-test file needs: the macros plus the `prop`
+/// module path (`prop::collection::vec(...)`).
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines property tests.
+///
+/// Syntax mirrors the proptest macro this replaces:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn my_prop(x in 0.0f32..1.0, n in 1usize..10) {
+///         prop_assert!(x < n as f32 + 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let strategy = ($($strat,)+);
+            $crate::prop::run(stringify!($name), &strategy, |($($pat,)+)| {
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+/// Fails the enclosing property when `cond` is false (early-returns a
+/// [`PropFail`](crate::prop::PropFail) so shrinking can kick in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::prop::PropFail::new(
+                ::std::format!($($fmt)+),
+                ::core::file!(),
+                ::core::line!(),
+            ));
+        }
+    };
+}
+
+/// Equality flavour of [`prop_assert!`] with `{:?}` diagnostics.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n  right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    crate::proptest! {
+        #[test]
+        fn floats_stay_in_range(x in -5.0f32..5.0) {
+            crate::prop_assert!((-5.0..5.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_lengths_respected(xs in collection::vec(0u64..100, 3..17)) {
+            crate::prop_assert!((3..17).contains(&xs.len()));
+            crate::prop_assert!(xs.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn tuples_generate_independently(a in 0usize..10, b in 0usize..10, c in 0usize..10) {
+            crate::prop_assert!(a < 10 && b < 10 && c < 10);
+        }
+
+        #[test]
+        fn mut_bindings_work(mut xs in collection::vec(0i32..5, 1..6)) {
+            xs.push(0);
+            crate::prop_assert!(!xs.is_empty());
+        }
+    }
+
+    #[test]
+    fn shrinking_finds_small_counterexample() {
+        // The property `x < 50` fails for large x; shrinking should
+        // drive the reported counterexample close to the boundary…
+        // here we just check the panic fires and mentions a seed.
+        let result = std::panic::catch_unwind(|| {
+            run("shrink_demo", &(0u64..1000,), |(x,)| {
+                if x >= 50 {
+                    Err(PropFail::new(format!("{x} too big"), file!(), line!()))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let err = result.expect_err("property must be falsified");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("falsified"), "{msg}");
+        assert!(msg.contains("ADRIAS_PROP_SEED"), "{msg}");
+        // Shrink-by-halving lands within [50, 100): halving from any
+        // failing x cannot overshoot below the boundary, and any value
+        // ≥ 100 would have been halved again.
+        let minimal: u64 = msg
+            .split("shrink step(s): (")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("panic message should contain the minimal tuple");
+        assert!((50..100).contains(&minimal), "minimal {minimal}: {msg}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let strat = collection::vec(0.0f64..1.0, 4..9);
+        let mut r1 = Xoshiro256pp::seed_from_u64(base_seed("det"));
+        let mut r2 = Xoshiro256pp::seed_from_u64(base_seed("det"));
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+}

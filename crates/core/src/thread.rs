@@ -1,0 +1,89 @@
+//! Scoped-thread shim over `std::thread::scope`.
+//!
+//! The workspace used to pull `crossbeam` for scoped threads; since
+//! Rust 1.63 the standard library provides them natively. This module
+//! re-exports the std primitives under a stable local path and adds
+//! [`map_chunks`], the fork-join shape every parallel runner in the
+//! repository actually uses: split a slice into `threads` contiguous
+//! chunks, map each chunk on its own worker, and concatenate results
+//! in chunk order so parallel and sequential runs agree bit-for-bit.
+
+pub use std::thread::{scope, Scope, ScopedJoinHandle};
+
+/// Maps `f` over contiguous chunks of `items` on up to `threads`
+/// scoped workers and flattens the per-chunk outputs **in chunk
+/// order** (deterministic regardless of worker interleaving).
+///
+/// `f` receives one chunk and returns the mapped vector for it; it
+/// runs once per chunk, so per-worker state (policies, RNGs) can be
+/// created inside the closure.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or any worker panics.
+pub fn map_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> Vec<R> + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    if items.is_empty() {
+        return Vec::new();
+    }
+    scope(|s| {
+        let chunk_len = items.len().div_ceil(threads);
+        let handles: Vec<ScopedJoinHandle<'_, Vec<R>>> = items
+            .chunks(chunk_len)
+            .map(|chunk| s.spawn(|| f(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("scoped worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_chunks_preserves_order() {
+        let items: Vec<u32> = (0..103).collect();
+        let doubled = map_chunks(&items, 4, |chunk| chunk.iter().map(|x| x * 2).collect());
+        let expect: Vec<u32> = items.iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, expect);
+    }
+
+    #[test]
+    fn map_chunks_parallel_matches_sequential() {
+        let items: Vec<u64> = (0..57).collect();
+        let seq = map_chunks(&items, 1, |c| c.iter().map(|x| x * x).collect());
+        let par = map_chunks(&items, 8, |c| c.iter().map(|x| x * x).collect());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn map_chunks_handles_more_threads_than_items() {
+        let items = [1, 2, 3];
+        let out = map_chunks(&items, 16, |c| c.to_vec());
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn map_chunks_empty_input() {
+        let items: [u8; 0] = [];
+        let out: Vec<u8> = map_chunks(&items, 4, |c| c.to_vec());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scope_reexport_joins_workers() {
+        let total: u64 = scope(|s| {
+            let handles: Vec<_> = (0..4u64).map(|i| s.spawn(move || i * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, 60);
+    }
+}

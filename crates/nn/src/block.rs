@@ -6,7 +6,7 @@
 //! layers to expose non-linearity and avoid overfit" (§V-B2). This module
 //! packages one such block.
 
-use rand::Rng;
+use adrias_core::rng::Rng;
 
 use crate::layer::{BatchNorm1d, Dropout, Layer, Linear, Relu};
 use crate::tensor::Tensor;
@@ -17,9 +17,9 @@ use crate::tensor::Tensor;
 ///
 /// ```
 /// use adrias_nn::{Layer, NonLinearBlock, Tensor};
-/// use rand::SeedableRng;
+/// use adrias_core::rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = adrias_core::rng::Xoshiro256pp::seed_from_u64(0);
 /// let mut block = NonLinearBlock::new(8, 16, 0.1, &mut rng);
 /// let x = Tensor::zeros(4, 8);
 /// assert_eq!(block.forward(&x, true).shape(), (4, 16));
@@ -86,12 +86,12 @@ impl Layer for NonLinearBlock {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use adrias_core::rng::SeedableRng;
+    use adrias_core::rng::Xoshiro256pp;
 
     #[test]
     fn forward_backward_shapes() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
         let mut block = NonLinearBlock::new(5, 7, 0.2, &mut rng);
         let x = crate::init::uniform(3, 5, 1.0, &mut rng);
         let y = block.forward(&x, true);
@@ -102,7 +102,7 @@ mod tests {
 
     #[test]
     fn eval_mode_is_deterministic() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
         let mut block = NonLinearBlock::new(4, 4, 0.5, &mut rng);
         let x = crate::init::uniform(2, 4, 1.0, &mut rng);
         let a = block.forward(&x, false);
@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn has_linear_and_norm_params() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
         let mut block = NonLinearBlock::new(4, 4, 0.1, &mut rng);
         let mut count = 0;
         block.visit_params(&mut |_, _| count += 1);
@@ -127,7 +127,7 @@ mod tests {
         use crate::layer::Sequential;
         use crate::loss::MseLoss;
 
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let mut net = Sequential::new(vec![
             Box::new(NonLinearBlock::new(2, 16, 0.05, &mut rng)),
             Box::new(Linear::new(16, 1, &mut rng)),

@@ -1,6 +1,6 @@
 //! Weight initialization.
 
-use rand::Rng;
+use adrias_core::rng::Rng;
 
 use crate::tensor::Tensor;
 
@@ -10,8 +10,8 @@ use crate::tensor::Tensor;
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// use adrias_core::rng::SeedableRng;
+/// let mut rng = adrias_core::rng::Xoshiro256pp::seed_from_u64(0);
 /// let w = adrias_nn::init::xavier_uniform(8, 4, &mut rng);
 /// assert_eq!(w.shape(), (8, 4));
 /// ```
@@ -30,12 +30,12 @@ pub fn uniform<R: Rng + ?Sized>(rows: usize, cols: usize, bound: f32, rng: &mut 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use adrias_core::rng::SeedableRng;
+    use adrias_core::rng::Xoshiro256pp;
 
     #[test]
     fn xavier_respects_bound() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let w = xavier_uniform(10, 10, &mut rng);
         let a = (6.0f32 / 20.0).sqrt();
         assert!(w.data().iter().all(|&v| v.abs() <= a));
@@ -45,22 +45,22 @@ mod tests {
 
     #[test]
     fn uniform_respects_bound() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let w = uniform(5, 5, 0.1, &mut rng);
         assert!(w.data().iter().all(|&v| v.abs() <= 0.1));
     }
 
     #[test]
     fn init_is_deterministic_per_seed() {
-        let a = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(7));
-        let b = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(7));
+        let a = xavier_uniform(4, 4, &mut Xoshiro256pp::seed_from_u64(7));
+        let b = xavier_uniform(4, 4, &mut Xoshiro256pp::seed_from_u64(7));
         assert_eq!(a, b);
     }
 
     #[test]
     #[should_panic(expected = "bound must be positive")]
     fn uniform_rejects_zero_bound() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
         let _ = uniform(2, 2, 0.0, &mut rng);
     }
 }

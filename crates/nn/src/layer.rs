@@ -1,7 +1,7 @@
 //! Feed-forward layers and the [`Layer`] trait.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use adrias_core::rng::Xoshiro256pp;
+use adrias_core::rng::{Rng, SeedableRng};
 
 use crate::init;
 use crate::tensor::Tensor;
@@ -41,9 +41,9 @@ pub trait Layer {
 ///
 /// ```
 /// use adrias_nn::{Layer, Linear, Tensor};
-/// use rand::SeedableRng;
+/// use adrias_core::rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = adrias_core::rng::Xoshiro256pp::seed_from_u64(0);
 /// let mut lin = Linear::new(3, 2, &mut rng);
 /// let x = Tensor::zeros(4, 3);
 /// let y = lin.forward(&x, true);
@@ -101,7 +101,9 @@ impl Layer for Linear {
             input.cols()
         );
         self.cached_input = Some(input.clone());
-        input.matmul(&self.weight.transpose()).add_row_broadcast(&self.bias)
+        input
+            .matmul(&self.weight.transpose())
+            .add_row_broadcast(&self.bias)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -110,7 +112,8 @@ impl Layer for Linear {
             .as_ref()
             .expect("Linear::backward before forward");
         // dW = dYᵀ · X, db = Σ dY, dX = dY · W
-        self.grad_weight.add_assign(&grad_out.transpose().matmul(input));
+        self.grad_weight
+            .add_assign(&grad_out.transpose().matmul(input));
         self.grad_bias.add_assign(&grad_out.sum_rows());
         grad_out.matmul(&self.weight)
     }
@@ -231,8 +234,7 @@ impl Layer for BatchNorm1d {
                     .set(0, c, (1.0 - self.momentum) * rv + self.momentum * var[c]);
             }
             let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
-            let x_hat =
-                Tensor::from_fn(n, d, |r, c| (input.get(r, c) - mean[c]) * inv_std[c]);
+            let x_hat = Tensor::from_fn(n, d, |r, c| (input.get(r, c) - mean[c]) * inv_std[c]);
             let out = Tensor::from_fn(n, d, |r, c| {
                 self.gamma.get(0, c) * x_hat.get(r, c) + self.beta.get(0, c)
             });
@@ -276,7 +278,8 @@ impl Layer for BatchNorm1d {
             }
         }
         for c in 0..d {
-            self.grad_beta.set(0, c, self.grad_beta.get(0, c) + sum_dy[c]);
+            self.grad_beta
+                .set(0, c, self.grad_beta.get(0, c) + sum_dy[c]);
             self.grad_gamma
                 .set(0, c, self.grad_gamma.get(0, c) + sum_dy_xhat[c]);
         }
@@ -299,7 +302,7 @@ impl Layer for BatchNorm1d {
 #[derive(Debug, Clone)]
 pub struct Dropout {
     p: f32,
-    rng: StdRng,
+    rng: Xoshiro256pp,
     mask: Option<Tensor>,
 }
 
@@ -310,10 +313,13 @@ impl Dropout {
     ///
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout p must be in [0,1), got {p}"
+        );
         Self {
             p,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256pp::seed_from_u64(seed),
             mask: None,
         }
     }
@@ -344,7 +350,10 @@ impl Layer for Dropout {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mask = self.mask.as_ref().expect("Dropout::backward before forward");
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("Dropout::backward before forward");
         grad_out * mask
     }
 
@@ -406,10 +415,10 @@ impl Layer for Sequential {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
+    use adrias_core::rng::Xoshiro256pp;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(42)
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(42)
     }
 
     /// Numerical-gradient check for Linear.
@@ -535,7 +544,7 @@ mod tests {
         let y = d.forward(&x, true);
         assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
         // Some elements must actually be dropped.
-        assert!(y.data().iter().any(|&v| v == 0.0));
+        assert!(y.data().contains(&0.0));
     }
 
     #[test]

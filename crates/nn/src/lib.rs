@@ -27,9 +27,10 @@
 //!
 //! ```
 //! use adrias_nn::{Adam, Layer, Linear, MseLoss, Relu, Sequential, Tensor};
-//! use rand::SeedableRng;
+//! use adrias_core::rng::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! // Seed 1: seed 0 happens to draw a dead-ReLU init for this tiny net.
+//! let mut rng = adrias_core::rng::Xoshiro256pp::seed_from_u64(1);
 //! let mut net = Sequential::new(vec![
 //!     Box::new(Linear::new(1, 16, &mut rng)),
 //!     Box::new(Relu::new()),

@@ -17,7 +17,7 @@
 //! step for a last-hidden-state readout) and returns per-step input
 //! gradients for the layer below.
 
-use rand::Rng;
+use adrias_core::rng::Rng;
 
 use crate::init;
 use crate::tensor::Tensor;
@@ -41,9 +41,9 @@ struct StepCache {
 ///
 /// ```
 /// use adrias_nn::{Lstm, Tensor};
-/// use rand::SeedableRng;
+/// use adrias_core::rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = adrias_core::rng::Xoshiro256pp::seed_from_u64(0);
 /// let mut lstm = Lstm::new(3, 8, &mut rng);
 /// let seq: Vec<Tensor> = (0..5).map(|_| Tensor::zeros(2, 3)).collect();
 /// let hidden = lstm.forward_seq(&seq);
@@ -172,7 +172,10 @@ impl Lstm {
             grad_hidden.len(),
             self.cache.len()
         );
-        assert!(!self.cache.is_empty(), "Lstm::backward_seq before forward_seq");
+        assert!(
+            !self.cache.is_empty(),
+            "Lstm::backward_seq before forward_seq"
+        );
         let batch = self.cache[0].x.rows();
         let h = self.hidden_size;
         let mut d_h_next = Tensor::zeros(batch, h);
@@ -196,7 +199,7 @@ impl Lstm {
             let dz_g = d_g.zip(&cache.g, |d, g| d * (1.0 - g * g));
             let dz_o = d_o.zip(&cache.o, |d, s| d * s * (1.0 - s));
             let dz = dz_i.hcat(&dz_f).hcat(&dz_g).hcat(&dz_o); // batch × 4H
-            // Parameter gradients.
+                                                               // Parameter gradients.
             self.grad_w_ih.add_assign(&dz.transpose().matmul(&cache.x));
             self.grad_w_hh
                 .add_assign(&dz.transpose().matmul(&cache.h_prev));
@@ -210,7 +213,10 @@ impl Lstm {
 
     /// Backpropagates a gradient on the **final** hidden state only.
     pub fn backward_last(&mut self, grad_last: &Tensor) -> Vec<Tensor> {
-        assert!(!self.cache.is_empty(), "Lstm::backward_last before forward_seq");
+        assert!(
+            !self.cache.is_empty(),
+            "Lstm::backward_last before forward_seq"
+        );
         let batch = self.cache[0].x.rows();
         let mut grads = vec![Tensor::zeros(batch, self.hidden_size); self.cache.len()];
         let last = grads.len() - 1;
@@ -234,15 +240,17 @@ impl Lstm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use adrias_core::rng::SeedableRng;
+    use adrias_core::rng::Xoshiro256pp;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(1234)
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(1234)
     }
 
-    fn toy_seq(t: usize, batch: usize, dim: usize, rng: &mut StdRng) -> Vec<Tensor> {
-        (0..t).map(|_| init::uniform(batch, dim, 1.0, rng)).collect()
+    fn toy_seq(t: usize, batch: usize, dim: usize, rng: &mut Xoshiro256pp) -> Vec<Tensor> {
+        (0..t)
+            .map(|_| init::uniform(batch, dim, 1.0, rng))
+            .collect()
     }
 
     #[test]
@@ -309,9 +317,12 @@ mod tests {
                 probe.visit_params(&mut |p, g| {
                     if idx == pick {
                         let v = p.get(coords.0.min(p.rows() - 1), coords.1.min(p.cols() - 1));
-                        p.set(coords.0.min(p.rows() - 1), coords.1.min(p.cols() - 1), v + eps);
-                        analytic =
-                            g.get(coords.0.min(g.rows() - 1), coords.1.min(g.cols() - 1));
+                        p.set(
+                            coords.0.min(p.rows() - 1),
+                            coords.1.min(p.cols() - 1),
+                            v + eps,
+                        );
+                        analytic = g.get(coords.0.min(g.rows() - 1), coords.1.min(g.cols() - 1));
                     }
                     idx += 1;
                 });

@@ -108,7 +108,10 @@ impl Tensor {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -118,7 +121,10 @@ impl Tensor {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -271,7 +277,10 @@ impl Tensor {
     ///
     /// Panics if the range is invalid.
     pub fn columns(&self, start: usize, end: usize) -> Tensor {
-        assert!(start <= end && end <= self.cols, "bad column range {start}..{end}");
+        assert!(
+            start <= end && end <= self.cols,
+            "bad column range {start}..{end}"
+        );
         Tensor::from_fn(self.rows, end - start, |r, c| self.get(r, start + c))
     }
 
@@ -281,7 +290,10 @@ impl Tensor {
     ///
     /// Panics if the range is invalid.
     pub fn rows_slice(&self, start: usize, end: usize) -> Tensor {
-        assert!(start <= end && end <= self.rows, "bad row range {start}..{end}");
+        assert!(
+            start <= end && end <= self.rows,
+            "bad row range {start}..{end}"
+        );
         Tensor::from_vec(
             end - start,
             self.cols,

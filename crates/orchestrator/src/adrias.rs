@@ -7,6 +7,31 @@ use adrias_workloads::{AppSignature, MemoryMode, WorkloadClass};
 
 use crate::policy::{DecisionContext, Policy};
 
+/// The β-slack placement rule for best-effort applications (§V-C):
+/// stay **local** iff the predicted local runtime beats the predicted
+/// remote runtime by more than the slack factor, `t̂_local < β · t̂_remote`.
+/// Ties (exact equality) offload, trading the tolerated slowdown for
+/// freed local memory.
+pub fn be_rule(pred_local_s: f32, pred_remote_s: f32, beta: f32) -> MemoryMode {
+    if pred_local_s < beta * pred_remote_s {
+        MemoryMode::Local
+    } else {
+        MemoryMode::Remote
+    }
+}
+
+/// The QoS-threshold placement rule for latency-critical applications
+/// (§V-C): offload **remote** iff the predicted remote tail latency
+/// still meets the constraint, `p̂99_remote ≤ QoS`. Exactly at the
+/// threshold the prediction satisfies the SLO, so the app offloads.
+pub fn lc_rule(pred_remote_p99_ms: f32, qos_p99_ms: f32) -> MemoryMode {
+    if pred_remote_p99_ms <= qos_p99_ms {
+        MemoryMode::Remote
+    } else {
+        MemoryMode::Local
+    }
+}
+
 /// The deep-learning-driven orchestration policy (§V-C).
 ///
 /// Holds the trained system-state model, the two universal performance
@@ -62,10 +87,7 @@ impl AdriasPolicy {
             beta > 0.0 && beta <= 1.0,
             "beta must be in (0, 1], got {beta}"
         );
-        assert!(
-            default_qos_p99_ms > 0.0,
-            "QoS constraint must be positive"
-        );
+        assert!(default_qos_p99_ms > 0.0, "QoS constraint must be positive");
         Self {
             name: format!("Adrias(b={beta})"),
             system_model,
@@ -103,11 +125,7 @@ impl AdriasPolicy {
 
     /// Predicted performance (execution time for BE, p99 for LC) for one
     /// mode, or `None` when no history window or signature is available.
-    pub fn predict_perf(
-        &mut self,
-        ctx: &DecisionContext<'_>,
-        mode: MemoryMode,
-    ) -> Option<f32> {
+    pub fn predict_perf(&mut self, ctx: &DecisionContext<'_>, mode: MemoryMode) -> Option<f32> {
         let history = ctx.history?;
         let signature = self.signatures.get(ctx.profile.name())?.clone();
         let s_hat = self.system_model.predict(history);
@@ -139,19 +157,9 @@ impl Policy for AdriasPolicy {
         match ctx.profile.class() {
             WorkloadClass::LatencyCritical => {
                 let qos = ctx.qos_p99_ms.unwrap_or(self.default_qos_p99_ms);
-                if pred_remote <= qos {
-                    MemoryMode::Remote
-                } else {
-                    MemoryMode::Local
-                }
+                lc_rule(pred_remote, qos)
             }
-            _ => {
-                if pred_local < self.beta * pred_remote {
-                    MemoryMode::Local
-                } else {
-                    MemoryMode::Remote
-                }
-            }
+            _ => be_rule(pred_local, pred_remote, self.beta),
         }
     }
 }
@@ -159,14 +167,14 @@ impl Policy for AdriasPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adrias_core::rng::Xoshiro256pp;
+    use adrias_core::rng::{Rng, SeedableRng};
     use adrias_predictor::dataset::{PerfRecord, HISTORY_S};
     use adrias_predictor::{
         PerfDataset, PerfModelConfig, SystemStateDataset, SystemStateModelConfig,
     };
     use adrias_telemetry::{Metric, MetricSample, MetricVec};
     use adrias_workloads::{keyvalue, spark, WorkloadProfile};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn metric_row(x: f32) -> MetricVec {
         let mut v = MetricVec::zero();
@@ -179,7 +187,7 @@ mod tests {
     /// Trains minimal models on synthetic data that encodes "remote is
     /// `penalty`× slower" so decide() behaves predictably.
     fn policy_with_beta(beta: f32) -> AdriasPolicy {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
 
         // System model on a flat synthetic trace.
         let trace: Vec<MetricSample> = (0..400)
@@ -210,7 +218,11 @@ mod tests {
             let x: f32 = rng.gen_range(-0.2..0.2);
             for mode in MemoryMode::BOTH {
                 let perf = app.base_runtime_s()
-                    * if mode == MemoryMode::Remote { *penalty } else { 1.0 }
+                    * if mode == MemoryMode::Remote {
+                        *penalty
+                    } else {
+                        1.0
+                    }
                     * (1.0 + 0.1 * (x + 0.2));
                 be_records.push(PerfRecord {
                     app: app.name().to_owned(),

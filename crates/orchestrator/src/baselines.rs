@@ -1,8 +1,8 @@
 //! The paper's comparison schedulers (§VI-B): Random, Round-Robin and
 //! All-Local, plus an All-Remote strawman.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use adrias_core::rng::Xoshiro256pp;
+use adrias_core::rng::{Rng, SeedableRng};
 
 use adrias_workloads::MemoryMode;
 
@@ -11,14 +11,14 @@ use crate::policy::{DecisionContext, Policy};
 /// Chooses local or remote uniformly at random.
 #[derive(Debug)]
 pub struct RandomPolicy {
-    rng: StdRng,
+    rng: Xoshiro256pp,
 }
 
 impl RandomPolicy {
     /// Creates a seeded random policy.
     pub fn new(seed: u64) -> Self {
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256pp::seed_from_u64(seed),
         }
     }
 }

@@ -1,8 +1,8 @@
 //! The deployment engine: replays an arrival schedule against the
 //! testbed under a policy and records everything the evaluation needs.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use adrias_core::rng::SeedableRng;
+use adrias_core::rng::Xoshiro256pp;
 
 use adrias_sim::{Testbed, TestbedConfig};
 use adrias_telemetry::{MetricSample, MetricVec, Watcher};
@@ -218,7 +218,7 @@ pub fn run_schedule(
     );
     let mut testbed = Testbed::new(testbed_cfg, engine_cfg.seed);
     let mut watcher = Watcher::new(engine_cfg.history_window_s.max(1));
-    let mut lc_rng = StdRng::seed_from_u64(engine_cfg.seed ^ 0x1C);
+    let mut lc_rng = Xoshiro256pp::seed_from_u64(engine_cfg.seed ^ 0x1C);
     let mut outcomes = Vec::new();
     let mut samples = Vec::new();
     let mut next_arrival = 0usize;
@@ -236,8 +236,7 @@ pub fn run_schedule(
             let arrival = &arrivals[next_arrival];
             next_arrival += 1;
             let history = watcher.history_window(engine_cfg.history_window_s);
-            let history_rows: Option<Vec<MetricVec>> =
-                history.map(|w| w.rows().to_vec());
+            let history_rows: Option<Vec<MetricVec>> = history.map(|w| w.rows().to_vec());
             let (mode, was_decided) = match arrival.forced_mode {
                 Some(m) => (m, false),
                 None => {
@@ -318,7 +317,7 @@ pub fn run_isolated(
     mode: MemoryMode,
 ) -> (AppOutcome, Vec<MetricSample>) {
     let mut testbed = Testbed::new(testbed_cfg, engine_cfg.seed);
-    let mut lc_rng = StdRng::seed_from_u64(engine_cfg.seed ^ 0x150);
+    let mut lc_rng = Xoshiro256pp::seed_from_u64(engine_cfg.seed ^ 0x150);
     let (done, trace) = testbed.run_isolated(profile.clone(), mode);
     let (p99, p999, total) = if done.class == WorkloadClass::LatencyCritical {
         let spec = lc_load_spec(&profile);
@@ -367,12 +366,7 @@ mod tests {
     #[test]
     fn empty_schedule_terminates_immediately() {
         let mut policy = AllLocalPolicy::new();
-        let report = run_schedule(
-            TestbedConfig::noiseless(),
-            quick_engine(),
-            &[],
-            &mut policy,
-        );
+        let report = run_schedule(TestbedConfig::noiseless(), quick_engine(), &[], &mut policy);
         assert!(report.outcomes.is_empty());
         assert_eq!(report.unfinished, 0);
     }
@@ -400,8 +394,7 @@ mod tests {
     #[test]
     fn forced_modes_bypass_policy() {
         let app = spark::by_name("gmm").unwrap();
-        let arrivals =
-            [ScheduledArrival::new(0.0, app).with_mode(MemoryMode::Remote)];
+        let arrivals = [ScheduledArrival::new(0.0, app).with_mode(MemoryMode::Remote)];
         let mut policy = AllLocalPolicy::new();
         let report = run_schedule(
             TestbedConfig::noiseless(),

@@ -28,9 +28,9 @@ pub mod online;
 pub mod policy;
 pub mod qos;
 
-pub use adrias::AdriasPolicy;
-pub use online::{absorb_signatures, capture_unknown_signatures};
+pub use adrias::{be_rule, lc_rule, AdriasPolicy};
 pub use baselines::{AllLocalPolicy, AllRemotePolicy, RandomPolicy, RoundRobinPolicy};
 pub use engine::{run_schedule, AppOutcome, EngineConfig, RunReport, ScheduledArrival};
+pub use online::{absorb_signatures, capture_unknown_signatures};
 pub use policy::{DecisionContext, Policy};
 pub use qos::qos_levels;

@@ -74,9 +74,7 @@ mod tests {
         let arrivals: Vec<ScheduledArrival> = apps
             .iter()
             .enumerate()
-            .map(|(i, name)| {
-                ScheduledArrival::new(i as f64 * 10.0, spark::by_name(name).unwrap())
-            })
+            .map(|(i, name)| ScheduledArrival::new(i as f64 * 10.0, spark::by_name(name).unwrap()))
             .collect();
         let mut policy = AllRemotePolicy::new();
         run_schedule(

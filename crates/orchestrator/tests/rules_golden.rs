@@ -1,0 +1,90 @@
+//! Golden-value tests for the two Adrias placement rules (§V-C of the
+//! paper): the β-slack rule for best-effort apps and the QoS-threshold
+//! rule for latency-critical apps. Every case is hand-computed,
+//! including the tie and exactly-at-threshold boundaries.
+
+use adrias_orchestrator::{be_rule, lc_rule};
+use adrias_workloads::MemoryMode;
+
+#[test]
+fn be_rule_clear_winner_stays_local() {
+    // t̂_local = 10 s, t̂_remote = 30 s, β = 0.9 → 10 < 27 → local.
+    assert_eq!(be_rule(10.0, 30.0, 0.9), MemoryMode::Local);
+}
+
+#[test]
+fn be_rule_clear_loser_offloads() {
+    // t̂_local = 29 s, t̂_remote = 30 s, β = 0.5 → 29 < 15 fails → remote.
+    assert_eq!(be_rule(29.0, 30.0, 0.5), MemoryMode::Remote);
+}
+
+#[test]
+fn be_rule_tie_offloads() {
+    // Exact tie at β = 1: t̂_local = t̂_remote = 12 s. The rule is a
+    // strict `<`, so the tie breaks toward remote — offloading frees
+    // local memory at zero predicted cost (§V-C: β = 1 tolerates "no"
+    // degradation but equality is not degradation).
+    assert_eq!(be_rule(12.0, 12.0, 1.0), MemoryMode::Remote);
+}
+
+#[test]
+fn be_rule_exactly_at_beta_threshold_offloads() {
+    // β·t̂_remote = 0.8 × 25 = 20 exactly equals t̂_local → strict `<`
+    // fails → remote.
+    assert_eq!(be_rule(20.0, 25.0, 0.8), MemoryMode::Remote);
+}
+
+#[test]
+fn be_rule_just_inside_beta_threshold_stays_local() {
+    // t̂_local = 19.99 < 20 = 0.8 × 25 → local.
+    assert_eq!(be_rule(19.99, 25.0, 0.8), MemoryMode::Local);
+}
+
+#[test]
+fn be_rule_beta_one_matches_direct_comparison() {
+    // With β = 1 the rule degenerates to "local iff strictly faster".
+    assert_eq!(be_rule(9.999, 10.0, 1.0), MemoryMode::Local);
+    assert_eq!(be_rule(10.001, 10.0, 1.0), MemoryMode::Remote);
+}
+
+#[test]
+fn be_rule_smaller_beta_is_more_aggressive() {
+    // The same prediction pair flips from local to remote as β shrinks:
+    // 18 < β·20 holds for β = 0.95 (19) but not β = 0.9 (18, tie) or
+    // β = 0.85 (17).
+    assert_eq!(be_rule(18.0, 20.0, 0.95), MemoryMode::Local);
+    assert_eq!(be_rule(18.0, 20.0, 0.9), MemoryMode::Remote);
+    assert_eq!(be_rule(18.0, 20.0, 0.85), MemoryMode::Remote);
+}
+
+#[test]
+fn lc_rule_meets_qos_offloads() {
+    // p̂99_remote = 2.4 ms ≤ QoS 5 ms → remote.
+    assert_eq!(lc_rule(2.4, 5.0), MemoryMode::Remote);
+}
+
+#[test]
+fn lc_rule_violates_qos_stays_local() {
+    // p̂99_remote = 7.3 ms > QoS 5 ms → local.
+    assert_eq!(lc_rule(7.3, 5.0), MemoryMode::Local);
+}
+
+#[test]
+fn lc_rule_exactly_at_threshold_offloads() {
+    // p̂99_remote = QoS = 5 ms: the rule is `≤`, an SLO met with zero
+    // margin is still met → remote.
+    assert_eq!(lc_rule(5.0, 5.0), MemoryMode::Remote);
+}
+
+#[test]
+fn lc_rule_just_above_threshold_stays_local() {
+    assert_eq!(lc_rule(5.0 + 1e-4, 5.0), MemoryMode::Local);
+}
+
+#[test]
+fn lc_rule_tight_qos_keeps_everything_local() {
+    // A sub-millisecond constraint no remote placement can meet.
+    for p99 in [1.0f32, 2.4, 10.0, 100.0] {
+        assert_eq!(lc_rule(p99, 0.5), MemoryMode::Local);
+    }
+}

@@ -191,13 +191,13 @@ pub fn sample_count_sweep(
 mod tests {
     use super::*;
     use crate::dataset::{PerfRecord, HISTORY_S};
+    use adrias_core::rng::Xoshiro256pp;
+    use adrias_core::rng::{Rng, SeedableRng};
     use adrias_telemetry::Metric;
     use adrias_workloads::{AppSignature, MemoryMode};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn synthetic(n: usize, seed: u64) -> PerfDataset {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let apps = ["a", "b", "c"];
         let mut records = Vec::new();
         for _ in 0..n {
@@ -279,7 +279,7 @@ mod tests {
     #[test]
     fn ablation_matrix_produces_one_cell_per_pair() {
         let ds = synthetic(80, 2);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let (train, test) = ds.split(0.6, &mut rng);
         let pairs = [
             (SHatSource::None, SHatSource::None),
@@ -303,7 +303,7 @@ mod tests {
     #[test]
     fn sample_sweep_respects_bounds() {
         let ds = synthetic(60, 5);
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
         let (train, test) = ds.split(0.7, &mut rng);
         let sweep = sample_count_sweep(
             &train,

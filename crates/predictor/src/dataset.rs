@@ -17,8 +17,8 @@
 
 use std::collections::HashMap;
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use adrias_core::rng::Rng;
+use adrias_core::rng::SliceRandom;
 
 use adrias_nn::Tensor;
 use adrias_telemetry::{Metric, MetricSample, MetricVec, METRIC_COUNT};
@@ -44,7 +44,9 @@ pub fn pool_rows(rows: &[MetricVec], target_len: usize) -> Vec<MetricVec> {
     (0..target_len)
         .map(|i| {
             let lo = i * rows.len() / target_len;
-            let hi = (((i + 1) * rows.len()) / target_len).max(lo + 1).min(rows.len());
+            let hi = (((i + 1) * rows.len()) / target_len)
+                .max(lo + 1)
+                .min(rows.len());
             let mut acc = MetricVec::zero();
             for r in &rows[lo..hi] {
                 acc = acc.add(r);
@@ -199,8 +201,14 @@ impl SystemStateDataset {
             "split leaves an empty side ({} samples, cut {cut})",
             self.samples.len()
         );
-        let train_samples: Vec<_> = idx[..cut].iter().map(|&i| self.samples[i].clone()).collect();
-        let test_samples: Vec<_> = idx[cut..].iter().map(|&i| self.samples[i].clone()).collect();
+        let train_samples: Vec<_> = idx[..cut]
+            .iter()
+            .map(|&i| self.samples[i].clone())
+            .collect();
+        let test_samples: Vec<_> = idx[cut..]
+            .iter()
+            .map(|&i| self.samples[i].clone())
+            .collect();
         let normalizer =
             Normalizer::fit_windows(train_samples.iter().map(|s| s.history.as_slice()));
         (
@@ -294,7 +302,11 @@ impl PerfDataset {
             .collect();
         assert!(!records.is_empty(), "no records with known signatures");
         for r in &records {
-            assert!(!r.history.is_empty(), "record for {} has empty history", r.app);
+            assert!(
+                !r.history.is_empty(),
+                "record for {} has empty history",
+                r.app
+            );
             assert!(r.perf > 0.0, "record for {} has non-positive perf", r.app);
         }
         let metric_norm = Normalizer::fit_windows(
@@ -366,8 +378,14 @@ impl PerfDataset {
             .iter()
             .map(|(name, rows)| AppSignature::new(name.clone(), rows.clone()))
             .collect();
-        let train: Vec<_> = idx[..cut].iter().map(|&i| self.records[i].clone()).collect();
-        let test: Vec<_> = idx[cut..].iter().map(|&i| self.records[i].clone()).collect();
+        let train: Vec<_> = idx[..cut]
+            .iter()
+            .map(|&i| self.records[i].clone())
+            .collect();
+        let test: Vec<_> = idx[cut..]
+            .iter()
+            .map(|&i| self.records[i].clone())
+            .collect();
         let train_ds = Self::new(train, &sigs);
         // Test set reuses the training normalizers.
         let mut test_ds = Self::new(test, &sigs);
@@ -419,8 +437,8 @@ impl PerfDataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use adrias_core::rng::SeedableRng;
+    use adrias_core::rng::Xoshiro256pp;
 
     fn rowv(v: f32) -> MetricVec {
         let mut m = MetricVec::zero();
@@ -463,7 +481,7 @@ mod tests {
     #[test]
     fn short_traces_are_skipped() {
         let ds = SystemStateDataset::from_traces(&[trace(100), trace(360)], 60);
-        assert!(ds.len() >= 1);
+        assert!(!ds.is_empty());
     }
 
     #[test]
@@ -478,7 +496,7 @@ mod tests {
     #[test]
     fn system_split_is_disjoint_and_sized() {
         let ds = SystemStateDataset::from_traces(&[trace(1000)], 5);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
         let (train, test) = ds.split(0.6, &mut rng);
         assert_eq!(train.len() + test.len(), ds.len());
         let expected = ((ds.len() as f64) * 0.6).round() as usize;

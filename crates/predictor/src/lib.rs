@@ -33,9 +33,9 @@ pub mod persist;
 pub mod system_model;
 
 pub use ablation::SHatSource;
-pub use persist::{load_perf_model, load_system_model, save_perf_model, save_system_model};
 pub use dataset::{PerfDataset, PerfRecord, SystemStateDataset};
 pub use eval::RegressionReport;
 pub use norm::Normalizer;
 pub use perf_model::{PerfModel, PerfModelConfig};
+pub use persist::{load_perf_model, load_system_model, save_perf_model, save_system_model};
 pub use system_model::{SystemStateModel, SystemStateModelConfig};

@@ -9,9 +9,9 @@
 //! one LC model over Redis + Memcached, rather than one model per
 //! application (§V-B2).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use adrias_core::rng::SeedableRng;
+use adrias_core::rng::SliceRandom;
+use adrias_core::rng::Xoshiro256pp;
 
 use adrias_nn::{Adam, Layer, Linear, Lstm, MseLoss, NonLinearBlock, Tensor};
 use adrias_telemetry::{Metric, MetricVec, METRIC_COUNT};
@@ -88,7 +88,7 @@ pub struct PerfModel {
 impl PerfModel {
     /// Creates an untrained model.
     pub fn new(cfg: PerfModelConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed);
         let lstm_s1 = Lstm::new(METRIC_COUNT, cfg.hidden, &mut rng);
         let lstm_s2 = Lstm::new(cfg.hidden, cfg.hidden, &mut rng);
         let lstm_k1 = Lstm::new(METRIC_COUNT, cfg.hidden, &mut rng);
@@ -209,11 +209,7 @@ impl PerfModel {
 
     /// Builds the side-input tensor (mode one-hot ++ normalized `Ŝ`) for
     /// a batch of records.
-    fn side_tensor(
-        ds: &PerfDataset,
-        idxs: &[usize],
-        s_hats: &[Option<MetricVec>],
-    ) -> Tensor {
+    fn side_tensor(ds: &PerfDataset, idxs: &[usize], s_hats: &[Option<MetricVec>]) -> Tensor {
         Tensor::from_fn(idxs.len(), SIDE_WIDTH, |b, c| {
             let i = idxs[b];
             let mode = ds.records()[i].mode.one_hot();
@@ -221,10 +217,7 @@ impl PerfModel {
                 mode[c]
             } else {
                 match &s_hats[i] {
-                    Some(vec) => ds
-                        .metric_norm()
-                        .normalize(vec)
-                        .get(Metric::ALL[c - 2]),
+                    Some(vec) => ds.metric_norm().normalize(vec).get(Metric::ALL[c - 2]),
                     None => 0.0,
                 }
             }
@@ -261,7 +254,7 @@ impl PerfModel {
         );
         self.metric_norm = Some(dataset.metric_norm().clone());
         self.target_norm = Some(*dataset.target_norm());
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x7EA1);
+        let mut rng = Xoshiro256pp::seed_from_u64(self.cfg.seed ^ 0x7EA1);
         let mut opt = Adam::new(self.cfg.learning_rate);
         let mut loss_fn = MseLoss::new();
         let mut idx: Vec<usize> = (0..dataset.len()).collect();
@@ -310,7 +303,11 @@ impl PerfModel {
             let out = self.forward(&seq_s, &seq_k, &side, false);
             for (b, &i) in chunk.iter().enumerate() {
                 truth.push(dataset.records()[i].perf);
-                pred.push(target_norm.denormalize(out.get(b, 0).clamp(-10.0, 10.0)).exp());
+                pred.push(
+                    target_norm
+                        .denormalize(out.get(b, 0).clamp(-10.0, 10.0))
+                        .exp(),
+                );
             }
         }
         RegressionReport::new(&truth, &pred)
@@ -368,8 +365,7 @@ impl PerfModel {
             .expect("PerfModel::predict before train");
         let target_norm = self.target_norm.expect("trained");
         let window_s = metric_norm.normalize_window(&pool_rows(history_1hz, SEQ_LEN));
-        let window_k =
-            metric_norm.normalize_window(signature.resampled(SEQ_LEN).rows());
+        let window_k = metric_norm.normalize_window(signature.resampled(SEQ_LEN).rows());
         let seq_s = seq_tensors(std::slice::from_ref(&window_s));
         let seq_k = seq_tensors(std::slice::from_ref(&window_k));
         let one_hot = mode.one_hot();
@@ -384,7 +380,9 @@ impl PerfModel {
             }
         });
         let out = self.forward(&seq_s, &seq_k, &side, false);
-        target_norm.denormalize(out.get(0, 0).clamp(-10.0, 10.0)).exp()
+        target_norm
+            .denormalize(out.get(0, 0).clamp(-10.0, 10.0))
+            .exp()
     }
 }
 
@@ -392,13 +390,13 @@ impl PerfModel {
 mod tests {
     use super::*;
     use crate::dataset::{PerfRecord, HISTORY_S};
-    use rand::Rng;
+    use adrias_core::rng::Rng;
 
     /// Builds a synthetic perf dataset whose target is a deterministic
     /// function of (app, mode, future state) — the structure the real
     /// traces have.
     fn synthetic_dataset(n: usize, seed: u64) -> (PerfDataset, Vec<Option<MetricVec>>) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let apps = ["alpha", "beta", "gamma"];
         let base = [40.0f32, 80.0, 60.0];
         let penalty = [1.1f32, 1.9, 1.3];
@@ -461,7 +459,7 @@ mod tests {
     #[test]
     fn training_learns_mode_and_app_structure() {
         let (ds, s_hats) = synthetic_dataset(240, 5);
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
         let (train, test) = ds.split(0.6, &mut rng);
         let train_hats: Vec<Option<MetricVec>> =
             train.records().iter().map(|r| Some(r.future_120)).collect();
@@ -502,7 +500,12 @@ mod tests {
         let sig_rows = ds.signature("beta").unwrap().to_vec();
         let sig = AppSignature::new("beta", sig_rows);
         let local = model.predict(&rec.history, &sig, MemoryMode::Local, Some(&rec.future_120));
-        let remote = model.predict(&rec.history, &sig, MemoryMode::Remote, Some(&rec.future_120));
+        let remote = model.predict(
+            &rec.history,
+            &sig,
+            MemoryMode::Remote,
+            Some(&rec.future_120),
+        );
         assert!(
             remote > 1.2 * local,
             "remote {remote} should clearly exceed local {local} for beta"

@@ -46,7 +46,10 @@ impl fmt::Display for LoadModelError {
                 write!(f, "parameter shape mismatch at `{slot}`")
             }
             LoadModelError::WrongKind { found, expected } => {
-                write!(f, "model kind `{found}` does not match expected `{expected}`")
+                write!(
+                    f,
+                    "model kind `{found}` does not match expected `{expected}`"
+                )
             }
         }
     }
@@ -135,8 +138,7 @@ pub fn load_system_model(text: &str) -> Result<SystemStateModel, LoadModelError>
         }
         _ => {}
     }
-    let ["adrias-model", _, hidden, block, dropout, lr, epochs, batch, seed] = parts[..]
-    else {
+    let ["adrias-model", _, hidden, block, dropout, lr, epochs, batch, seed] = parts[..] else {
         return Err(LoadModelError::BadHeader(header.to_owned()));
     };
     let parse_err = || LoadModelError::BadHeader(header.to_owned());
@@ -283,7 +285,11 @@ fn restore_params(
     }
     if cursor != params.len() {
         return Err(LoadModelError::ShapeMismatch {
-            slot: format!("trailing parameters ({} loaded, {} provided)", cursor, params.len()),
+            slot: format!(
+                "trailing parameters ({} loaded, {} provided)",
+                cursor,
+                params.len()
+            ),
         });
     }
     Ok(norm)

@@ -5,9 +5,9 @@
 //! the next horizon window. Architecture per the paper: two stacked LSTM
 //! layers, a triplet of non-linear blocks, and a linear read-out.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use adrias_core::rng::SeedableRng;
+use adrias_core::rng::SliceRandom;
+use adrias_core::rng::Xoshiro256pp;
 
 use adrias_nn::{Adam, Layer, Linear, Lstm, MseLoss, NonLinearBlock, Tensor};
 use adrias_telemetry::{Metric, MetricVec, METRIC_COUNT};
@@ -84,7 +84,7 @@ pub struct SystemStateModel {
 impl SystemStateModel {
     /// Creates an untrained model.
     pub fn new(cfg: SystemStateModelConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed);
         let lstm1 = Lstm::new(METRIC_COUNT, cfg.hidden, &mut rng);
         let lstm2 = Lstm::new(cfg.hidden, cfg.hidden, &mut rng);
         let blocks = vec![
@@ -185,7 +185,7 @@ impl SystemStateModel {
     /// windows at run time.
     pub fn train(&mut self, dataset: &SystemStateDataset) -> Vec<f32> {
         self.normalizer = Some(dataset.normalizer().clone());
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5EED);
+        let mut rng = Xoshiro256pp::seed_from_u64(self.cfg.seed ^ 0x5EED);
         let mut opt = Adam::new(self.cfg.learning_rate);
         let mut loss_fn = MseLoss::new();
         let mut epoch_losses = Vec::with_capacity(self.cfg.epochs);
@@ -332,7 +332,7 @@ mod tests {
     #[test]
     fn training_reduces_loss_and_achieves_high_r2() {
         let ds = dataset();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let (train, test) = ds.split(0.6, &mut rng);
         let mut model = SystemStateModel::new(SystemStateModelConfig::tiny());
         let losses = model.train(&train);

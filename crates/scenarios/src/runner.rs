@@ -3,8 +3,7 @@
 //! Replays the same scenario corpus under several policies and
 //! aggregates runtimes, placements, tail latencies and link traffic.
 
-use crossbeam::thread;
-
+use adrias_core::thread::map_chunks;
 use adrias_orchestrator::engine::{run_schedule, EngineConfig, RunReport};
 use adrias_orchestrator::Policy;
 use adrias_sim::TestbedConfig;
@@ -117,10 +116,11 @@ impl PolicyOutcome {
 
 /// Replays `specs` under each policy produced by `make_policy`.
 ///
-/// `make_policy(i)` is called once per policy index `0..n_policies`;
-/// every policy sees the *identical* arrival schedules (same seeds, same
-/// forced iBench modes). Scenarios of one policy run in parallel across
-/// `threads` workers.
+/// `make_policy(i)` is called once per (policy index, scenario) pair,
+/// so every scenario starts from identical policy state and results
+/// are independent of `threads`; every policy sees the *identical*
+/// arrival schedules (same seeds, same forced iBench modes). Scenarios
+/// of one policy run in parallel across `threads` workers.
 ///
 /// # Panics
 ///
@@ -143,40 +143,24 @@ where
     assert!(threads > 0, "need at least one worker thread");
     (0..n_policies)
         .map(|pi| {
-            let reports: Vec<RunReport> = thread::scope(|scope| {
-                let make_policy = &make_policy;
-                let chunks: Vec<&[ScenarioSpec]> =
-                    specs.chunks(specs.len().div_ceil(threads)).collect();
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|chunk| {
-                        scope.spawn(move |_| {
-                            let mut policy = make_policy(pi);
-                            chunk
-                                .iter()
-                                .map(|spec| {
-                                    let schedule = build_schedule(
-                                        spec,
-                                        catalog,
-                                        PlacementStyle::PolicyDecided,
-                                    );
-                                    let engine = EngineConfig {
-                                        seed: spec.seed ^ 0xE6E,
-                                        qos_p99_ms,
-                                        ..EngineConfig::default()
-                                    };
-                                    run_schedule(testbed_cfg, engine, &schedule, &mut policy)
-                                })
-                                .collect::<Vec<_>>()
-                        })
+            let reports: Vec<RunReport> = map_chunks(specs, threads, |chunk| {
+                chunk
+                    .iter()
+                    .map(|spec| {
+                        // Fresh policy state per scenario: placements
+                        // depend only on (policy, spec), never on how
+                        // specs were chunked across workers.
+                        let mut policy = make_policy(pi);
+                        let schedule = build_schedule(spec, catalog, PlacementStyle::PolicyDecided);
+                        let engine = EngineConfig {
+                            seed: spec.seed ^ 0xE6E,
+                            qos_p99_ms,
+                            ..EngineConfig::default()
+                        };
+                        run_schedule(testbed_cfg, engine, &schedule, &mut policy)
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("runner worker panicked"))
                     .collect()
-            })
-            .expect("comparison scope");
+            });
             let probe = make_policy(pi);
             PolicyOutcome {
                 policy: probe.name().to_owned(),
@@ -220,10 +204,7 @@ mod tests {
             }
         }
 
-        fn decide(
-            &mut self,
-            ctx: &adrias_orchestrator::DecisionContext<'_>,
-        ) -> MemoryMode {
+        fn decide(&mut self, ctx: &adrias_orchestrator::DecisionContext<'_>) -> MemoryMode {
             match self {
                 AnyPolicy::Local(p) => p.decide(ctx),
                 AnyPolicy::Remote(p) => p.decide(ctx),

@@ -1,7 +1,7 @@
 //! Deterministic arrival-schedule generation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use adrias_core::rng::Xoshiro256pp;
+use adrias_core::rng::{Rng, SeedableRng};
 
 use adrias_orchestrator::ScheduledArrival;
 use adrias_workloads::{MemoryMode, WorkloadCatalog, WorkloadClass};
@@ -47,7 +47,7 @@ pub fn build_schedule(
     catalog: &WorkloadCatalog,
     style: PlacementStyle,
 ) -> Vec<ScheduledArrival> {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(spec.seed);
     let times = spec.arrivals().times_until(spec.duration_s, &mut rng);
     times
         .into_iter()
@@ -68,9 +68,7 @@ pub fn build_schedule(
             }
             let force = match style {
                 PlacementStyle::RandomForced => true,
-                PlacementStyle::PolicyDecided => {
-                    profile.class() == WorkloadClass::Interference
-                }
+                PlacementStyle::PolicyDecided => profile.class() == WorkloadClass::Interference,
             };
             if force {
                 arrival = arrival.with_mode(random_mode);
@@ -125,8 +123,12 @@ mod tests {
         let schedule = build_schedule(&spec(), &catalog, PlacementStyle::RandomForced);
         assert!(schedule.iter().all(|a| a.forced_mode.is_some()));
         // Both modes appear.
-        assert!(schedule.iter().any(|a| a.forced_mode == Some(MemoryMode::Local)));
-        assert!(schedule.iter().any(|a| a.forced_mode == Some(MemoryMode::Remote)));
+        assert!(schedule
+            .iter()
+            .any(|a| a.forced_mode == Some(MemoryMode::Local)));
+        assert!(schedule
+            .iter()
+            .any(|a| a.forced_mode == Some(MemoryMode::Remote)));
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! performance models — and keep the datasets around for the accuracy
 //! benches.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use adrias_core::rng::SeedableRng;
+use adrias_core::rng::Xoshiro256pp;
 
 use adrias_orchestrator::AdriasPolicy;
 use adrias_predictor::{
@@ -152,9 +152,8 @@ pub fn train_stack(catalog: &WorkloadCatalog, opts: &StackOptions) -> TrainedSta
     };
     let traces = collect_traces(opts.testbed, &trace_catalog, &opts.corpus, opts.threads);
 
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let system_ds =
-        SystemStateDataset::from_traces(&traces.system_traces(), opts.system_stride_s);
+    let mut rng = Xoshiro256pp::seed_from_u64(opts.seed);
+    let system_ds = SystemStateDataset::from_traces(&traces.system_traces(), opts.system_stride_s);
     let (sys_train, sys_test) = system_ds.split(opts.train_frac, &mut rng);
     let mut system_model = SystemStateModel::new(opts.system_cfg);
     system_model.train(&sys_train);
@@ -213,7 +212,7 @@ mod tests {
         assert!(stack.lc_model.is_trained());
         assert_eq!(stack.signatures.len(), 19, "17 Spark + 2 LC signatures");
         assert!(!stack.traces.is_empty());
-        assert!(stack.be_split.0.len() > 0);
+        assert!(!stack.be_split.0.is_empty());
 
         let policy = stack.policy(0.8, 5.0);
         assert_eq!(policy.beta(), 0.8);

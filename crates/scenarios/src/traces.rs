@@ -1,7 +1,6 @@
 //! Trace collection: the offline data-acquisition phase (§V-B1).
 
-use crossbeam::thread;
-
+use adrias_core::thread::map_chunks;
 use adrias_orchestrator::engine::{run_schedule, EngineConfig, RunReport};
 use adrias_orchestrator::RandomPolicy;
 use adrias_predictor::dataset::{PerfRecord, HISTORY_S};
@@ -58,8 +57,7 @@ impl TraceBundle {
                 let Some(history) = report.history_before(o.arrived_s, HISTORY_S) else {
                     continue;
                 };
-                let Some(future_120) = report.mean_between(o.arrived_s, o.arrived_s + 120.0)
-                else {
+                let Some(future_120) = report.mean_between(o.arrived_s, o.arrived_s + 120.0) else {
                     continue;
                 };
                 let Some(future_exec) = report.mean_between(o.arrived_s, o.finished_s) else {
@@ -102,35 +100,20 @@ pub fn collect_traces(
 ) -> TraceBundle {
     assert!(!specs.is_empty(), "no scenarios to collect");
     assert!(threads > 0, "need at least one worker thread");
-    let reports: Vec<RunReport> = thread::scope(|scope| {
-        let chunks: Vec<&[ScenarioSpec]> =
-            specs.chunks(specs.len().div_ceil(threads)).collect();
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                scope.spawn(move |_| {
-                    chunk
-                        .iter()
-                        .map(|spec| {
-                            let schedule =
-                                build_schedule(spec, catalog, PlacementStyle::RandomForced);
-                            let engine = EngineConfig {
-                                seed: spec.seed ^ 0xE6E,
-                                ..EngineConfig::default()
-                            };
-                            let mut policy = RandomPolicy::new(spec.seed);
-                            run_schedule(testbed_cfg, engine, &schedule, &mut policy)
-                        })
-                        .collect::<Vec<_>>()
-                })
+    let reports: Vec<RunReport> = map_chunks(specs, threads, |chunk| {
+        chunk
+            .iter()
+            .map(|spec| {
+                let schedule = build_schedule(spec, catalog, PlacementStyle::RandomForced);
+                let engine = EngineConfig {
+                    seed: spec.seed ^ 0xE6E,
+                    ..EngineConfig::default()
+                };
+                let mut policy = RandomPolicy::new(spec.seed);
+                run_schedule(testbed_cfg, engine, &schedule, &mut policy)
             })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("trace worker panicked"))
             .collect()
-    })
-    .expect("trace collection scope");
+    });
     TraceBundle::new(reports)
 }
 

@@ -57,11 +57,10 @@ pub fn slowdown(profile: &WorkloadProfile, mode: MemoryMode, p: &ResourcePressur
         MemoryMode::Local => local_term,
         MemoryMode::Remote => {
             let latency_ratio = (p.link_latency_cycles / 350.0).max(1.0) - 1.0;
-            let overload = (p.link_utilization - LINK_OVERLOAD_ONSET)
-                .max(0.0)
-                .min(LINK_OVERLOAD_CAP);
+            let overload = (p.link_utilization - LINK_OVERLOAD_ONSET).clamp(0.0, LINK_OVERLOAD_CAP);
             let link_term = 1.0
-                + s.mem_bw * (LINK_LATENCY_WEIGHT * latency_ratio + LINK_OVERLOAD_WEIGHT * overload);
+                + s.mem_bw
+                    * (LINK_LATENCY_WEIGHT * latency_ratio + LINK_OVERLOAD_WEIGHT * overload);
             let stacking_term = if profile.stacking() {
                 1.0 + STACKING_WEIGHT * (s.cpu * p.cpu + s.l2 * p.l2)
             } else {
@@ -126,8 +125,18 @@ mod tests {
         // With 16 memBw stressors co-located in the same mode, the
         // remote-vs-local gap must exceed the isolated penalty by a lot.
         let app = spark::by_name("lr").unwrap();
-        let p_local = pressure_with(16, IbenchKind::MemBw, MemoryMode::Local, Some((&app, MemoryMode::Local)));
-        let p_remote = pressure_with(16, IbenchKind::MemBw, MemoryMode::Remote, Some((&app, MemoryMode::Remote)));
+        let p_local = pressure_with(
+            16,
+            IbenchKind::MemBw,
+            MemoryMode::Local,
+            Some((&app, MemoryMode::Local)),
+        );
+        let p_remote = pressure_with(
+            16,
+            IbenchKind::MemBw,
+            MemoryMode::Remote,
+            Some((&app, MemoryMode::Remote)),
+        );
         let sd_local = slowdown(&app, MemoryMode::Local, &p_local);
         let sd_remote = slowdown(&app, MemoryMode::Remote, &p_remote);
         let gap = sd_remote / sd_local;
@@ -141,8 +150,18 @@ mod tests {
     #[test]
     fn light_interference_keeps_gap_near_penalty() {
         let app = spark::by_name("terasort").unwrap();
-        let p_local = pressure_with(1, IbenchKind::MemBw, MemoryMode::Local, Some((&app, MemoryMode::Local)));
-        let p_remote = pressure_with(1, IbenchKind::MemBw, MemoryMode::Remote, Some((&app, MemoryMode::Remote)));
+        let p_local = pressure_with(
+            1,
+            IbenchKind::MemBw,
+            MemoryMode::Local,
+            Some((&app, MemoryMode::Local)),
+        );
+        let p_remote = pressure_with(
+            1,
+            IbenchKind::MemBw,
+            MemoryMode::Remote,
+            Some((&app, MemoryMode::Remote)),
+        );
         let gap = slowdown(&app, MemoryMode::Remote, &p_remote)
             / slowdown(&app, MemoryMode::Local, &p_local);
         assert!(

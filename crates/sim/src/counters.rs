@@ -5,7 +5,7 @@
 //! and the current [`ResourcePressure`], with a small multiplicative
 //! noise to mimic measurement jitter.
 
-use rand::Rng;
+use adrias_core::rng::Rng;
 
 use adrias_telemetry::{dist, Metric, MetricSample, MetricVec};
 use adrias_workloads::{MemoryMode, WorkloadProfile};
@@ -83,12 +83,12 @@ pub fn sample<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adrias_core::rng::SeedableRng;
+    use adrias_core::rng::Xoshiro256pp;
     use adrias_workloads::{ibench, spark, IbenchKind};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(7)
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(7)
     }
 
     fn sample_for(
@@ -163,7 +163,10 @@ mod tests {
         let mut cfg = TestbedConfig::paper();
         cfg.noise_rel_std = 0.05;
         let app = spark::by_name("kmeans").unwrap();
-        let noiseless = sample_for(&[(app.clone(), MemoryMode::Local)], &TestbedConfig::noiseless());
+        let noiseless = sample_for(
+            &[(app.clone(), MemoryMode::Local)],
+            &TestbedConfig::noiseless(),
+        );
         let noisy = sample_for(&[(app, MemoryMode::Local)], &cfg);
         let rel = (noisy.get(Metric::LlcLoads) - noiseless.get(Metric::LlcLoads)).abs()
             / noiseless.get(Metric::LlcLoads);

@@ -186,7 +186,11 @@ mod tests {
             .collect();
         let refs: Vec<_> = pairs.iter().map(|(w, m)| (w, *m)).collect();
         let p = ResourcePressure::compute(&cfg(), &refs);
-        assert!(p.llc > 1.0, "16 LLC stressors should pressure the LLC: {}", p.llc);
+        assert!(
+            p.llc > 1.0,
+            "16 LLC stressors should pressure the LLC: {}",
+            p.llc
+        );
         assert!(p.cpu < 0.2, "LLC stressors are CPU-light");
     }
 
@@ -194,7 +198,9 @@ mod tests {
     fn remote_membw_stressors_saturate_link_per_r1_r2() {
         let stressor = ibench::profile(IbenchKind::MemBw);
         for (n, saturated) in [(1usize, false), (4, false), (8, true), (32, true)] {
-            let pairs: Vec<_> = (0..n).map(|_| (stressor.clone(), MemoryMode::Remote)).collect();
+            let pairs: Vec<_> = (0..n)
+                .map(|_| (stressor.clone(), MemoryMode::Remote))
+                .collect();
             let refs: Vec<_> = pairs.iter().map(|(w, m)| (w, *m)).collect();
             let p = ResourcePressure::compute(&cfg(), &refs);
             if saturated {
@@ -217,7 +223,9 @@ mod tests {
     #[test]
     fn local_stressors_do_not_touch_link() {
         let stressor = ibench::profile(IbenchKind::MemBw);
-        let pairs: Vec<_> = (0..16).map(|_| (stressor.clone(), MemoryMode::Local)).collect();
+        let pairs: Vec<_> = (0..16)
+            .map(|_| (stressor.clone(), MemoryMode::Local))
+            .collect();
         let refs: Vec<_> = pairs.iter().map(|(w, m)| (w, *m)).collect();
         let p = ResourcePressure::compute(&cfg(), &refs);
         assert_eq!(p.link_utilization, 0.0);
@@ -227,7 +235,9 @@ mod tests {
     #[test]
     fn remote_traffic_shows_up_locally_per_r3() {
         let stressor = ibench::profile(IbenchKind::MemBw);
-        let pairs: Vec<_> = (0..8).map(|_| (stressor.clone(), MemoryMode::Remote)).collect();
+        let pairs: Vec<_> = (0..8)
+            .map(|_| (stressor.clone(), MemoryMode::Remote))
+            .collect();
         let refs: Vec<_> = pairs.iter().map(|(w, m)| (w, *m)).collect();
         let p = ResourcePressure::compute(&cfg(), &refs);
         assert!(
@@ -248,7 +258,9 @@ mod tests {
     #[test]
     fn pressures_are_capped() {
         let stressor = ibench::profile(IbenchKind::Llc);
-        let pairs: Vec<_> = (0..500).map(|_| (stressor.clone(), MemoryMode::Local)).collect();
+        let pairs: Vec<_> = (0..500)
+            .map(|_| (stressor.clone(), MemoryMode::Local))
+            .collect();
         let refs: Vec<_> = pairs.iter().map(|(w, m)| (w, *m)).collect();
         let p = ResourcePressure::compute(&cfg(), &refs);
         assert!(p.llc <= 4.0 + 1e-6);

@@ -3,8 +3,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use adrias_core::rng::SeedableRng;
+use adrias_core::rng::Xoshiro256pp;
 
 use adrias_telemetry::MetricSample;
 use adrias_workloads::{LatencyEnv, MemoryMode, WorkloadClass, WorkloadProfile};
@@ -197,7 +197,7 @@ pub struct Testbed {
     time_s: f64,
     next_id: u64,
     resident: BTreeMap<DeploymentId, Deployment>,
-    rng: StdRng,
+    rng: Xoshiro256pp,
     link_bytes_total: f64,
 }
 
@@ -212,7 +212,7 @@ impl Testbed {
             time_s: 0.0,
             next_id: 0,
             resident: BTreeMap::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256pp::seed_from_u64(seed),
             link_bytes_total: 0.0,
         }
     }
@@ -346,7 +346,11 @@ impl Testbed {
             if d.work_done_s >= f64::from(d.duration_s) {
                 // Interpolate the in-step completion instant.
                 let need = f64::from(d.duration_s) - before;
-                let frac = if rate > 0.0 { (need / rate).clamp(0.0, 1.0) } else { 1.0 };
+                let frac = if rate > 0.0 {
+                    (need / rate).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
                 let finished_s = step_start + frac * Self::STEP_S;
                 finished.push(CompletedApp {
                     id: d.id,

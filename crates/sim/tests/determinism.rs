@@ -40,7 +40,11 @@ fn different_seeds_only_perturb_noise() {
             }
         }
     };
-    assert_eq!(run(1), run(2), "completion time must not depend on noise seed");
+    assert_eq!(
+        run(1),
+        run(2),
+        "completion time must not depend on noise seed"
+    );
 }
 
 #[test]

@@ -1,19 +1,19 @@
 //! Seeded samplers for the distributions used by the simulator.
 //!
-//! The allowed dependency set includes `rand` but not `rand_distr`, so the
+//! The in-tree `adrias_core::rng` provides only uniform draws, so the
 //! handful of continuous distributions the workload and interconnect
 //! models need (normal, lognormal, exponential) are implemented here via
 //! standard transforms (Box–Muller, inverse CDF).
 
-use rand::Rng;
+use adrias_core::rng::Rng;
 
 /// Samples a standard normal deviate via the Box–Muller transform.
 ///
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// use adrias_core::rng::SeedableRng;
+/// let mut rng = adrias_core::rng::Xoshiro256pp::seed_from_u64(7);
 /// let z = adrias_telemetry::dist::standard_normal(&mut rng);
 /// assert!(z.is_finite());
 /// ```
@@ -72,17 +72,17 @@ pub fn noise_factor<R: Rng + ?Sized>(rng: &mut R, rel_std: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use adrias_core::rng::SeedableRng;
+    use adrias_core::rng::Xoshiro256pp;
 
-    fn sample_n(f: impl Fn(&mut StdRng) -> f64, n: usize) -> Vec<f64> {
-        let mut rng = StdRng::seed_from_u64(42);
+    fn sample_n(f: impl Fn(&mut Xoshiro256pp) -> f64, n: usize) -> Vec<f64> {
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
         (0..n).map(|_| f(&mut rng)).collect()
     }
 
     #[test]
     fn standard_normal_has_zero_mean_unit_var() {
-        let xs = sample_n(|r| standard_normal(r), 20_000);
+        let xs = sample_n(standard_normal, 20_000);
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
         assert!(mean.abs() < 0.03, "mean drifted: {mean}");
@@ -120,15 +120,15 @@ mod tests {
 
     #[test]
     fn samplers_are_deterministic_per_seed() {
-        let a = sample_n(|r| standard_normal(r), 10);
-        let b = sample_n(|r| standard_normal(r), 10);
+        let a = sample_n(standard_normal, 10);
+        let b = sample_n(standard_normal, 10);
         assert_eq!(a, b);
     }
 
     #[test]
     #[should_panic(expected = "rate must be positive")]
     fn exponential_rejects_zero_rate() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
         let _ = exponential(&mut rng, 0.0);
     }
 }

@@ -4,7 +4,7 @@
 //! random interval drawn uniformly from `{5, X}` seconds, with `X`
 //! ranging from 20 (heavily congested) to 60 (relaxed) — §V-B1.
 
-use rand::Rng;
+use adrias_core::rng::Rng;
 
 /// A uniform-interval arrival process.
 ///
@@ -12,9 +12,9 @@ use rand::Rng;
 ///
 /// ```
 /// use adrias_workloads::ArrivalProcess;
-/// use rand::SeedableRng;
+/// use adrias_core::rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut rng = adrias_core::rng::Xoshiro256pp::seed_from_u64(3);
 /// let arrivals = ArrivalProcess::new(5.0, 40.0);
 /// let times = arrivals.times_until(300.0, &mut rng);
 /// assert!(!times.is_empty());
@@ -87,12 +87,12 @@ impl ArrivalProcess {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use adrias_core::rng::SeedableRng;
+    use adrias_core::rng::Xoshiro256pp;
 
     #[test]
     fn intervals_respect_bounds() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
         let p = ArrivalProcess::paper(20.0);
         for _ in 0..1000 {
             let dt = p.next_interval(&mut rng);
@@ -102,7 +102,7 @@ mod tests {
 
     #[test]
     fn heavy_scenarios_spawn_more_apps() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
         let heavy = ArrivalProcess::paper(20.0).times_until(3600.0, &mut rng);
         let relaxed = ArrivalProcess::paper(60.0).times_until(3600.0, &mut rng);
         assert!(
@@ -122,7 +122,7 @@ mod tests {
 
     #[test]
     fn times_are_sorted_and_bounded() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let times = ArrivalProcess::paper(30.0).times_until(600.0, &mut rng);
         assert!(times.windows(2).all(|w| w[0] < w[1]));
         assert!(times.iter().all(|&t| t < 600.0));

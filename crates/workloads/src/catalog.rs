@@ -1,6 +1,6 @@
 //! The workload catalog used by scenario generation.
 
-use rand::Rng;
+use adrias_core::rng::Rng;
 
 use crate::ibench;
 use crate::keyvalue;
@@ -119,8 +119,8 @@ impl Default for WorkloadCatalog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use adrias_core::rng::SeedableRng;
+    use adrias_core::rng::Xoshiro256pp;
 
     #[test]
     fn paper_catalog_composition() {
@@ -142,7 +142,7 @@ mod tests {
     #[test]
     fn pick_visits_every_entry_eventually() {
         let c = WorkloadCatalog::paper();
-        let mut rng = StdRng::seed_from_u64(17);
+        let mut rng = Xoshiro256pp::seed_from_u64(17);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..2000 {
             seen.insert(c.pick(&mut rng).name().to_owned());
@@ -153,9 +153,11 @@ mod tests {
     #[test]
     fn pick_class_respects_class() {
         let c = WorkloadCatalog::paper();
-        let mut rng = StdRng::seed_from_u64(23);
+        let mut rng = Xoshiro256pp::seed_from_u64(23);
         for _ in 0..100 {
-            let w = c.pick_class(WorkloadClass::LatencyCritical, &mut rng).unwrap();
+            let w = c
+                .pick_class(WorkloadClass::LatencyCritical, &mut rng)
+                .unwrap();
             assert!(w.is_latency_critical());
         }
         let empty = WorkloadCatalog::from_profiles(Vec::new());
@@ -168,7 +170,7 @@ mod tests {
     #[should_panic(expected = "catalog is empty")]
     fn pick_from_empty_panics() {
         let empty = WorkloadCatalog::from_profiles(Vec::new());
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let _ = empty.pick(&mut rng);
     }
 }

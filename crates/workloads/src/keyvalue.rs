@@ -13,7 +13,7 @@
 //!   and remote are nearly identical in isolation, but remote collapses
 //!   once the channel saturates.
 
-use rand::Rng;
+use adrias_core::rng::Rng;
 
 use adrias_telemetry::dist;
 use adrias_telemetry::stats;
@@ -251,9 +251,9 @@ fn load_inflation(load: &LoadSpec, degradation: f32) -> f32 {
 /// ```
 /// use adrias_workloads::keyvalue::{redis, sample_latencies};
 /// use adrias_workloads::{LatencyEnv, LoadSpec, MemoryMode};
-/// use rand::SeedableRng;
+/// use adrias_core::rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = adrias_core::rng::Xoshiro256pp::seed_from_u64(1);
 /// let lat = sample_latencies(
 ///     &redis(),
 ///     &LoadSpec::default(),
@@ -322,11 +322,11 @@ pub fn tail_latency<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use adrias_core::rng::SeedableRng;
+    use adrias_core::rng::Xoshiro256pp;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(0xAD41A5)
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(0xAD41A5)
     }
 
     #[test]

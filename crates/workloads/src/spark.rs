@@ -309,10 +309,7 @@ mod tests {
         let suite = suite();
         assert_eq!(suite.len(), 17);
         for name in APP_NAMES {
-            assert!(
-                suite.iter().any(|w| w.name() == name),
-                "missing app {name}"
-            );
+            assert!(suite.iter().any(|w| w.name() == name), "missing app {name}");
         }
     }
 
@@ -335,8 +332,7 @@ mod tests {
     #[test]
     fn suite_average_penalty_is_about_twenty_percent() {
         let suite = suite();
-        let mean: f32 =
-            suite.iter().map(|w| w.remote_penalty()).sum::<f32>() / suite.len() as f32;
+        let mean: f32 = suite.iter().map(|w| w.remote_penalty()).sum::<f32>() / suite.len() as f32;
         assert!(
             (1.12..=1.35).contains(&mean),
             "suite mean penalty {mean} outside the 20%-ish band"

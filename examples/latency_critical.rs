@@ -10,6 +10,7 @@ use adrias::scenarios::{run_comparison, scaled_corpus, train_stack, StackOptions
 use adrias::sim::TestbedConfig;
 use adrias::workloads::{MemoryMode, WorkloadCatalog, WorkloadClass};
 
+#[allow(clippy::large_enum_variant)]
 enum Compared {
     Adrias(adrias::orchestrator::AdriasPolicy),
     Random(RandomPolicy),

@@ -56,7 +56,10 @@ fn main() {
         &mut policy,
     );
 
-    println!("{:<12} {:>8} {:>12} {:>12}", "app", "mode", "runtime[s]", "p99[ms]");
+    println!(
+        "{:<12} {:>8} {:>12} {:>12}",
+        "app", "mode", "runtime[s]", "p99[ms]"
+    );
     for o in &report.outcomes {
         println!(
             "{:<12} {:>8} {:>12.1} {:>12}",

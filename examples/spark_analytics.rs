@@ -15,6 +15,7 @@ use adrias::telemetry::stats;
 use adrias::workloads::{MemoryMode, WorkloadCatalog};
 
 /// Wrapper unifying the compared policies under one type.
+#[allow(clippy::large_enum_variant)]
 enum Compared {
     Adrias(adrias::orchestrator::AdriasPolicy),
     Random(RandomPolicy),

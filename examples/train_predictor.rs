@@ -23,7 +23,10 @@ fn main() {
     for (metric, report) in &per_metric {
         println!("{:<10} {:>8.4}", metric.to_string(), report.r2);
     }
-    println!("{:<10} {:>8.4}  (paper avg: 0.9932)\n", "overall", overall.r2);
+    println!(
+        "{:<10} {:>8.4}  (paper avg: 0.9932)\n",
+        "overall", overall.r2
+    );
 
     println!("BE performance model (Fig. 13):");
     let (be_train, be_test) = &stack.be_split;
@@ -38,8 +41,7 @@ fn main() {
     );
 
     if let Some((_, lc_test)) = &stack.lc_split {
-        let lc_hats =
-            SHatSource::Propagated.materialize(lc_test, Some(&mut stack.system_model));
+        let lc_hats = SHatSource::Propagated.materialize(lc_test, Some(&mut stack.system_model));
         let lc_report = stack.lc_model.evaluate(lc_test, &lc_hats);
         println!(
             "LC performance model (Fig. 14): R2 = {:.3} (paper: ≈0.874), MAE = {:.2} ms",

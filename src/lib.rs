@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use adrias_core as core_util;
 pub use adrias_nn as nn;
 pub use adrias_orchestrator as orchestrator;
 pub use adrias_predictor as predictor;

@@ -43,7 +43,10 @@ fn r2_latency_regimes() {
     }
     let high = tb.step().pressure.link_latency_cycles;
     assert!(high > 800.0, "saturated latency {high}");
-    assert!(high / low > 1.8, "latency should roughly triple: {low} -> {high}");
+    assert!(
+        high / low > 1.8,
+        "latency should roughly triple: {low} -> {high}"
+    );
     drop(ids);
 }
 
@@ -177,7 +180,11 @@ fn r7_stacking_interference() {
         for mode in MemoryMode::BOTH {
             let mut tb = Testbed::new(TestbedConfig::noiseless(), 0);
             for _ in 0..90 {
-                tb.deploy_for(ibench::profile(IbenchKind::Cpu), MemoryMode::Local, 36_000.0);
+                tb.deploy_for(
+                    ibench::profile(IbenchKind::Cpu),
+                    MemoryMode::Local,
+                    36_000.0,
+                );
             }
             let id = tb.deploy(app.clone(), mode);
             let mut runtime = None;

@@ -7,6 +7,7 @@ use adrias::sim::TestbedConfig;
 use adrias::telemetry::stats;
 use adrias::workloads::{MemoryMode, WorkloadCatalog};
 
+#[allow(clippy::large_enum_variant)]
 enum AnyPolicy {
     Adrias(adrias::orchestrator::AdriasPolicy),
     Random(RandomPolicy),

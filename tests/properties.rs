@@ -1,6 +1,8 @@
-//! Property-based tests on cross-crate invariants.
+//! Property-based tests on cross-crate invariants, driven by the
+//! in-tree `adrias_core::prop` harness (deterministic seeds, shrink
+//! by halving).
 
-use proptest::prelude::*;
+use adrias_core::prop::prelude::*;
 
 use adrias::nn::Tensor;
 use adrias::orchestrator::qos_levels;
