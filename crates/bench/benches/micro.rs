@@ -1,11 +1,23 @@
 //! Micro-benchmarks for the hot paths: simulator stepping, LSTM
-//! training/inference and the full Adrias scheduling decision. Runs on
-//! the in-tree `adrias_core::bench` harness (median/p95 wall-clock).
+//! training/inference, the batched predictor engine and the full Adrias
+//! scheduling decision. Runs on the in-tree `adrias_core::bench` harness
+//! (median/p95 wall-clock).
+//!
+//! Environment knobs on top of the harness's own:
+//!
+//! * `ADRIAS_BENCH_FILTER` — substring filter on section names
+//!   (`testbed_step`, `lstm`, `nn_forward`, `train_step_workers`,
+//!   `adrias_decision`); unmatched sections are skipped entirely,
+//!   including their setup.
+//!
+//! The run always ends by writing `BENCH_nn.json` (the collected
+//! medians plus the derived batched-inference speedups) to the
+//! workspace root.
 
 use adrias_core::bench::{black_box, Harness};
 use adrias_core::rng::{SeedableRng, Xoshiro256pp};
 
-use adrias_nn::{Lstm, Tensor};
+use adrias_nn::{accumulate_minibatch, GradModel, Layer, Linear, Lstm, MseLoss, Tensor};
 use adrias_sim::{Testbed, TestbedConfig};
 use adrias_telemetry::{Metric, MetricVec};
 use adrias_workloads::{spark, MemoryMode, WorkloadCatalog};
@@ -83,9 +95,183 @@ fn bench_decision(h: &mut Harness) {
     });
 }
 
+/// The seed engine's forward data path, kept as the benchmark baseline:
+/// per-step `x @ W.T` projections that materialize the transposed weight
+/// every step, with per-gate `columns()` slices — exactly what
+/// `Lstm::forward_seq` did before the batched engine replaced it with
+/// once-per-sequence transposes, reused `matmul_into` buffers and a
+/// fused gate sweep.
+fn seed_lstm_last(w_ih: &Tensor, w_hh: &Tensor, bias: &Tensor, seq: &[Tensor]) -> Tensor {
+    let batch = seq[0].rows();
+    let h = w_hh.cols();
+    let mut h_prev = Tensor::zeros(batch, h);
+    let mut c_prev = Tensor::zeros(batch, h);
+    let sigmoid = |x: f32| 1.0 / (1.0 + (-x).exp());
+    for x in seq {
+        let z = {
+            let zx = x.matmul(&w_ih.transpose());
+            let zh = h_prev.matmul(&w_hh.transpose());
+            (&zx + &zh).add_row_broadcast(bias)
+        };
+        let i = z.columns(0, h).map(sigmoid);
+        let f = z.columns(h, 2 * h).map(sigmoid);
+        let g = z.columns(2 * h, 3 * h).map(f32::tanh);
+        let o = z.columns(3 * h, 4 * h).map(sigmoid);
+        let c = &(&f * &c_prev) + &(&i * &g);
+        let tanh_c = c.map(f32::tanh);
+        h_prev = &o * &tanh_c;
+        c_prev = c;
+    }
+    h_prev
+}
+
+/// Batched inference vs. the same work issued one sample at a time —
+/// once through the new kernels (isolating the batch-amortized dispatch
+/// and allocation overhead) and once through the seed engine's data path
+/// (the end-to-end engine-vs-engine comparison). The derived
+/// `batched_vs_seed_speedup_x` metric in `BENCH_nn.json` tracks the PR's
+/// speedup claim.
+fn bench_batched_forward(h: &mut Harness) {
+    const BATCH: usize = 32;
+    const SEQ: usize = 24;
+    let mut rng = Xoshiro256pp::seed_from_u64(9);
+    let mut lstm = Lstm::new(7, 32, &mut rng);
+    let mut readout = Linear::new(32, 7, &mut rng);
+
+    let mut lstm_params: Vec<Tensor> = Vec::new();
+    lstm.visit_params(&mut |p, _| lstm_params.push(p.clone()));
+    let (w_ih, w_hh, bias) = (
+        lstm_params[0].clone(),
+        lstm_params[1].clone(),
+        lstm_params[2].clone(),
+    );
+    let (ro_w, ro_b) = (readout.weight().clone(), readout.bias().clone());
+
+    let batched_seq: Vec<Tensor> = (0..SEQ)
+        .map(|_| adrias_nn::init::uniform(BATCH, 7, 1.0, &mut rng))
+        .collect();
+    // The identical samples, pre-sliced into batch-1 sequences.
+    let single_seqs: Vec<Vec<Tensor>> = (0..BATCH)
+        .map(|r| batched_seq.iter().map(|x| x.rows_slice(r, r + 1)).collect())
+        .collect();
+
+    h.bench_function("nn_forward_batched_b32", |b| {
+        b.iter(|| {
+            let h_last = lstm.forward_last(&batched_seq);
+            black_box(readout.forward(&h_last, false))
+        })
+    });
+    h.bench_function("nn_forward_per_sample_b32", |b| {
+        b.iter(|| {
+            for seq in &single_seqs {
+                let h_last = lstm.forward_last(seq);
+                black_box(readout.forward(&h_last, false));
+            }
+        })
+    });
+    h.bench_function("nn_forward_per_sample_seed_engine_b32", |b| {
+        b.iter(|| {
+            for seq in &single_seqs {
+                let h_last = seed_lstm_last(&w_ih, &w_hh, &bias, seq);
+                black_box(h_last.matmul(&ro_w.transpose()).add_row_broadcast(&ro_b));
+            }
+        })
+    });
+}
+
+/// A minimal [`GradModel`] for exercising the data-parallel trainer
+/// without dragging in the full predictor stack.
+#[derive(Clone)]
+struct ToyNet {
+    lin: Linear,
+}
+
+impl GradModel for ToyNet {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        self.lin.visit_params(f);
+    }
+}
+
+/// One deterministic minibatch accumulation at 1 vs. N workers. On a
+/// single-core runner the interesting number is the dispatch overhead;
+/// the loss trace is bit-identical either way.
+fn bench_worker_scaling(h: &mut Harness) {
+    const IN: usize = 16;
+    const OUT: usize = 4;
+    let mut rng = Xoshiro256pp::seed_from_u64(21);
+    let master = ToyNet {
+        lin: Linear::new(IN, OUT, &mut rng),
+    };
+    let data = adrias_nn::init::uniform(256, IN, 1.0, &mut rng);
+    let targets = adrias_nn::init::uniform(256, OUT, 1.0, &mut rng);
+    let batch: Vec<usize> = (0..64).collect();
+    let pass = |m: &mut ToyNet, _chunk: usize, idxs: &[usize]| -> f32 {
+        let x = Tensor::from_fn(idxs.len(), IN, |r, c| data.get(idxs[r], c));
+        let t = Tensor::from_fn(idxs.len(), OUT, |r, c| targets.get(idxs[r], c));
+        let pred = m.lin.forward(&x, true);
+        let mut loss = MseLoss::new();
+        let l = loss.forward(&pred, &t);
+        m.lin.backward(&loss.backward());
+        l
+    };
+    for workers in [1usize, 2] {
+        h.bench_function(&format!("train_step_workers_{workers}"), |b| {
+            b.iter(|| {
+                let mut m = master.clone();
+                black_box(accumulate_minibatch(&mut m, &batch, 8, workers, &pass))
+            })
+        });
+    }
+}
+
 fn main() {
+    let filter = std::env::var("ADRIAS_BENCH_FILTER").unwrap_or_default();
+    let enabled = |section: &str| filter.is_empty() || section.contains(filter.as_str());
+
     let mut h = Harness::new("micro");
-    bench_sim_step(&mut h);
-    bench_lstm(&mut h);
-    bench_decision(&mut h);
+    if enabled("testbed_step") {
+        bench_sim_step(&mut h);
+    }
+    if enabled("lstm") {
+        bench_lstm(&mut h);
+    }
+    if enabled("nn_forward") {
+        bench_batched_forward(&mut h);
+    }
+    if enabled("train_step_workers") {
+        bench_worker_scaling(&mut h);
+    }
+    if enabled("adrias_decision") {
+        bench_decision(&mut h);
+    }
+
+    let mut derived: Vec<(&str, f64)> = Vec::new();
+    if let (Some(per_sample), Some(batched)) = (
+        h.median_ns("nn_forward_per_sample_b32"),
+        h.median_ns("nn_forward_batched_b32"),
+    ) {
+        let speedup = per_sample / batched;
+        println!("  batched vs per-sample (same kernels): {speedup:.2}x");
+        derived.push(("batched_forward_speedup_x", speedup));
+    }
+    if let (Some(seed), Some(batched)) = (
+        h.median_ns("nn_forward_per_sample_seed_engine_b32"),
+        h.median_ns("nn_forward_batched_b32"),
+    ) {
+        let speedup = seed / batched;
+        println!("  batched vs seed engine path:          {speedup:.2}x");
+        derived.push(("batched_vs_seed_speedup_x", speedup));
+    }
+    if let (Some(w1), Some(w2)) = (
+        h.median_ns("train_step_workers_1"),
+        h.median_ns("train_step_workers_2"),
+    ) {
+        derived.push(("worker_dispatch_overhead_x", w2 / w1));
+    }
+
+    // `cargo bench` runs with the package directory as cwd; anchor the
+    // report at the workspace root so CI and humans find it in one place.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_nn.json");
+    h.write_json(&path, &derived).expect("write BENCH_nn.json");
+    println!("wrote {}", path.display());
 }

@@ -172,6 +172,62 @@ impl Harness {
     pub fn group(&self) -> &str {
         &self.group
     }
+
+    /// Median nanoseconds of a benchmark by name, if it ran.
+    pub fn median_ns(&self, name: &str) -> Option<f64> {
+        self.reports
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| r.median_ns)
+    }
+
+    /// Writes the collected reports as a small JSON document, e.g. for a
+    /// CI artifact. `derived` carries extra scalar metrics computed from
+    /// the reports (ratios, speedups) under a `"derived"` object.
+    pub fn write_json(
+        &self,
+        path: &std::path::Path,
+        derived: &[(&str, f64)],
+    ) -> std::io::Result<()> {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"group\": {},\n", json_string(&self.group)));
+        s.push_str("  \"benches\": [\n");
+        for (i, (name, r)) in self.reports.iter().enumerate() {
+            let sep = if i + 1 == self.reports.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"name\": {}, \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \
+                 \"iterations\": {}}}{sep}\n",
+                json_string(name),
+                r.median_ns,
+                r.p95_ns,
+                r.iterations
+            ));
+        }
+        s.push_str("  ],\n  \"derived\": {");
+        for (i, (name, value)) in derived.iter().enumerate() {
+            let sep = if i + 1 == derived.len() { "" } else { ", " };
+            s.push_str(&format!("{}: {value:.4}{sep}", json_string(name)));
+        }
+        s.push_str("}\n}\n");
+        std::fs::write(path, s)
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -218,6 +274,29 @@ mod tests {
             )
         });
         assert_eq!(h.reports().len(), 1);
+    }
+
+    #[test]
+    fn write_json_round_trips_reports() {
+        fast_env();
+        let mut h = Harness::new("jsontest");
+        h.bench_function("case", |b| b.iter(|| 1u64 + 1));
+        let path = std::env::temp_dir().join("adrias_bench_write_json_test.json");
+        h.write_json(&path, &[("speedup_x", 2.0)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(text.contains("\"group\": \"jsontest\""));
+        assert!(text.contains("\"name\": \"case\""));
+        assert!(text.contains("\"speedup_x\": 2.0000"));
+        assert!(h.median_ns("case").is_some());
+        assert!(h.median_ns("missing").is_none());
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\u000ay\"");
     }
 
     #[test]

@@ -31,8 +31,12 @@ where
     if items.is_empty() {
         return Vec::new();
     }
+    let chunk_len = items.len().div_ceil(threads);
+    if threads == 1 || chunk_len >= items.len() {
+        // Single chunk: run inline, no spawn overhead.
+        return f(items);
+    }
     scope(|s| {
-        let chunk_len = items.len().div_ceil(threads);
         let handles: Vec<ScopedJoinHandle<'_, Vec<R>>> = items
             .chunks(chunk_len)
             .map(|chunk| s.spawn(|| f(chunk)))

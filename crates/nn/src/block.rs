@@ -60,6 +60,13 @@ impl NonLinearBlock {
     pub fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
         self.norm.visit_buffers(f);
     }
+
+    /// Reseeds the dropout RNG (see [`Dropout::reseed`]); `salt`
+    /// distinguishes sibling blocks inside one model.
+    pub fn reseed_dropout(&mut self, seed: u64, salt: u64) {
+        self.dropout
+            .reseed(seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
 }
 
 impl Layer for NonLinearBlock {

@@ -20,6 +20,19 @@ pub fn xavier_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) ->
     Tensor::from_fn(rows, cols, |_, _| rng.gen_range(-a..=a))
 }
 
+/// A `1 × features` bias row initialized to a small positive constant.
+///
+/// Zero-initialized biases let an unlucky weight draw start every unit
+/// of a ReLU layer in the dead region (output and gradient both zero
+/// for the whole input range), which silently freezes tiny nets — seed
+/// 0 of the crate doctest used to hit exactly that. Starting at `0.01`
+/// guarantees a unit with any non-negative pre-activation input begins
+/// on the active side, while being small enough not to bias converged
+/// solutions.
+pub fn positive_bias(features: usize) -> Tensor {
+    Tensor::full(1, features, 0.01)
+}
+
 /// Uniform initialization in `U(-bound, bound)`, used for LSTM weights
 /// (PyTorch's default is `bound = 1/sqrt(hidden)`).
 pub fn uniform<R: Rng + ?Sized>(rows: usize, cols: usize, bound: f32, rng: &mut R) -> Tensor {
@@ -48,6 +61,13 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(2);
         let w = uniform(5, 5, 0.1, &mut rng);
         assert!(w.data().iter().all(|&v| v.abs() <= 0.1));
+    }
+
+    #[test]
+    fn positive_bias_is_small_and_positive() {
+        let b = positive_bias(8);
+        assert_eq!(b.shape(), (1, 8));
+        assert!(b.data().iter().all(|&v| v > 0.0 && v < 0.1));
     }
 
     #[test]

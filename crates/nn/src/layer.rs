@@ -60,10 +60,14 @@ pub struct Linear {
 
 impl Linear {
     /// Creates a layer mapping `in_features` to `out_features`.
+    ///
+    /// Weights are Xavier-uniform; biases start slightly positive (see
+    /// [`init::positive_bias`]) so units followed by a ReLU cannot all
+    /// start dead on unlucky seeds.
     pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
         Self {
             weight: init::xavier_uniform(out_features, in_features, rng),
-            bias: Tensor::zeros(1, out_features),
+            bias: init::positive_bias(out_features),
             grad_weight: Tensor::zeros(out_features, in_features),
             grad_bias: Tensor::zeros(1, out_features),
             cached_input: None,
@@ -102,7 +106,7 @@ impl Layer for Linear {
         );
         self.cached_input = Some(input.clone());
         input
-            .matmul(&self.weight.transpose())
+            .matmul_transb(&self.weight)
             .add_row_broadcast(&self.bias)
     }
 
@@ -111,9 +115,8 @@ impl Layer for Linear {
             .cached_input
             .as_ref()
             .expect("Linear::backward before forward");
-        // dW = dYᵀ · X, db = Σ dY, dX = dY · W
-        self.grad_weight
-            .add_assign(&grad_out.transpose().matmul(input));
+        // dW += dYᵀ · X, db += Σ dY, dX = dY · W
+        grad_out.matmul_transa_acc(input, &mut self.grad_weight);
         self.grad_bias.add_assign(&grad_out.sum_rows());
         grad_out.matmul(&self.weight)
     }
@@ -243,18 +246,23 @@ impl Layer for BatchNorm1d {
         } else {
             // Evaluation (or degenerate single-sample batch): use running
             // statistics and skip cache; backward through eval mode
-            // treats the normalization as a fixed affine map.
-            let out = Tensor::from_fn(n, d, |r, c| {
-                let inv = 1.0 / (self.running_var.get(0, c) + self.eps).sqrt();
-                self.gamma.get(0, c) * (input.get(r, c) - self.running_mean.get(0, c)) * inv
-                    + self.beta.get(0, c)
-            });
-            let inv_std = (0..d)
+            // treats the normalization as a fixed affine map. The
+            // per-feature `sqrt` terms are hoisted out of the row loop —
+            // each element sees the exact same values as before, so the
+            // output is bit-identical while a batch amortizes the
+            // transcendentals across its rows.
+            let inv_std: Vec<f32> = (0..d)
                 .map(|c| 1.0 / (self.running_var.get(0, c) + self.eps).sqrt())
                 .collect();
+            let std: Vec<f32> = (0..d)
+                .map(|c| (self.running_var.get(0, c) + self.eps).sqrt())
+                .collect();
+            let out = Tensor::from_fn(n, d, |r, c| {
+                self.gamma.get(0, c) * (input.get(r, c) - self.running_mean.get(0, c)) * inv_std[c]
+                    + self.beta.get(0, c)
+            });
             let x_hat = Tensor::from_fn(n, d, |r, c| {
-                (input.get(r, c) - self.running_mean.get(0, c))
-                    / (self.running_var.get(0, c) + self.eps).sqrt()
+                (input.get(r, c) - self.running_mean.get(0, c)) / std[c]
             });
             self.cache = Some(BnCache { x_hat, inv_std });
             out
@@ -327,6 +335,15 @@ impl Dropout {
     /// The drop probability.
     pub fn probability(&self) -> f32 {
         self.p
+    }
+
+    /// Resets the internal RNG to a fresh stream derived from `seed`.
+    ///
+    /// The data-parallel trainer reseeds dropout per gradient chunk so
+    /// the masks depend only on `(run seed, step, chunk)` — never on
+    /// which worker executed the chunk or how many workers exist.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = Xoshiro256pp::seed_from_u64(seed);
     }
 }
 

@@ -105,6 +105,16 @@ impl Lstm {
         assert!(!seq.is_empty(), "LSTM requires a non-empty sequence");
         let batch = seq[0].rows();
         let h = self.hidden_size;
+        let hw = 4 * h;
+        // Transpose the projection weights ONCE per sequence so every
+        // step runs the cache-blocked `matmul_into` kernel (contiguous
+        // inner loops over the 4H gate lanes) into reused buffers. The
+        // accumulation over `k` stays in increasing order, so every
+        // value is bit-identical to the per-step `matmul_transb` path.
+        let w_ih_t = self.w_ih.transpose(); // in × 4H
+        let w_hh_t = self.w_hh.transpose(); // H × 4H
+        let mut zx = Tensor::zeros(batch, hw);
+        let mut zh = Tensor::zeros(batch, hw);
         let mut h_prev = Tensor::zeros(batch, h);
         let mut c_prev = Tensor::zeros(batch, h);
         self.cache.clear();
@@ -118,30 +128,72 @@ impl Lstm {
                 x.cols()
             );
             assert_eq!(x.rows(), batch, "inconsistent batch size inside sequence");
-            let z = {
-                let zx = x.matmul(&self.w_ih.transpose());
-                let zh = h_prev.matmul(&self.w_hh.transpose());
-                (&zx + &zh).add_row_broadcast(&self.bias)
-            };
-            let i = z.columns(0, h).map(sigmoid);
-            let f = z.columns(h, 2 * h).map(sigmoid);
-            let g = z.columns(2 * h, 3 * h).map(f32::tanh);
-            let o = z.columns(3 * h, 4 * h).map(sigmoid);
-            let c = &(&f * &c_prev) + &(&i * &g);
-            let tanh_c = c.map(f32::tanh);
-            let h_t = &o * &tanh_c;
+            x.matmul_into(&w_ih_t, &mut zx);
+            h_prev.matmul_into(&w_hh_t, &mut zh);
+            // z = zx + zh + bias (row broadcast), fused in place into zx.
+            {
+                let bias = self.bias.data();
+                let zhd = zh.data();
+                let zxd = zx.data_mut();
+                for r in 0..batch {
+                    let row = &mut zxd[r * hw..(r + 1) * hw];
+                    let zh_row = &zhd[r * hw..(r + 1) * hw];
+                    for ((v, &w), &b) in row.iter_mut().zip(zh_row).zip(bias) {
+                        *v = (*v + w) + b;
+                    }
+                }
+            }
+            // Fused gate pass: one sweep computes every gate, the new
+            // cell state and the hidden output, element-for-element in
+            // the same order (and with the same expressions) as the
+            // tensor-op formulation.
+            let mut i_t = Tensor::zeros(batch, h);
+            let mut f_t = Tensor::zeros(batch, h);
+            let mut g_t = Tensor::zeros(batch, h);
+            let mut o_t = Tensor::zeros(batch, h);
+            let mut c_t = Tensor::zeros(batch, h);
+            let mut tanh_c_t = Tensor::zeros(batch, h);
+            let mut h_t = Tensor::zeros(batch, h);
+            for r in 0..batch {
+                let z_row = &zx.data()[r * hw..(r + 1) * hw];
+                let (zi, rest) = z_row.split_at(h);
+                let (zf, rest) = rest.split_at(h);
+                let (zg, zo) = rest.split_at(h);
+                let cp_row = &c_prev.data()[r * h..(r + 1) * h];
+                let span = r * h..(r + 1) * h;
+                let ir = &mut i_t.data_mut()[span.clone()];
+                let fr = &mut f_t.data_mut()[span.clone()];
+                let gr = &mut g_t.data_mut()[span.clone()];
+                let or_ = &mut o_t.data_mut()[span.clone()];
+                let cr = &mut c_t.data_mut()[span.clone()];
+                let tcr = &mut tanh_c_t.data_mut()[span.clone()];
+                let hr = &mut h_t.data_mut()[span];
+                for k in 0..h {
+                    let iv = sigmoid(zi[k]);
+                    let fv = sigmoid(zf[k]);
+                    let gv = zg[k].tanh();
+                    let ov = sigmoid(zo[k]);
+                    let cv = fv * cp_row[k] + iv * gv;
+                    let tc = cv.tanh();
+                    ir[k] = iv;
+                    fr[k] = fv;
+                    gr[k] = gv;
+                    or_[k] = ov;
+                    cr[k] = cv;
+                    tcr[k] = tc;
+                    hr[k] = ov * tc;
+                }
+            }
             self.cache.push(StepCache {
                 x: x.clone(),
-                h_prev: h_prev.clone(),
-                c_prev: c_prev.clone(),
-                i,
-                f,
-                g,
-                o,
-                tanh_c,
+                h_prev: std::mem::replace(&mut h_prev, h_t.clone()),
+                c_prev: std::mem::replace(&mut c_prev, c_t),
+                i: i_t,
+                f: f_t,
+                g: g_t,
+                o: o_t,
+                tanh_c: tanh_c_t,
             });
-            h_prev = h_t.clone();
-            c_prev = c;
             outputs.push(h_t);
         }
         outputs
@@ -200,9 +252,8 @@ impl Lstm {
             let dz_o = d_o.zip(&cache.o, |d, s| d * s * (1.0 - s));
             let dz = dz_i.hcat(&dz_f).hcat(&dz_g).hcat(&dz_o); // batch × 4H
                                                                // Parameter gradients.
-            self.grad_w_ih.add_assign(&dz.transpose().matmul(&cache.x));
-            self.grad_w_hh
-                .add_assign(&dz.transpose().matmul(&cache.h_prev));
+            dz.matmul_transa_acc(&cache.x, &mut self.grad_w_ih);
+            dz.matmul_transa_acc(&cache.h_prev, &mut self.grad_w_hh);
             self.grad_bias.add_assign(&dz.sum_rows());
             // Input and recurrent gradients.
             d_inputs[t] = dz.matmul(&self.w_ih);

@@ -3,6 +3,11 @@
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
 
+/// Cache-block edge for the matmul kernels. 32×32 f32 tiles (4 KiB per
+/// operand tile) keep the working set inside L1 while leaving the
+/// in-order `k` accumulation untouched.
+const BLOCK: usize = 32;
+
 /// A dense row-major matrix of `f32` values.
 ///
 /// This is deliberately small: just the operations the layers in this
@@ -150,26 +155,162 @@ impl Tensor {
     ///
     /// Panics if inner dimensions do not match.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix product `self @ other` written into `out`, reusing its
+    /// buffer (`out` is overwritten, and resized only if its shape does
+    /// not match).
+    ///
+    /// The kernel is cache-blocked over output tiles; each output
+    /// element is still accumulated over `k` in increasing order, so the
+    /// result is bit-identical to the naive triple loop and independent
+    /// of the blocking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions do not match.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Tensor::zeros(self.rows, other.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[r * self.cols + k];
+        let (m, kk, n) = (self.rows, self.cols, other.cols);
+        out.reshape_for(m, n);
+        out.data.iter_mut().for_each(|v| *v = 0.0);
+        // ikj with row blocking: B rows stay hot across a tile of A rows.
+        for r0 in (0..m).step_by(BLOCK) {
+            let r1 = (r0 + BLOCK).min(m);
+            for k0 in (0..kk).step_by(BLOCK) {
+                let k1 = (k0 + BLOCK).min(kk);
+                for r in r0..r1 {
+                    let a_row = &self.data[r * kk..(r + 1) * kk];
+                    let out_row = &mut out.data[r * n..(r + 1) * n];
+                    for (k, &a) in a_row.iter().enumerate().take(k1).skip(k0) {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_row = &other.data[k * n..(k + 1) * n];
+                        for (o, &b) in out_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Matrix product against a transposed right operand,
+    /// `self @ otherᵀ`, where `other` is stored row-major as `n × k`.
+    ///
+    /// This is the layout of every weight matrix in this crate
+    /// (`out_features × in_features`), so forward passes can consume the
+    /// weights directly instead of materializing `other.transpose()` on
+    /// every call. Both operands are walked row-contiguously.
+    pub fn matmul_transb(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        self.matmul_transb_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_transb`] into a reusable output buffer.
+    ///
+    /// Each output element is a dot product accumulated over `k` in
+    /// increasing order, so a batched call is bit-identical, row for
+    /// row, to per-sample (batch = 1) calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions (`self.cols` vs `other.cols`) do
+    /// not match.
+    pub fn matmul_transb_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transb shape mismatch: {}x{} @ ({}x{})T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, kk, n) = (self.rows, self.cols, other.rows);
+        out.reshape_for(m, n);
+        for r0 in (0..m).step_by(BLOCK) {
+            let r1 = (r0 + BLOCK).min(m);
+            for c0 in (0..n).step_by(BLOCK) {
+                let c1 = (c0 + BLOCK).min(n);
+                for r in r0..r1 {
+                    let a_row = &self.data[r * kk..(r + 1) * kk];
+                    for c in c0..c1 {
+                        let b_row = &other.data[c * kk..(c + 1) * kk];
+                        let mut acc = 0.0f32;
+                        for (&a, &b) in a_row.iter().zip(b_row) {
+                            acc += a * b;
+                        }
+                        out.data[r * n + c] = acc;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Accumulates `selfᵀ @ other` into `out` (`out += selfᵀ @ other`),
+    /// where `self` is `k × m` and `other` is `k × n`.
+    ///
+    /// This is the gradient-accumulation shape (`dW += dYᵀ · X`): both
+    /// operands are walked row-contiguously and no transpose is ever
+    /// materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ or `out` is not `m × n`.
+    pub fn matmul_transa_acc(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_transa shape mismatch: ({}x{})T @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            (self.cols, other.cols),
+            out.shape(),
+            "matmul_transa output must be {}x{}, got {:?}",
+            self.cols,
+            other.cols,
+            out.shape()
+        );
+        let (kk, m, n) = (self.rows, self.cols, other.cols);
+        for k in 0..kk {
+            let a_row = &self.data[k * m..(k + 1) * m];
+            let b_row = &other.data[k * n..(k + 1) * n];
+            for (r, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let out_row = &mut out.data[r * other.cols..(r + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(orow) {
+                let out_row = &mut out.data[r * n..(r + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
                 }
             }
         }
-        out
+    }
+
+    /// In-place scaled addition `self += factor · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled_assign(&mut self, other: &Tensor, factor: f32) {
+        self.assert_same_shape(other, "add_scaled_assign");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += factor * b;
+        }
+    }
+
+    /// Reuses the existing allocation for a `rows × cols` result,
+    /// growing it only when the target is larger than any prior use.
+    fn reshape_for(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Transpose.
@@ -403,6 +544,73 @@ mod tests {
         let a = Tensor::zeros(2, 3);
         let b = Tensor::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_matches() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let mut out = Tensor::full(5, 5, 9.9);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        // A second call into the same buffer must not see stale values.
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn matmul_transb_matches_explicit_transpose() {
+        let mut rng = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            (rng >> 40) as f32 / 1e6 - 8.0
+        };
+        // Odd sizes exercise partial tiles on every block edge.
+        let a = Tensor::from_fn(37, 45, |_, _| next());
+        let b = Tensor::from_fn(51, 45, |_, _| next());
+        assert_eq!(a.matmul_transb(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn matmul_blocking_is_bitwise_identical_per_row() {
+        // A batched product must equal per-row products bit for bit:
+        // the batched engine's parity guarantee rests on this.
+        let a = Tensor::from_fn(67, 33, |r, c| ((r * 31 + c * 7) % 13) as f32 * 0.37 - 1.0);
+        let b = Tensor::from_fn(41, 33, |r, c| ((r * 17 + c * 3) % 11) as f32 * 0.29 - 0.7);
+        let batched = a.matmul_transb(&b);
+        for r in 0..a.rows() {
+            let single = a.rows_slice(r, r + 1).matmul_transb(&b);
+            assert_eq!(single.data(), batched.row(r), "row {r} differs");
+        }
+    }
+
+    #[test]
+    fn matmul_transa_acc_accumulates_gradient_shape() {
+        let dy = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = Tensor::from_vec(2, 2, vec![7.0, 8.0, 9.0, 10.0]);
+        let mut grad = Tensor::full(3, 2, 1.0);
+        dy.matmul_transa_acc(&x, &mut grad);
+        let mut expected = dy.transpose().matmul(&x);
+        expected.add_assign(&Tensor::full(3, 2, 1.0));
+        assert_eq!(grad, expected);
+    }
+
+    #[test]
+    fn add_scaled_assign_matches_manual() {
+        let mut a = Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(1, 3, vec![10.0, 20.0, 30.0]);
+        a.add_scaled_assign(&b, 0.5);
+        assert_eq!(a.data(), &[6.0, 12.0, 18.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_transb shape mismatch")]
+    fn matmul_transb_rejects_bad_shapes() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 4);
+        let _ = a.matmul_transb(&b);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Batched vs per-sample parity for the forward and backward passes.
+//!
+//! The batched engine is only a *vectorization* of the per-sample maths:
+//! every kernel walks the reduction dimension in increasing order and
+//! never blocks over `k`, so a row of a batched output is the same `f32`
+//! sequence of operations as the corresponding batch-1 row.  These tests
+//! pin that contract to the PR's 1e-5 tolerance — and, where the
+//! implementation guarantees it, to bitwise equality.
+
+use adrias_core::rng::{Rng, SeedableRng, Xoshiro256pp};
+use adrias_nn::{Layer, Linear, Lstm, NonLinearBlock, Tensor};
+
+const TOL: f32 = 1e-5;
+
+fn random_tensor<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Tensor {
+    Tensor::from_fn(rows, cols, |_, _| rng.gen::<f32>() - 0.5)
+}
+
+fn assert_close(batched: &[f32], single: &[f32], what: &str) {
+    assert_eq!(batched.len(), single.len(), "{what}: length mismatch");
+    for (i, (&b, &s)) in batched.iter().zip(single).enumerate() {
+        assert!(
+            (b - s).abs() <= TOL,
+            "{what}: element {i} diverged: batched {b} vs per-sample {s}"
+        );
+    }
+}
+
+#[test]
+fn linear_forward_batched_matches_per_sample_bitwise() {
+    let mut rng = Xoshiro256pp::seed_from_u64(3);
+    let mut lin = Linear::new(6, 4, &mut rng);
+    let batch = random_tensor(9, 6, &mut rng);
+
+    let batched = lin.forward(&batch, false);
+    for r in 0..batch.rows() {
+        let one = lin.forward(&batch.rows_slice(r, r + 1), false);
+        assert_eq!(
+            batched.row(r),
+            one.data(),
+            "linear row {r} must be bit-identical to the batch-1 forward"
+        );
+    }
+}
+
+#[test]
+fn linear_backward_batched_matches_per_sample_accumulation() {
+    let mut rng = Xoshiro256pp::seed_from_u64(5);
+    let batch = random_tensor(7, 5, &mut rng);
+    let grad_out = random_tensor(7, 3, &mut rng);
+
+    // Batched: one forward/backward over the whole minibatch.
+    let mut batched = Linear::new(5, 3, &mut rng);
+    let mut per_sample = batched.clone();
+    batched.forward(&batch, false);
+    let dx_batched = batched.backward(&grad_out);
+
+    // Per-sample: accumulate the same gradients one row at a time.
+    let mut dx_rows = Vec::new();
+    for r in 0..batch.rows() {
+        per_sample.forward(&batch.rows_slice(r, r + 1), false);
+        dx_rows.push(per_sample.backward(&grad_out.rows_slice(r, r + 1)));
+    }
+
+    let mut grads_batched = Vec::new();
+    batched.visit_params(&mut |_, g| grads_batched.push(g.clone()));
+    let mut grads_single = Vec::new();
+    per_sample.visit_params(&mut |_, g| grads_single.push(g.clone()));
+    for (gb, gs) in grads_batched.iter().zip(&grads_single) {
+        assert_close(gb.data(), gs.data(), "linear parameter gradient");
+    }
+    for (r, dx) in dx_rows.iter().enumerate() {
+        assert_close(dx_batched.row(r), dx.data(), "linear input gradient");
+    }
+}
+
+#[test]
+fn lstm_forward_batched_matches_per_sample() {
+    let mut rng = Xoshiro256pp::seed_from_u64(17);
+    let mut lstm = Lstm::new(4, 6, &mut rng);
+    let seq: Vec<Tensor> = (0..5).map(|_| random_tensor(8, 4, &mut rng)).collect();
+
+    let batched = lstm.forward_last(&seq);
+    for r in 0..batched.rows() {
+        let one_seq: Vec<Tensor> = seq.iter().map(|x| x.rows_slice(r, r + 1)).collect();
+        let one = lstm.forward_last(&one_seq);
+        assert_close(batched.row(r), one.data(), "lstm hidden state");
+    }
+}
+
+#[test]
+fn lstm_backward_batched_matches_per_sample_accumulation() {
+    let mut rng = Xoshiro256pp::seed_from_u64(19);
+    let seq: Vec<Tensor> = (0..4).map(|_| random_tensor(6, 3, &mut rng)).collect();
+    let grad_last = random_tensor(6, 5, &mut rng);
+
+    let mut batched = Lstm::new(3, 5, &mut rng);
+    let mut per_sample = batched.clone();
+
+    batched.forward_last(&seq);
+    batched.backward_last(&grad_last);
+
+    for r in 0..grad_last.rows() {
+        let one_seq: Vec<Tensor> = seq.iter().map(|x| x.rows_slice(r, r + 1)).collect();
+        per_sample.forward_last(&one_seq);
+        per_sample.backward_last(&grad_last.rows_slice(r, r + 1));
+    }
+
+    let mut grads_batched = Vec::new();
+    batched.visit_params(&mut |_, g| grads_batched.push(g.clone()));
+    let mut grads_single = Vec::new();
+    per_sample.visit_params(&mut |_, g| grads_single.push(g.clone()));
+    for (gb, gs) in grads_batched.iter().zip(&grads_single) {
+        assert_close(gb.data(), gs.data(), "lstm parameter gradient");
+    }
+}
+
+#[test]
+fn nonlinear_block_eval_forward_batched_matches_per_sample_bitwise() {
+    // The full block (Linear → ReLU → BatchNorm → Dropout) in eval mode:
+    // batch-norm uses running statistics and dropout is the identity, so
+    // every row is computed independently and parity is exact.
+    let mut rng = Xoshiro256pp::seed_from_u64(23);
+    let mut block = NonLinearBlock::new(5, 7, 0.1, &mut rng);
+    // Warm the running statistics so eval mode is non-trivial.
+    let warm = random_tensor(16, 5, &mut rng);
+    block.forward(&warm, true);
+
+    let batch = random_tensor(6, 5, &mut rng);
+    let batched = block.forward(&batch, false);
+    for r in 0..batch.rows() {
+        let one = block.forward(&batch.rows_slice(r, r + 1), false);
+        assert_eq!(
+            batched.row(r),
+            one.data(),
+            "block row {r} must be bit-identical to the batch-1 forward"
+        );
+    }
+}

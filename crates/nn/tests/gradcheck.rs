@@ -1,0 +1,177 @@
+//! Finite-difference gradient checks for the analytic backward passes.
+//!
+//! Every parameter of the smooth network paths — the dense layer under an
+//! MSE head, the LSTM cell (all four gates live in the concatenated
+//! `w_ih`/`w_hh`/`bias` blocks) and the loss backward itself — is verified
+//! against central differences.  ReLU, train-mode batch-norm and dropout
+//! are deliberately excluded: their kinks and stochastic masks make finite
+//! differences meaningless.
+//!
+//! The numeric derivative accumulates the loss in `f64` (on top of the
+//! `f32` forward) so the subtraction `L(θ+ε) − L(θ−ε)` is not drowned by
+//! summation round-off.
+
+use adrias_core::rng::{Rng, SeedableRng, Xoshiro256pp};
+use adrias_nn::{Layer, Linear, Lstm, MseLoss, Tensor};
+
+/// Central-difference step. Large enough to dominate `f32` forward
+/// round-off, small enough that the `O(ε²)` curvature term stays below
+/// the tolerance.
+const EPS: f32 = 1e-2;
+/// Required relative accuracy on every parameter.
+const TOL: f64 = 1e-3;
+/// Gradients smaller than this are compared absolutely (against
+/// `TOL * FLOOR`) instead of relatively.
+const FLOOR: f64 = 0.05;
+
+fn rel_err(analytic: f64, numeric: f64) -> f64 {
+    (analytic - numeric).abs() / analytic.abs().max(numeric.abs()).max(FLOOR)
+}
+
+/// Mean squared error accumulated in `f64`.
+fn f64_mse(pred: &Tensor, target: &Tensor) -> f64 {
+    let n = pred.len() as f64;
+    pred.data()
+        .iter()
+        .zip(target.data())
+        .map(|(&p, &t)| {
+            let d = f64::from(p) - f64::from(t);
+            d * d
+        })
+        .sum::<f64>()
+        / n
+}
+
+fn random_tensor<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Tensor {
+    Tensor::from_fn(rows, cols, |_, _| rng.gen::<f32>() - 0.5)
+}
+
+/// A visitor over a model's `(param, grad)` tensor pairs.
+type ParamVisitor<'a, M> = &'a dyn Fn(&mut M, &mut dyn FnMut(&mut Tensor, &mut Tensor));
+
+/// Checks every parameter element of `model` against central differences.
+///
+/// * `visit` exposes the model's `(param, grad)` pairs;
+/// * `run` performs forward + backward (populating analytic gradients) and
+///   returns the `f64` loss;
+/// * `eval` performs a forward pass only and returns the `f64` loss.
+fn check_all_params<M: Clone>(
+    model: &mut M,
+    visit: ParamVisitor<'_, M>,
+    run: &dyn Fn(&mut M) -> f64,
+    eval: &dyn Fn(&mut M) -> f64,
+    label: &str,
+) {
+    visit(model, &mut |_, g| g.scale_assign(0.0));
+    run(model);
+
+    let mut analytic: Vec<Tensor> = Vec::new();
+    visit(model, &mut |_, g| analytic.push(g.clone()));
+
+    let mut checked = 0usize;
+    for (tensor_idx, grad) in analytic.iter().enumerate() {
+        for elem_idx in 0..grad.len() {
+            let numeric = {
+                let mut losses = [0.0f64; 2];
+                for (side, delta) in [EPS, -EPS].into_iter().enumerate() {
+                    let mut probe = model.clone();
+                    let mut seen = 0usize;
+                    visit(&mut probe, &mut |p, _| {
+                        if seen == tensor_idx {
+                            p.data_mut()[elem_idx] += delta;
+                        }
+                        seen += 1;
+                    });
+                    losses[side] = eval(&mut probe);
+                }
+                (losses[0] - losses[1]) / (2.0 * f64::from(EPS))
+            };
+            let a = f64::from(grad.data()[elem_idx]);
+            let err = rel_err(a, numeric);
+            assert!(
+                err < TOL,
+                "{label}: param tensor {tensor_idx} element {elem_idx}: \
+                 analytic {a:.6e} vs numeric {numeric:.6e} (rel err {err:.3e})"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "{label}: no parameters visited");
+}
+
+#[test]
+fn dense_layer_gradients_match_central_differences() {
+    let mut rng = Xoshiro256pp::seed_from_u64(7);
+    let mut lin = Linear::new(4, 3, &mut rng);
+    let x = random_tensor(5, 4, &mut rng);
+    let t = random_tensor(5, 3, &mut rng);
+
+    let run = {
+        let (x, t) = (x.clone(), t.clone());
+        move |m: &mut Linear| -> f64 {
+            let pred = m.forward(&x, false);
+            let mut loss = MseLoss::new();
+            loss.forward(&pred, &t);
+            m.backward(&loss.backward());
+            f64_mse(&pred, &t)
+        }
+    };
+    let eval = {
+        let (x, t) = (x.clone(), t.clone());
+        move |m: &mut Linear| -> f64 { f64_mse(&m.forward(&x, false), &t) }
+    };
+    check_all_params(&mut lin, &|m, f| m.visit_params(f), &run, &eval, "dense");
+}
+
+#[test]
+fn lstm_gate_gradients_match_central_differences() {
+    let mut rng = Xoshiro256pp::seed_from_u64(11);
+    let mut lstm = Lstm::new(3, 4, &mut rng);
+    let seq: Vec<Tensor> = (0..4).map(|_| random_tensor(2, 3, &mut rng)).collect();
+    let t = random_tensor(2, 4, &mut rng);
+
+    let run = {
+        let (seq, t) = (seq.clone(), t.clone());
+        move |m: &mut Lstm| -> f64 {
+            let h = m.forward_last(&seq);
+            let mut loss = MseLoss::new();
+            loss.forward(&h, &t);
+            m.backward_last(&loss.backward());
+            f64_mse(&h, &t)
+        }
+    };
+    let eval = {
+        let (seq, t) = (seq.clone(), t.clone());
+        move |m: &mut Lstm| -> f64 { f64_mse(&m.forward_last(&seq), &t) }
+    };
+    check_all_params(&mut lstm, &|m, f| m.visit_params(f), &run, &eval, "lstm");
+}
+
+#[test]
+fn mse_backward_matches_central_differences() {
+    let mut rng = Xoshiro256pp::seed_from_u64(13);
+    let pred = random_tensor(3, 4, &mut rng);
+    let t = random_tensor(3, 4, &mut rng);
+
+    let mut loss = MseLoss::new();
+    loss.forward(&pred, &t);
+    let grad = loss.backward();
+
+    for i in 0..pred.len() {
+        let numeric = {
+            let probe = |delta: f32| -> f64 {
+                let mut p = pred.clone();
+                p.data_mut()[i] += delta;
+                f64_mse(&p, &t)
+            };
+            (probe(EPS) - probe(-EPS)) / (2.0 * f64::from(EPS))
+        };
+        let a = f64::from(grad.data()[i]);
+        let err = rel_err(a, numeric);
+        assert!(
+            err < TOL,
+            "mse backward element {i}: analytic {a:.6e} vs numeric {numeric:.6e} \
+             (rel err {err:.3e})"
+        );
+    }
+}

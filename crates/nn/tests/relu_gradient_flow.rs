@@ -1,0 +1,43 @@
+//! Regression test for the dead-ReLU initialization fragility.
+//!
+//! With zero-initialized biases, a small Xavier-initialized layer can
+//! start with every pre-activation negative for some seeds, so ReLU
+//! blocks all gradient flow and the network never trains (this bit the
+//! crate doctest at seed 0).  `init::positive_bias` now nudges dense
+//! biases to +0.01; this test pins the fix across a whole band of seeds.
+
+use adrias_core::rng::{Rng, SeedableRng, Xoshiro256pp};
+use adrias_nn::{Layer, Linear, MseLoss, Relu, Tensor};
+
+#[test]
+fn tiny_relu_net_has_gradient_flow_for_seeds_0_to_32() {
+    for seed in 0..32u64 {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut l1 = Linear::new(4, 8, &mut rng);
+        let mut relu = Relu::new();
+        let mut l2 = Linear::new(8, 2, &mut rng);
+
+        let x = Tensor::from_fn(6, 4, |_, _| rng.gen::<f32>() - 0.5);
+        let t = Tensor::from_fn(6, 2, |_, _| rng.gen::<f32>() - 0.5);
+
+        let h = relu.forward(&l1.forward(&x, true), true);
+        assert!(
+            h.data().iter().any(|&v| v > 0.0),
+            "seed {seed}: every ReLU unit is dead at initialization"
+        );
+
+        let mut loss = MseLoss::new();
+        loss.forward(&l2.forward(&h, true), &t);
+        let grad = l2.backward(&loss.backward());
+        l1.backward(&relu.backward(&grad));
+
+        // The *first* layer must receive gradient — that is exactly what
+        // a dead ReLU wall would block.
+        let mut first_grad_norm = 0.0f32;
+        l1.visit_params(&mut |_, g| first_grad_norm += g.norm());
+        assert!(
+            first_grad_norm > 0.0,
+            "seed {seed}: no gradient reaches the first dense layer"
+        );
+    }
+}

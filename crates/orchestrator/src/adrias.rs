@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use adrias_predictor::{PerfModel, SystemStateModel};
+use adrias_predictor::{PerfModel, PerfQuery, SystemStateModel};
 use adrias_workloads::{AppSignature, MemoryMode, WorkloadClass};
 
 use crate::policy::{DecisionContext, Policy};
@@ -135,6 +135,36 @@ impl AdriasPolicy {
         };
         Some(model.predict(history, &signature, mode, Some(&s_hat)))
     }
+
+    /// Predicted `(local, remote)` performance with one system-state
+    /// forward pass and one **batched** performance-model pass over both
+    /// candidate modes — the per-decision fast path. Each entry is
+    /// bit-identical to the corresponding [`AdriasPolicy::predict_perf`]
+    /// call.
+    pub fn predict_perf_both(&mut self, ctx: &DecisionContext<'_>) -> Option<(f32, f32)> {
+        let history = ctx.history?;
+        let signature = self.signatures.get(ctx.profile.name())?.clone();
+        let s_hat = self.system_model.predict(history);
+        let model = match ctx.profile.class() {
+            WorkloadClass::LatencyCritical => &mut self.lc_model,
+            _ => &mut self.be_model,
+        };
+        let preds = model.predict_batch(&[
+            PerfQuery {
+                history,
+                signature: &signature,
+                mode: MemoryMode::Local,
+                s_hat: Some(&s_hat),
+            },
+            PerfQuery {
+                history,
+                signature: &signature,
+                mode: MemoryMode::Remote,
+                s_hat: Some(&s_hat),
+            },
+        ]);
+        Some((preds[0], preds[1]))
+    }
 }
 
 impl Policy for AdriasPolicy {
@@ -147,10 +177,7 @@ impl Policy for AdriasPolicy {
             // Unknown application: remote-first to capture a signature.
             return MemoryMode::Remote;
         }
-        let (Some(pred_local), Some(pred_remote)) = (
-            self.predict_perf(ctx, MemoryMode::Local),
-            self.predict_perf(ctx, MemoryMode::Remote),
-        ) else {
+        let Some((pred_local, pred_remote)) = self.predict_perf_both(ctx) else {
             // Watcher warm-up: play safe.
             return MemoryMode::Local;
         };

@@ -36,6 +36,6 @@ pub use ablation::SHatSource;
 pub use dataset::{PerfDataset, PerfRecord, SystemStateDataset};
 pub use eval::RegressionReport;
 pub use norm::Normalizer;
-pub use perf_model::{PerfModel, PerfModelConfig};
+pub use perf_model::{PerfModel, PerfModelConfig, PerfQuery};
 pub use persist::{load_perf_model, load_system_model, save_perf_model, save_system_model};
 pub use system_model::{SystemStateModel, SystemStateModelConfig};

@@ -13,7 +13,10 @@ use adrias_core::rng::SeedableRng;
 use adrias_core::rng::SliceRandom;
 use adrias_core::rng::Xoshiro256pp;
 
-use adrias_nn::{Adam, Layer, Linear, Lstm, MseLoss, NonLinearBlock, Tensor};
+use adrias_nn::{
+    accumulate_minibatch, mix_seed, resolved_workers, Adam, GradModel, Layer, Linear, Lstm,
+    MseLoss, NonLinearBlock, Tensor,
+};
 use adrias_telemetry::{Metric, MetricVec, METRIC_COUNT};
 use adrias_workloads::{AppSignature, MemoryMode};
 
@@ -41,6 +44,16 @@ pub struct PerfModelConfig {
     pub batch_size: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Data-parallel worker threads for training. `0` means auto: the
+    /// `ADRIAS_WORKERS` environment variable, else the available cores.
+    /// The loss trace is bit-identical for every value.
+    pub workers: usize,
+    /// Samples per gradient chunk (ghost batch). Chunk boundaries
+    /// depend only on this value — never on `workers` — which is what
+    /// makes the parallel loss trace deterministic. Batch-norm runs on
+    /// ghost-chunk statistics, so very small chunks degrade accuracy;
+    /// 16 is stable at this corpus scale.
+    pub grad_chunk: usize,
 }
 
 impl Default for PerfModelConfig {
@@ -53,6 +66,8 @@ impl Default for PerfModelConfig {
             epochs: 40,
             batch_size: 32,
             seed: 0xBEEF,
+            workers: 0,
+            grad_chunk: 16,
         }
     }
 }
@@ -175,6 +190,14 @@ impl PerfModel {
         self.out.visit_params(f);
     }
 
+    /// Rebases every dropout stream on `seed` (salted per block), so a
+    /// chunk clone's masks depend only on `(run seed, step, chunk)`.
+    fn reseed_dropout(&mut self, seed: u64) {
+        for (i, b) in self.blocks.iter_mut().enumerate() {
+            b.reseed_dropout(seed, i as u64 + 1);
+        }
+    }
+
     /// Persistence hook: the captured normalizers, if trained. The
     /// scalar target normalizer is returned as `(mean, std)`.
     pub(crate) fn norms_for_persist(&self) -> Option<(Normalizer, (f32, f32))> {
@@ -254,26 +277,41 @@ impl PerfModel {
         );
         self.metric_norm = Some(dataset.metric_norm().clone());
         self.target_norm = Some(*dataset.target_norm());
-        let mut rng = Xoshiro256pp::seed_from_u64(self.cfg.seed ^ 0x7EA1);
+        let workers = resolved_workers(self.cfg.workers);
+        let grad_chunk = self.cfg.grad_chunk.max(1);
+        let seed = self.cfg.seed;
+        let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x7EA1);
         let mut opt = Adam::new(self.cfg.learning_rate);
-        let mut loss_fn = MseLoss::new();
         let mut idx: Vec<usize> = (0..dataset.len()).collect();
         let mut epoch_losses = Vec::with_capacity(self.cfg.epochs);
+        let mut step = 0u64;
         for _ in 0..self.cfg.epochs {
             idx.shuffle(&mut rng);
             let mut total = 0.0f64;
             let mut batches = 0usize;
-            for chunk in idx.chunks(self.cfg.batch_size) {
-                let (seq_s, seq_k, side, target) = self.batch(dataset, chunk, s_hats);
-                let pred = self.forward(&seq_s, &seq_k, &side, true);
-                let loss = loss_fn.forward(&pred, &target);
-                let grad = loss_fn.backward();
-                self.zero_grad();
-                self.backward(&grad);
+            for minibatch in idx.chunks(self.cfg.batch_size) {
+                let step_now = step;
+                let loss = accumulate_minibatch(
+                    self,
+                    minibatch,
+                    grad_chunk,
+                    workers,
+                    &|m, chunk, idxs| {
+                        m.reseed_dropout(mix_seed(&[seed, step_now, chunk as u64]));
+                        let (seq_s, seq_k, side, target) = m.batch(dataset, idxs, s_hats);
+                        let mut loss_fn = MseLoss::new();
+                        let pred = m.forward(&seq_s, &seq_k, &side, true);
+                        let l = loss_fn.forward(&pred, &target);
+                        let grad = loss_fn.backward();
+                        m.backward(&grad);
+                        l
+                    },
+                );
                 opt.begin_step();
                 self.visit_params(&mut |p, g| opt.update(p, g));
                 total += f64::from(loss);
                 batches += 1;
+                step += 1;
             }
             epoch_losses.push((total / batches.max(1) as f64) as f32);
         }
@@ -359,30 +397,88 @@ impl PerfModel {
         mode: MemoryMode,
         s_hat: Option<&MetricVec>,
     ) -> f32 {
+        self.predict_batch(&[PerfQuery {
+            history: history_1hz,
+            signature,
+            mode,
+            s_hat,
+        }])
+        .pop()
+        .expect("non-empty batch yields a prediction")
+    }
+
+    /// Batched [`PerfModel::predict`]: stacks all queries into one
+    /// forward pass. Entry `i` of the result is bit-identical to
+    /// `predict` on `queries[i]`. The orchestrator uses this to score
+    /// both memory modes of an arriving application in a single pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if untrained, `queries` is empty, or any input is empty.
+    pub fn predict_batch(&mut self, queries: &[PerfQuery<'_>]) -> Vec<f32> {
+        assert!(!queries.is_empty(), "empty prediction batch");
         let metric_norm = self
             .metric_norm
             .clone()
             .expect("PerfModel::predict before train");
         let target_norm = self.target_norm.expect("trained");
-        let window_s = metric_norm.normalize_window(&pool_rows(history_1hz, SEQ_LEN));
-        let window_k = metric_norm.normalize_window(signature.resampled(SEQ_LEN).rows());
-        let seq_s = seq_tensors(std::slice::from_ref(&window_s));
-        let seq_k = seq_tensors(std::slice::from_ref(&window_k));
-        let one_hot = mode.one_hot();
-        let side = Tensor::from_fn(1, SIDE_WIDTH, |_, c| {
+        let windows_s: Vec<_> = queries
+            .iter()
+            .map(|q| metric_norm.normalize_window(&pool_rows(q.history, SEQ_LEN)))
+            .collect();
+        let windows_k: Vec<_> = queries
+            .iter()
+            .map(|q| metric_norm.normalize_window(q.signature.resampled(SEQ_LEN).rows()))
+            .collect();
+        let seq_s = seq_tensors(&windows_s);
+        let seq_k = seq_tensors(&windows_k);
+        let side = Tensor::from_fn(queries.len(), SIDE_WIDTH, |b, c| {
             if c < 2 {
-                one_hot[c]
+                queries[b].mode.one_hot()[c]
             } else {
-                match s_hat {
+                match queries[b].s_hat {
                     Some(v) => metric_norm.normalize(v).get(Metric::ALL[c - 2]),
                     None => 0.0,
                 }
             }
         });
         let out = self.forward(&seq_s, &seq_k, &side, false);
-        target_norm
-            .denormalize(out.get(0, 0).clamp(-10.0, 10.0))
-            .exp()
+        (0..queries.len())
+            .map(|b| {
+                target_norm
+                    .denormalize(out.get(b, 0).clamp(-10.0, 10.0))
+                    .exp()
+            })
+            .collect()
+    }
+}
+
+/// One inference request for [`PerfModel::predict_batch`].
+#[derive(Debug, Clone, Copy)]
+pub struct PerfQuery<'a> {
+    /// Raw 1 Hz Watcher history window.
+    pub history: &'a [MetricVec],
+    /// Stored application signature.
+    pub signature: &'a AppSignature,
+    /// Candidate memory mode.
+    pub mode: MemoryMode,
+    /// Predicted future system state (raw); `None` to omit.
+    pub s_hat: Option<&'a MetricVec>,
+}
+
+impl GradModel for PerfModel {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        PerfModel::visit_params(self, f);
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        for b in &mut self.blocks {
+            b.visit_buffers(f);
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        PerfModel::zero_grad(self);
     }
 }
 

@@ -150,6 +150,9 @@ pub fn load_system_model(text: &str) -> Result<SystemStateModel, LoadModelError>
         epochs: epochs.parse().map_err(|_| parse_err())?,
         batch_size: batch.parse().map_err(|_| parse_err())?,
         seed: seed.parse().map_err(|_| parse_err())?,
+        // Training-only parallelism knobs are not part of the
+        // architecture and are not persisted.
+        ..Default::default()
     };
     let tensors = read_tensors(rest)?;
     let mut model = SystemStateModel::new(cfg);
@@ -226,6 +229,9 @@ pub fn load_perf_model(text: &str) -> Result<PerfModel, LoadModelError> {
         epochs: epochs.parse().map_err(|_| parse_err())?,
         batch_size: batch.parse().map_err(|_| parse_err())?,
         seed: seed.parse().map_err(|_| parse_err())?,
+        // Training-only parallelism knobs are not part of the
+        // architecture and are not persisted.
+        ..Default::default()
     };
     let target_mean: f32 = t_mean.parse().map_err(|_| parse_err())?;
     let target_std: f32 = t_std.parse().map_err(|_| parse_err())?;

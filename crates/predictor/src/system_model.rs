@@ -8,8 +8,12 @@
 use adrias_core::rng::SeedableRng;
 use adrias_core::rng::SliceRandom;
 use adrias_core::rng::Xoshiro256pp;
+use adrias_core::thread::map_chunks;
 
-use adrias_nn::{Adam, Layer, Linear, Lstm, MseLoss, NonLinearBlock, Tensor};
+use adrias_nn::{
+    accumulate_minibatch, mix_seed, resolved_workers, Adam, GradModel, Layer, Linear, Lstm,
+    MseLoss, NonLinearBlock, Tensor,
+};
 use adrias_telemetry::{Metric, MetricVec, METRIC_COUNT};
 
 use crate::dataset::{pool_rows, seq_tensors, SystemStateDataset, SEQ_LEN};
@@ -33,6 +37,16 @@ pub struct SystemStateModelConfig {
     pub batch_size: usize,
     /// RNG seed for initialization, shuffling and dropout.
     pub seed: u64,
+    /// Data-parallel worker threads for training. `0` means auto: the
+    /// `ADRIAS_WORKERS` environment variable, else the available cores.
+    /// The loss trace is bit-identical for every value.
+    pub workers: usize,
+    /// Samples per gradient chunk (ghost batch). Chunk boundaries
+    /// depend only on this value — never on `workers` — which is what
+    /// makes the parallel loss trace deterministic. Batch-norm runs on
+    /// ghost-chunk statistics, so very small chunks degrade accuracy;
+    /// 16 is stable at this corpus scale.
+    pub grad_chunk: usize,
 }
 
 impl Default for SystemStateModelConfig {
@@ -45,6 +59,8 @@ impl Default for SystemStateModelConfig {
             epochs: 25,
             batch_size: 32,
             seed: 0xADA5,
+            workers: 0,
+            grad_chunk: 16,
         }
     }
 }
@@ -150,6 +166,14 @@ impl SystemStateModel {
         self.out.visit_params(f);
     }
 
+    /// Rebases every dropout stream on `seed` (salted per block), so a
+    /// chunk clone's masks depend only on `(run seed, step, chunk)`.
+    fn reseed_dropout(&mut self, seed: u64) {
+        for (i, b) in self.blocks.iter_mut().enumerate() {
+            b.reseed_dropout(seed, i as u64 + 1);
+        }
+    }
+
     /// Persistence hook: the captured normalizer, if trained.
     pub(crate) fn normalizer_for_persist(&self) -> Option<Normalizer> {
         self.normalizer.clone()
@@ -180,31 +204,49 @@ impl SystemStateModel {
 
     /// Trains on `dataset` and returns the mean loss per epoch.
     ///
-    /// The dataset's normalizer is captured so that
+    /// Each minibatch is split into fixed-size gradient chunks that run
+    /// data-parallel on up to `cfg.workers` threads (see
+    /// [`accumulate_minibatch`]); the loss trace is bit-identical for
+    /// any worker count. The dataset's normalizer is captured so that
     /// [`SystemStateModel::predict`] can consume raw (unnormalized)
     /// windows at run time.
     pub fn train(&mut self, dataset: &SystemStateDataset) -> Vec<f32> {
         self.normalizer = Some(dataset.normalizer().clone());
-        let mut rng = Xoshiro256pp::seed_from_u64(self.cfg.seed ^ 0x5EED);
+        let workers = resolved_workers(self.cfg.workers);
+        let grad_chunk = self.cfg.grad_chunk.max(1);
+        let seed = self.cfg.seed;
+        let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x5EED);
         let mut opt = Adam::new(self.cfg.learning_rate);
-        let mut loss_fn = MseLoss::new();
         let mut epoch_losses = Vec::with_capacity(self.cfg.epochs);
         let mut idx: Vec<usize> = (0..dataset.len()).collect();
+        let mut step = 0u64;
         for _epoch in 0..self.cfg.epochs {
             idx.shuffle(&mut rng);
             let mut total = 0.0f64;
             let mut batches = 0usize;
-            for chunk in idx.chunks(self.cfg.batch_size) {
-                let (seq, target) = dataset.batch(chunk);
-                let pred = self.forward(&seq, true);
-                let loss = loss_fn.forward(&pred, &target);
-                let grad = loss_fn.backward();
-                self.zero_grad();
-                self.backward(&grad);
+            for minibatch in idx.chunks(self.cfg.batch_size) {
+                let step_now = step;
+                let loss = accumulate_minibatch(
+                    self,
+                    minibatch,
+                    grad_chunk,
+                    workers,
+                    &|m, chunk, idxs| {
+                        m.reseed_dropout(mix_seed(&[seed, step_now, chunk as u64]));
+                        let (seq, target) = dataset.batch(idxs);
+                        let mut loss_fn = MseLoss::new();
+                        let pred = m.forward(&seq, true);
+                        let l = loss_fn.forward(&pred, &target);
+                        let grad = loss_fn.backward();
+                        m.backward(&grad);
+                        l
+                    },
+                );
                 opt.begin_step();
                 self.visit_params(&mut |p, g| opt.update(p, g));
                 total += f64::from(loss);
                 batches += 1;
+                step += 1;
             }
             epoch_losses.push((total / batches.max(1) as f64) as f32);
         }
@@ -218,19 +260,56 @@ impl SystemStateModel {
     ///
     /// Panics if the model is untrained or the window is empty.
     pub fn predict(&mut self, history_1hz: &[MetricVec]) -> MetricVec {
+        self.predict_batch(&[history_1hz])
+            .pop()
+            .expect("non-empty batch yields a prediction")
+    }
+
+    /// Batched [`SystemStateModel::predict`]: stacks all windows into
+    /// one forward pass. Row `i` of the result is bit-identical to
+    /// `predict(histories[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is untrained, `histories` is empty, or any
+    /// window is empty.
+    pub fn predict_batch(&mut self, histories: &[&[MetricVec]]) -> Vec<MetricVec> {
+        assert!(!histories.is_empty(), "empty prediction batch");
+        let workers = resolved_workers(self.cfg.workers).min(histories.len());
+        if workers > 1 {
+            // Every eval-mode forward op is row-independent, so splitting
+            // the batch across workers (each on a scratch clone) returns
+            // bit-identical rows for any worker count.
+            let model: &SystemStateModel = self;
+            return map_chunks(histories, workers, |chunk| {
+                model.clone().predict_rows(chunk)
+            });
+        }
+        self.predict_rows(histories)
+    }
+
+    /// Serial body of [`SystemStateModel::predict_batch`]: one forward
+    /// pass over every window in `histories`.
+    fn predict_rows(&mut self, histories: &[&[MetricVec]]) -> Vec<MetricVec> {
         let norm = self
             .normalizer
             .clone()
             .expect("SystemStateModel::predict before train");
-        let pooled = pool_rows(history_1hz, SEQ_LEN);
-        let window = norm.normalize_window(&pooled);
-        let seq = seq_tensors(std::slice::from_ref(&window));
+        let windows: Vec<Vec<MetricVec>> = histories
+            .iter()
+            .map(|h| norm.normalize_window(&pool_rows(h, SEQ_LEN)))
+            .collect();
+        let seq = seq_tensors(&windows);
         let out = self.forward(&seq, false);
-        let mut vec = MetricVec::zero();
-        for m in Metric::ALL {
-            vec.set(m, out.get(0, m.index()));
-        }
-        norm.denormalize(&vec)
+        (0..histories.len())
+            .map(|b| {
+                let mut vec = MetricVec::zero();
+                for m in Metric::ALL {
+                    vec.set(m, out.get(b, m.index()));
+                }
+                norm.denormalize(&vec)
+            })
+            .collect()
     }
 
     /// Evaluates on a test dataset: per-metric `R²` plus the overall
@@ -281,6 +360,22 @@ impl SystemStateModel {
             .collect();
         let overall = RegressionReport::new(&truth_norm, &pred_norm);
         (per_metric, overall)
+    }
+}
+
+impl GradModel for SystemStateModel {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        SystemStateModel::visit_params(self, f);
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        for b in &mut self.blocks {
+            b.visit_buffers(f);
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        SystemStateModel::zero_grad(self);
     }
 }
 
@@ -365,5 +460,33 @@ mod tests {
         );
         let lat = pred.get(Metric::LinkLatency);
         assert!((200.0..1100.0).contains(&lat), "latency off-scale: {lat}");
+    }
+
+    #[test]
+    fn predict_batch_is_worker_count_invariant() {
+        let ds = dataset();
+        let mut model = SystemStateModel::new(SystemStateModelConfig::tiny());
+        model.train(&ds);
+        let traces: Vec<Vec<MetricVec>> = (0..6)
+            .map(|i| {
+                synthetic_trace(120, i as f32 * 0.7)
+                    .iter()
+                    .map(|s| *s.vec())
+                    .collect()
+            })
+            .collect();
+        let windows: Vec<&[MetricVec]> = traces.iter().map(|t| t.as_slice()).collect();
+
+        let serial = model.predict_batch(&windows);
+        let per_sample: Vec<MetricVec> = windows.iter().map(|w| model.predict(w)).collect();
+        assert_eq!(serial, per_sample, "batched rows differ from predict()");
+        for workers in [2, 5] {
+            model.cfg.workers = workers;
+            assert_eq!(
+                model.predict_batch(&windows),
+                serial,
+                "inference diverged with {workers} workers"
+            );
+        }
     }
 }

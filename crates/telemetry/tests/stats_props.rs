@@ -1,0 +1,96 @@
+//! Property-based tests for the statistics estimators, driven by the
+//! in-tree `adrias_core::prop` harness (deterministic seeds, shrink by
+//! halving).
+//!
+//! The paper's whole evaluation funnels through these few functions
+//! (tail percentiles, Pearson's r, R², MAE), so their structural
+//! invariants — bounds, monotonicity, scale invariance — are pinned here
+//! over randomized inputs rather than hand-picked examples.
+
+use adrias_core::prop::prelude::*;
+
+use adrias_telemetry::stats;
+
+proptest! {
+    /// A percentile is always bracketed by the sample min and max, and
+    /// the extreme percentiles hit them exactly.
+    #[test]
+    fn percentile_is_bounded_by_min_and_max(
+        xs in prop::collection::vec(-1e3f32..1e3, 1..40),
+        p in 0.0f64..100.0,
+    ) {
+        let min = xs.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let v = stats::percentile(&xs, p);
+        prop_assert!(v >= min - 1e-3, "p{p} = {v} below min {min}");
+        prop_assert!(v <= max + 1e-3, "p{p} = {v} above max {max}");
+        prop_assert_eq!(stats::percentile(&xs, 0.0), min);
+        prop_assert_eq!(stats::percentile(&xs, 100.0), max);
+    }
+
+    /// Percentiles are monotone in `p`.
+    #[test]
+    fn percentile_is_monotone_in_p(
+        xs in prop::collection::vec(-1e3f32..1e3, 1..40),
+        a in 0.0f64..100.0,
+        b in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            stats::percentile(&xs, lo) <= stats::percentile(&xs, hi) + 1e-3,
+            "p{lo} > p{hi}"
+        );
+    }
+
+    /// Pearson's r stays in `[-1, 1]` and does not move under a positive
+    /// affine rescaling of one series.
+    #[test]
+    fn pearson_is_bounded_and_scale_invariant(
+        pairs in prop::collection::vec((-100.0f32..100.0, -100.0f32..100.0), 2..33),
+        scale in 0.5f32..4.0,
+        shift in -10.0f32..10.0,
+    ) {
+        let xs: Vec<f32> = pairs.iter().map(|&(x, _)| x).collect();
+        let ys: Vec<f32> = pairs.iter().map(|&(_, y)| y).collect();
+        let r = stats::pearson(&xs, &ys);
+        prop_assert!((-1.0..=1.0).contains(&r), "r = {r} out of [-1, 1]");
+
+        let rescaled: Vec<f32> = xs.iter().map(|&x| scale * x + shift).collect();
+        let r2 = stats::pearson(&rescaled, &ys);
+        prop_assert!(
+            (r - r2).abs() < 1e-3,
+            "r changed under affine rescale: {r} vs {r2}"
+        );
+    }
+
+    /// R² never exceeds 1 (a perfect fit), and a model predicting the
+    /// truth exactly achieves it whenever the truth is not constant.
+    #[test]
+    fn r2_is_at_most_one(
+        pairs in prop::collection::vec((-100.0f32..100.0, -100.0f32..100.0), 1..33),
+    ) {
+        let truth: Vec<f32> = pairs.iter().map(|&(t, _)| t).collect();
+        let pred: Vec<f32> = pairs.iter().map(|&(_, p)| p).collect();
+        let r2 = stats::r2_score(&truth, &pred);
+        prop_assert!(r2 <= 1.0, "R² = {r2} exceeds 1");
+        let perfect = stats::r2_score(&truth, &truth);
+        prop_assert!(
+            perfect == 1.0 || perfect == 0.0,
+            "self-R² must be 1 (or 0 for constant truth), got {perfect}"
+        );
+    }
+
+    /// MAE is non-negative, zero exactly on identical series, and
+    /// symmetric in its arguments.
+    #[test]
+    fn mae_is_a_distance(
+        pairs in prop::collection::vec((-100.0f32..100.0, -100.0f32..100.0), 1..33),
+    ) {
+        let truth: Vec<f32> = pairs.iter().map(|&(t, _)| t).collect();
+        let pred: Vec<f32> = pairs.iter().map(|&(_, p)| p).collect();
+        let err = stats::mae(&truth, &pred);
+        prop_assert!(err >= 0.0, "MAE = {err} is negative");
+        prop_assert_eq!(stats::mae(&truth, &truth), 0.0);
+        prop_assert_eq!(stats::mae(&truth, &pred), stats::mae(&pred, &truth));
+    }
+}

@@ -12,7 +12,15 @@ use adrias::workloads::WorkloadCatalog;
 fn main() {
     println!("=== Training the Adrias predictor stack ===\n");
     let catalog = WorkloadCatalog::paper();
-    let mut stack = train_stack(&catalog, &StackOptions::default());
+    let opts = StackOptions::default();
+    println!(
+        "batched minibatch SGD: {} training workers (ADRIAS_WORKERS), \
+         gradient chunk {} — the loss trace is bit-identical for any \
+         worker count\n",
+        adrias::nn::resolved_workers(opts.system_cfg.workers),
+        opts.system_cfg.grad_chunk,
+    );
+    let mut stack = train_stack(&catalog, &opts);
 
     println!("System-state model (Table I):");
     let (per_metric, overall) = {

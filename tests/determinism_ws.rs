@@ -4,10 +4,13 @@
 //! different traces. This is the contract that makes every figure in
 //! the reproduction replayable.
 
+use adrias::core_util::rng::{Rng, SeedableRng, Xoshiro256pp};
 use adrias::orchestrator::engine::RunReport;
 use adrias::orchestrator::{Policy, RandomPolicy, RoundRobinPolicy};
+use adrias::predictor::{SystemStateDataset, SystemStateModel, SystemStateModelConfig};
 use adrias::scenarios::{run_comparison, PolicyOutcome, ScenarioSpec};
 use adrias::sim::TestbedConfig;
+use adrias::telemetry::{MetricSample, MetricVec, METRIC_COUNT};
 use adrias::workloads::{MemoryMode, WorkloadCatalog};
 
 fn specs(seed: u64) -> Vec<ScenarioSpec> {
@@ -91,6 +94,59 @@ fn thread_count_does_not_change_results() {
     let sequential = run_once(7, 1);
     let parallel = run_once(7, 4);
     assert_outcomes_identical(&sequential, &parallel);
+}
+
+/// A small deterministic telemetry corpus for training-loop tests: two
+/// traces of slow sine-wave metrics with seeded jitter, long enough for
+/// a couple dozen history→horizon windows.
+fn synthetic_traces(seed: u64) -> Vec<Vec<MetricSample>> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    (0..2u32)
+        .map(|trace| {
+            (0..600u32)
+                .map(|t| {
+                    let mut values = [0.0f32; METRIC_COUNT];
+                    for (i, v) in values.iter_mut().enumerate() {
+                        let phase = t as f32 * 0.05 + trace as f32 + i as f32 * 0.7;
+                        *v = phase.sin().abs() + rng.gen::<f32>() * 0.2;
+                    }
+                    MetricSample::new(f64::from(t), MetricVec::from_array(values))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn loss_trace_with_workers(workers: usize) -> Vec<u32> {
+    let dataset = SystemStateDataset::from_traces(&synthetic_traces(41), 30);
+    assert!(!dataset.is_empty(), "synthetic corpus produced no samples");
+    let cfg = SystemStateModelConfig {
+        hidden: 8,
+        block_width: 8,
+        epochs: 3,
+        batch_size: 16,
+        seed: 42,
+        workers,
+        grad_chunk: 4,
+        ..Default::default()
+    };
+    let mut model = SystemStateModel::new(cfg);
+    // Compare IEEE-754 bit patterns: the contract is bit-identity, not
+    // "close enough".
+    model.train(&dataset).iter().map(|l| l.to_bits()).collect()
+}
+
+#[test]
+fn training_loss_trace_is_worker_count_invariant() {
+    let sequential = loss_trace_with_workers(1);
+    assert_eq!(sequential.len(), 3, "expected one loss per epoch");
+    for workers in [2, 8] {
+        assert_eq!(
+            loss_trace_with_workers(workers),
+            sequential,
+            "loss trace diverged with {workers} training workers"
+        );
+    }
 }
 
 #[test]
