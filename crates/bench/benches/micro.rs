@@ -7,8 +7,8 @@
 //!
 //! * `ADRIAS_BENCH_FILTER` — substring filter on section names
 //!   (`testbed_step`, `lstm`, `nn_forward`, `train_step_workers`,
-//!   `adrias_decision`); unmatched sections are skipped entirely,
-//!   including their setup.
+//!   `adrias_decision`, `obs_overhead`); unmatched sections are skipped
+//!   entirely, including their setup.
 //!
 //! The run always ends by writing `BENCH_nn.json` (the collected
 //! medians plus the derived batched-inference speedups) to the
@@ -224,6 +224,160 @@ fn bench_worker_scaling(h: &mut Harness) {
     }
 }
 
+/// The same arrival schedule replayed unobserved (the monomorphized
+/// no-op observer) and with a full in-memory [`adrias_obs::Observer`]
+/// attached but no exporter running. Uses the paper testbed config with
+/// a dense 12-app schedule so the baseline step carries representative
+/// contention work.
+///
+/// Three variants are timed:
+///
+/// * `plain` — [`run_schedule`], the monomorphized no-op observer;
+/// * `traced` — audit trail + trace events only (per-decision and
+///   per-completion work, no per-step metrics), the cost the "tracing
+///   with no exporter stays ≤ 5%" claim is about;
+/// * `observed` — the full [`adrias_obs::Observer`] including per-step
+///   pressure/latency histograms.
+///
+/// Whole-run wall times on a shared machine drift by far more than the
+/// overhead being measured, so on top of the absolute sections the
+/// bench runs interleaved A/B/C rounds — each round times all variants
+/// back-to-back and contributes one ratio per variant — and reports the
+/// median ratios as the derived `obs_tracing_overhead_x` /
+/// `obs_overhead_x` metrics. Pairing cancels the slow drift that
+/// sequential sections cannot.
+fn bench_obs_overhead(h: &mut Harness) -> (Option<f64>, Option<f64>) {
+    use adrias_obs::{ObsConfig, Observer};
+    use adrias_orchestrator::engine::{
+        run_schedule, run_schedule_hooked, run_schedule_observed, EngineConfig, EngineObserver,
+        ScheduledArrival,
+    };
+    use adrias_orchestrator::{ObservedRun, RoundRobinPolicy};
+    use std::time::Instant;
+
+    /// [`ObservedRun`] minus the per-step metrics hook: decisions,
+    /// completions and the run span still record, `on_step` stays the
+    /// default no-op.
+    struct TracingOnly<'a>(ObservedRun<'a>);
+    impl EngineObserver for TracingOnly<'_> {
+        fn on_decision(
+            &mut self,
+            at_s: f64,
+            id: adrias_sim::DeploymentId,
+            profile: &adrias_workloads::WorkloadProfile,
+            history: Option<&[MetricVec]>,
+            decision: &adrias_orchestrator::policy::ExplainedDecision,
+            policy_name: &str,
+        ) {
+            self.0
+                .on_decision(at_s, id, profile, history, decision, policy_name);
+        }
+        fn on_complete(
+            &mut self,
+            id: adrias_sim::DeploymentId,
+            outcome: &adrias_orchestrator::AppOutcome,
+        ) {
+            self.0.on_complete(id, outcome);
+        }
+        fn on_run_end(&mut self, report: &adrias_orchestrator::RunReport, last_arrival_s: f64) {
+            self.0.on_run_end(report, last_arrival_s);
+        }
+    }
+
+    // A sustained dense co-location mix (the paper's operating point):
+    // 20 Spark apps arriving over 40 s, each resident for a fixed 600 s,
+    // so the testbed carries ~20 apps for most of the run and the
+    // baseline step does representative contention work.
+    let apps = [
+        "gmm", "sort", "pca", "lr", "kmeans", "nweight", "als", "svd", "rf", "linear", "bayes",
+        "terasort", "gmm", "sort", "pca", "lr", "kmeans", "nweight", "als", "svd",
+    ];
+    let arrivals: Vec<ScheduledArrival> = apps
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            ScheduledArrival::new(i as f64 * 2.0, spark::by_name(name).unwrap())
+                .with_duration(600.0)
+        })
+        .collect();
+    let engine = || EngineConfig {
+        lc_latency_samples: 100,
+        ..EngineConfig::default()
+    };
+    let run_plain = || {
+        let mut policy = RoundRobinPolicy::new();
+        black_box(run_schedule(
+            TestbedConfig::paper(),
+            engine(),
+            &arrivals,
+            &mut policy,
+        ));
+    };
+    let run_traced = || {
+        let mut policy = RoundRobinPolicy::new();
+        let mut obs = Observer::new(ObsConfig::default());
+        let mut traced = TracingOnly(ObservedRun::new(&mut obs));
+        black_box(run_schedule_hooked(
+            TestbedConfig::paper(),
+            engine(),
+            &arrivals,
+            &mut policy,
+            &mut traced,
+        ));
+    };
+    let run_observed = || {
+        let mut policy = RoundRobinPolicy::new();
+        let mut obs = Observer::new(ObsConfig::default());
+        black_box(run_schedule_observed(
+            TestbedConfig::paper(),
+            engine(),
+            &arrivals,
+            &mut policy,
+            &mut obs,
+        ));
+    };
+
+    h.bench_function("engine_run_plain", |b| b.iter(run_plain));
+    h.bench_function("engine_run_traced_no_export", |b| b.iter(run_traced));
+    h.bench_function("engine_run_observed_no_export", |b| b.iter(run_observed));
+
+    let pairs: usize = std::env::var("ADRIAS_BENCH_PAIRS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    const RUNS_PER_LEG: usize = 5;
+    let time_leg = |f: &dyn Fn()| {
+        let t = Instant::now();
+        for _ in 0..RUNS_PER_LEG {
+            f();
+        }
+        t.elapsed().as_secs_f64()
+    };
+    for _ in 0..3 {
+        time_leg(&run_plain);
+        time_leg(&run_traced);
+        time_leg(&run_observed);
+    }
+    let mut traced_ratios = Vec::with_capacity(pairs);
+    let mut observed_ratios = Vec::with_capacity(pairs);
+    for _ in 0..pairs {
+        let traced = time_leg(&run_traced);
+        let observed = time_leg(&run_observed);
+        let plain = time_leg(&run_plain);
+        traced_ratios.push(traced / plain);
+        observed_ratios.push(observed / plain);
+    }
+    let median = |r: &mut Vec<f64>| {
+        r.sort_by(f64::total_cmp);
+        r[r.len() / 2]
+    };
+    let traced = median(&mut traced_ratios);
+    let observed = median(&mut observed_ratios);
+    println!("  tracing-only overhead, median of {pairs} interleaved rounds: {traced:.3}x");
+    println!("  full-metrics overhead, median of {pairs} interleaved rounds: {observed:.3}x");
+    (Some(traced), Some(observed))
+}
+
 fn main() {
     let filter = std::env::var("ADRIAS_BENCH_FILTER").unwrap_or_default();
     let enabled = |section: &str| filter.is_empty() || section.contains(filter.as_str());
@@ -243,6 +397,10 @@ fn main() {
     }
     if enabled("adrias_decision") {
         bench_decision(&mut h);
+    }
+    let mut obs_overhead: (Option<f64>, Option<f64>) = (None, None);
+    if enabled("obs_overhead") {
+        obs_overhead = bench_obs_overhead(&mut h);
     }
 
     let mut derived: Vec<(&str, f64)> = Vec::new();
@@ -267,6 +425,14 @@ fn main() {
         h.median_ns("train_step_workers_2"),
     ) {
         derived.push(("worker_dispatch_overhead_x", w2 / w1));
+    }
+    if let Some(traced) = obs_overhead.0 {
+        println!("  traced vs plain engine run:           {traced:.3}x");
+        derived.push(("obs_tracing_overhead_x", traced));
+    }
+    if let Some(observed) = obs_overhead.1 {
+        println!("  observed vs plain engine run:         {observed:.3}x");
+        derived.push(("obs_overhead_x", observed));
     }
 
     // `cargo bench` runs with the package directory as cwd; anchor the

@@ -119,8 +119,9 @@ impl Bencher {
             !self.samples_ns.is_empty(),
             "benchmark closure never called iter/iter_batched"
         );
-        self.samples_ns
-            .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        // Timing samples are elapsed durations and can never be NaN, so
+        // a total order exists; total_cmp avoids a panicking unwrap.
+        self.samples_ns.sort_by(f64::total_cmp);
         let n = self.samples_ns.len();
         let median_ns = self.samples_ns[n / 2];
         let p95_ns = self.samples_ns[((n as f64 * 0.95) as usize).min(n - 1)];

@@ -74,4 +74,4 @@ pub use layer::{BatchNorm1d, Dropout, Layer, Linear, Relu, Sequential};
 pub use loss::MseLoss;
 pub use lstm::Lstm;
 pub use tensor::Tensor;
-pub use train::{accumulate_minibatch, mix_seed, resolved_workers, GradModel};
+pub use train::{accumulate_minibatch, mix_seed, resolved_workers, GradModel, TrainStats};

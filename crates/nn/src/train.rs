@@ -45,6 +45,58 @@ pub trait GradModel: Clone + Send + Sync {
     }
 }
 
+/// Aggregate throughput counters for a training run.
+///
+/// Counting happens outside the hot loop (one call per minibatch), so
+/// collection costs nothing measurable and the counters are exact: the
+/// chunk count is derived from the same `ceil(len / grad_chunk)` split
+/// that [`accumulate_minibatch`] performs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrainStats {
+    /// Completed epochs.
+    pub epochs: u64,
+    /// Minibatches processed.
+    pub minibatches: u64,
+    /// Gradient chunks dispatched across all minibatches.
+    pub grad_chunks: u64,
+    /// Samples seen (with repetition across epochs).
+    pub samples: u64,
+}
+
+impl TrainStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one minibatch of `batch_len` samples split into chunks
+    /// of at most `grad_chunk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_chunk` is zero.
+    pub fn record_minibatch(&mut self, batch_len: usize, grad_chunk: usize) {
+        assert!(grad_chunk > 0, "grad_chunk must be positive");
+        self.minibatches += 1;
+        self.grad_chunks += batch_len.div_ceil(grad_chunk) as u64;
+        self.samples += batch_len as u64;
+    }
+
+    /// Records one completed epoch.
+    pub fn record_epoch(&mut self) {
+        self.epochs += 1;
+    }
+
+    /// Adds `other`'s counters into `self` (e.g. to combine the stats
+    /// of several models trained by one stack).
+    pub fn merge(&mut self, other: &TrainStats) {
+        self.epochs += other.epochs;
+        self.minibatches += other.minibatches;
+        self.grad_chunks += other.grad_chunks;
+        self.samples += other.samples;
+    }
+}
+
 /// Resolves a configured worker count: `0` means "auto", which reads
 /// the `ADRIAS_WORKERS` environment variable and falls back to the
 /// number of available cores.
@@ -258,6 +310,24 @@ mod tests {
             let diff = (a - e).norm();
             assert!(diff < 1e-6, "gradient mismatch: {diff}");
         }
+    }
+
+    #[test]
+    fn train_stats_count_minibatches_chunks_and_samples() {
+        let mut stats = TrainStats::new();
+        stats.record_minibatch(10, 4); // 3 chunks
+        stats.record_minibatch(8, 4); // 2 chunks
+        stats.record_epoch();
+        assert_eq!(stats.epochs, 1);
+        assert_eq!(stats.minibatches, 2);
+        assert_eq!(stats.grad_chunks, 5);
+        assert_eq!(stats.samples, 18);
+
+        let mut total = TrainStats::new();
+        total.merge(&stats);
+        total.merge(&stats);
+        assert_eq!(total.grad_chunks, 10);
+        assert_eq!(total.epochs, 2);
     }
 
     #[test]

@@ -1,0 +1,400 @@
+//! Exporters: JSONL for machine consumption, Chrome `trace_event` JSON
+//! for timeline viewers (`chrome://tracing`, Perfetto).
+//!
+//! Every exporter is a pure function of the [`Observer`] state, and the
+//! observer state is a pure function of the run's seeds — so same-seed
+//! runs export **byte-identical** files. The only sources of
+//! nondeterminism that could creep in are ruled out by construction:
+//! floats render via Rust's shortest-round-trip `Display`, map iteration
+//! is `BTreeMap` order, and wall-clock measurements never reach these
+//! exporters.
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::audit::DecisionRecord;
+use crate::json::{escape, num_f32, num_f64};
+use crate::observer::Observer;
+use crate::trace::{ArgValue, TraceEvent, TraceKind};
+
+/// Error from [`write_all`]: which file failed and why.
+#[derive(Debug)]
+pub struct ExportError {
+    /// The file being written.
+    pub path: PathBuf,
+    /// The underlying I/O failure.
+    pub source: std::io::Error,
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot write {}: {}", self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for ExportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Paths produced by [`write_all`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportPaths {
+    /// Trace events, one JSON object per line (first line is metadata).
+    pub events: PathBuf,
+    /// Decision audit trail, one JSON object per line.
+    pub decisions: PathBuf,
+    /// Metrics registry dump, one JSON object per line.
+    pub metrics: PathBuf,
+    /// Chrome `trace_event` JSON for timeline viewers.
+    pub trace: PathBuf,
+}
+
+fn render_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:", escape(k));
+        match v {
+            ArgValue::Num(n) => out.push_str(&num_f64(*n)),
+            ArgValue::Str(s) => out.push_str(&escape(s)),
+        }
+    }
+    out.push('}');
+}
+
+fn render_event_line(out: &mut String, e: &TraceEvent) {
+    match e.kind {
+        TraceKind::Span { t0_s, t1_s } => {
+            let _ = write!(
+                out,
+                r#"{{"type":"span","name":{},"cat":{},"t0_s":{},"t1_s":{},"track":{},"args":"#,
+                escape(&e.name),
+                escape(e.cat),
+                num_f64(t0_s),
+                num_f64(t1_s),
+                e.track
+            );
+        }
+        TraceKind::Instant { at_s } => {
+            let _ = write!(
+                out,
+                r#"{{"type":"instant","name":{},"cat":{},"at_s":{},"track":{},"args":"#,
+                escape(&e.name),
+                escape(e.cat),
+                num_f64(at_s),
+                e.track
+            );
+        }
+    }
+    render_args(out, &e.args);
+    out.push_str("}\n");
+}
+
+/// Renders the event trace as JSONL. The first line is a metadata
+/// object carrying the ring capacity and the overflow count, so a
+/// truncated trace is always identifiable.
+pub fn to_jsonl_events(obs: &Observer) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"{{"type":"meta","capacity":{},"dropped":{}}}"#,
+        obs.tracer.capacity(),
+        obs.tracer.dropped()
+    );
+    for e in obs.tracer.events() {
+        render_event_line(&mut out, e);
+    }
+    out
+}
+
+fn opt_f32(v: Option<f32>) -> String {
+    match v {
+        Some(x) => num_f32(x),
+        None => "null".to_owned(),
+    }
+}
+
+fn render_decision_line(out: &mut String, r: &DecisionRecord) {
+    let i = &r.input;
+    let _ = write!(
+        out,
+        r#"{{"seq":{},"at_s":{},"deployment_id":{},"app":{},"class":{},"policy":{},"rule":{},"rule_param":{},"window_rows":{},"window_mean":{{"#,
+        r.seq,
+        num_f64(i.at_s),
+        i.deployment_id,
+        escape(&i.app),
+        escape(&i.class.to_string()),
+        escape(&i.policy),
+        escape(i.rule.tag()),
+        opt_f32(i.rule.parameter()),
+        i.window.rows,
+    );
+    for (k, (name, mean)) in i.window.named_means().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", escape(name), num_f32(mean));
+    }
+    let _ = write!(
+        out,
+        r#"}},"pred_local":{},"pred_remote":{},"chosen":{},"margin":{},"near_flip":{}}}"#,
+        opt_f32(i.pred_local),
+        opt_f32(i.pred_remote),
+        escape(&i.chosen.to_string()),
+        opt_f32(r.margin),
+        r.near_flip
+    );
+    out.push('\n');
+}
+
+/// Renders the decision audit trail as JSONL, one record per line in
+/// decision order.
+pub fn to_jsonl_decisions(obs: &Observer) -> String {
+    let mut out = String::new();
+    for r in obs.audit.records() {
+        render_decision_line(&mut out, r);
+    }
+    out
+}
+
+/// Renders the metrics registry as JSONL: counters, then gauges, then
+/// histogram summaries, each in name order.
+pub fn to_jsonl_metrics(obs: &Observer) -> String {
+    let mut out = String::new();
+    for (name, v) in obs.registry.counters() {
+        let _ = writeln!(
+            out,
+            r#"{{"type":"counter","name":{},"value":{}}}"#,
+            escape(name),
+            v
+        );
+    }
+    for (name, v) in obs.registry.gauges() {
+        let _ = writeln!(
+            out,
+            r#"{{"type":"gauge","name":{},"value":{}}}"#,
+            escape(name),
+            num_f64(v)
+        );
+    }
+    for (name, h) in obs.registry.histograms() {
+        let _ = writeln!(
+            out,
+            r#"{{"type":"histogram","name":{},"count":{},"mean":{},"std":{},"min":{},"max":{},"p50":{},"p95":{},"p99":{}}}"#,
+            escape(name),
+            h.count(),
+            num_f32(h.mean()),
+            num_f32(h.std_dev()),
+            num_f64(h.min()),
+            num_f64(h.max()),
+            num_f64(h.quantile(0.5)),
+            num_f64(h.quantile(0.95)),
+            num_f64(h.quantile(0.99)),
+        );
+    }
+    out
+}
+
+/// Renders the event trace as Chrome `trace_event` JSON.
+///
+/// Spans become complete events (`ph: "X"`), instants become
+/// thread-scoped instant events (`ph: "i"`). Sim seconds map to trace
+/// microseconds (the format's native unit), and each track becomes a
+/// `tid` under a single `pid`, so deployments appear as parallel rows
+/// in Perfetto.
+pub fn to_chrome_trace(obs: &Observer) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for e in obs.tracer.events() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        match e.kind {
+            TraceKind::Span { t0_s, t1_s } => {
+                let _ = write!(
+                    out,
+                    r#"{{"name":{},"cat":{},"ph":"X","ts":{},"dur":{},"pid":1,"tid":{},"args":"#,
+                    escape(&e.name),
+                    escape(e.cat),
+                    num_f64(t0_s * 1e6),
+                    num_f64((t1_s - t0_s).max(0.0) * 1e6),
+                    e.track
+                );
+            }
+            TraceKind::Instant { at_s } => {
+                let _ = write!(
+                    out,
+                    r#"{{"name":{},"cat":{},"ph":"i","s":"t","ts":{},"pid":1,"tid":{},"args":"#,
+                    escape(&e.name),
+                    escape(e.cat),
+                    num_f64(at_s * 1e6),
+                    e.track
+                );
+            }
+        }
+        render_args(&mut out, &e.args);
+        out.push('}');
+    }
+    let _ = write!(
+        out,
+        r#"],"displayTimeUnit":"ms","otherData":{{"clock":"sim","dropped_events":{}}}}}"#,
+        obs.tracer.dropped()
+    );
+    out
+}
+
+/// Writes all four exports into `dir` (created if missing):
+/// `events.jsonl`, `decisions.jsonl`, `metrics.jsonl`, `trace.json`.
+///
+/// # Errors
+///
+/// Returns [`ExportError`] naming the file that could not be written.
+pub fn write_all(obs: &Observer, dir: &Path) -> Result<ExportPaths, ExportError> {
+    std::fs::create_dir_all(dir).map_err(|source| ExportError {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    let write = |name: &str, contents: String| -> Result<PathBuf, ExportError> {
+        let path = dir.join(name);
+        std::fs::write(&path, contents).map_err(|source| ExportError {
+            path: path.clone(),
+            source,
+        })?;
+        Ok(path)
+    };
+    Ok(ExportPaths {
+        events: write("events.jsonl", to_jsonl_events(obs))?,
+        decisions: write("decisions.jsonl", to_jsonl_decisions(obs))?,
+        metrics: write("metrics.jsonl", to_jsonl_metrics(obs))?,
+        trace: write("trace.json", to_chrome_trace(obs))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::{DecisionInput, DecisionRule, WindowSummary};
+    use crate::json;
+    use crate::observer::ObsConfig;
+    use adrias_workloads::{MemoryMode, WorkloadClass};
+
+    fn sample_observer() -> Observer {
+        let mut obs = Observer::new(ObsConfig::default());
+        obs.tracer.span(
+            "engine.run",
+            "engine",
+            0.0,
+            12.0,
+            0,
+            vec![("arrivals", 2.0.into())],
+        );
+        obs.tracer
+            .instant("deploy", "engine", 3.0, 1, vec![("app", "gmm".into())]);
+        obs.registry.counter_add("sim.steps", 12);
+        obs.registry.gauge_set("engine.end_time_s", 12.0);
+        obs.registry.observe("sim.slowdown", 1.5);
+        obs.record_decision(DecisionInput {
+            at_s: 3.0,
+            deployment_id: 0,
+            app: "gmm".into(),
+            class: WorkloadClass::BestEffort,
+            window: WindowSummary::empty(),
+            pred_local: Some(90.0),
+            pred_remote: Some(100.0),
+            rule: DecisionRule::BetaSlack { beta: 1.0 },
+            chosen: MemoryMode::Local,
+            policy: "adrias".into(),
+        });
+        obs
+    }
+
+    #[test]
+    fn every_jsonl_line_parses_as_object() {
+        let obs = sample_observer();
+        for text in [
+            to_jsonl_events(&obs),
+            to_jsonl_decisions(&obs),
+            to_jsonl_metrics(&obs),
+        ] {
+            assert!(!text.is_empty());
+            for line in text.lines() {
+                assert!(json::parse(line).unwrap().is_obj(), "bad line: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn events_meta_line_reports_overflow() {
+        let mut obs = Observer::new(ObsConfig {
+            trace_capacity: 1,
+            ..ObsConfig::default()
+        });
+        obs.tracer.instant("a", "t", 0.0, 0, vec![]);
+        obs.tracer.instant("b", "t", 1.0, 0, vec![]);
+        let text = to_jsonl_events(&obs);
+        let meta = json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(meta.get("type").unwrap().as_str(), Some("meta"));
+        assert_eq!(meta.get("dropped").unwrap().as_num(), Some(1.0));
+        assert_eq!(text.lines().count(), 2); // meta + one retained event
+    }
+
+    #[test]
+    fn decision_line_carries_margin_and_rule() {
+        let obs = sample_observer();
+        let line = to_jsonl_decisions(&obs);
+        let doc = json::parse(line.trim_end()).unwrap();
+        assert_eq!(doc.get("rule").unwrap().as_str(), Some("beta_slack"));
+        assert_eq!(doc.get("chosen").unwrap().as_str(), Some("local"));
+        let margin = doc.get("margin").unwrap().as_num().unwrap();
+        assert!((margin - 0.1).abs() < 1e-6);
+        assert_eq!(doc.get("near_flip").unwrap().as_bool(), Some(false));
+        assert!(doc.get("window_mean").unwrap().is_obj());
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_span_and_instant() {
+        let obs = sample_observer();
+        let doc = json::parse(&to_chrome_trace(&obs)).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 3); // span + deploy instant + decision instant
+        let span = &events[0];
+        assert_eq!(span.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(span.get("dur").unwrap().as_num(), Some(12e6));
+        let inst = &events[1];
+        assert_eq!(inst.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(inst.get("tid").unwrap().as_num(), Some(1.0));
+    }
+
+    #[test]
+    fn exports_are_deterministic_across_identical_observers() {
+        let a = sample_observer();
+        let b = sample_observer();
+        assert_eq!(to_jsonl_events(&a), to_jsonl_events(&b));
+        assert_eq!(to_jsonl_decisions(&a), to_jsonl_decisions(&b));
+        assert_eq!(to_jsonl_metrics(&a), to_jsonl_metrics(&b));
+        assert_eq!(to_chrome_trace(&a), to_chrome_trace(&b));
+    }
+
+    #[test]
+    fn write_all_creates_the_four_files() {
+        let dir = std::env::temp_dir().join("adrias_obs_export_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let obs = sample_observer();
+        let paths = write_all(&obs, &dir).unwrap();
+        for p in [
+            &paths.events,
+            &paths.decisions,
+            &paths.metrics,
+            &paths.trace,
+        ] {
+            assert!(p.exists(), "{} missing", p.display());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

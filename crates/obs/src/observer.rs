@@ -1,0 +1,203 @@
+//! The [`Observer`]: one bundle of tracer + registry + audit trail
+//! attached to an engine run.
+//!
+//! The engine itself knows nothing about exports: it calls the thin
+//! recording methods here, and the `export` module turns a finished
+//! `Observer` into JSONL / Chrome trace files. An observer is plain
+//! owned state — no globals, no interior mutability — so two concurrent
+//! runs can each carry their own without contention, and dropping one
+//! discards its data.
+
+use adrias_nn::TrainStats;
+
+use crate::audit::{AuditTrail, DecisionInput};
+use crate::registry::Registry;
+use crate::trace::Tracer;
+
+/// Configuration for an [`Observer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObsConfig {
+    /// Maximum retained trace events (ring capacity).
+    pub trace_capacity: usize,
+    /// Near-flip band on the normalised decision margin (fraction,
+    /// e.g. `0.05` flags decisions within 5% of flipping).
+    pub near_flip_band: f32,
+    /// Whether to accumulate host wall-clock timings (kept out of the
+    /// deterministic exports; shown only in the human report).
+    pub record_wall: bool,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            trace_capacity: 65_536,
+            near_flip_band: 0.05,
+            record_wall: false,
+        }
+    }
+}
+
+/// Collected observability state for one run.
+///
+/// # Examples
+///
+/// ```
+/// use adrias_obs::{Observer, ObsConfig};
+///
+/// let mut obs = Observer::new(ObsConfig::default());
+/// obs.tracer.instant("deploy", "engine", 1.0, 0, vec![]);
+/// obs.registry.counter_add("sim.steps", 1);
+/// assert_eq!(obs.registry.counter("sim.steps"), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Observer {
+    /// Deterministic event trace.
+    pub tracer: Tracer,
+    /// Counters, gauges, histograms.
+    pub registry: Registry,
+    /// Orchestration decision audit trail.
+    pub audit: AuditTrail,
+}
+
+impl Observer {
+    /// Creates an observer from `cfg`.
+    pub fn new(cfg: ObsConfig) -> Self {
+        let mut tracer = Tracer::new(cfg.trace_capacity);
+        if cfg.record_wall {
+            tracer = tracer.with_wall_clock();
+        }
+        Self {
+            tracer,
+            registry: Registry::new(),
+            audit: AuditTrail::new(cfg.near_flip_band),
+        }
+    }
+
+    /// Records one orchestration decision: appends it to the audit
+    /// trail, bumps the per-placement counters, and emits an instant
+    /// trace event on the engine track.
+    pub fn record_decision(&mut self, input: DecisionInput) {
+        // This runs on every orchestration decision, so the registry
+        // keys and classification args are static strings rather than
+        // formatted ones (they must match the `Display` impls the
+        // exports use).
+        use adrias_workloads::{MemoryMode, WorkloadClass};
+        let mode_key = match input.chosen {
+            MemoryMode::Local => "orchestrator.decisions.local",
+            MemoryMode::Remote => "orchestrator.decisions.remote",
+        };
+        let rule_key = match input.rule {
+            crate::audit::DecisionRule::BetaSlack { .. } => "orchestrator.rule.beta_slack",
+            crate::audit::DecisionRule::QosThreshold { .. } => "orchestrator.rule.qos_threshold",
+            crate::audit::DecisionRule::UnknownRemoteFirst => {
+                "orchestrator.rule.unknown_remote_first"
+            }
+            crate::audit::DecisionRule::WarmupDefault => "orchestrator.rule.warmup_default",
+            crate::audit::DecisionRule::Static => "orchestrator.rule.static",
+            crate::audit::DecisionRule::Forced => "orchestrator.rule.forced",
+        };
+        self.registry.counter_add("orchestrator.decisions", 1);
+        self.registry.counter_add(mode_key, 1);
+        self.registry.counter_add(rule_key, 1);
+        let class = match input.class {
+            WorkloadClass::BestEffort => "BE",
+            WorkloadClass::LatencyCritical => "LC",
+            WorkloadClass::Interference => "iBench",
+        };
+        let mode = match input.chosen {
+            MemoryMode::Local => "local",
+            MemoryMode::Remote => "remote",
+        };
+        let mut args = vec![
+            ("app", input.app.as_str().into()),
+            ("class", class.into()),
+            ("mode", mode.into()),
+            ("rule", input.rule.tag().into()),
+        ];
+        if let Some(l) = input.pred_local {
+            args.push(("pred_local", l.into()));
+        }
+        if let Some(r) = input.pred_remote {
+            args.push(("pred_remote", r.into()));
+        }
+        self.tracer
+            .instant("decision", "decision", input.at_s, 0, args);
+        self.audit.record(input);
+    }
+
+    /// Records the counters of a finished training run under
+    /// `prefix` (e.g. `predictor.system`), plus its per-epoch losses.
+    pub fn record_train_stats(&mut self, prefix: &str, stats: &TrainStats, epoch_losses: &[f32]) {
+        self.registry
+            .counter_add(&format!("{prefix}.epochs"), stats.epochs);
+        self.registry
+            .counter_add(&format!("{prefix}.minibatches"), stats.minibatches);
+        self.registry
+            .counter_add(&format!("{prefix}.grad_chunks"), stats.grad_chunks);
+        self.registry
+            .counter_add(&format!("{prefix}.samples"), stats.samples);
+        for &loss in epoch_losses {
+            self.registry
+                .observe(&format!("{prefix}.epoch_loss"), f64::from(loss));
+        }
+        if let Some(&last) = epoch_losses.last() {
+            self.registry
+                .gauge_set(&format!("{prefix}.final_loss"), f64::from(last));
+        }
+    }
+}
+
+impl Default for Observer {
+    fn default() -> Self {
+        Self::new(ObsConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::{DecisionRule, WindowSummary};
+    use adrias_workloads::{MemoryMode, WorkloadClass};
+
+    #[test]
+    fn record_decision_updates_all_three_pillars() {
+        let mut obs = Observer::default();
+        obs.record_decision(DecisionInput {
+            at_s: 2.0,
+            deployment_id: 1,
+            app: "gmm".into(),
+            class: WorkloadClass::BestEffort,
+            window: WindowSummary::empty(),
+            pred_local: Some(80.0),
+            pred_remote: Some(100.0),
+            rule: DecisionRule::BetaSlack { beta: 1.0 },
+            chosen: MemoryMode::Local,
+            policy: "adrias".into(),
+        });
+        assert_eq!(obs.audit.len(), 1);
+        assert_eq!(obs.registry.counter("orchestrator.decisions"), 1);
+        assert_eq!(obs.registry.counter("orchestrator.decisions.local"), 1);
+        assert_eq!(obs.registry.counter("orchestrator.rule.beta_slack"), 1);
+        assert_eq!(obs.tracer.len(), 1);
+    }
+
+    #[test]
+    fn train_stats_land_in_registry() {
+        let mut obs = Observer::default();
+        let mut stats = TrainStats::new();
+        stats.record_minibatch(32, 8);
+        stats.record_epoch();
+        obs.record_train_stats("predictor.system", &stats, &[0.9, 0.4]);
+        assert_eq!(obs.registry.counter("predictor.system.epochs"), 1);
+        assert_eq!(obs.registry.counter("predictor.system.grad_chunks"), 4);
+        assert_eq!(
+            obs.registry
+                .histogram("predictor.system.epoch_loss")
+                .unwrap()
+                .count(),
+            2
+        );
+        let last = obs.registry.gauge("predictor.system.final_loss").unwrap();
+        assert!((last - 0.4f64).abs() < 1e-6);
+    }
+}

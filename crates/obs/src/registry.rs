@@ -1,0 +1,420 @@
+//! The metrics registry: named counters, gauges and fixed-bucket
+//! histograms.
+//!
+//! Components register metrics under dotted names (`sim.steps`,
+//! `orchestrator.decisions.local`, `predictor.system.epoch_loss`).
+//! Storage is `BTreeMap`-backed so every export iterates in a stable
+//! order — a prerequisite for byte-identical JSONL across runs.
+//!
+//! Histograms use **fixed bucket boundaries** chosen at registration:
+//! observation is O(log buckets) and the memory footprint is constant,
+//! which is what lets the engine observe every simulated second of a
+//! long run. Mean/σ come from the Welford accumulator in
+//! `adrias_telemetry::stats`; quantiles are interpolated from the bucket
+//! counts.
+
+use std::collections::BTreeMap;
+
+use adrias_telemetry::stats::OnlineStats;
+
+/// Default histogram boundaries: a log10 grid from `1e-3` to `1e12`,
+/// three buckets per decade. Wide enough for cycle latencies (~1e2),
+/// flit counts (~1e8) and slowdown factors (~1e0) alike.
+pub fn default_buckets() -> Vec<f64> {
+    let mut bounds = Vec::with_capacity(46);
+    for decade in -3..=11 {
+        for mantissa in [1.0, 2.0, 5.0] {
+            bounds.push(mantissa * 10f64.powi(decade));
+        }
+    }
+    bounds.push(1e12);
+    bounds
+}
+
+/// A fixed-bucket histogram with exact count/mean/σ and interpolated
+/// quantiles.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `counts[i]` counts samples in `(bounds[i-1], bounds[i]]`;
+    /// `counts[bounds.len()]` is the overflow bucket.
+    counts: Vec<u64>,
+    stats: OnlineStats,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given strictly increasing upper
+    /// bucket boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly increasing"
+        );
+        let n = bounds.len();
+        Self {
+            bounds,
+            counts: vec![0; n + 1],
+            stats: OnlineStats::new(),
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] += 1;
+        self.stats.push(v as f32);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Mean of all observations.
+    pub fn mean(&self) -> f32 {
+        self.stats.mean()
+    }
+
+    /// Population standard deviation of all observations.
+    pub fn std_dev(&self) -> f32 {
+        self.stats.std_dev()
+    }
+
+    /// Smallest observation (`0.0` when empty).
+    pub fn min(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (`0.0` when empty).
+    pub fn max(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Bucket boundaries.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (the final entry is the overflow bucket).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Folds another histogram with identical bucket boundaries into
+    /// this one, as if its observations had been recorded here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket boundaries differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different buckets"
+        );
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.stats.merge(&other.stats);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) estimated by linear interpolation
+    /// inside the containing bucket, clamped to the observed min/max.
+    /// Returns `0.0` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = q * (total as f64 - 1.0);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (seen + c) as f64 > rank {
+                let lo = if i == 0 { self.min } else { self.bounds[i - 1] };
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+                let frac = (rank - seen as f64 + 0.5) / c as f64;
+                return (lo + frac * (hi - lo)).clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+}
+
+/// The metrics registry.
+///
+/// # Examples
+///
+/// ```
+/// use adrias_obs::registry::Registry;
+///
+/// let mut reg = Registry::new();
+/// reg.counter_add("sim.steps", 1);
+/// reg.gauge_set("engine.end_time_s", 720.0);
+/// reg.observe("sim.slowdown", 1.8);
+/// assert_eq!(reg.counter("sim.steps"), 1);
+/// assert_eq!(reg.histogram("sim.slowdown").unwrap().count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (created at zero on first use).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c += delta,
+            None => {
+                self.counters.insert(name.to_owned(), delta);
+            }
+        }
+    }
+
+    /// Current value of a counter (`0` if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the named gauge to `v`.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        match self.gauges.get_mut(name) {
+            Some(g) => *g = v,
+            None => {
+                self.gauges.insert(name.to_owned(), v);
+            }
+        }
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records `v` into the named histogram, creating it with
+    /// [`default_buckets`] on first use.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.observe(v),
+            None => {
+                let mut h = Histogram::new(default_buckets());
+                h.observe(v);
+                self.histograms.insert(name.to_owned(), h);
+            }
+        }
+    }
+
+    /// Records `v` into the named histogram, creating it with custom
+    /// `bounds` on first use (later calls ignore `bounds`).
+    pub fn observe_with(&mut self, name: &str, bounds: &[f64], v: f64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.observe(v),
+            None => {
+                let mut h = Histogram::new(bounds.to_vec());
+                h.observe(v);
+                self.histograms.insert(name.to_owned(), h);
+            }
+        }
+    }
+
+    /// Folds a pre-accumulated histogram into the named one (adopting a
+    /// clone of it on first use). Lets hot loops accumulate into a
+    /// lookup-free local histogram and pay one registry access per run.
+    /// Empty histograms are ignored so exports only carry observed
+    /// metrics.
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        if h.count() == 0 {
+            return;
+        }
+        match self.histograms.get_mut(name) {
+            Some(dst) => dst.merge(h),
+            None => {
+                self.histograms.insert(name.to_owned(), h.clone());
+            }
+        }
+    }
+
+    /// The named histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let mut reg = Registry::new();
+        reg.counter_add("a", 2);
+        reg.counter_add("a", 3);
+        reg.gauge_set("g", 1.0);
+        reg.gauge_set("g", -4.5);
+        assert_eq!(reg.counter("a"), 5);
+        assert_eq!(reg.counter("missing"), 0);
+        assert_eq!(reg.gauge("g"), Some(-4.5));
+        assert_eq!(reg.gauge("missing"), None);
+    }
+
+    #[test]
+    fn histogram_tracks_exact_moments() {
+        let mut h = Histogram::new(vec![1.0, 10.0, 100.0]);
+        for v in [0.5, 2.0, 2.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.counts(), &[1, 2, 1, 1]);
+        assert!((f64::from(h.mean()) - 110.9).abs() < 0.1);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 500.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_clamped() {
+        let mut h = Histogram::new(default_buckets());
+        for i in 1..=1000 {
+            h.observe(f64::from(i));
+        }
+        let q50 = h.quantile(0.5);
+        let q95 = h.quantile(0.95);
+        let q99 = h.quantile(0.99);
+        assert!(q50 <= q95 && q95 <= q99, "{q50} {q95} {q99}");
+        assert!((400.0..=600.0).contains(&q50), "median estimate {q50}");
+        assert!(q99 <= 1000.0);
+        assert_eq!(Histogram::new(vec![1.0]).quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn bucket_boundary_is_inclusive_upper() {
+        let mut h = Histogram::new(vec![1.0, 2.0]);
+        h.observe(1.0);
+        assert_eq!(h.counts(), &[1, 0, 0]);
+    }
+
+    #[test]
+    fn registry_iterates_in_name_order() {
+        let mut reg = Registry::new();
+        reg.counter_add("z", 1);
+        reg.counter_add("a", 1);
+        let names: Vec<&str> = reg.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "z"]);
+    }
+
+    #[test]
+    fn observe_with_keeps_first_bounds() {
+        let mut reg = Registry::new();
+        reg.observe_with("h", &[10.0], 3.0);
+        reg.observe_with("h", &[99.0], 30.0);
+        let h = reg.histogram("h").unwrap();
+        assert_eq!(h.bounds(), &[10.0]);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_rejected() {
+        let _ = Histogram::new(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn histogram_merge_matches_direct_observation() {
+        let bounds = vec![1.0, 10.0, 100.0];
+        let mut whole = Histogram::new(bounds.clone());
+        let mut a = Histogram::new(bounds.clone());
+        let mut b = Histogram::new(bounds.clone());
+        for v in [0.5, 2.0, 50.0] {
+            whole.observe(v);
+            a.observe(v);
+        }
+        for v in [2.0, 500.0] {
+            whole.observe(v);
+            b.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.counts(), whole.counts());
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-5);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn registry_merge_adopts_and_skips_empty() {
+        let mut reg = Registry::new();
+        let empty = Histogram::new(vec![1.0]);
+        reg.merge_histogram("h", &empty);
+        assert!(reg.histogram("h").is_none(), "empty merges leave no trace");
+        let mut h = Histogram::new(vec![1.0]);
+        h.observe(0.5);
+        reg.merge_histogram("h", &h);
+        reg.merge_histogram("h", &h);
+        assert_eq!(reg.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different buckets")]
+    fn merge_rejects_mismatched_buckets() {
+        let mut a = Histogram::new(vec![1.0]);
+        a.merge(&Histogram::new(vec![2.0]));
+    }
+}

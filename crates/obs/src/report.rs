@@ -1,0 +1,179 @@
+//! Human-readable run report rendered from an [`Observer`].
+//!
+//! This is the one output allowed to show wall-clock numbers (clearly
+//! marked host-dependent); everything else it prints is derived from
+//! the same deterministic state as the JSONL exports.
+
+use std::fmt::Write as _;
+
+use crate::observer::Observer;
+
+/// Histogram-name prefix under which the sim observer records per-app
+/// contention slowdowns; the report ranks these as "top slowdown
+/// sources".
+pub const SLOWDOWN_PREFIX: &str = "sim.slowdown.app.";
+
+/// Renders the report.
+pub fn render_report(obs: &Observer) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Adrias observability report ===");
+    let _ = writeln!(
+        out,
+        "trace: {} events retained ({} dropped, capacity {})",
+        obs.tracer.len(),
+        obs.tracer.dropped(),
+        obs.tracer.capacity()
+    );
+    let _ = writeln!(
+        out,
+        "audit: {} decisions, near-flip band {:.1}%",
+        obs.audit.len(),
+        f64::from(obs.audit.near_flip_band()) * 100.0
+    );
+
+    render_decision_distribution(&mut out, obs);
+    render_near_flips(&mut out, obs);
+    render_slowdown_sources(&mut out, obs);
+    render_metrics(&mut out, obs);
+    render_wall_clock(&mut out, obs);
+    out
+}
+
+fn render_decision_distribution(out: &mut String, obs: &Observer) {
+    if obs.audit.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\n-- decision distribution --");
+    let total = obs.registry.counter("orchestrator.decisions").max(1);
+    for (name, v) in obs.registry.counters() {
+        if let Some(suffix) = name.strip_prefix("orchestrator.decisions.") {
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>6}  ({:.1}%)",
+                suffix,
+                v,
+                v as f64 / total as f64 * 100.0
+            );
+        }
+    }
+    let _ = writeln!(out, "  by rule:");
+    for (name, v) in obs.registry.counters() {
+        if let Some(rule) = name.strip_prefix("orchestrator.rule.") {
+            let _ = writeln!(out, "    {rule:<22} {v:>6}");
+        }
+    }
+}
+
+fn render_near_flips(out: &mut String, obs: &Observer) {
+    let flips: Vec<_> = obs.audit.near_flips().collect();
+    let _ = writeln!(out, "\n-- near-flip decisions: {} --", flips.len());
+    for r in flips.iter().take(10) {
+        let margin = r.margin.unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "  #{:<4} t={:>7.1}s {:<24} {:<3} -> {:<6} margin {:+.3}",
+            r.seq, r.input.at_s, r.input.app, r.input.class, r.input.chosen, margin
+        );
+    }
+    if flips.len() > 10 {
+        let _ = writeln!(out, "  ... and {} more", flips.len() - 10);
+    }
+}
+
+fn render_slowdown_sources(out: &mut String, obs: &Observer) {
+    let mut sources: Vec<(&str, f32, u64)> = obs
+        .registry
+        .histograms()
+        .filter_map(|(name, h)| {
+            name.strip_prefix(SLOWDOWN_PREFIX)
+                .map(|app| (app, h.mean(), h.count()))
+        })
+        .collect();
+    if sources.is_empty() {
+        return;
+    }
+    sources.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
+    let _ = writeln!(
+        out,
+        "\n-- top slowdown sources (mean contention slowdown) --"
+    );
+    for (app, mean, n) in sources.iter().take(8) {
+        let _ = writeln!(out, "  {app:<24} x{mean:<6.3} over {n} app-seconds");
+    }
+}
+
+fn render_metrics(out: &mut String, obs: &Observer) {
+    if obs.registry.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\n-- metrics --");
+    for (name, v) in obs.registry.counters() {
+        let _ = writeln!(out, "  counter {name:<38} {v}");
+    }
+    for (name, v) in obs.registry.gauges() {
+        let _ = writeln!(out, "  gauge   {name:<38} {v}");
+    }
+    for (name, h) in obs.registry.histograms() {
+        let _ = writeln!(
+            out,
+            "  hist    {name:<38} n={} mean={:.4} p95={:.4}",
+            h.count(),
+            h.mean(),
+            h.quantile(0.95)
+        );
+    }
+}
+
+fn render_wall_clock(out: &mut String, obs: &Observer) {
+    let totals = obs.tracer.wall_totals();
+    if totals.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\n-- wall clock (host-dependent, not exported) --");
+    for (label, ms) in totals {
+        let _ = writeln!(out, "  {label:<38} {ms:.1} ms");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::{DecisionInput, DecisionRule, WindowSummary};
+    use adrias_workloads::{MemoryMode, WorkloadClass};
+
+    #[test]
+    fn report_mentions_all_sections() {
+        let mut obs = Observer::default();
+        obs.record_decision(DecisionInput {
+            at_s: 1.0,
+            deployment_id: 0,
+            app: "gmm".into(),
+            class: WorkloadClass::BestEffort,
+            window: WindowSummary::empty(),
+            pred_local: Some(99.0),
+            pred_remote: Some(100.0),
+            rule: DecisionRule::BetaSlack { beta: 1.0 },
+            chosen: MemoryMode::Local,
+            policy: "adrias".into(),
+        });
+        obs.registry
+            .observe(&format!("{SLOWDOWN_PREFIX}in-memory-analytics"), 1.8);
+        let text = render_report(&obs);
+        assert!(text.contains("decision distribution"));
+        assert!(text.contains("near-flip decisions: 1"));
+        assert!(text.contains("top slowdown sources"));
+        assert!(text.contains("in-memory-analytics"));
+        assert!(!text.contains("wall clock"), "no wall data was recorded");
+    }
+
+    #[test]
+    fn wall_clock_section_appears_only_when_recorded() {
+        let mut obs = Observer::new(crate::ObsConfig {
+            record_wall: true,
+            ..crate::ObsConfig::default()
+        });
+        obs.tracer
+            .time_wall("train", || std::hint::black_box(1 + 1));
+        assert!(render_report(&obs).contains("wall clock"));
+    }
+}

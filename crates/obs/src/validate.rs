@@ -1,0 +1,376 @@
+//! In-tree schema validators for the exported artifacts.
+//!
+//! CI runs the `obs_report` example and feeds the files it wrote back
+//! through these checks, so a malformed export fails the build rather
+//! than silently producing a trace Perfetto refuses to load. The
+//! validators deliberately re-parse from text (through `json::parse`)
+//! instead of inspecting observer state: they check what a consumer
+//! would actually read.
+
+use std::fmt;
+
+use crate::json::{self, Json};
+
+/// A schema violation found by a validator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidateError {
+    /// 1-based line number for JSONL inputs; `0` for whole-document
+    /// (Chrome trace) inputs.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "invalid export: {}", self.reason)
+        } else {
+            write!(f, "invalid export at line {}: {}", self.line, self.reason)
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+fn err(line: usize, reason: impl Into<String>) -> ValidateError {
+    ValidateError {
+        line,
+        reason: reason.into(),
+    }
+}
+
+fn parse_line(line_no: usize, line: &str) -> Result<Json, ValidateError> {
+    let doc = json::parse(line).map_err(|e| err(line_no, e.to_string()))?;
+    if !doc.is_obj() {
+        return Err(err(line_no, "expected a JSON object"));
+    }
+    Ok(doc)
+}
+
+fn require_num(doc: &Json, key: &str, line: usize) -> Result<f64, ValidateError> {
+    doc.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| err(line, format!("missing numeric field `{key}`")))
+}
+
+fn require_str<'a>(doc: &'a Json, key: &str, line: usize) -> Result<&'a str, ValidateError> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| err(line, format!("missing string field `{key}`")))
+}
+
+/// Validates an `events.jsonl` export. Returns the number of event
+/// lines (excluding the meta header).
+///
+/// # Errors
+///
+/// Returns the first schema violation found.
+pub fn validate_jsonl_events(text: &str) -> Result<usize, ValidateError> {
+    let mut lines = text.lines().enumerate();
+    let (_, meta_line) = lines.next().ok_or_else(|| err(0, "empty events export"))?;
+    let meta = parse_line(1, meta_line)?;
+    if require_str(&meta, "type", 1)? != "meta" {
+        return Err(err(1, "first line must be the meta record"));
+    }
+    let capacity = require_num(&meta, "capacity", 1)?;
+    let dropped = require_num(&meta, "dropped", 1)?;
+    if capacity < 1.0 || dropped < 0.0 {
+        return Err(err(1, "meta capacity/dropped out of range"));
+    }
+
+    let mut count = 0usize;
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let doc = parse_line(line_no, line)?;
+        let kind = require_str(&doc, "type", line_no)?;
+        require_str(&doc, "name", line_no)?;
+        require_str(&doc, "cat", line_no)?;
+        require_num(&doc, "track", line_no)?;
+        if !doc.get("args").is_some_and(Json::is_obj) {
+            return Err(err(line_no, "missing object field `args`"));
+        }
+        match kind {
+            "span" => {
+                let t0 = require_num(&doc, "t0_s", line_no)?;
+                let t1 = require_num(&doc, "t1_s", line_no)?;
+                if t1 < t0 {
+                    return Err(err(
+                        line_no,
+                        format!("span ends before it starts ({t1} < {t0})"),
+                    ));
+                }
+            }
+            "instant" => {
+                require_num(&doc, "at_s", line_no)?;
+            }
+            other => return Err(err(line_no, format!("unknown event type `{other}`"))),
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
+const KNOWN_RULES: [&str; 6] = [
+    "beta_slack",
+    "qos_threshold",
+    "unknown_remote_first",
+    "warmup_default",
+    "static",
+    "forced",
+];
+
+/// Validates a `decisions.jsonl` export. Returns the number of
+/// decision records.
+///
+/// Checks, per record: dense `seq` numbering from zero, a known rule
+/// tag, a legal class/mode pair, and that β-slack / QoS decisions carry
+/// a numeric margin (the acceptance criterion for the audit trail).
+///
+/// # Errors
+///
+/// Returns the first schema violation found.
+pub fn validate_jsonl_decisions(text: &str) -> Result<usize, ValidateError> {
+    let mut count = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let doc = parse_line(line_no, line)?;
+        let seq = require_num(&doc, "seq", line_no)?;
+        if seq != count as f64 {
+            return Err(err(
+                line_no,
+                format!("non-dense seq {seq}, expected {count}"),
+            ));
+        }
+        require_num(&doc, "at_s", line_no)?;
+        require_num(&doc, "deployment_id", line_no)?;
+        require_str(&doc, "app", line_no)?;
+        require_str(&doc, "policy", line_no)?;
+        let class = require_str(&doc, "class", line_no)?;
+        if !["BE", "LC", "iBench"].contains(&class) {
+            return Err(err(line_no, format!("unknown class `{class}`")));
+        }
+        let chosen = require_str(&doc, "chosen", line_no)?;
+        if !["local", "remote"].contains(&chosen) {
+            return Err(err(line_no, format!("unknown mode `{chosen}`")));
+        }
+        let rule = require_str(&doc, "rule", line_no)?;
+        if !KNOWN_RULES.contains(&rule) {
+            return Err(err(line_no, format!("unknown rule `{rule}`")));
+        }
+        require_num(&doc, "window_rows", line_no)?;
+        if !doc.get("window_mean").is_some_and(Json::is_obj) {
+            return Err(err(line_no, "missing object field `window_mean`"));
+        }
+        if doc.get("near_flip").and_then(Json::as_bool).is_none() {
+            return Err(err(line_no, "missing boolean field `near_flip`"));
+        }
+        let margin = doc
+            .get("margin")
+            .ok_or_else(|| err(line_no, "missing field `margin`"))?;
+        let margin_is_num = margin.as_num().is_some();
+        if !margin_is_num && *margin != Json::Null {
+            return Err(err(line_no, "`margin` must be a number or null"));
+        }
+        if ["beta_slack", "qos_threshold"].contains(&rule) && !margin_is_num {
+            return Err(err(
+                line_no,
+                format!("rule `{rule}` requires a numeric margin"),
+            ));
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Validates a `metrics.jsonl` export. Returns the number of metric
+/// lines.
+///
+/// # Errors
+///
+/// Returns the first schema violation found.
+pub fn validate_jsonl_metrics(text: &str) -> Result<usize, ValidateError> {
+    let mut count = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let doc = parse_line(line_no, line)?;
+        require_str(&doc, "name", line_no)?;
+        match require_str(&doc, "type", line_no)? {
+            "counter" | "gauge" => {
+                require_num(&doc, "value", line_no)?;
+            }
+            "histogram" => {
+                let n = require_num(&doc, "count", line_no)?;
+                if n < 1.0 {
+                    return Err(err(line_no, "histogram with no observations exported"));
+                }
+                for key in ["mean", "std", "min", "max", "p50", "p95", "p99"] {
+                    require_num(&doc, key, line_no)?;
+                }
+            }
+            other => return Err(err(line_no, format!("unknown metric type `{other}`"))),
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Validates a Chrome `trace_event` JSON document. Returns the number
+/// of trace events.
+///
+/// # Errors
+///
+/// Returns the first schema violation found.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, ValidateError> {
+    let doc = json::parse(text).map_err(|e| err(0, e.to_string()))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err(0, "missing `traceEvents` array"))?;
+    for (i, e) in events.iter().enumerate() {
+        let what = format!("traceEvents[{i}]");
+        if !e.is_obj() {
+            return Err(err(0, format!("{what} is not an object")));
+        }
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err(0, format!("{what} missing `ph`")))?;
+        for key in ["name", "cat"] {
+            if e.get(key).and_then(Json::as_str).is_none() {
+                return Err(err(0, format!("{what} missing string `{key}`")));
+            }
+        }
+        for key in ["ts", "pid", "tid"] {
+            if e.get(key).and_then(Json::as_num).is_none() {
+                return Err(err(0, format!("{what} missing numeric `{key}`")));
+            }
+        }
+        match ph {
+            "X" => {
+                let dur = e
+                    .get("dur")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| err(0, format!("{what} missing numeric `dur`")))?;
+                if dur < 0.0 {
+                    return Err(err(0, format!("{what} has negative duration")));
+                }
+            }
+            "i" => {
+                if e.get("s").and_then(Json::as_str).is_none() {
+                    return Err(err(0, format!("{what} instant missing scope `s`")));
+                }
+            }
+            other => return Err(err(0, format!("{what} has unsupported phase `{other}`"))),
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::{DecisionInput, DecisionRule, WindowSummary};
+    use crate::export;
+    use crate::observer::Observer;
+    use adrias_workloads::{MemoryMode, WorkloadClass};
+
+    fn observer() -> Observer {
+        let mut obs = Observer::default();
+        obs.tracer.span("engine.run", "engine", 0.0, 5.0, 0, vec![]);
+        obs.registry.counter_add("sim.steps", 5);
+        obs.registry.observe("sim.slowdown", 1.2);
+        obs.record_decision(DecisionInput {
+            at_s: 1.0,
+            deployment_id: 0,
+            app: "gmm".into(),
+            class: WorkloadClass::BestEffort,
+            window: WindowSummary::empty(),
+            pred_local: Some(10.0),
+            pred_remote: Some(12.0),
+            rule: DecisionRule::BetaSlack { beta: 1.0 },
+            chosen: MemoryMode::Local,
+            policy: "adrias".into(),
+        });
+        obs
+    }
+
+    #[test]
+    fn real_exports_validate() {
+        let obs = observer();
+        assert_eq!(
+            validate_jsonl_events(&export::to_jsonl_events(&obs)).unwrap(),
+            2
+        );
+        assert_eq!(
+            validate_jsonl_decisions(&export::to_jsonl_decisions(&obs)).unwrap(),
+            1
+        );
+        assert!(validate_jsonl_metrics(&export::to_jsonl_metrics(&obs)).unwrap() >= 5);
+        assert_eq!(
+            validate_chrome_trace(&export::to_chrome_trace(&obs)).unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn missing_meta_line_is_rejected() {
+        let text = r#"{"type":"instant","name":"x","cat":"t","at_s":1,"track":0,"args":{}}"#;
+        let e = validate_jsonl_events(text).unwrap_err();
+        assert!(e.to_string().contains("meta"));
+    }
+
+    #[test]
+    fn backwards_span_is_rejected() {
+        let text = concat!(
+            "{\"type\":\"meta\",\"capacity\":8,\"dropped\":0}\n",
+            "{\"type\":\"span\",\"name\":\"x\",\"cat\":\"t\",\"t0_s\":5,\"t1_s\":1,\"track\":0,\"args\":{}}"
+        );
+        assert!(validate_jsonl_events(text)
+            .unwrap_err()
+            .reason
+            .contains("ends before"));
+    }
+
+    #[test]
+    fn non_dense_seq_is_rejected() {
+        let mut obs = observer();
+        obs.record_decision(DecisionInput {
+            at_s: 2.0,
+            deployment_id: 1,
+            app: "kmeans".into(),
+            class: WorkloadClass::BestEffort,
+            window: WindowSummary::empty(),
+            pred_local: None,
+            pred_remote: None,
+            rule: DecisionRule::Static,
+            chosen: MemoryMode::Remote,
+            policy: "all-remote".into(),
+        });
+        let text = export::to_jsonl_decisions(&obs);
+        let tampered: String = text.lines().skip(1).map(|l| format!("{l}\n")).collect();
+        assert!(validate_jsonl_decisions(&tampered)
+            .unwrap_err()
+            .reason
+            .contains("non-dense"));
+    }
+
+    #[test]
+    fn rule_margin_contract_is_enforced() {
+        let line = r#"{"seq":0,"at_s":1,"deployment_id":0,"app":"a","policy":"p","class":"BE","chosen":"local","rule":"beta_slack","rule_param":1,"window_rows":0,"window_mean":{},"pred_local":null,"pred_remote":null,"margin":null,"near_flip":false}"#;
+        assert!(validate_jsonl_decisions(line)
+            .unwrap_err()
+            .reason
+            .contains("requires a numeric margin"));
+    }
+
+    #[test]
+    fn chrome_trace_rejects_missing_fields() {
+        assert!(validate_chrome_trace("{}").is_err());
+        let no_dur = r#"{"traceEvents":[{"name":"x","cat":"t","ph":"X","ts":0,"pid":1,"tid":0}]}"#;
+        assert!(validate_chrome_trace(no_dur)
+            .unwrap_err()
+            .reason
+            .contains("dur"));
+    }
+}

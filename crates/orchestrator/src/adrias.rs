@@ -5,7 +5,9 @@ use std::collections::HashMap;
 use adrias_predictor::{PerfModel, PerfQuery, SystemStateModel};
 use adrias_workloads::{AppSignature, MemoryMode, WorkloadClass};
 
-use crate::policy::{DecisionContext, Policy};
+use adrias_obs::DecisionRule;
+
+use crate::policy::{DecisionContext, ExplainedDecision, Policy};
 
 /// The β-slack placement rule for best-effort applications (§V-C):
 /// stay **local** iff the predicted local runtime beats the predicted
@@ -173,20 +175,46 @@ impl Policy for AdriasPolicy {
     }
 
     fn decide(&mut self, ctx: &DecisionContext<'_>) -> MemoryMode {
+        self.decide_explained(ctx).mode
+    }
+
+    fn decide_explained(&mut self, ctx: &DecisionContext<'_>) -> ExplainedDecision {
         if !self.knows(ctx.profile.name()) {
             // Unknown application: remote-first to capture a signature.
-            return MemoryMode::Remote;
+            return ExplainedDecision {
+                mode: MemoryMode::Remote,
+                rule: DecisionRule::UnknownRemoteFirst,
+                pred_local: None,
+                pred_remote: None,
+            };
         }
         let Some((pred_local, pred_remote)) = self.predict_perf_both(ctx) else {
             // Watcher warm-up: play safe.
-            return MemoryMode::Local;
+            return ExplainedDecision {
+                mode: MemoryMode::Local,
+                rule: DecisionRule::WarmupDefault,
+                pred_local: None,
+                pred_remote: None,
+            };
         };
-        match ctx.profile.class() {
+        let (mode, rule) = match ctx.profile.class() {
             WorkloadClass::LatencyCritical => {
                 let qos = ctx.qos_p99_ms.unwrap_or(self.default_qos_p99_ms);
-                lc_rule(pred_remote, qos)
+                (
+                    lc_rule(pred_remote, qos),
+                    DecisionRule::QosThreshold { qos_p99_ms: qos },
+                )
             }
-            _ => be_rule(pred_local, pred_remote, self.beta),
+            _ => (
+                be_rule(pred_local, pred_remote, self.beta),
+                DecisionRule::BetaSlack { beta: self.beta },
+            ),
+        };
+        ExplainedDecision {
+            mode,
+            rule,
+            pred_local: Some(pred_local),
+            pred_remote: Some(pred_remote),
         }
     }
 }
@@ -397,6 +425,43 @@ mod tests {
             policy.decide(&ctx_for(&redis, &history, Some(1.5))),
             MemoryMode::Local
         );
+    }
+
+    #[test]
+    fn explained_decisions_carry_rule_and_predictions() {
+        let mut policy = policy_with_beta(0.7);
+        let history = vec![metric_row(0.0); HISTORY_S];
+        let gmm = spark::by_name("gmm").unwrap();
+
+        // BE with history: β-slack rule with both predictions.
+        let explained = policy.decide_explained(&ctx_for(&gmm, &history, None));
+        assert_eq!(explained.rule, DecisionRule::BetaSlack { beta: 0.7 });
+        assert!(explained.pred_local.is_some() && explained.pred_remote.is_some());
+        assert_eq!(
+            explained.mode,
+            policy.decide(&ctx_for(&gmm, &history, None))
+        );
+
+        // Warm-up: no history window.
+        let warm = policy.decide_explained(&DecisionContext {
+            profile: &gmm,
+            history: None,
+            qos_p99_ms: None,
+        });
+        assert_eq!(warm.rule, DecisionRule::WarmupDefault);
+        assert_eq!(warm.mode, MemoryMode::Local);
+
+        // Unknown app: remote-first.
+        let unknown = spark::by_name("pca").unwrap();
+        let rf = policy.decide_explained(&ctx_for(&unknown, &history, None));
+        assert_eq!(rf.rule, DecisionRule::UnknownRemoteFirst);
+        assert_eq!(rf.mode, MemoryMode::Remote);
+
+        // LC: QoS rule carries the active constraint.
+        let redis = keyvalue::redis();
+        let lc = policy.decide_explained(&ctx_for(&redis, &history, Some(10.0)));
+        assert_eq!(lc.rule, DecisionRule::QosThreshold { qos_p99_ms: 10.0 });
+        assert!(lc.pred_remote.is_some());
     }
 
     #[test]

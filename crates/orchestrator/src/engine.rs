@@ -4,12 +4,12 @@
 use adrias_core::rng::SeedableRng;
 use adrias_core::rng::Xoshiro256pp;
 
-use adrias_sim::{Testbed, TestbedConfig};
+use adrias_sim::{DeploymentId, StepReport, Testbed, TestbedConfig};
 use adrias_telemetry::{MetricSample, MetricVec, Watcher};
 use adrias_workloads::keyvalue::tail_latency;
 use adrias_workloads::{LoadSpec, MemoryMode, WorkloadClass, WorkloadProfile};
 
-use crate::policy::{DecisionContext, Policy};
+use crate::policy::{DecisionContext, ExplainedDecision, Policy};
 
 /// One entry of an arrival schedule.
 #[derive(Debug, Clone)]
@@ -185,6 +185,48 @@ impl RunReport {
     }
 }
 
+/// Hooks the engine invokes while replaying a schedule.
+///
+/// The engine loop is generic over the observer and the no-op
+/// implementation for `()` has empty inlined methods, so the
+/// unobserved [`run_schedule`] monomorphizes to exactly the
+/// pre-observability code — tracing costs nothing unless an observer
+/// is attached.
+pub trait EngineObserver {
+    /// Called once per placement (policy-decided *and* forced), right
+    /// after the deployment id is assigned.
+    fn on_decision(
+        &mut self,
+        at_s: f64,
+        id: DeploymentId,
+        profile: &WorkloadProfile,
+        history: Option<&[MetricVec]>,
+        decision: &ExplainedDecision,
+        policy_name: &str,
+    ) {
+        let _ = (at_s, id, profile, history, decision, policy_name);
+    }
+
+    /// Called once per simulated second with the testbed's step report.
+    fn on_step(&mut self, report: &StepReport) {
+        let _ = report;
+    }
+
+    /// Called when an application finishes, with its full outcome.
+    fn on_complete(&mut self, id: DeploymentId, outcome: &AppOutcome) {
+        let _ = (id, outcome);
+    }
+
+    /// Called once after the run, with the final report and the time of
+    /// the last scheduled arrival (for drain-time accounting).
+    fn on_run_end(&mut self, report: &RunReport, last_arrival_s: f64) {
+        let _ = (report, last_arrival_s);
+    }
+}
+
+/// The no-op observer: every hook is an empty default method.
+impl EngineObserver for () {}
+
 /// The load specification used to measure a store's tail latency,
 /// mirroring the paper: 10 k requests/client for Redis, 40 k for
 /// Memcached (≈30 k and ≈100 k ops/s respectively).
@@ -212,6 +254,47 @@ pub fn run_schedule(
     arrivals: &[ScheduledArrival],
     policy: &mut dyn Policy,
 ) -> RunReport {
+    run_schedule_inner(testbed_cfg, engine_cfg, arrivals, policy, &mut ())
+}
+
+/// [`run_schedule`] with an attached [`adrias_obs::Observer`]: every
+/// placement lands in the decision audit trail, each step feeds the sim
+/// metrics, and completed apps become trace spans. Same-seed runs leave
+/// byte-identical exports in the observer.
+pub fn run_schedule_observed(
+    testbed_cfg: TestbedConfig,
+    engine_cfg: EngineConfig,
+    arrivals: &[ScheduledArrival],
+    policy: &mut dyn Policy,
+    obs: &mut adrias_obs::Observer,
+) -> RunReport {
+    let mut run = crate::engine_obs::ObservedRun::new(obs);
+    run_schedule_inner(testbed_cfg, engine_cfg, arrivals, policy, &mut run)
+}
+
+/// [`run_schedule`] with a caller-supplied [`EngineObserver`] — the
+/// generic extension point behind both [`run_schedule`] (which passes
+/// the no-op `()` observer) and [`run_schedule_observed`] (which passes
+/// [`crate::ObservedRun`]). The loop is monomorphized per observer
+/// type, so an observer with empty hooks compiles down to the plain
+/// engine loop.
+pub fn run_schedule_hooked<O: EngineObserver>(
+    testbed_cfg: TestbedConfig,
+    engine_cfg: EngineConfig,
+    arrivals: &[ScheduledArrival],
+    policy: &mut dyn Policy,
+    obs: &mut O,
+) -> RunReport {
+    run_schedule_inner(testbed_cfg, engine_cfg, arrivals, policy, obs)
+}
+
+fn run_schedule_inner<O: EngineObserver>(
+    testbed_cfg: TestbedConfig,
+    engine_cfg: EngineConfig,
+    arrivals: &[ScheduledArrival],
+    policy: &mut dyn Policy,
+    obs: &mut O,
+) -> RunReport {
     assert!(
         arrivals.windows(2).all(|w| w[0].at_s <= w[1].at_s),
         "arrivals must be sorted by time"
@@ -237,27 +320,44 @@ pub fn run_schedule(
             next_arrival += 1;
             let history = watcher.history_window(engine_cfg.history_window_s);
             let history_rows: Option<Vec<MetricVec>> = history.map(|w| w.rows().to_vec());
-            let (mode, was_decided) = match arrival.forced_mode {
-                Some(m) => (m, false),
+            let (decision, was_decided) = match arrival.forced_mode {
+                Some(m) => (
+                    ExplainedDecision {
+                        mode: m,
+                        rule: adrias_obs::DecisionRule::Forced,
+                        pred_local: None,
+                        pred_remote: None,
+                    },
+                    false,
+                ),
                 None => {
                     let ctx = DecisionContext {
                         profile: &arrival.profile,
                         history: history_rows.as_deref(),
                         qos_p99_ms: engine_cfg.qos_p99_ms,
                     };
-                    (policy.decide(&ctx), true)
+                    (policy.decide_explained(&ctx), true)
                 }
             };
             let duration = arrival
                 .duration_s
                 .unwrap_or_else(|| arrival.profile.base_runtime_s());
-            let id = testbed.deploy_for(arrival.profile.clone(), mode, duration);
+            let id = testbed.deploy_for(arrival.profile.clone(), decision.mode, duration);
+            obs.on_decision(
+                now,
+                id,
+                &arrival.profile,
+                history_rows.as_deref(),
+                &decision,
+                policy.name(),
+            );
             decided.insert(id, (was_decided, arrival.profile.clone()));
         }
 
         let report = testbed.step();
         watcher.record(report.sample);
         samples.push(report.sample);
+        obs.on_step(&report);
 
         for done in report.finished {
             let (policy_decided, profile) = decided
@@ -276,7 +376,7 @@ pub fn run_schedule(
             } else {
                 (None, None, None)
             };
-            outcomes.push(AppOutcome {
+            let outcome = AppOutcome {
                 name: done.name,
                 class: done.class,
                 mode: done.mode,
@@ -288,7 +388,9 @@ pub fn run_schedule(
                 p99_ms: p99,
                 p999_ms: p999,
                 lc_total_time_s: total,
-            });
+            };
+            obs.on_complete(done.id, &outcome);
+            outcomes.push(outcome);
         }
 
         let all_arrived = next_arrival == arrivals.len();
@@ -297,14 +399,16 @@ pub fn run_schedule(
         }
     }
 
-    RunReport {
+    let report = RunReport {
         policy: policy.name().to_owned(),
         outcomes,
         samples,
         link_bytes: testbed.link_bytes_total(),
         end_time_s: testbed.time_s(),
         unfinished: testbed.resident_count() + (arrivals.len() - next_arrival),
-    }
+    };
+    obs.on_run_end(&report, last_arrival_s);
+    report
 }
 
 /// Runs `profile` isolated on an empty testbed in `mode` and returns its

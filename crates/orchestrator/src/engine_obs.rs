@@ -1,0 +1,245 @@
+//! Bridges the engine's [`EngineObserver`] hooks onto an
+//! [`adrias_obs::Observer`]: decisions land in the audit trail, steps
+//! feed the sim metrics, completions become trace spans on per-app
+//! tracks, and the run itself becomes the root span on track 0.
+//!
+//! Per-step metrics accumulate in a lookup-free
+//! [`adrias_sim::obs::SimMetrics`] held by [`ObservedRun`] and are
+//! folded into the registry once at the end of the run, keeping the
+//! per-simulated-second observation cost to plain arithmetic.
+
+use adrias_obs::{DecisionInput, Observer, WindowSummary};
+use adrias_sim::obs::SimMetrics;
+use adrias_sim::{DeploymentId, StepReport};
+use adrias_telemetry::MetricVec;
+use adrias_workloads::{WorkloadClass, WorkloadProfile};
+
+use crate::engine::{AppOutcome, EngineObserver, RunReport};
+use crate::policy::ExplainedDecision;
+
+/// One observed engine run: borrows the [`Observer`] that collects the
+/// audit trail, traces and registry, plus the per-run sim accumulator.
+/// Created by [`crate::engine::run_schedule_observed`].
+pub struct ObservedRun<'a> {
+    obs: &'a mut Observer,
+    sim: SimMetrics,
+}
+
+impl<'a> ObservedRun<'a> {
+    /// Wraps an observer for one engine run.
+    pub fn new(obs: &'a mut Observer) -> Self {
+        Self {
+            obs,
+            sim: SimMetrics::new(),
+        }
+    }
+}
+
+impl EngineObserver for ObservedRun<'_> {
+    fn on_decision(
+        &mut self,
+        at_s: f64,
+        id: DeploymentId,
+        profile: &WorkloadProfile,
+        history: Option<&[MetricVec]>,
+        decision: &ExplainedDecision,
+        policy_name: &str,
+    ) {
+        self.obs.record_decision(DecisionInput {
+            at_s,
+            deployment_id: id.index(),
+            app: profile.name().to_owned(),
+            class: profile.class(),
+            window: history.map_or_else(WindowSummary::empty, WindowSummary::of_rows),
+            pred_local: decision.pred_local,
+            pred_remote: decision.pred_remote,
+            rule: decision.rule,
+            chosen: decision.mode,
+            policy: policy_name.to_owned(),
+        });
+    }
+
+    fn on_step(&mut self, report: &StepReport) {
+        self.sim.record(report);
+    }
+
+    fn on_complete(&mut self, id: DeploymentId, outcome: &AppOutcome) {
+        let mut args = vec![
+            ("mode", outcome.mode.to_string().into()),
+            ("class", outcome.class.to_string().into()),
+            ("slowdown", outcome.mean_slowdown.into()),
+        ];
+        if let Some(p99) = outcome.p99_ms {
+            args.push(("p99_ms", p99.into()));
+            self.obs
+                .registry
+                .observe("orchestrator.lc.p99_ms", f64::from(p99));
+        }
+        if outcome.class == WorkloadClass::BestEffort {
+            self.obs
+                .registry
+                .observe("orchestrator.be.runtime_s", outcome.runtime_s);
+        }
+        // Track 0 is the engine; each deployment gets its own track so
+        // residencies render as parallel rows in a timeline viewer.
+        self.obs.tracer.span(
+            &outcome.name,
+            "app",
+            outcome.arrived_s,
+            outcome.finished_s,
+            id.index() + 1,
+            args,
+        );
+    }
+
+    fn on_run_end(&mut self, report: &RunReport, last_arrival_s: f64) {
+        self.sim.flush(&mut self.obs.registry);
+        self.obs.tracer.span(
+            "engine.run",
+            "engine",
+            0.0,
+            report.end_time_s,
+            0,
+            vec![
+                ("policy", report.policy.as_str().into()),
+                ("outcomes", (report.outcomes.len() as f64).into()),
+                ("unfinished", (report.unfinished as f64).into()),
+            ],
+        );
+        self.obs
+            .registry
+            .gauge_set("engine.end_time_s", report.end_time_s);
+        self.obs
+            .registry
+            .gauge_set("engine.link_bytes", report.link_bytes);
+        self.obs.registry.gauge_set(
+            "orchestrator.drain_s",
+            (report.end_time_s - last_arrival_s).max(0.0),
+        );
+        self.obs
+            .registry
+            .counter_add("orchestrator.unfinished", report.unfinished as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::RoundRobinPolicy;
+    use crate::engine::{run_schedule, run_schedule_observed, EngineConfig, ScheduledArrival};
+    use adrias_obs::{export, ObsConfig};
+    use adrias_sim::TestbedConfig;
+    use adrias_workloads::{ibench, spark, IbenchKind, MemoryMode};
+
+    fn schedule() -> Vec<ScheduledArrival> {
+        let gmm = spark::by_name("gmm").unwrap();
+        let sort = spark::by_name("sort").unwrap();
+        let stressor = ibench::profile(IbenchKind::MemBw);
+        vec![
+            ScheduledArrival::new(0.0, stressor)
+                .with_mode(MemoryMode::Local)
+                .with_duration(60.0),
+            ScheduledArrival::new(5.0, gmm),
+            ScheduledArrival::new(12.0, sort),
+        ]
+    }
+
+    fn engine() -> EngineConfig {
+        EngineConfig {
+            lc_latency_samples: 1000,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_placement_is_audited_exactly_once() {
+        let mut obs = Observer::new(ObsConfig::default());
+        let mut policy = RoundRobinPolicy::new();
+        let report = run_schedule_observed(
+            TestbedConfig::noiseless(),
+            engine(),
+            &schedule(),
+            &mut policy,
+            &mut obs,
+        );
+        // One audit record per arrival: 2 policy-decided + 1 forced.
+        assert_eq!(obs.audit.len(), 3);
+        let forced: Vec<_> = obs
+            .audit
+            .records()
+            .iter()
+            .filter(|r| r.input.rule == adrias_obs::DecisionRule::Forced)
+            .collect();
+        assert_eq!(forced.len(), 1);
+        assert_eq!(obs.registry.counter("orchestrator.decisions"), 3);
+        // Deployment ids in the trail are unique.
+        let mut ids: Vec<u64> = obs
+            .audit
+            .records()
+            .iter()
+            .map(|r| r.input.deployment_id)
+            .collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+        // Every completion produced an app span plus the run root span.
+        let spans = obs
+            .tracer
+            .events()
+            .filter(|e| matches!(e.kind, adrias_obs::TraceKind::Span { .. }))
+            .count();
+        assert_eq!(spans, report.outcomes.len() + 1);
+        assert_eq!(
+            obs.registry.counter("sim.completions") as usize,
+            report.outcomes.len()
+        );
+        assert!(obs.registry.gauge("orchestrator.drain_s").is_some());
+    }
+
+    #[test]
+    fn observed_run_report_matches_unobserved() {
+        let mut obs = Observer::new(ObsConfig::default());
+        let mut p1 = RoundRobinPolicy::new();
+        let observed = run_schedule_observed(
+            TestbedConfig::noiseless(),
+            engine(),
+            &schedule(),
+            &mut p1,
+            &mut obs,
+        );
+        let mut p2 = RoundRobinPolicy::new();
+        let plain = run_schedule(TestbedConfig::noiseless(), engine(), &schedule(), &mut p2);
+        assert_eq!(observed.end_time_s, plain.end_time_s);
+        assert_eq!(observed.outcomes.len(), plain.outcomes.len());
+        for (a, b) in observed.outcomes.iter().zip(&plain.outcomes) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.mode, b.mode);
+            assert_eq!(a.runtime_s.to_bits(), b.runtime_s.to_bits());
+            assert_eq!(a.mean_slowdown.to_bits(), b.mean_slowdown.to_bits());
+        }
+        assert_eq!(observed.link_bytes.to_bits(), plain.link_bytes.to_bits());
+    }
+
+    #[test]
+    fn same_seed_runs_export_identical_bytes() {
+        let run = || {
+            let mut obs = Observer::new(ObsConfig::default());
+            let mut policy = RoundRobinPolicy::new();
+            let _ = run_schedule_observed(
+                TestbedConfig::default(),
+                engine(),
+                &schedule(),
+                &mut policy,
+                &mut obs,
+            );
+            (
+                export::to_jsonl_events(&obs),
+                export::to_jsonl_decisions(&obs),
+                export::to_jsonl_metrics(&obs),
+                export::to_chrome_trace(&obs),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+}

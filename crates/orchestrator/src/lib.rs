@@ -24,13 +24,18 @@
 pub mod adrias;
 pub mod baselines;
 pub mod engine;
+pub mod engine_obs;
 pub mod online;
 pub mod policy;
 pub mod qos;
 
 pub use adrias::{be_rule, lc_rule, AdriasPolicy};
 pub use baselines::{AllLocalPolicy, AllRemotePolicy, RandomPolicy, RoundRobinPolicy};
-pub use engine::{run_schedule, AppOutcome, EngineConfig, RunReport, ScheduledArrival};
+pub use engine::{
+    run_schedule, run_schedule_hooked, run_schedule_observed, AppOutcome, EngineConfig,
+    EngineObserver, RunReport, ScheduledArrival,
+};
+pub use engine_obs::ObservedRun;
 pub use online::{absorb_signatures, capture_unknown_signatures};
-pub use policy::{DecisionContext, Policy};
+pub use policy::{DecisionContext, ExplainedDecision, Policy};
 pub use qos::qos_levels;

@@ -1,5 +1,6 @@
 //! The scheduling-policy abstraction.
 
+use adrias_obs::DecisionRule;
 use adrias_telemetry::MetricVec;
 use adrias_workloads::{MemoryMode, WorkloadProfile};
 
@@ -16,6 +17,34 @@ pub struct DecisionContext<'a> {
     pub qos_p99_ms: Option<f32>,
 }
 
+/// A placement decision together with the evidence behind it, as
+/// consumed by the decision audit trail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExplainedDecision {
+    /// The chosen placement.
+    pub mode: MemoryMode,
+    /// Which rule fired (β-slack, QoS threshold, warmup default, ...).
+    pub rule: DecisionRule,
+    /// Predicted execution time (BE) or p99 (LC) under local placement,
+    /// when the policy produced one.
+    pub pred_local: Option<f32>,
+    /// Predicted execution time (BE) or p99 (LC) under remote
+    /// placement, when the policy produced one.
+    pub pred_remote: Option<f32>,
+}
+
+impl ExplainedDecision {
+    /// An unexplained decision from a static baseline (no predictions).
+    pub fn bare(mode: MemoryMode) -> Self {
+        Self {
+            mode,
+            rule: DecisionRule::Static,
+            pred_local: None,
+            pred_remote: None,
+        }
+    }
+}
+
 /// A memory-mode placement policy.
 ///
 /// Policies are consulted once per arrival and must return a mode
@@ -27,6 +56,16 @@ pub trait Policy {
 
     /// Chooses the memory mode for one arriving workload.
     fn decide(&mut self, ctx: &DecisionContext<'_>) -> MemoryMode;
+
+    /// Chooses a mode and explains the choice for the audit trail.
+    ///
+    /// The default wraps [`Policy::decide`] as a static decision;
+    /// prediction-driven policies override this with the real rule and
+    /// predictions, and their `decide` must stay consistent with it
+    /// (same mode for the same context).
+    fn decide_explained(&mut self, ctx: &DecisionContext<'_>) -> ExplainedDecision {
+        ExplainedDecision::bare(self.decide(ctx))
+    }
 }
 
 #[cfg(test)]
@@ -57,5 +96,21 @@ mod tests {
         let mut p: Box<dyn Policy> = Box::new(Always(MemoryMode::Remote));
         assert_eq!(p.decide(&ctx), MemoryMode::Remote);
         assert_eq!(p.name(), "always");
+    }
+
+    #[test]
+    fn default_explained_decision_is_static() {
+        let app = spark::by_name("gmm").unwrap();
+        let ctx = DecisionContext {
+            profile: &app,
+            history: None,
+            qos_p99_ms: None,
+        };
+        let mut p = Always(MemoryMode::Local);
+        let explained = p.decide_explained(&ctx);
+        assert_eq!(explained.mode, MemoryMode::Local);
+        assert_eq!(explained.rule, DecisionRule::Static);
+        assert_eq!(explained.pred_local, None);
+        assert_eq!(explained.pred_remote, None);
     }
 }

@@ -37,5 +37,8 @@ pub use dataset::{PerfDataset, PerfRecord, SystemStateDataset};
 pub use eval::RegressionReport;
 pub use norm::Normalizer;
 pub use perf_model::{PerfModel, PerfModelConfig, PerfQuery};
-pub use persist::{load_perf_model, load_system_model, save_perf_model, save_system_model};
+pub use persist::{
+    load_perf_model, load_system_model, save_perf_model, save_system_model, LoadModelError,
+    SaveModelError,
+};
 pub use system_model::{SystemStateModel, SystemStateModelConfig};

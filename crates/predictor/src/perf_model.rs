@@ -15,7 +15,7 @@ use adrias_core::rng::Xoshiro256pp;
 
 use adrias_nn::{
     accumulate_minibatch, mix_seed, resolved_workers, Adam, GradModel, Layer, Linear, Lstm,
-    MseLoss, NonLinearBlock, Tensor,
+    MseLoss, NonLinearBlock, Tensor, TrainStats,
 };
 use adrias_telemetry::{Metric, MetricVec, METRIC_COUNT};
 use adrias_workloads::{AppSignature, MemoryMode};
@@ -98,6 +98,7 @@ pub struct PerfModel {
     out: Linear,
     metric_norm: Option<Normalizer>,
     target_norm: Option<ScalarNormalizer>,
+    train_stats: Option<TrainStats>,
 }
 
 impl PerfModel {
@@ -125,6 +126,7 @@ impl PerfModel {
             out,
             metric_norm: None,
             target_norm: None,
+            train_stats: None,
         }
     }
 
@@ -136,6 +138,13 @@ impl PerfModel {
     /// Whether [`PerfModel::train`] has run.
     pub fn is_trained(&self) -> bool {
         self.metric_norm.is_some()
+    }
+
+    /// Work counters from the most recent [`PerfModel::train`] call
+    /// (`None` before training, and for models restored from a
+    /// persisted snapshot).
+    pub fn last_train_stats(&self) -> Option<TrainStats> {
+        self.train_stats
     }
 
     fn forward(
@@ -285,11 +294,13 @@ impl PerfModel {
         let mut idx: Vec<usize> = (0..dataset.len()).collect();
         let mut epoch_losses = Vec::with_capacity(self.cfg.epochs);
         let mut step = 0u64;
+        let mut stats = TrainStats::new();
         for _ in 0..self.cfg.epochs {
             idx.shuffle(&mut rng);
             let mut total = 0.0f64;
             let mut batches = 0usize;
             for minibatch in idx.chunks(self.cfg.batch_size) {
+                stats.record_minibatch(minibatch.len(), grad_chunk);
                 let step_now = step;
                 let loss = accumulate_minibatch(
                     self,
@@ -314,7 +325,9 @@ impl PerfModel {
                 step += 1;
             }
             epoch_losses.push((total / batches.max(1) as f64) as f32);
+            stats.record_epoch();
         }
+        self.train_stats = Some(stats);
         epoch_losses
     }
 
@@ -565,6 +578,9 @@ mod tests {
         let mut model = PerfModel::new(PerfModelConfig::tiny());
         let losses = model.train(&train, &train_hats);
         assert!(losses.last().unwrap() < &(losses[0] * 0.5), "{losses:?}");
+        let stats = model.last_train_stats().expect("trained");
+        assert_eq!(stats.epochs as usize, model.config().epochs);
+        assert_eq!(stats.samples as usize, train.len() * model.config().epochs);
         let report = model.evaluate(&test, &test_hats);
         assert!(report.r2 > 0.7, "R² too low: {}", report.r2);
     }

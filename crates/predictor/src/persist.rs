@@ -57,6 +57,23 @@ impl fmt::Display for LoadModelError {
 
 impl std::error::Error for LoadModelError {}
 
+/// Error returned when serializing a model fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SaveModelError {
+    /// The model has not been trained, so there is nothing to persist.
+    Untrained,
+}
+
+impl fmt::Display for SaveModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SaveModelError::Untrained => write!(f, "cannot save an untrained model"),
+        }
+    }
+}
+
+impl std::error::Error for SaveModelError {}
+
 impl From<ParseTensorError> for LoadModelError {
     fn from(e: ParseTensorError) -> Self {
         LoadModelError::BadTensors(e)
@@ -88,13 +105,14 @@ fn normalizer_from(mean: &Tensor, std: &Tensor) -> Result<Normalizer, LoadModelE
 
 /// Serializes a trained system-state model.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the model is untrained.
-pub fn save_system_model(model: &mut SystemStateModel) -> String {
+/// Returns [`SaveModelError::Untrained`] if the model has not been
+/// trained.
+pub fn save_system_model(model: &mut SystemStateModel) -> Result<String, SaveModelError> {
     let norm = model
         .normalizer_for_persist()
-        .expect("cannot save an untrained model");
+        .ok_or(SaveModelError::Untrained)?;
     let cfg = *model.config();
     let mut header = format!(
         "adrias-model system {} {} {} {} {} {} {}\n",
@@ -116,7 +134,7 @@ pub fn save_system_model(model: &mut SystemStateModel) -> String {
     });
     let refs: Vec<(&str, &Tensor)> = named.iter().map(|(n, t)| (n.as_str(), t)).collect();
     header.push_str(&write_tensors(&refs));
-    header
+    Ok(header)
 }
 
 /// Restores a system-state model saved by [`save_system_model`].
@@ -163,13 +181,12 @@ pub fn load_system_model(text: &str) -> Result<SystemStateModel, LoadModelError>
 
 /// Serializes a trained performance model.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the model is untrained.
-pub fn save_perf_model(model: &mut PerfModel) -> String {
-    let (norm, target) = model
-        .norms_for_persist()
-        .expect("cannot save an untrained model");
+/// Returns [`SaveModelError::Untrained`] if the model has not been
+/// trained.
+pub fn save_perf_model(model: &mut PerfModel) -> Result<String, SaveModelError> {
+    let (norm, target) = model.norms_for_persist().ok_or(SaveModelError::Untrained)?;
     let cfg = *model.config();
     let mut header = format!(
         "adrias-model perf {} {} {} {} {} {} {} {} {}\n",
@@ -193,7 +210,7 @@ pub fn save_perf_model(model: &mut PerfModel) -> String {
     });
     let refs: Vec<(&str, &Tensor)> = named.iter().map(|(n, t)| (n.as_str(), t)).collect();
     header.push_str(&write_tensors(&refs));
-    header
+    Ok(header)
 }
 
 /// Restores a performance model saved by [`save_perf_model`].
@@ -335,7 +352,7 @@ mod tests {
     #[test]
     fn system_model_round_trips() {
         let mut model = trained_system_model();
-        let text = save_system_model(&mut model);
+        let text = save_system_model(&mut model).expect("trained");
         let mut restored = load_system_model(&text).expect("loads");
         let window: Vec<MetricVec> = (0..HISTORY_S).map(|t| rowv((t as f32) * 0.01)).collect();
         let a = model.predict(&window);
@@ -381,7 +398,7 @@ mod tests {
         });
         model.train(&ds, &hats);
 
-        let text = save_perf_model(&mut model);
+        let text = save_perf_model(&mut model).expect("trained");
         let mut restored = load_perf_model(&text).expect("loads");
         let window = vec![rowv(0.4); HISTORY_S];
         let a = model.predict(&window, &sig, MemoryMode::Remote, Some(&rowv(0.4)));
@@ -392,7 +409,7 @@ mod tests {
     #[test]
     fn kind_mismatch_is_reported() {
         let mut model = trained_system_model();
-        let text = save_system_model(&mut model);
+        let text = save_system_model(&mut model).expect("trained");
         let err = load_perf_model(&text).unwrap_err();
         assert!(matches!(err, LoadModelError::WrongKind { .. }), "{err}");
     }
@@ -400,7 +417,7 @@ mod tests {
     #[test]
     fn truncated_input_is_reported() {
         let mut model = trained_system_model();
-        let text = save_system_model(&mut model);
+        let text = save_system_model(&mut model).expect("trained");
         let lines: Vec<&str> = text.lines().collect();
         let truncated = lines[..lines.len() / 2].join("\n");
         assert!(load_system_model(&truncated).is_err());

@@ -12,7 +12,7 @@ use adrias_core::thread::map_chunks;
 
 use adrias_nn::{
     accumulate_minibatch, mix_seed, resolved_workers, Adam, GradModel, Layer, Linear, Lstm,
-    MseLoss, NonLinearBlock, Tensor,
+    MseLoss, NonLinearBlock, Tensor, TrainStats,
 };
 use adrias_telemetry::{Metric, MetricVec, METRIC_COUNT};
 
@@ -95,6 +95,7 @@ pub struct SystemStateModel {
     blocks: Vec<NonLinearBlock>,
     out: Linear,
     normalizer: Option<Normalizer>,
+    train_stats: Option<TrainStats>,
 }
 
 impl SystemStateModel {
@@ -116,6 +117,7 @@ impl SystemStateModel {
             blocks,
             out,
             normalizer: None,
+            train_stats: None,
         }
     }
 
@@ -127,6 +129,13 @@ impl SystemStateModel {
     /// Whether [`SystemStateModel::train`] has run.
     pub fn is_trained(&self) -> bool {
         self.normalizer.is_some()
+    }
+
+    /// Work counters from the most recent [`SystemStateModel::train`]
+    /// call (`None` before training, and for models restored from a
+    /// persisted snapshot).
+    pub fn last_train_stats(&self) -> Option<TrainStats> {
+        self.train_stats
     }
 
     fn forward(&mut self, seq: &[Tensor], train: bool) -> Tensor {
@@ -220,11 +229,13 @@ impl SystemStateModel {
         let mut epoch_losses = Vec::with_capacity(self.cfg.epochs);
         let mut idx: Vec<usize> = (0..dataset.len()).collect();
         let mut step = 0u64;
+        let mut stats = TrainStats::new();
         for _epoch in 0..self.cfg.epochs {
             idx.shuffle(&mut rng);
             let mut total = 0.0f64;
             let mut batches = 0usize;
             for minibatch in idx.chunks(self.cfg.batch_size) {
+                stats.record_minibatch(minibatch.len(), grad_chunk);
                 let step_now = step;
                 let loss = accumulate_minibatch(
                     self,
@@ -249,7 +260,9 @@ impl SystemStateModel {
                 step += 1;
             }
             epoch_losses.push((total / batches.max(1) as f64) as f32);
+            stats.record_epoch();
         }
+        self.train_stats = Some(stats);
         epoch_losses
     }
 
@@ -414,6 +427,7 @@ mod tests {
     fn untrained_model_reports_untrained() {
         let model = SystemStateModel::new(SystemStateModelConfig::tiny());
         assert!(!model.is_trained());
+        assert!(model.last_train_stats().is_none());
     }
 
     #[test]
@@ -435,6 +449,10 @@ mod tests {
             losses.last().unwrap() < &(losses[0] * 0.5),
             "loss did not halve: {losses:?}"
         );
+        let stats = model.last_train_stats().expect("trained");
+        assert_eq!(stats.epochs as usize, model.config().epochs);
+        assert_eq!(stats.samples as usize, train.len() * model.config().epochs);
+        assert!(stats.grad_chunks >= stats.minibatches);
         let (per_metric, overall) = model.evaluate(&test);
         assert_eq!(per_metric.len(), METRIC_COUNT);
         assert!(

@@ -27,9 +27,9 @@ pub mod spec;
 pub mod stack;
 pub mod traces;
 
-pub use runner::{run_comparison, PolicyOutcome};
+pub use runner::{run_comparison, run_observed, PolicyOutcome};
 pub use schedule::build_schedule;
 pub use signatures::collect_signatures;
 pub use spec::{paper_corpus, scaled_corpus, ScenarioSpec};
-pub use stack::{train_stack, StackOptions, TrainedStack};
+pub use stack::{train_stack, StackOptions, TrainLosses, TrainedStack};
 pub use traces::{collect_traces, TraceBundle};

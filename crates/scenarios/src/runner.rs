@@ -4,7 +4,8 @@
 //! aggregates runtimes, placements, tail latencies and link traffic.
 
 use adrias_core::thread::map_chunks;
-use adrias_orchestrator::engine::{run_schedule, EngineConfig, RunReport};
+use adrias_obs::Observer;
+use adrias_orchestrator::engine::{run_schedule, run_schedule_observed, EngineConfig, RunReport};
 use adrias_orchestrator::Policy;
 use adrias_sim::TestbedConfig;
 use adrias_workloads::{MemoryMode, WorkloadCatalog, WorkloadClass};
@@ -170,6 +171,30 @@ where
         .collect()
 }
 
+/// Replays one scenario under `policy` with full observability: every
+/// placement lands in `obs`'s audit trail, every testbed step feeds the
+/// metrics registry, and completions become trace spans.
+///
+/// Uses the same schedule construction and engine seeding as
+/// [`run_comparison`], so the returned report is bit-identical to the
+/// corresponding unobserved run.
+pub fn run_observed<P: Policy>(
+    testbed_cfg: TestbedConfig,
+    catalog: &WorkloadCatalog,
+    spec: &ScenarioSpec,
+    qos_p99_ms: Option<f32>,
+    policy: &mut P,
+    obs: &mut Observer,
+) -> RunReport {
+    let schedule = build_schedule(spec, catalog, PlacementStyle::PolicyDecided);
+    let engine = EngineConfig {
+        seed: spec.seed ^ 0xE6E,
+        qos_p99_ms,
+        ..EngineConfig::default()
+    };
+    run_schedule_observed(testbed_cfg, engine, &schedule, policy, obs)
+}
+
 /// Convenience: the median of a sample set (empty ⇒ 0).
 pub fn median(xs: &[f32]) -> f32 {
     adrias_telemetry::stats::median(xs)
@@ -304,6 +329,39 @@ mod tests {
             remote_median > local_median,
             "remote median {remote_median} vs local {local_median}"
         );
+    }
+
+    #[test]
+    fn observed_scenario_matches_comparison_run() {
+        let spec = ScenarioSpec::new(5.0, 25.0, 700.0, 11);
+        let catalog = WorkloadCatalog::paper();
+        let mut obs = adrias_obs::Observer::new(adrias_obs::ObsConfig::default());
+        let mut policy = RoundRobinPolicy::new();
+        let observed = run_observed(
+            TestbedConfig::noiseless(),
+            &catalog,
+            &spec,
+            None,
+            &mut policy,
+            &mut obs,
+        );
+        // Every arrival — forced stressors included — is audited once.
+        assert_eq!(
+            obs.audit.len(),
+            observed.outcomes.len() + observed.unfinished
+        );
+        let plain = run_comparison(
+            TestbedConfig::noiseless(),
+            &catalog,
+            &[spec],
+            1,
+            None,
+            1,
+            |_| RoundRobinPolicy::new(),
+        );
+        let plain = &plain[0].reports[0];
+        assert_eq!(observed.end_time_s.to_bits(), plain.end_time_s.to_bits());
+        assert_eq!(observed.link_bytes.to_bits(), plain.link_bytes.to_bits());
     }
 
     #[test]

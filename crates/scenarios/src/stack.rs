@@ -8,6 +8,7 @@
 use adrias_core::rng::SeedableRng;
 use adrias_core::rng::Xoshiro256pp;
 
+use adrias_obs::Observer;
 use adrias_orchestrator::AdriasPolicy;
 use adrias_predictor::{
     PerfDataset, PerfModel, PerfModelConfig, SHatSource, SystemStateDataset, SystemStateModel,
@@ -111,6 +112,20 @@ pub struct TrainedStack {
     /// LC performance train/test datasets (`None` when too few LC
     /// records were collected for a split).
     pub lc_split: Option<(PerfDataset, PerfDataset)>,
+    /// Per-epoch training losses of the three models.
+    pub train_losses: TrainLosses,
+}
+
+/// Per-epoch training losses from the offline phase, one vector per
+/// model, in training order.
+#[derive(Debug, Clone, Default)]
+pub struct TrainLosses {
+    /// System-state forecaster epoch losses.
+    pub system: Vec<f32>,
+    /// Best-effort performance model epoch losses.
+    pub be: Vec<f32>,
+    /// Latency-critical performance model epoch losses.
+    pub lc: Vec<f32>,
 }
 
 impl TrainedStack {
@@ -125,6 +140,33 @@ impl TrainedStack {
             beta,
             qos_p99_ms,
         )
+    }
+
+    /// Records the offline phase's training counters and per-epoch
+    /// losses into `obs` under `predictor.system` / `predictor.be` /
+    /// `predictor.lc`.
+    pub fn record_obs(&self, obs: &mut Observer) {
+        for (prefix, stats, losses) in [
+            (
+                "predictor.system",
+                self.system_model.last_train_stats(),
+                self.train_losses.system.as_slice(),
+            ),
+            (
+                "predictor.be",
+                self.be_model.last_train_stats(),
+                self.train_losses.be.as_slice(),
+            ),
+            (
+                "predictor.lc",
+                self.lc_model.last_train_stats(),
+                self.train_losses.lc.as_slice(),
+            ),
+        ] {
+            if let Some(stats) = stats {
+                obs.record_train_stats(prefix, &stats, losses);
+            }
+        }
     }
 }
 
@@ -156,14 +198,14 @@ pub fn train_stack(catalog: &WorkloadCatalog, opts: &StackOptions) -> TrainedSta
     let system_ds = SystemStateDataset::from_traces(&traces.system_traces(), opts.system_stride_s);
     let (sys_train, sys_test) = system_ds.split(opts.train_frac, &mut rng);
     let mut system_model = SystemStateModel::new(opts.system_cfg);
-    system_model.train(&sys_train);
+    let system_losses = system_model.train(&sys_train);
 
     let be_records = traces.perf_records(WorkloadClass::BestEffort);
     let be_ds = PerfDataset::new(be_records, &signatures);
     let (be_train, be_test) = be_ds.split(opts.train_frac, &mut rng);
     let be_train_hats = SHatSource::Actual120.materialize(&be_train, None);
     let mut be_model = PerfModel::new(opts.perf_cfg);
-    be_model.train(&be_train, &be_train_hats);
+    let be_losses = be_model.train(&be_train, &be_train_hats);
 
     let lc_records = traces.perf_records(WorkloadClass::LatencyCritical);
     // The LC dataset is much smaller than the BE one, so give the LC
@@ -173,18 +215,18 @@ pub fn train_stack(catalog: &WorkloadCatalog, opts: &StackOptions) -> TrainedSta
         epochs: opts.perf_cfg.epochs + opts.perf_cfg.epochs / 2,
         ..opts.perf_cfg
     });
-    let lc_split = if lc_records.len() >= 5 {
+    let (lc_split, lc_losses) = if lc_records.len() >= 5 {
         let lc_ds = PerfDataset::new(lc_records, &signatures);
         let (lc_train, lc_test) = lc_ds.split(opts.train_frac, &mut rng);
         let lc_train_hats = SHatSource::Actual120.materialize(&lc_train, None);
-        lc_model.train(&lc_train, &lc_train_hats);
-        Some((lc_train, lc_test))
+        let losses = lc_model.train(&lc_train, &lc_train_hats);
+        (Some((lc_train, lc_test)), losses)
     } else {
         // Too few LC records for a meaningful split: train on everything.
         let lc_ds = PerfDataset::new(lc_records, &signatures);
         let hats = SHatSource::Actual120.materialize(&lc_ds, None);
-        lc_model.train(&lc_ds, &hats);
-        None
+        let losses = lc_model.train(&lc_ds, &hats);
+        (None, losses)
     };
 
     TrainedStack {
@@ -196,6 +238,11 @@ pub fn train_stack(catalog: &WorkloadCatalog, opts: &StackOptions) -> TrainedSta
         system_split: (sys_train, sys_test),
         be_split: (be_train, be_test),
         lc_split,
+        train_losses: TrainLosses {
+            system: system_losses,
+            be: be_losses,
+            lc: lc_losses,
+        },
     }
 }
 
@@ -218,5 +265,21 @@ mod tests {
         assert_eq!(policy.beta(), 0.8);
         assert!(policy.knows("gmm"));
         assert!(policy.knows("redis"));
+
+        // The offline phase reports its training work to an observer.
+        assert!(!stack.train_losses.system.is_empty());
+        let mut obs = Observer::default();
+        stack.record_obs(&mut obs);
+        assert!(obs.registry.counter("predictor.system.epochs") > 0);
+        assert!(obs.registry.counter("predictor.be.minibatches") > 0);
+        assert!(obs.registry.counter("predictor.lc.grad_chunks") > 0);
+        assert_eq!(
+            obs.registry
+                .histogram("predictor.system.epoch_loss")
+                .unwrap()
+                .count() as usize,
+            stack.train_losses.system.len()
+        );
+        assert!(obs.registry.gauge("predictor.be.final_loss").is_some());
     }
 }

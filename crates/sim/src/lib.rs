@@ -47,6 +47,7 @@ pub mod config;
 pub mod contention;
 pub mod counters;
 pub mod interconnect;
+pub mod obs;
 pub mod pressure;
 pub mod testbed;
 

@@ -1,0 +1,158 @@
+//! Observability hooks for the testbed: accumulates [`StepReport`]s
+//! into sim metrics for an [`adrias_obs::Registry`].
+//!
+//! The engine observes every simulated second, so the per-step path
+//! must stay cheap: [`SimMetrics`] is a plain struct of counters and
+//! histograms — no name lookups, no allocation except the first
+//! completion of each app — and [`SimMetrics::flush`] pays the registry
+//! accesses once per run. Everything recorded here is derived from
+//! simulator state, so the resulting exports inherit the testbed's
+//! determinism.
+
+use std::collections::BTreeMap;
+
+use adrias_obs::registry::default_buckets;
+use adrias_obs::{Histogram, Registry};
+use adrias_telemetry::Metric;
+
+use crate::testbed::StepReport;
+
+/// Bucket bounds for contention-slowdown histograms: slowdown factors
+/// from "no interference" (1×) up to heavily degraded (≥3×).
+pub const SLOWDOWN_BUCKETS: [f64; 9] = [1.0, 1.1, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 4.0];
+
+/// Bucket bounds for pressure/utilization histograms (fractions).
+const UTIL_BUCKETS: [f64; 10] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.75, 0.9, 1.0];
+
+/// Per-run accumulator for simulator metrics: the step counter,
+/// interconnect traffic and latency, resource-pressure histograms, and
+/// per-app contention slowdowns for applications that finished.
+#[derive(Debug, Clone)]
+pub struct SimMetrics {
+    steps: u64,
+    time_s: f64,
+    flits_tx: u64,
+    flits_rx: u64,
+    completions: u64,
+    latency_cycles: Histogram,
+    link_utilization: Histogram,
+    mem_bw: Histogram,
+    llc: Histogram,
+    slowdown: Histogram,
+    slowdown_per_app: BTreeMap<String, Histogram>,
+}
+
+impl Default for SimMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimMetrics {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            steps: 0,
+            time_s: 0.0,
+            flits_tx: 0,
+            flits_rx: 0,
+            completions: 0,
+            latency_cycles: Histogram::new(default_buckets()),
+            link_utilization: Histogram::new(UTIL_BUCKETS.to_vec()),
+            mem_bw: Histogram::new(UTIL_BUCKETS.to_vec()),
+            llc: Histogram::new(UTIL_BUCKETS.to_vec()),
+            slowdown: Histogram::new(SLOWDOWN_BUCKETS.to_vec()),
+            slowdown_per_app: BTreeMap::new(),
+        }
+    }
+
+    /// Records one simulation step.
+    pub fn record(&mut self, report: &StepReport) {
+        self.steps += 1;
+        self.time_s = report.time_s;
+
+        let vec = report.sample.vec();
+        self.flits_tx += vec.get(Metric::LinkFlitsTx) as u64;
+        self.flits_rx += vec.get(Metric::LinkFlitsRx) as u64;
+        self.latency_cycles
+            .observe(f64::from(vec.get(Metric::LinkLatency)));
+
+        let p = &report.pressure;
+        self.link_utilization.observe(f64::from(p.link_utilization));
+        self.mem_bw.observe(f64::from(p.mem_bw));
+        self.llc.observe(f64::from(p.llc));
+
+        for done in &report.finished {
+            self.completions += 1;
+            let slowdown = f64::from(done.mean_slowdown);
+            self.slowdown.observe(slowdown);
+            self.slowdown_per_app
+                .entry(done.name.clone())
+                .or_insert_with(|| Histogram::new(SLOWDOWN_BUCKETS.to_vec()))
+                .observe(slowdown);
+        }
+    }
+
+    /// Number of steps recorded so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Folds the accumulated metrics into `registry` under the `sim.*`
+    /// names (per-app slowdowns under `sim.slowdown.app.<name>`).
+    /// Call once at the end of a run; repeated flushes double-count.
+    pub fn flush(&self, registry: &mut Registry) {
+        registry.counter_add("sim.steps", self.steps);
+        registry.gauge_set("sim.time_s", self.time_s);
+        registry.counter_add("sim.link.flits_tx", self.flits_tx);
+        registry.counter_add("sim.link.flits_rx", self.flits_rx);
+        registry.counter_add("sim.completions", self.completions);
+        registry.merge_histogram("sim.link.latency_cycles", &self.latency_cycles);
+        registry.merge_histogram("sim.pressure.link_utilization", &self.link_utilization);
+        registry.merge_histogram("sim.pressure.mem_bw", &self.mem_bw);
+        registry.merge_histogram("sim.pressure.llc", &self.llc);
+        registry.merge_histogram("sim.slowdown", &self.slowdown);
+        for (name, h) in &self.slowdown_per_app {
+            registry.merge_histogram(&format!("sim.slowdown.app.{name}"), h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Testbed, TestbedConfig};
+    use adrias_workloads::{spark, MemoryMode};
+
+    #[test]
+    fn steps_and_completions_are_counted() {
+        let mut sim = SimMetrics::new();
+        let mut tb = Testbed::new(TestbedConfig::noiseless(), 1);
+        let gmm = spark::by_name("gmm").unwrap();
+        tb.deploy_for(gmm, MemoryMode::Remote, 5.0);
+        let mut completions = 0;
+        for _ in 0..10 {
+            let report = tb.step();
+            completions += report.finished.len();
+            sim.record(&report);
+            if completions > 0 {
+                break;
+            }
+        }
+        let mut registry = Registry::new();
+        sim.flush(&mut registry);
+        assert!(registry.counter("sim.steps") >= 5);
+        assert_eq!(registry.counter("sim.completions"), 1);
+        assert!(registry.counter("sim.link.flits_tx") > 0);
+        let h = registry.histogram("sim.slowdown.app.gmm").unwrap();
+        assert_eq!(h.count(), 1);
+        assert!(h.mean() >= 1.0);
+        assert_eq!(
+            registry
+                .histogram("sim.link.latency_cycles")
+                .unwrap()
+                .count(),
+            sim.steps()
+        );
+    }
+}

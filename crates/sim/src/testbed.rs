@@ -18,6 +18,14 @@ use crate::pressure::ResourcePressure;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DeploymentId(u64);
 
+impl DeploymentId {
+    /// The raw sequence number behind the handle (stable within a run;
+    /// used as the deployment's track id in trace exports).
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
 impl fmt::Display for DeploymentId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "dep-{}", self.0)

@@ -228,6 +228,25 @@ impl OnlineStats {
     pub fn std_dev(&self) -> f32 {
         self.variance().sqrt()
     }
+
+    /// Folds another accumulator into this one (Chan et al. parallel
+    /// Welford update), as if every observation of `other` had been
+    /// pushed here. Deterministic for a fixed merge order.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let nb = other.count as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * nb / n as f64;
+        self.mean += delta * nb / n as f64;
+        self.count = n;
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +256,33 @@ mod tests {
     #[test]
     fn mean_of_empty_is_zero() {
         assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn online_merge_matches_sequential_push() {
+        let xs = [2.0f32, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..3] {
+            left.push(x);
+        }
+        for &x in &xs[3..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-6);
+        assert!((left.variance() - whole.variance()).abs() < 1e-6);
+        // Merging an empty accumulator is a no-op in both directions.
+        let mut empty = OnlineStats::new();
+        empty.merge(&whole);
+        assert_eq!(empty.mean(), whole.mean());
+        whole.merge(&OnlineStats::new());
+        assert_eq!(whole.count(), xs.len() as u64);
     }
 
     #[test]

@@ -239,4 +239,70 @@ mod tests {
         assert!(win.is_empty());
         assert_eq!(win.mean_vec(), MetricVec::zero());
     }
+
+    #[test]
+    fn empty_window_downsample_and_column_are_empty() {
+        let win = StateWindow::new(Vec::new());
+        assert!(win.downsample(3).is_empty());
+        assert!(win.column(Metric::LlcLoads).is_empty());
+    }
+
+    #[test]
+    fn single_row_window_is_its_own_mean() {
+        let mut v = MetricVec::zero();
+        v.set(Metric::MemStores, 7.5);
+        v.set(Metric::LinkLatency, 410.0);
+        let win = StateWindow::new(vec![v]);
+        assert_eq!(win.len(), 1);
+        assert_eq!(win.mean_vec(), v);
+        // Downsampling by more than the length collapses to one row.
+        let ds = win.downsample(10);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds.rows()[0], v);
+    }
+
+    #[test]
+    fn downsample_factor_one_is_identity() {
+        let rows: Vec<MetricVec> = (0..4)
+            .map(|i| {
+                let mut v = MetricVec::zero();
+                v.set(Metric::LinkFlitsTx, i as f32);
+                v
+            })
+            .collect();
+        let win = StateWindow::new(rows.clone());
+        assert_eq!(win.downsample(1).rows(), &rows[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be non-zero")]
+    fn downsample_zero_factor_panics() {
+        let _ = StateWindow::new(Vec::new()).downsample(0);
+    }
+
+    #[test]
+    fn window_of_zero_rows_is_always_available() {
+        // `r = 0` is a degenerate but legal request: an empty window.
+        let w = Watcher::new(4);
+        let win = w.history_window(0).expect("zero-length window");
+        assert!(win.is_empty());
+        assert_eq!(w.mean_over_last(0).unwrap(), MetricVec::zero());
+    }
+
+    #[test]
+    fn mean_is_stable_for_large_magnitudes() {
+        // Accumulation runs in f64, so summing many large f32 counters
+        // (LLC loads sit near 1e8 per second) must not lose the small
+        // per-row variation.
+        let mut w = Watcher::new(2048);
+        for t in 0..2048 {
+            w.record(sample(t as f64, 1e8 + t as f32));
+        }
+        let mean = w.mean_over_last(2048).unwrap().get(Metric::LlcLoads);
+        let expected = 1e8 + (2047.0 / 2.0);
+        assert!(
+            (f64::from(mean) - expected).abs() < 64.0,
+            "mean drifted: {mean} vs {expected}"
+        );
+    }
 }

@@ -2,8 +2,8 @@
 //!
 //! This is the facade crate of a full reproduction of *“Adrias:
 //! Interference-Aware Memory Orchestration for Disaggregated Cloud
-//! Infrastructures”* (HPCA 2023). It re-exports the seven subsystem
-//! crates under stable module names:
+//! Infrastructures”* (HPCA 2023). It re-exports the subsystem crates
+//! under stable module names:
 //!
 //! * [`workloads`] — Spark/HiBench BE jobs, Redis/Memcached LC services,
 //!   iBench stressors, arrival processes, application signatures;
@@ -16,7 +16,9 @@
 //! * [`orchestrator`] — the Adrias policy, the baseline schedulers and
 //!   the deployment engine;
 //! * [`scenarios`] — scenario corpora, trace collection and the
-//!   one-call [`scenarios::train_stack`] offline phase.
+//!   one-call [`scenarios::train_stack`] offline phase;
+//! * [`obs`] — deterministic tracing, the metrics registry and the
+//!   orchestration decision audit trail.
 //!
 //! # Examples
 //!
@@ -48,6 +50,7 @@
 
 pub use adrias_core as core_util;
 pub use adrias_nn as nn;
+pub use adrias_obs as obs;
 pub use adrias_orchestrator as orchestrator;
 pub use adrias_predictor as predictor;
 pub use adrias_scenarios as scenarios;
