@@ -7,8 +7,9 @@
 //!
 //! * `ADRIAS_BENCH_FILTER` — substring filter on section names
 //!   (`testbed_step`, `lstm`, `nn_forward`, `train_step_workers`,
-//!   `adrias_decision`, `obs_overhead`); unmatched sections are skipped
-//!   entirely, including their setup.
+//!   `adrias_decision`, `decision_throughput`, `obs_intern`,
+//!   `obs_overhead`); unmatched sections are skipped entirely,
+//!   including their setup.
 //!
 //! The run always ends by writing `BENCH_nn.json` (the collected
 //! medians plus the derived batched-inference speedups) to the
@@ -67,14 +68,30 @@ fn bench_lstm(h: &mut Harness) {
     });
 }
 
+/// The full Adrias scheduling decision through both lanes.
+///
+/// * `adrias_decision` — the slow lane (`set_fast_path(false)`): the
+///   pre-PR baseline that re-runs the forecast and allocates fresh
+///   buffers on every call. Kept honest so the derived speedup compares
+///   against real work, not a strawman.
+/// * `adrias_decision_fastpath` — the fast lane with a fresh
+///   [`adrias_telemetry::WindowStamp`] per call, i.e. every decision is
+///   a forecast-cache **miss** (one scratch-based `Ŝ` forecast + one
+///   batched perf pass, zero heap allocations).
+/// * `adrias_decision_cached` — the fast lane with a constant stamp,
+///   i.e. every decision after the first is a forecast-cache **hit**.
+/// * `decision_throughput` — a stream of 64 decisions across four apps
+///   where the stamp advances every 8 decisions, the engine's
+///   steady-state mix of hits and misses.
 fn bench_decision(h: &mut Harness) {
     use adrias_orchestrator::{DecisionContext, Policy};
     use adrias_scenarios::{train_stack, StackOptions};
+    use adrias_telemetry::WindowStamp;
 
     let catalog = WorkloadCatalog::paper();
     let stack = train_stack(&catalog, &StackOptions::quick());
-    let mut policy = stack.policy(0.8, 5.0);
     let app = spark::by_name("lr").unwrap();
+    let apps = ["lr", "gmm", "nweight", "sort"].map(|n| spark::by_name(n).unwrap());
     let history: Vec<MetricVec> = (0..120)
         .map(|t| {
             let mut v = MetricVec::zero();
@@ -83,14 +100,72 @@ fn bench_decision(h: &mut Harness) {
             v
         })
         .collect();
+    // A synthetic stamp source that cannot collide with a real watcher.
+    let stamp = |version: u64| WindowStamp {
+        source: u64::MAX,
+        version,
+    };
+    let ctx = |stamp_v: Option<u64>, profile| DecisionContext {
+        profile,
+        history: Some(&history),
+        qos_p99_ms: Some(5.0),
+        stamp: stamp_v.map(stamp),
+    };
+
+    let mut slow = stack.policy(0.8, 5.0);
+    slow.set_fast_path(false);
     h.bench_function("adrias_decision", |b| {
+        b.iter(|| black_box(slow.decide(&ctx(None, &app))))
+    });
+
+    let mut fast = stack.policy(0.8, 5.0);
+    let mut version = 0u64;
+    h.bench_function("adrias_decision_fastpath", |b| {
         b.iter(|| {
-            let ctx = DecisionContext {
-                profile: &app,
-                history: Some(&history),
-                qos_p99_ms: Some(5.0),
-            };
-            black_box(policy.decide(&ctx))
+            version += 1;
+            black_box(fast.decide(&ctx(Some(version), &app)))
+        })
+    });
+
+    let mut cached = stack.policy(0.8, 5.0);
+    h.bench_function("adrias_decision_cached", |b| {
+        b.iter(|| black_box(cached.decide(&ctx(Some(1), &app))))
+    });
+
+    let mut stream = stack.policy(0.8, 5.0);
+    let mut base = 1u64 << 32;
+    h.bench_function("decision_throughput_64", |b| {
+        b.iter(|| {
+            base += 64;
+            for i in 0..64u64 {
+                let v = base + i / 8;
+                black_box(stream.decide(&ctx(Some(v), &apps[(i % 4) as usize])));
+            }
+        })
+    });
+}
+
+/// The obs string-arena lookup against the owned-`String` path it
+/// replaced on the per-decision audit/trace record.
+fn bench_obs_intern(h: &mut Harness) {
+    let names = [
+        "gmm", "sort", "pca", "lr", "kmeans", "nweight", "als", "svd",
+    ];
+    for name in names {
+        adrias_obs::intern(name); // steady state: every name already interned
+    }
+    h.bench_function("obs_intern_hit", |b| {
+        b.iter(|| {
+            for name in names {
+                black_box(adrias_obs::intern(name));
+            }
+        })
+    });
+    h.bench_function("obs_name_to_owned", |b| {
+        b.iter(|| {
+            for name in names {
+                black_box(name.to_owned());
+            }
         })
     });
 }
@@ -395,8 +470,11 @@ fn main() {
     if enabled("train_step_workers") {
         bench_worker_scaling(&mut h);
     }
-    if enabled("adrias_decision") {
+    if enabled("adrias_decision") || enabled("decision_throughput") {
         bench_decision(&mut h);
+    }
+    if enabled("obs_intern") {
+        bench_obs_intern(&mut h);
     }
     let mut obs_overhead: (Option<f64>, Option<f64>) = (None, None);
     if enabled("obs_overhead") {
@@ -425,6 +503,26 @@ fn main() {
         h.median_ns("train_step_workers_2"),
     ) {
         derived.push(("worker_dispatch_overhead_x", w2 / w1));
+    }
+    if let (Some(slow), Some(cached)) = (
+        h.median_ns("adrias_decision"),
+        h.median_ns("adrias_decision_cached"),
+    ) {
+        let speedup = slow / cached;
+        println!("  cached fast-lane vs slow decision:    {speedup:.2}x");
+        derived.push(("decision_fastpath_speedup_x", speedup));
+    }
+    if let (Some(slow), Some(fast)) = (
+        h.median_ns("adrias_decision"),
+        h.median_ns("adrias_decision_fastpath"),
+    ) {
+        derived.push(("decision_miss_speedup_x", slow / fast));
+    }
+    if let (Some(owned), Some(hit)) = (
+        h.median_ns("obs_name_to_owned"),
+        h.median_ns("obs_intern_hit"),
+    ) {
+        derived.push(("obs_intern_vs_owned_x", owned / hit));
     }
     if let Some(traced) = obs_overhead.0 {
         println!("  traced vs plain engine run:           {traced:.3}x");

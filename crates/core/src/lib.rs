@@ -14,10 +14,13 @@
 //! * [`prop`] — seeded property-testing engine behind the
 //!   [`proptest!`] macro (replaces `proptest`);
 //! * [`bench`] — wall-clock micro-benchmark harness with median/p95
-//!   reporting (replaces `criterion`).
+//!   reporting (replaces `criterion`);
+//! * [`alloc`] — a counting [`std::alloc::GlobalAlloc`] wrapper so
+//!   tests can assert a hot path performs zero heap allocations.
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod bench;
 pub mod prop;
 pub mod rng;

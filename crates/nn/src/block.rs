@@ -67,6 +67,24 @@ impl NonLinearBlock {
         self.dropout
             .reseed(seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     }
+
+    /// Precomputes the batch-norm evaluation scale (see
+    /// [`BatchNorm1d::eval_inv_std`]) — one `Vec` per trained block,
+    /// reused by every [`NonLinearBlock::forward_eval_into`] call.
+    pub fn eval_inv_std(&self) -> Vec<f32> {
+        self.norm.eval_inv_std()
+    }
+
+    /// Evaluation forward into a caller-provided buffer, bit-identical
+    /// to `forward(input, false)`: linear → ReLU → batch-norm with
+    /// running statistics, all applied in `out`'s existing allocation
+    /// (dropout is the identity in evaluation). `inv_std` must come
+    /// from [`NonLinearBlock::eval_inv_std`] on this same block.
+    pub fn forward_eval_into(&self, input: &Tensor, out: &mut Tensor, inv_std: &[f32]) {
+        self.linear.forward_into(input, out);
+        out.map_assign(|v| v.max(0.0));
+        self.norm.forward_eval_assign(out, inv_std);
+    }
 }
 
 impl Layer for NonLinearBlock {
@@ -115,6 +133,27 @@ mod tests {
         let a = block.forward(&x, false);
         let b = block.forward(&x, false);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn eval_into_is_bit_identical_to_forward() {
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let mut block = NonLinearBlock::new(5, 9, 0.3, &mut rng);
+        // Move the running statistics away from their initial values so
+        // the eval branch exercises non-trivial mean/variance.
+        for _ in 0..8 {
+            let batch = crate::init::uniform(6, 5, 2.0, &mut rng);
+            let _ = block.forward(&batch, true);
+        }
+        let x = crate::init::uniform(3, 5, 1.5, &mut rng);
+        let want = block.forward(&x, false);
+        let inv_std = block.eval_inv_std();
+        let mut out = Tensor::zeros(1, 1);
+        block.forward_eval_into(&x, &mut out, &inv_std);
+        assert_eq!(out.shape(), want.shape());
+        for (a, b) in out.data().iter().zip(want.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "eval-into must be bit-identical");
+        }
     }
 
     #[test]

@@ -93,6 +93,25 @@ impl Linear {
     pub fn bias(&self) -> &Tensor {
         &self.bias
     }
+
+    /// Evaluation forward into a caller-provided buffer: `out = x·Wᵀ + b`.
+    ///
+    /// Computes exactly the expressions of [`Layer::forward`] (so the
+    /// output is bit-identical) but takes `&self`, skips the backward
+    /// cache and reuses `out`'s allocation — the inference fast lane
+    /// calls this with pooled scratch tensors so the steady-state
+    /// decision path performs zero heap allocations.
+    pub fn forward_into(&self, input: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            input.cols(),
+            self.in_features(),
+            "linear expects {} features, got {}",
+            self.in_features(),
+            input.cols()
+        );
+        input.matmul_transb_into(&self.weight, out);
+        out.add_row_broadcast_assign(&self.bias);
+    }
 }
 
 impl Layer for Linear {
@@ -206,6 +225,39 @@ impl BatchNorm1d {
     pub fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
         f(&mut self.running_mean);
         f(&mut self.running_var);
+    }
+
+    /// Precomputes the per-feature `1/√(running_var+eps)` used by the
+    /// evaluation branch of [`Layer::forward`]. The inference fast lane
+    /// computes this once per trained model and reuses it for every
+    /// decision, keeping `sqrt` and the `Vec` allocation off the hot
+    /// path.
+    pub fn eval_inv_std(&self) -> Vec<f32> {
+        (0..self.features())
+            .map(|c| 1.0 / (self.running_var.get(0, c) + self.eps).sqrt())
+            .collect()
+    }
+
+    /// Applies the evaluation-mode affine map in place:
+    /// `x ← γ·(x − running_mean)·inv_std + β` — element for element the
+    /// expression of the eval branch of [`Layer::forward`], so the
+    /// output is bit-identical. `inv_std` must come from
+    /// [`BatchNorm1d::eval_inv_std`] on this same layer.
+    pub fn forward_eval_assign(&self, x: &mut Tensor, inv_std: &[f32]) {
+        let d = self.features();
+        assert_eq!(x.cols(), d, "batchnorm feature mismatch");
+        assert_eq!(inv_std.len(), d, "inv_std built for a different layer");
+        let gamma = self.gamma.data();
+        let beta = self.beta.data();
+        let mean = self.running_mean.data();
+        let n = x.rows();
+        let data = x.data_mut();
+        for r in 0..n {
+            let row = &mut data[r * d..(r + 1) * d];
+            for c in 0..d {
+                row[c] = gamma[c] * (row[c] - mean[c]) * inv_std[c] + beta[c];
+            }
+        }
     }
 }
 

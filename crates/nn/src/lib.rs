@@ -72,6 +72,6 @@ pub use adam::Adam;
 pub use block::NonLinearBlock;
 pub use layer::{BatchNorm1d, Dropout, Layer, Linear, Relu, Sequential};
 pub use loss::MseLoss;
-pub use lstm::Lstm;
+pub use lstm::{Lstm, LstmScratch};
 pub use tensor::Tensor;
 pub use train::{accumulate_minibatch, mix_seed, resolved_workers, GradModel, TrainStats};

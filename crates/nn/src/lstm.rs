@@ -22,6 +22,62 @@ use adrias_core::rng::Rng;
 use crate::init;
 use crate::tensor::Tensor;
 
+/// Reusable buffers for the allocation-free eval-mode forward pass
+/// ([`Lstm::forward_seq_scratch`]).
+///
+/// Construction transposes the projection weights once and sizes every
+/// intermediate buffer, so the steady-state forward performs zero heap
+/// allocations (buffers grow only if a later call uses a larger batch
+/// or a longer sequence). A scratch is bound to the `Lstm` it was built
+/// from; rebuild it if the weights change.
+#[derive(Debug, Clone, Default)]
+pub struct LstmScratch {
+    w_ih_t: Tensor, // in × 4H
+    w_hh_t: Tensor, // H × 4H
+    zx: Tensor,
+    zh: Tensor,
+    h0: Tensor,
+    c: Tensor,
+    c_next: Tensor,
+    outputs: Vec<Tensor>,
+}
+
+impl LstmScratch {
+    /// Builds a scratch for `lstm`, pre-transposing its weights and
+    /// pre-sizing the step buffers for `batch` rows and `seq_len` steps.
+    pub fn new(lstm: &Lstm, batch: usize, seq_len: usize) -> Self {
+        let h = lstm.hidden_size;
+        let mut s = Self {
+            zx: Tensor::zeros(batch, 4 * h),
+            zh: Tensor::zeros(batch, 4 * h),
+            h0: Tensor::zeros(batch, h),
+            c: Tensor::zeros(batch, h),
+            c_next: Tensor::zeros(batch, h),
+            outputs: (0..seq_len).map(|_| Tensor::zeros(batch, h)).collect(),
+            ..Self::default()
+        };
+        lstm.w_ih.transpose_into(&mut s.w_ih_t);
+        lstm.w_hh.transpose_into(&mut s.w_hh_t);
+        s
+    }
+
+    /// The hidden state after step `seq_len - 1` of the most recent
+    /// [`Lstm::forward_seq_scratch`] call on this scratch — the same
+    /// tensor [`Lstm::forward_last_scratch`] returns, re-borrowable
+    /// without re-running the forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward of at least `seq_len` steps has run yet.
+    pub fn last_output(&self, seq_len: usize) -> &Tensor {
+        assert!(
+            seq_len >= 1 && seq_len <= self.outputs.len(),
+            "no forward of {seq_len} steps has run"
+        );
+        &self.outputs[seq_len - 1]
+    }
+}
+
 /// Per-timestep cache for BPTT.
 #[derive(Debug, Clone)]
 struct StepCache {
@@ -206,6 +262,118 @@ impl Lstm {
             .expect("non-empty sequence yields an output")
     }
 
+    /// Eval-mode [`Lstm::forward_seq`] into reusable `scratch` buffers:
+    /// no BPTT cache, no per-step allocations, `&self` receiver.
+    ///
+    /// The arithmetic is the exact fused-gate formulation of
+    /// [`Lstm::forward_seq`] — same kernels, same per-element expression
+    /// and `k` order — so every returned hidden state is bit-identical
+    /// to the training-path forward. Returns the per-step hidden states
+    /// (for stacking); see [`Lstm::forward_last_scratch`] for the
+    /// last-state readout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is empty or any step has the wrong width, or if
+    /// `scratch` was built for a different `Lstm` shape.
+    pub fn forward_seq_scratch<'s>(
+        &self,
+        seq: &[Tensor],
+        scratch: &'s mut LstmScratch,
+    ) -> &'s [Tensor] {
+        assert!(!seq.is_empty(), "LSTM requires a non-empty sequence");
+        let batch = seq[0].rows();
+        let h = self.hidden_size;
+        let hw = 4 * h;
+        assert_eq!(
+            scratch.w_ih_t.shape(),
+            (self.input_size, hw),
+            "scratch built for a different LSTM shape"
+        );
+        let LstmScratch {
+            w_ih_t,
+            w_hh_t,
+            zx,
+            zh,
+            h0,
+            c,
+            c_next,
+            outputs,
+        } = scratch;
+        h0.reshape_for(batch, h);
+        h0.data_mut().iter_mut().for_each(|v| *v = 0.0);
+        c.reshape_for(batch, h);
+        c.data_mut().iter_mut().for_each(|v| *v = 0.0);
+        while outputs.len() < seq.len() {
+            outputs.push(Tensor::zeros(batch, h));
+        }
+        for (t, x) in seq.iter().enumerate() {
+            assert_eq!(
+                x.cols(),
+                self.input_size,
+                "LSTM expects {} input features, got {}",
+                self.input_size,
+                x.cols()
+            );
+            assert_eq!(x.rows(), batch, "inconsistent batch size inside sequence");
+            x.matmul_into(w_ih_t, zx);
+            let h_prev = if t == 0 { &*h0 } else { &outputs[t - 1] };
+            h_prev.matmul_into(w_hh_t, zh);
+            // z = zx + zh + bias (row broadcast), fused in place into zx
+            // — the same expression as the training path.
+            {
+                let bias = self.bias.data();
+                let zhd = zh.data();
+                let zxd = zx.data_mut();
+                for r in 0..batch {
+                    let row = &mut zxd[r * hw..(r + 1) * hw];
+                    let zh_row = &zhd[r * hw..(r + 1) * hw];
+                    for ((v, &w), &b) in row.iter_mut().zip(zh_row).zip(bias) {
+                        *v = (*v + w) + b;
+                    }
+                }
+            }
+            // Fused gate sweep, element-for-element the expressions of
+            // `forward_seq`, writing only h_t and c_t (no BPTT cache).
+            let h_t = &mut outputs[t];
+            h_t.reshape_for(batch, h);
+            c_next.reshape_for(batch, h);
+            for r in 0..batch {
+                let z_row = &zx.data()[r * hw..(r + 1) * hw];
+                let (zi, rest) = z_row.split_at(h);
+                let (zf, rest) = rest.split_at(h);
+                let (zg, zo) = rest.split_at(h);
+                let cp_row = &c.data()[r * h..(r + 1) * h];
+                let span = r * h..(r + 1) * h;
+                let cr = &mut c_next.data_mut()[span.clone()];
+                let hr = &mut h_t.data_mut()[span];
+                for k in 0..h {
+                    let iv = sigmoid(zi[k]);
+                    let fv = sigmoid(zf[k]);
+                    let gv = zg[k].tanh();
+                    let ov = sigmoid(zo[k]);
+                    let cv = fv * cp_row[k] + iv * gv;
+                    let tc = cv.tanh();
+                    cr[k] = cv;
+                    hr[k] = ov * tc;
+                }
+            }
+            std::mem::swap(c, c_next);
+        }
+        &scratch.outputs[..seq.len()]
+    }
+
+    /// Eval-mode last-hidden-state readout via
+    /// [`Lstm::forward_seq_scratch`].
+    pub fn forward_last_scratch<'s>(
+        &self,
+        seq: &[Tensor],
+        scratch: &'s mut LstmScratch,
+    ) -> &'s Tensor {
+        let n = seq.len();
+        &self.forward_seq_scratch(seq, scratch)[n - 1]
+    }
+
     /// Backpropagates through time.
     ///
     /// `grad_hidden[t]` is the gradient of the loss w.r.t. the hidden
@@ -324,6 +492,36 @@ mod tests {
         for h in lstm.forward_seq(&seq) {
             assert!(h.data().iter().all(|&v| v.abs() <= 1.0));
         }
+    }
+
+    #[test]
+    fn scratch_forward_is_bit_identical_to_forward_seq() {
+        let mut r = rng();
+        let mut lstm = Lstm::new(4, 6, &mut r);
+        let seq = toy_seq(9, 3, 4, &mut r);
+        let want = lstm.forward_seq(&seq);
+        let mut scratch = LstmScratch::new(&lstm, 3, 9);
+        // Run twice through the same scratch: the second pass must see
+        // no stale state from the first.
+        for _ in 0..2 {
+            let got = lstm.forward_seq_scratch(&seq, &mut scratch);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.shape(), w.shape());
+                for (a, b) in g.data().iter().zip(w.data()) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "scratch path must be bit-identical"
+                    );
+                }
+            }
+        }
+        // Shorter sequences and smaller batches reuse the same scratch.
+        let short = toy_seq(4, 2, 4, &mut r);
+        let want_short = lstm.forward_last(&short);
+        let got_short = lstm.forward_last_scratch(&short, &mut scratch);
+        assert_eq!(got_short.data(), want_short.data());
     }
 
     #[test]

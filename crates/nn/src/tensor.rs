@@ -1,5 +1,7 @@
 //! A row-major 2-D `f32` matrix.
 
+use adrias_core::thread::map_chunks;
+
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
 
@@ -7,6 +9,13 @@ use std::ops::{Add, Mul, Sub};
 /// operand tile) keep the working set inside L1 while leaving the
 /// in-order `k` accumulation untouched.
 const BLOCK: usize = 32;
+
+/// Column-unroll width of the `matmul_transb` register micro-kernel:
+/// four independent accumulators per A row, one per output element, so
+/// the dot products overlap in the FP pipeline while each element still
+/// sums over `k` in increasing order (bit-identical to the scalar
+/// kernel).
+const NR: usize = 4;
 
 /// A dense row-major matrix of `f32` values.
 ///
@@ -181,12 +190,40 @@ impl Tensor {
         let (m, kk, n) = (self.rows, self.cols, other.cols);
         out.reshape_for(m, n);
         out.data.iter_mut().for_each(|v| *v = 0.0);
-        // ikj with row blocking: B rows stay hot across a tile of A rows.
+        // ikj with row blocking and a two-row micro-kernel: each B row
+        // loaded in the `k` loop feeds two output rows, halving B
+        // traffic. Output rows touch disjoint accumulators and each
+        // element still adds its `a·b` terms in increasing `k` with the
+        // exact zero-skip of the single-row kernel, so results stay
+        // bit-identical.
         for r0 in (0..m).step_by(BLOCK) {
             let r1 = (r0 + BLOCK).min(m);
             for k0 in (0..kk).step_by(BLOCK) {
                 let k1 = (k0 + BLOCK).min(kk);
-                for r in r0..r1 {
+                let mut r = r0;
+                while r + 2 <= r1 {
+                    let (out_lo, out_hi) = out.data[r * n..(r + 2) * n].split_at_mut(n);
+                    for k in k0..k1 {
+                        let a0 = self.data[r * kk + k];
+                        let a1 = self.data[(r + 1) * kk + k];
+                        if a0 == 0.0 && a1 == 0.0 {
+                            continue;
+                        }
+                        let b_row = &other.data[k * n..(k + 1) * n];
+                        if a0 != 0.0 {
+                            for (o, &b) in out_lo.iter_mut().zip(b_row) {
+                                *o += a0 * b;
+                            }
+                        }
+                        if a1 != 0.0 {
+                            for (o, &b) in out_hi.iter_mut().zip(b_row) {
+                                *o += a1 * b;
+                            }
+                        }
+                    }
+                    r += 2;
+                }
+                if r < r1 {
                     let a_row = &self.data[r * kk..(r + 1) * kk];
                     let out_row = &mut out.data[r * n..(r + 1) * n];
                     for (k, &a) in a_row.iter().enumerate().take(k1).skip(k0) {
@@ -232,21 +269,90 @@ impl Tensor {
             "matmul_transb shape mismatch: {}x{} @ ({}x{})T",
             self.rows, self.cols, other.rows, other.cols
         );
-        let (m, kk, n) = (self.rows, self.cols, other.rows);
-        out.reshape_for(m, n);
-        for r0 in (0..m).step_by(BLOCK) {
-            let r1 = (r0 + BLOCK).min(m);
+        let m = self.rows;
+        out.reshape_for(m, other.rows);
+        self.transb_rows(other, &mut out.data, 0, m);
+    }
+
+    /// [`Tensor::matmul_transb`] with the output rows split across up to
+    /// `threads` scoped worker threads (via
+    /// [`adrias_core::thread::map_chunks`]).
+    ///
+    /// Output rows are independent dot-product groups and every row runs
+    /// the identical serial micro-kernel, so the result is bit-identical
+    /// to [`Tensor::matmul_transb`] for **any** thread count — the same
+    /// chunk-ordered determinism contract as the data-parallel trainer.
+    /// Worth it only for training-size batches; `threads <= 1` or a
+    /// single-row product runs inline with no spawn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions do not match or `threads` is zero.
+    pub fn matmul_transb_threaded(&self, other: &Tensor, threads: usize) -> Tensor {
+        assert!(threads > 0, "need at least one worker thread");
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transb shape mismatch: {}x{} @ ({}x{})T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        if threads == 1 || self.rows < 2 {
+            return self.matmul_transb(other);
+        }
+        let n = other.rows;
+        let row_idx: Vec<usize> = (0..self.rows).collect();
+        let data = map_chunks(&row_idx, threads, |chunk| {
+            let (lo, hi) = (chunk[0], chunk[chunk.len() - 1] + 1);
+            let mut part = vec![0.0f32; (hi - lo) * n];
+            self.transb_rows(other, &mut part, lo, hi);
+            part
+        });
+        Tensor::from_vec(self.rows, n, data)
+    }
+
+    /// Serial `self @ otherᵀ` micro-kernel over output rows
+    /// `[row0, row1)`, writing into `out_rows` (whose row 0 corresponds
+    /// to output row `row0`).
+    ///
+    /// Inside each cache tile, columns are processed [`NR`] at a time
+    /// with one independent register accumulator per output element;
+    /// every accumulator sums its `a·b` terms over `k` in increasing
+    /// order, so unrolling never changes a single bit of the result.
+    fn transb_rows(&self, other: &Tensor, out_rows: &mut [f32], row0: usize, row1: usize) {
+        let (kk, n) = (self.cols, other.rows);
+        for r0 in (row0..row1).step_by(BLOCK) {
+            let r1 = (r0 + BLOCK).min(row1);
             for c0 in (0..n).step_by(BLOCK) {
                 let c1 = (c0 + BLOCK).min(n);
                 for r in r0..r1 {
                     let a_row = &self.data[r * kk..(r + 1) * kk];
-                    for c in c0..c1 {
+                    let out_row = &mut out_rows[(r - row0) * n..(r - row0 + 1) * n];
+                    let mut c = c0;
+                    while c + NR <= c1 {
+                        let b = &other.data[c * kk..(c + NR) * kk];
+                        let (b0, rest) = b.split_at(kk);
+                        let (b1, rest) = rest.split_at(kk);
+                        let (b2, b3) = rest.split_at(kk);
+                        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                        for (i, &a) in a_row.iter().enumerate() {
+                            s0 += a * b0[i];
+                            s1 += a * b1[i];
+                            s2 += a * b2[i];
+                            s3 += a * b3[i];
+                        }
+                        out_row[c] = s0;
+                        out_row[c + 1] = s1;
+                        out_row[c + 2] = s2;
+                        out_row[c + 3] = s3;
+                        c += NR;
+                    }
+                    while c < c1 {
                         let b_row = &other.data[c * kk..(c + 1) * kk];
                         let mut acc = 0.0f32;
                         for (&a, &b) in a_row.iter().zip(b_row) {
                             acc += a * b;
                         }
-                        out.data[r * n + c] = acc;
+                        out_row[c] = acc;
+                        c += 1;
                     }
                 }
             }
@@ -307,15 +413,39 @@ impl Tensor {
 
     /// Reuses the existing allocation for a `rows × cols` result,
     /// growing it only when the target is larger than any prior use.
-    fn reshape_for(&mut self, rows: usize, cols: usize) {
+    pub(crate) fn reshape_for(&mut self, rows: usize, cols: usize) {
         self.rows = rows;
         self.cols = cols;
         self.data.resize(rows * cols, 0.0);
     }
 
+    /// In-place element-wise map.
+    pub fn map_assign(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
     /// Transpose.
     pub fn transpose(&self) -> Tensor {
         Tensor::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// [`Tensor::transpose`] into a reusable buffer (allocation-free
+    /// once `out` has reached size).
+    pub fn transpose_into(&self, out: &mut Tensor) {
+        out.reshape_for(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+    }
+
+    /// Copies `other` into `self`, reusing the existing buffer.
+    pub fn copy_from(&mut self, other: &Tensor) {
+        self.reshape_for(other.rows, other.cols);
+        self.data.copy_from_slice(&other.data);
     }
 
     /// Element-wise map.
@@ -379,6 +509,30 @@ impl Tensor {
             bias.shape()
         );
         Tensor::from_fn(self.rows, self.cols, |r, c| self.get(r, c) + bias.get(0, c))
+    }
+
+    /// In-place [`Tensor::add_row_broadcast`]: adds a `1 × cols` row
+    /// vector to every row of `self` without allocating. Each element
+    /// computes the same `x + b` as the allocating version, so the
+    /// result is bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 × self.cols`.
+    pub fn add_row_broadcast_assign(&mut self, bias: &Tensor) {
+        assert_eq!(
+            (1, self.cols),
+            bias.shape(),
+            "broadcast bias must be 1x{}, got {:?}",
+            self.cols,
+            bias.shape()
+        );
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (v, &b) in row.iter_mut().zip(&bias.data) {
+                *v += b;
+            }
+        }
     }
 
     /// Column-wise sum, producing a `1 × cols` row vector.
@@ -689,5 +843,125 @@ mod tests {
     fn get_out_of_bounds_panics() {
         let t = Tensor::zeros(1, 1);
         let _ = t.get(1, 0);
+    }
+
+    /// Unblocked, unrolled scalar reference kernels for the parity
+    /// tests below.
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        Tensor::from_fn(a.rows(), b.cols(), |r, c| {
+            let mut acc = 0.0f32;
+            for k in 0..a.cols() {
+                let av = a.get(r, k);
+                if av == 0.0 {
+                    continue;
+                }
+                acc += av * b.get(k, c);
+            }
+            acc
+        })
+    }
+
+    fn naive_transb(a: &Tensor, b: &Tensor) -> Tensor {
+        Tensor::from_fn(a.rows(), b.rows(), |r, c| {
+            let mut acc = 0.0f32;
+            for k in 0..a.cols() {
+                acc += a.get(r, k) * b.get(c, k);
+            }
+            acc
+        })
+    }
+
+    fn irregular(rows: usize, cols: usize, salt: u64) -> Tensor {
+        let mut s = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        Tensor::from_fn(rows, cols, |r, c| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            // Mix in exact zeros so the zero-skip path is exercised.
+            if (r * 31 + c * 7 + (s as usize & 3)).is_multiple_of(9) {
+                0.0
+            } else {
+                (s >> 40) as f32 / 2e6 - 4.0
+            }
+        })
+    }
+
+    /// Gradcheck-style parity: the register micro-kernels must be
+    /// bit-identical to the naive scalar kernels on odd shapes where no
+    /// dimension is a multiple of the unroll factor or the cache block.
+    #[test]
+    fn micro_kernels_match_scalar_on_odd_shapes() {
+        for (m, k, n, salt) in [
+            (1usize, 1usize, 1usize, 1u64),
+            (3, 5, 7, 2),
+            (33, 35, 37, 3), // one past a 32-wide block edge
+            (31, 65, 2, 4),  // NR tail of 2
+            (2, 7, 3, 5),    // columns below one unroll group
+            (66, 33, 41, 6), // multi-row tail in matmul_into
+        ] {
+            let a = irregular(m, k, salt);
+            let b_t = irregular(n, k, salt ^ 0xABCD);
+            let got = a.matmul_transb(&b_t);
+            let want = naive_transb(&a, &b_t);
+            assert_eq!(
+                got.data(),
+                want.data(),
+                "transb micro-kernel diverged at {m}x{k} @ ({n}x{k})T"
+            );
+            let b = irregular(k, n, salt ^ 0x1234);
+            let got = a.matmul(&b);
+            let want = naive_matmul(&a, &b);
+            assert_eq!(
+                got.data(),
+                want.data(),
+                "matmul micro-kernel diverged at {m}x{k} @ {k}x{n}"
+            );
+        }
+    }
+
+    /// The scoped-thread row split must be bit-identical to the serial
+    /// kernel for every thread count on a training-size batch.
+    #[test]
+    fn threaded_transb_is_thread_count_invariant() {
+        let a = irregular(96, 64, 11); // a training-size activation batch
+        let w = irregular(48, 64, 12); // out_features × in_features
+        let serial = a.matmul_transb(&w);
+        for threads in [1usize, 2, 3, 8] {
+            let split = a.matmul_transb_threaded(&w, threads);
+            assert_eq!(
+                split.data(),
+                serial.data(),
+                "row split diverged at {threads} threads"
+            );
+        }
+        // Degenerate single-row product takes the inline path.
+        let one = irregular(1, 64, 13);
+        assert_eq!(one.matmul_transb_threaded(&w, 8), one.matmul_transb(&w));
+    }
+
+    #[test]
+    fn transpose_into_matches_transpose() {
+        let a = irregular(7, 5, 21);
+        let mut out = Tensor::full(2, 2, 9.0);
+        a.transpose_into(&mut out);
+        assert_eq!(out, a.transpose());
+    }
+
+    #[test]
+    fn add_row_broadcast_assign_matches_allocating_version() {
+        let a = irregular(6, 9, 22);
+        let bias = irregular(1, 9, 23);
+        let want = a.add_row_broadcast(&bias);
+        let mut got = a.clone();
+        got.add_row_broadcast_assign(&bias);
+        assert_eq!(got.data(), want.data());
+    }
+
+    #[test]
+    fn copy_from_reuses_buffer() {
+        let a = irregular(4, 3, 24);
+        let mut b = Tensor::zeros(10, 10);
+        b.copy_from(&a);
+        assert_eq!(b, a);
     }
 }

@@ -140,8 +140,10 @@ pub struct DecisionInput {
     pub at_s: f64,
     /// Deployment id assigned by the testbed.
     pub deployment_id: u64,
-    /// Workload name (e.g. `in-memory-analytics`).
-    pub app: String,
+    /// Workload name (e.g. `in-memory-analytics`), interned via
+    /// [`crate::intern::intern`] so per-decision recording stays
+    /// allocation-free after the first sighting of a name.
+    pub app: &'static str,
     /// Workload class.
     pub class: WorkloadClass,
     /// Summary of the Watcher history handed to the policy.
@@ -156,8 +158,9 @@ pub struct DecisionInput {
     pub rule: DecisionRule,
     /// The chosen placement.
     pub chosen: MemoryMode,
-    /// The policy that decided (e.g. `adrias`, `all-local`).
-    pub policy: String,
+    /// The policy that decided (e.g. `adrias`, `all-local`), interned
+    /// like [`DecisionInput::app`].
+    pub policy: &'static str,
 }
 
 /// One audited decision, as exported to JSONL.
@@ -317,14 +320,14 @@ mod tests {
         DecisionInput {
             at_s: 1.0,
             deployment_id: 7,
-            app: "gmm".into(),
+            app: "gmm",
             class: WorkloadClass::BestEffort,
             window: WindowSummary::empty(),
             pred_local: local,
             pred_remote: remote,
             rule,
             chosen: MemoryMode::Local,
-            policy: "adrias".into(),
+            policy: "adrias",
         }
     }
 

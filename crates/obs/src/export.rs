@@ -73,7 +73,7 @@ fn render_event_line(out: &mut String, e: &TraceEvent) {
             let _ = write!(
                 out,
                 r#"{{"type":"span","name":{},"cat":{},"t0_s":{},"t1_s":{},"track":{},"args":"#,
-                escape(&e.name),
+                escape(e.name),
                 escape(e.cat),
                 num_f64(t0_s),
                 num_f64(t1_s),
@@ -84,7 +84,7 @@ fn render_event_line(out: &mut String, e: &TraceEvent) {
             let _ = write!(
                 out,
                 r#"{{"type":"instant","name":{},"cat":{},"at_s":{},"track":{},"args":"#,
-                escape(&e.name),
+                escape(e.name),
                 escape(e.cat),
                 num_f64(at_s),
                 e.track
@@ -127,9 +127,9 @@ fn render_decision_line(out: &mut String, r: &DecisionRecord) {
         r.seq,
         num_f64(i.at_s),
         i.deployment_id,
-        escape(&i.app),
+        escape(i.app),
         escape(&i.class.to_string()),
-        escape(&i.policy),
+        escape(i.policy),
         escape(i.rule.tag()),
         opt_f32(i.rule.parameter()),
         i.window.rows,
@@ -220,7 +220,7 @@ pub fn to_chrome_trace(obs: &Observer) -> String {
                 let _ = write!(
                     out,
                     r#"{{"name":{},"cat":{},"ph":"X","ts":{},"dur":{},"pid":1,"tid":{},"args":"#,
-                    escape(&e.name),
+                    escape(e.name),
                     escape(e.cat),
                     num_f64(t0_s * 1e6),
                     num_f64((t1_s - t0_s).max(0.0) * 1e6),
@@ -231,7 +231,7 @@ pub fn to_chrome_trace(obs: &Observer) -> String {
                 let _ = write!(
                     out,
                     r#"{{"name":{},"cat":{},"ph":"i","s":"t","ts":{},"pid":1,"tid":{},"args":"#,
-                    escape(&e.name),
+                    escape(e.name),
                     escape(e.cat),
                     num_f64(at_s * 1e6),
                     e.track
@@ -302,14 +302,14 @@ mod tests {
         obs.record_decision(DecisionInput {
             at_s: 3.0,
             deployment_id: 0,
-            app: "gmm".into(),
+            app: "gmm",
             class: WorkloadClass::BestEffort,
             window: WindowSummary::empty(),
             pred_local: Some(90.0),
             pred_remote: Some(100.0),
             rule: DecisionRule::BetaSlack { beta: 1.0 },
             chosen: MemoryMode::Local,
-            policy: "adrias".into(),
+            policy: "adrias",
         });
         obs
     }

@@ -1,0 +1,66 @@
+//! A tiny global string arena for hot-path names.
+//!
+//! Trace-event names and audit-trail app/policy names come from a small
+//! closed set (workload names, policy names, a handful of event labels)
+//! but used to be stored as owned `String`s — one heap allocation per
+//! [`crate::trace::TraceEvent`] and two per
+//! [`crate::audit::DecisionRecord`], on the per-decision path the
+//! orchestrator tries to keep allocation-free. [`intern`] maps each
+//! distinct name to one leaked `&'static str`: the first sighting pays
+//! one allocation, every later sighting is a read-only set lookup.
+//!
+//! The arena leaks by design. Entries are never removed, which is the
+//! right trade for a process-lifetime name set measured in dozens; it
+//! would be the wrong tool for unbounded user input.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+static ARENA: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+
+/// Returns the canonical `&'static str` for `s`, interning it on first
+/// sight. Two calls with equal strings return pointers into the same
+/// leaked allocation.
+///
+/// # Examples
+///
+/// ```
+/// use adrias_obs::intern::intern;
+///
+/// let a = intern("gmm");
+/// let b = intern(&String::from("gmm"));
+/// assert!(std::ptr::eq(a, b));
+/// ```
+pub fn intern(s: &str) -> &'static str {
+    let mut arena = ARENA.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(&hit) = arena.get(s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    arena.insert(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_pointer_stable() {
+        let a = intern("adrias-test-name");
+        let b = intern("adrias-test-name");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a, "adrias-test-name");
+        let other = intern("adrias-other-name");
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn interning_survives_threads() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(|| intern("adrias-threaded-name").as_ptr() as usize))
+            .collect();
+        let ptrs: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ptrs.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -40,6 +40,7 @@
 
 pub mod audit;
 pub mod export;
+pub mod intern;
 pub mod json;
 pub mod observer;
 pub mod registry;
@@ -49,6 +50,7 @@ pub mod validate;
 
 pub use audit::{AuditTrail, DecisionInput, DecisionRecord, DecisionRule, WindowSummary};
 pub use export::{write_all, ExportError, ExportPaths};
+pub use intern::intern;
 pub use observer::{ObsConfig, Observer};
 pub use registry::{Histogram, Registry};
 pub use report::render_report;

@@ -109,7 +109,7 @@ impl Observer {
             MemoryMode::Remote => "remote",
         };
         let mut args = vec![
-            ("app", input.app.as_str().into()),
+            ("app", input.app.into()),
             ("class", class.into()),
             ("mode", mode.into()),
             ("rule", input.rule.tag().into()),
@@ -165,14 +165,14 @@ mod tests {
         obs.record_decision(DecisionInput {
             at_s: 2.0,
             deployment_id: 1,
-            app: "gmm".into(),
+            app: "gmm",
             class: WorkloadClass::BestEffort,
             window: WindowSummary::empty(),
             pred_local: Some(80.0),
             pred_remote: Some(100.0),
             rule: DecisionRule::BetaSlack { beta: 1.0 },
             chosen: MemoryMode::Local,
-            policy: "adrias".into(),
+            policy: "adrias",
         });
         assert_eq!(obs.audit.len(), 1);
         assert_eq!(obs.registry.counter("orchestrator.decisions"), 1);

@@ -273,6 +273,30 @@ impl Registry {
         }
     }
 
+    /// Folds every metric of `other` into this registry: counters add,
+    /// histograms merge bucket-wise (via [`Histogram::merge`], so
+    /// mean/σ come out as if all observations had landed here), and
+    /// gauges take `other`'s value (last-merge-wins). Merging
+    /// per-scenario registries in a fixed scenario order therefore
+    /// yields a cross-scenario view that is independent of how the
+    /// scenarios were scheduled across worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a histogram name exists in both registries with
+    /// different bucket boundaries.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, v) in other.counters() {
+            self.counter_add(name, v);
+        }
+        for (name, v) in other.gauges() {
+            self.gauge_set(name, v);
+        }
+        for (name, h) in other.histograms() {
+            self.merge_histogram(name, h);
+        }
+    }
+
     /// The named histogram, if any observation was recorded.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
@@ -409,6 +433,26 @@ mod tests {
         reg.merge_histogram("h", &h);
         reg.merge_histogram("h", &h);
         assert_eq!(reg.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn registry_merge_folds_all_three_kinds() {
+        let mut a = Registry::new();
+        a.counter_add("c", 2);
+        a.gauge_set("g", 1.0);
+        a.observe("h", 3.0);
+        let mut b = Registry::new();
+        b.counter_add("c", 3);
+        b.counter_add("only_b", 1);
+        b.gauge_set("g", -4.0);
+        b.observe("h", 30.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 5);
+        assert_eq!(a.counter("only_b"), 1);
+        assert_eq!(a.gauge("g"), Some(-4.0), "gauges are last-merge-wins");
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        a.merge(&Registry::new());
+        assert_eq!(a.counter("c"), 5);
     }
 
     #[test]

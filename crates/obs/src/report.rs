@@ -147,14 +147,14 @@ mod tests {
         obs.record_decision(DecisionInput {
             at_s: 1.0,
             deployment_id: 0,
-            app: "gmm".into(),
+            app: "gmm",
             class: WorkloadClass::BestEffort,
             window: WindowSummary::empty(),
             pred_local: Some(99.0),
             pred_remote: Some(100.0),
             rule: DecisionRule::BetaSlack { beta: 1.0 },
             chosen: MemoryMode::Local,
-            policy: "adrias".into(),
+            policy: "adrias",
         });
         obs.registry
             .observe(&format!("{SLOWDOWN_PREFIX}in-memory-analytics"), 1.8);

@@ -70,8 +70,9 @@ pub enum TraceKind {
 /// One structured trace event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
-    /// Event name (e.g. `engine.run`, `deploy`).
-    pub name: String,
+    /// Event name (e.g. `engine.run`, `deploy`), interned in the global
+    /// string arena so recording an event never allocates for the name.
+    pub name: &'static str,
     /// Category (e.g. `engine`, `decision`, `app`).
     pub cat: &'static str,
     /// Temporal shape.
@@ -173,7 +174,7 @@ impl Tracer {
         args: Vec<(&'static str, ArgValue)>,
     ) {
         self.push(TraceEvent {
-            name: name.to_owned(),
+            name: crate::intern::intern(name),
             cat,
             kind: TraceKind::Span { t0_s, t1_s },
             track,
@@ -191,7 +192,7 @@ impl Tracer {
         args: Vec<(&'static str, ArgValue)>,
     ) {
         self.push(TraceEvent {
-            name: name.to_owned(),
+            name: crate::intern::intern(name),
             cat,
             kind: TraceKind::Instant { at_s },
             track,

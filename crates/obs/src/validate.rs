@@ -283,14 +283,14 @@ mod tests {
         obs.record_decision(DecisionInput {
             at_s: 1.0,
             deployment_id: 0,
-            app: "gmm".into(),
+            app: "gmm",
             class: WorkloadClass::BestEffort,
             window: WindowSummary::empty(),
             pred_local: Some(10.0),
             pred_remote: Some(12.0),
             rule: DecisionRule::BetaSlack { beta: 1.0 },
             chosen: MemoryMode::Local,
-            policy: "adrias".into(),
+            policy: "adrias",
         });
         obs
     }
@@ -338,14 +338,14 @@ mod tests {
         obs.record_decision(DecisionInput {
             at_s: 2.0,
             deployment_id: 1,
-            app: "kmeans".into(),
+            app: "kmeans",
             class: WorkloadClass::BestEffort,
             window: WindowSummary::empty(),
             pred_local: None,
             pred_remote: None,
             rule: DecisionRule::Static,
             chosen: MemoryMode::Remote,
-            policy: "all-remote".into(),
+            policy: "all-remote",
         });
         let text = export::to_jsonl_decisions(&obs);
         let tampered: String = text.lines().skip(1).map(|l| format!("{l}\n")).collect();

@@ -2,7 +2,10 @@
 
 use std::collections::HashMap;
 
-use adrias_predictor::{PerfModel, PerfQuery, SystemStateModel};
+use adrias_predictor::{
+    PerfModel, PerfQuery, PerfScratch, SystemScratch, SystemStateModel, Tensor,
+};
+use adrias_telemetry::{MetricVec, WindowStamp};
 use adrias_workloads::{AppSignature, MemoryMode, WorkloadClass};
 
 use adrias_obs::DecisionRule;
@@ -54,6 +57,51 @@ pub struct AdriasPolicy {
     signatures: HashMap<String, AppSignature>,
     beta: f32,
     default_qos_p99_ms: f32,
+    /// Routes decisions through the allocation-free cached lane
+    /// (default). The slow lane survives for parity pinning and honest
+    /// benchmarking; both produce bit-identical decisions.
+    fast_path: bool,
+    /// Memoised system-state forecast, keyed by the Watcher stamp of
+    /// the window it was computed from.
+    forecast_cache: Option<(WindowStamp, MetricVec)>,
+    /// Per-app signature-branch features (`h_k`), precomputed through
+    /// each perf model at signature-store time — the signature LSTMs
+    /// never run on the decision path.
+    be_sig_feats: HashMap<String, Tensor>,
+    lc_sig_feats: HashMap<String, Tensor>,
+    /// Memoised history-branch features (`h_s`) per perf model, keyed
+    /// like the forecast cache.
+    be_hist: HistFeatCache,
+    lc_hist: HistFeatCache,
+    sys_scratch: SystemScratch,
+    be_scratch: PerfScratch,
+    lc_scratch: PerfScratch,
+}
+
+/// Memoised history-branch features of one performance model: the
+/// batch-2 `h_s` tensor plus the [`WindowStamp`] of the window it was
+/// computed from. The tensor buffer is kept across invalidations and
+/// overwritten in place, so steady-state misses allocate nothing.
+#[derive(Debug, Clone, Default)]
+struct HistFeatCache {
+    stamp: Option<WindowStamp>,
+    feats: Option<Tensor>,
+}
+
+impl HistFeatCache {
+    /// Replaces the cached features with `fresh`, reusing the buffer,
+    /// and re-keys the cache on `stamp` (`None` ⇒ never hit again).
+    fn store(&mut self, stamp: Option<WindowStamp>, fresh: &Tensor) {
+        match &mut self.feats {
+            Some(buf) => buf.data_mut().copy_from_slice(fresh.data()),
+            None => self.feats = Some(fresh.clone()),
+        }
+        self.stamp = stamp;
+    }
+
+    fn clear(&mut self) {
+        self.stamp = None;
+    }
 }
 
 impl std::fmt::Debug for AdriasPolicy {
@@ -90,18 +138,50 @@ impl AdriasPolicy {
             "beta must be in (0, 1], got {beta}"
         );
         assert!(default_qos_p99_ms > 0.0, "QoS constraint must be positive");
-        Self {
+        let sys_scratch = system_model.make_scratch();
+        let be_scratch = be_model.make_scratch();
+        let lc_scratch = lc_model.make_scratch();
+        let mut policy = Self {
             name: format!("Adrias(b={beta})"),
             system_model,
             be_model,
             lc_model,
-            signatures: signatures
-                .into_iter()
-                .map(|s| (s.app_name().to_owned(), s))
-                .collect(),
+            signatures: HashMap::new(),
             beta,
             default_qos_p99_ms,
+            fast_path: true,
+            forecast_cache: None,
+            be_sig_feats: HashMap::new(),
+            lc_sig_feats: HashMap::new(),
+            be_hist: HistFeatCache::default(),
+            lc_hist: HistFeatCache::default(),
+            sys_scratch,
+            be_scratch,
+            lc_scratch,
+        };
+        for signature in signatures {
+            policy.store_signature(signature);
         }
+        policy
+    }
+
+    /// Enables or disables the cached, allocation-free decision lane.
+    ///
+    /// Both lanes produce bit-identical decisions (pinned by tests); the
+    /// slow lane exists so parity checks and benchmarks have an honest
+    /// reference. Disabling the fast path also drops the forecast cache.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.fast_path = enabled;
+        if !enabled {
+            self.forecast_cache = None;
+            self.be_hist.clear();
+            self.lc_hist.clear();
+        }
+    }
+
+    /// Whether the cached decision lane is active.
+    pub fn fast_path(&self) -> bool {
+        self.fast_path
     }
 
     /// The slack parameter β.
@@ -120,32 +200,63 @@ impl AdriasPolicy {
     }
 
     /// Stores (or replaces) a captured signature.
+    ///
+    /// Also runs each performance model's signature LSTM branch on the
+    /// normalized window and stores the resulting `h_k` features, so
+    /// the decision fast lane never touches signature data — or the
+    /// signature LSTMs — at decision time.
     pub fn store_signature(&mut self, signature: AppSignature) {
-        self.signatures
-            .insert(signature.app_name().to_owned(), signature);
+        let name = signature.app_name().to_owned();
+        let be_window = self.be_model.normalized_signature_window(&signature);
+        let be_feats = self
+            .be_model
+            .signature_features_into(&be_window, &mut self.be_scratch)
+            .clone();
+        self.be_sig_feats.insert(name.clone(), be_feats);
+        let lc_window = self.lc_model.normalized_signature_window(&signature);
+        let lc_feats = self
+            .lc_model
+            .signature_features_into(&lc_window, &mut self.lc_scratch)
+            .clone();
+        self.lc_sig_feats.insert(name.clone(), lc_feats);
+        self.signatures.insert(name, signature);
     }
 
     /// Predicted performance (execution time for BE, p99 for LC) for one
     /// mode, or `None` when no history window or signature is available.
     pub fn predict_perf(&mut self, ctx: &DecisionContext<'_>, mode: MemoryMode) -> Option<f32> {
         let history = ctx.history?;
-        let signature = self.signatures.get(ctx.profile.name())?.clone();
+        let signature = self.signatures.get(ctx.profile.name())?;
         let s_hat = self.system_model.predict(history);
         let model = match ctx.profile.class() {
             WorkloadClass::LatencyCritical => &mut self.lc_model,
             _ => &mut self.be_model,
         };
-        Some(model.predict(history, &signature, mode, Some(&s_hat)))
+        Some(model.predict(history, signature, mode, Some(&s_hat)))
     }
 
-    /// Predicted `(local, remote)` performance with one system-state
-    /// forward pass and one **batched** performance-model pass over both
-    /// candidate modes — the per-decision fast path. Each entry is
-    /// bit-identical to the corresponding [`AdriasPolicy::predict_perf`]
-    /// call.
+    /// Predicted `(local, remote)` performance with (at most) one
+    /// system-state forward pass and one **batched** performance-model
+    /// pass over both candidate modes — the per-decision fast path.
+    ///
+    /// On the default fast lane the system-state forecast `Ŝ` is
+    /// memoised on [`DecisionContext::stamp`] (same Watcher window ⇒
+    /// zero system-model work) and the batched pass runs through
+    /// preallocated scratch, so the steady-state decision makes no heap
+    /// allocations. Each entry is bit-identical to the corresponding
+    /// [`AdriasPolicy::predict_perf`] call on either lane.
     pub fn predict_perf_both(&mut self, ctx: &DecisionContext<'_>) -> Option<(f32, f32)> {
+        if self.fast_path {
+            self.predict_perf_both_fast(ctx)
+        } else {
+            self.predict_perf_both_slow(ctx)
+        }
+    }
+
+    /// Reference implementation: allocating, uncached.
+    fn predict_perf_both_slow(&mut self, ctx: &DecisionContext<'_>) -> Option<(f32, f32)> {
         let history = ctx.history?;
-        let signature = self.signatures.get(ctx.profile.name())?.clone();
+        let signature = self.signatures.get(ctx.profile.name())?;
         let s_hat = self.system_model.predict(history);
         let model = match ctx.profile.class() {
             WorkloadClass::LatencyCritical => &mut self.lc_model,
@@ -154,18 +265,75 @@ impl AdriasPolicy {
         let preds = model.predict_batch(&[
             PerfQuery {
                 history,
-                signature: &signature,
+                signature,
                 mode: MemoryMode::Local,
                 s_hat: Some(&s_hat),
             },
             PerfQuery {
                 history,
-                signature: &signature,
+                signature,
                 mode: MemoryMode::Remote,
                 s_hat: Some(&s_hat),
             },
         ]);
         Some((preds[0], preds[1]))
+    }
+
+    /// Cached lane: memoised `Ŝ` and history features + scratch-backed
+    /// head pass over precomputed signature features.
+    fn predict_perf_both_fast(&mut self, ctx: &DecisionContext<'_>) -> Option<(f32, f32)> {
+        let history = ctx.history?;
+        if !self.signatures.contains_key(ctx.profile.name()) {
+            return None;
+        }
+        // `WindowStamp` equality guarantees the history window is
+        // bit-identical to the one the cached forecast was computed
+        // from (see `DecisionContext::stamp`); a stamp-less context
+        // can make no such promise, so it always recomputes and never
+        // populates the cache.
+        let s_hat = match (ctx.stamp, self.forecast_cache) {
+            (Some(stamp), Some((cached_stamp, cached))) if stamp == cached_stamp => cached,
+            (stamp, _) => {
+                let fresh = self
+                    .system_model
+                    .predict_into(history, &mut self.sys_scratch);
+                if let Some(stamp) = stamp {
+                    self.forecast_cache = Some((stamp, fresh));
+                }
+                fresh
+            }
+        };
+        let (model, scratch, sig_feats, hist) = match ctx.profile.class() {
+            WorkloadClass::LatencyCritical => (
+                &self.lc_model,
+                &mut self.lc_scratch,
+                &self.lc_sig_feats,
+                &mut self.lc_hist,
+            ),
+            _ => (
+                &self.be_model,
+                &mut self.be_scratch,
+                &self.be_sig_feats,
+                &mut self.be_hist,
+            ),
+        };
+        let h_k = sig_feats.get(ctx.profile.name())?;
+        // Same keying rule as the forecast: the history LSTM branch is
+        // a pure function of the window, so a stamp hit skips it.
+        let hit = matches!((ctx.stamp, hist.stamp), (Some(s), Some(c)) if s == c);
+        if !hit {
+            let fresh = model.history_features_into(history, scratch);
+            hist.store(ctx.stamp, fresh);
+        }
+        let h_s = hist.feats.as_ref().expect("stored above or on a hit");
+        let [local, remote] = model.predict_both_from_features(
+            h_s,
+            h_k,
+            [MemoryMode::Local, MemoryMode::Remote],
+            Some(&s_hat),
+            scratch,
+        );
+        Some((local, remote))
     }
 }
 
@@ -222,6 +390,7 @@ impl Policy for AdriasPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adrias_core::prop::prelude::*;
     use adrias_core::rng::Xoshiro256pp;
     use adrias_core::rng::{Rng, SeedableRng};
     use adrias_predictor::dataset::{PerfRecord, HISTORY_S};
@@ -240,8 +409,28 @@ mod tests {
     }
 
     /// Trains minimal models on synthetic data that encodes "remote is
-    /// `penalty`× slower" so decide() behaves predictably.
+    /// `penalty`× slower" so decide() behaves predictably. Training
+    /// happens once per test binary; policies are built from clones.
     fn policy_with_beta(beta: f32) -> AdriasPolicy {
+        let (system_model, be_model, lc_model, signatures) = trained_parts();
+        AdriasPolicy::new(
+            system_model.clone(),
+            be_model.clone(),
+            lc_model.clone(),
+            signatures.clone(),
+            beta,
+            2.0,
+        )
+    }
+
+    type TrainedParts = (SystemStateModel, PerfModel, PerfModel, Vec<AppSignature>);
+
+    fn trained_parts() -> &'static TrainedParts {
+        static PARTS: std::sync::OnceLock<TrainedParts> = std::sync::OnceLock::new();
+        PARTS.get_or_init(train_parts)
+    }
+
+    fn train_parts() -> TrainedParts {
         let mut rng = Xoshiro256pp::seed_from_u64(0);
 
         // System model on a flat synthetic trace.
@@ -328,7 +517,7 @@ mod tests {
         let mut lc_model = PerfModel::new(cfg);
         lc_model.train(&lc_ds, &lc_hats);
 
-        AdriasPolicy::new(system_model, be_model, lc_model, signatures, beta, 2.0)
+        (system_model, be_model, lc_model, signatures)
     }
 
     fn ctx_for<'a>(
@@ -340,6 +529,7 @@ mod tests {
             profile,
             history: Some(history),
             qos_p99_ms: qos,
+            stamp: None,
         }
     }
 
@@ -365,6 +555,7 @@ mod tests {
             profile: &gmm,
             history: None,
             qos_p99_ms: None,
+            stamp: None,
         };
         assert_eq!(policy.decide(&ctx), MemoryMode::Local);
     }
@@ -447,6 +638,7 @@ mod tests {
             profile: &gmm,
             history: None,
             qos_p99_ms: None,
+            stamp: None,
         });
         assert_eq!(warm.rule, DecisionRule::WarmupDefault);
         assert_eq!(warm.mode, MemoryMode::Local);
@@ -470,5 +662,116 @@ mod tests {
         // Cheap construction path: reuse trained models from a valid
         // policy is expensive, so validate via a fresh policy with bad β.
         let _ = policy_with_beta(1.5);
+    }
+
+    #[test]
+    fn forecast_cache_keys_on_window_stamp() {
+        let mut policy = policy_with_beta(0.7);
+        let gmm = spark::by_name("gmm").unwrap();
+        let history = vec![metric_row(0.0); HISTORY_S];
+
+        // Stamp-less contexts never populate the cache.
+        let _ = policy.decide(&ctx_for(&gmm, &history, None));
+        assert!(policy.forecast_cache.is_none());
+
+        // The first stamped decision computes and stores the forecast...
+        let s1 = WindowStamp {
+            source: 7,
+            version: 1,
+        };
+        let ctx = DecisionContext {
+            profile: &gmm,
+            history: Some(&history),
+            qos_p99_ms: None,
+            stamp: Some(s1),
+        };
+        let d1 = policy.decide_explained(&ctx);
+        assert_eq!(policy.forecast_cache.expect("cache populated").0, s1);
+
+        // ...a repeat with the same stamp serves the cached Ŝ...
+        let d2 = policy.decide_explained(&ctx);
+        assert_eq!(d1, d2);
+        assert_eq!(policy.forecast_cache.unwrap().0, s1);
+
+        // ...and a version bump recomputes and re-keys it. The window
+        // contents are unchanged here, so the decision must be too.
+        let s2 = WindowStamp {
+            source: 7,
+            version: 2,
+        };
+        let d3 = policy.decide_explained(&DecisionContext {
+            stamp: Some(s2),
+            ..ctx
+        });
+        assert_eq!(policy.forecast_cache.unwrap().0, s2);
+        assert_eq!(d1, d3);
+
+        // Disabling the fast path drops the cache.
+        policy.set_fast_path(false);
+        assert!(policy.forecast_cache.is_none());
+    }
+
+    adrias_core::proptest! {
+        /// Fast-lane decisions (memoised forecast + scratch kernels) are
+        /// bit-identical to the slow reference lane across
+        /// window-version boundaries, including the warm-up edge where
+        /// no history window exists yet and the repeat-stamp case where
+        /// the memoised forecast is served.
+        #[test]
+        fn fast_and_slow_lanes_are_bit_identical(
+            seed in 0u64..1_000,
+            steps in prop::collection::vec(0usize..4, 1..10),
+        ) {
+            use adrias_telemetry::Watcher;
+
+            const WINDOW: usize = 16;
+            let mut fast = policy_with_beta(0.7);
+            let mut slow = policy_with_beta(0.7);
+            slow.set_fast_path(false);
+            prop_assert!(fast.fast_path() && !slow.fast_path());
+
+            let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0xFA57);
+            let mut watcher = Watcher::new(WINDOW);
+            let mut t = 0.0f64;
+            // Sometimes start with a full window, sometimes from scratch.
+            for _ in 0..(seed % 24) {
+                watcher.record(MetricSample::new(t, metric_row(rng.gen_range(-0.2..0.2))));
+                t += 1.0;
+            }
+            let apps = [
+                spark::by_name("gmm").unwrap(),
+                spark::by_name("nweight").unwrap(),
+                keyvalue::redis(),
+                spark::by_name("pca").unwrap(), // unknown to the policy
+            ];
+            let mut history: Vec<MetricVec> = Vec::new();
+            for (i, &n) in steps.iter().enumerate() {
+                // `n == 0` leaves the stamp unchanged: the fast lane
+                // must serve the memoised forecast and still match.
+                for _ in 0..n {
+                    watcher.record(MetricSample::new(t, metric_row(rng.gen_range(-0.2..0.2))));
+                    t += 1.0;
+                }
+                let stamp = watcher.history_fill(WINDOW, &mut history);
+                let ctx = DecisionContext {
+                    profile: &apps[i % apps.len()],
+                    history: stamp.map(|_| history.as_slice()),
+                    qos_p99_ms: if i % 2 == 0 { Some(5.0) } else { None },
+                    stamp,
+                };
+                let f = fast.decide_explained(&ctx);
+                let s = slow.decide_explained(&ctx);
+                prop_assert_eq!(f.mode, s.mode);
+                prop_assert_eq!(f.rule, s.rule);
+                prop_assert_eq!(
+                    f.pred_local.map(f32::to_bits),
+                    s.pred_local.map(f32::to_bits)
+                );
+                prop_assert_eq!(
+                    f.pred_remote.map(f32::to_bits),
+                    s.pred_remote.map(f32::to_bits)
+                );
+            }
+        }
     }
 }

@@ -119,6 +119,7 @@ mod tests {
             profile: app,
             history: None,
             qos_p99_ms: None,
+            stamp: None,
         }
     }
 

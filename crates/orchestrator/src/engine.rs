@@ -305,6 +305,11 @@ fn run_schedule_inner<O: EngineObserver>(
     let mut outcomes = Vec::new();
     let mut samples = Vec::new();
     let mut next_arrival = 0usize;
+    // Decision-path fast lane: one history buffer reused across every
+    // decision (refilled in place, no per-decision window allocation),
+    // plus the Watcher stamp that lets stamp-aware policies memoise
+    // their system-state forecast between arrivals of the same second.
+    let mut history_buf: Vec<MetricVec> = Vec::with_capacity(engine_cfg.history_window_s);
     // Deployment id → (policy_decided, profile)
     let mut decided: std::collections::HashMap<adrias_sim::DeploymentId, (bool, WorkloadProfile)> =
         std::collections::HashMap::new();
@@ -318,8 +323,8 @@ fn run_schedule_inner<O: EngineObserver>(
         while next_arrival < arrivals.len() && arrivals[next_arrival].at_s <= now {
             let arrival = &arrivals[next_arrival];
             next_arrival += 1;
-            let history = watcher.history_window(engine_cfg.history_window_s);
-            let history_rows: Option<Vec<MetricVec>> = history.map(|w| w.rows().to_vec());
+            let stamp = watcher.history_fill(engine_cfg.history_window_s, &mut history_buf);
+            let history_rows: Option<&[MetricVec]> = stamp.map(|_| history_buf.as_slice());
             let (decision, was_decided) = match arrival.forced_mode {
                 Some(m) => (
                     ExplainedDecision {
@@ -333,8 +338,9 @@ fn run_schedule_inner<O: EngineObserver>(
                 None => {
                     let ctx = DecisionContext {
                         profile: &arrival.profile,
-                        history: history_rows.as_deref(),
+                        history: history_rows,
                         qos_p99_ms: engine_cfg.qos_p99_ms,
+                        stamp,
                     };
                     (policy.decide_explained(&ctx), true)
                 }
@@ -347,7 +353,7 @@ fn run_schedule_inner<O: EngineObserver>(
                 now,
                 id,
                 &arrival.profile,
-                history_rows.as_deref(),
+                history_rows,
                 &decision,
                 policy.name(),
             );

@@ -48,14 +48,14 @@ impl EngineObserver for ObservedRun<'_> {
         self.obs.record_decision(DecisionInput {
             at_s,
             deployment_id: id.index(),
-            app: profile.name().to_owned(),
+            app: adrias_obs::intern(profile.name()),
             class: profile.class(),
             window: history.map_or_else(WindowSummary::empty, WindowSummary::of_rows),
             pred_local: decision.pred_local,
             pred_remote: decision.pred_remote,
             rule: decision.rule,
             chosen: decision.mode,
-            policy: policy_name.to_owned(),
+            policy: adrias_obs::intern(policy_name),
         });
     }
 

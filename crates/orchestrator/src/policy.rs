@@ -1,7 +1,7 @@
 //! The scheduling-policy abstraction.
 
 use adrias_obs::DecisionRule;
-use adrias_telemetry::MetricVec;
+use adrias_telemetry::{MetricVec, WindowStamp};
 use adrias_workloads::{MemoryMode, WorkloadProfile};
 
 /// Everything a policy may consult when placing one arriving workload.
@@ -15,6 +15,12 @@ pub struct DecisionContext<'a> {
     /// The active p99 QoS constraint for latency-critical workloads,
     /// milliseconds.
     pub qos_p99_ms: Option<f32>,
+    /// Identity of the Watcher state `history` was taken from, when the
+    /// caller can vouch for it (see [`WindowStamp`]): two contexts with
+    /// equal stamps **must** carry bit-identical `history` windows.
+    /// Prediction-driven policies key their forecast memoisation on it;
+    /// `None` disables caching for this decision (always safe).
+    pub stamp: Option<WindowStamp>,
 }
 
 /// A placement decision together with the evidence behind it, as
@@ -92,6 +98,7 @@ mod tests {
             profile: &app,
             history: None,
             qos_p99_ms: None,
+            stamp: None,
         };
         let mut p: Box<dyn Policy> = Box::new(Always(MemoryMode::Remote));
         assert_eq!(p.decide(&ctx), MemoryMode::Remote);
@@ -105,6 +112,7 @@ mod tests {
             profile: &app,
             history: None,
             qos_p99_ms: None,
+            stamp: None,
         };
         let mut p = Always(MemoryMode::Local);
         let explained = p.decide_explained(&ctx);

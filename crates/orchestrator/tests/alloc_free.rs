@@ -1,0 +1,157 @@
+//! The steady-state Adrias decision path makes zero heap allocations.
+//!
+//! Installs the counting allocator from `adrias_core::alloc` as the
+//! binary's global allocator and asserts that, after one warm-up
+//! decision, `decide_explained` allocates nothing on any of its lanes:
+//! cache hit (repeated stamp), cache miss (bumped stamp), warm-up
+//! (no history) and unknown-app remote-first.
+
+use adrias_core::alloc::{start_counting, stop_counting, CountingAllocator};
+use adrias_core::rng::{Rng, SeedableRng, Xoshiro256pp};
+use adrias_orchestrator::{AdriasPolicy, DecisionContext, Policy};
+use adrias_predictor::dataset::{PerfRecord, HISTORY_S};
+use adrias_predictor::{
+    PerfDataset, PerfModel, PerfModelConfig, SystemStateDataset, SystemStateModel,
+    SystemStateModelConfig,
+};
+use adrias_telemetry::{Metric, MetricSample, MetricVec, WindowStamp};
+use adrias_workloads::{spark, AppSignature, MemoryMode, WorkloadProfile};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn metric_row(x: f32) -> MetricVec {
+    let mut v = MetricVec::zero();
+    v.set(Metric::LlcLoads, 1e8 * (1.0 + x));
+    v.set(Metric::MemLoads, 4e7 * (1.0 + x));
+    v.set(Metric::LinkLatency, 350.0 + 100.0 * x);
+    v
+}
+
+/// A minimal trained policy (tiny models, synthetic traces) — only the
+/// decision path matters here, not predictive quality.
+fn tiny_policy() -> AdriasPolicy {
+    let mut rng = Xoshiro256pp::seed_from_u64(3);
+    let trace: Vec<MetricSample> = (0..400)
+        .map(|t| MetricSample::new(t as f64, metric_row(((t as f32) * 0.02).sin() * 0.2)))
+        .collect();
+    let sys_ds = SystemStateDataset::from_traces(&[trace], 10);
+    let mut system_model = SystemStateModel::new(SystemStateModelConfig {
+        epochs: 2,
+        hidden: 6,
+        block_width: 8,
+        ..SystemStateModelConfig::tiny()
+    });
+    system_model.train(&sys_ds);
+
+    let apps: Vec<(WorkloadProfile, f32)> = vec![
+        (spark::by_name("gmm").unwrap(), 1.05),
+        (spark::by_name("nweight").unwrap(), 2.0),
+    ];
+    let mut records = Vec::new();
+    for _ in 0..20 {
+        let (app, penalty) = &apps[rng.gen_range(0..apps.len())];
+        let x: f32 = rng.gen_range(-0.2..0.2);
+        for mode in MemoryMode::BOTH {
+            let perf = app.base_runtime_s()
+                * if mode == MemoryMode::Remote {
+                    *penalty
+                } else {
+                    1.0
+                }
+                * (1.0 + 0.1 * (x + 0.2));
+            records.push(PerfRecord {
+                app: app.name().to_owned(),
+                mode,
+                history: vec![metric_row(x); HISTORY_S],
+                future_120: metric_row(x),
+                future_exec: metric_row(x),
+                perf,
+            });
+        }
+    }
+    let signatures = vec![
+        AppSignature::new("gmm", vec![metric_row(0.1); 20]),
+        AppSignature::new("nweight", vec![metric_row(0.9); 20]),
+    ];
+    let ds = PerfDataset::new(records, &signatures);
+    let cfg = PerfModelConfig {
+        epochs: 4,
+        hidden: 8,
+        block_width: 12,
+        dropout: 0.0,
+        ..PerfModelConfig::tiny()
+    };
+    let hats: Vec<Option<MetricVec>> = ds.records().iter().map(|r| Some(r.future_120)).collect();
+    let mut be_model = PerfModel::new(cfg);
+    be_model.train(&ds, &hats);
+    let mut lc_model = PerfModel::new(cfg);
+    lc_model.train(&ds, &hats);
+
+    AdriasPolicy::new(system_model, be_model, lc_model, signatures, 0.8, 2.0)
+}
+
+#[test]
+fn decision_fast_lane_is_allocation_free() {
+    let mut policy = tiny_policy();
+    let gmm = spark::by_name("gmm").unwrap();
+    let unknown = spark::by_name("pca").unwrap();
+    let history = vec![metric_row(0.05); HISTORY_S];
+    let stamp = |version: u64| WindowStamp {
+        source: u64::MAX,
+        version,
+    };
+    let ctx = |profile, stamp| DecisionContext {
+        profile,
+        history: Some(&history),
+        qos_p99_ms: None,
+        stamp: Some(stamp),
+    };
+
+    // Warm-up: the first decision may touch lazily-sized buffers.
+    let warm = policy.decide_explained(&ctx(&gmm, stamp(1)));
+    assert!(warm.pred_local.is_some(), "fast lane produced predictions");
+
+    // Cache-hit lane: same stamp ⇒ memoised forecast, zero allocations.
+    start_counting();
+    for _ in 0..16 {
+        let d = policy.decide_explained(&ctx(&gmm, stamp(1)));
+        assert_eq!(d, warm);
+    }
+    let (hit_allocs, hit_bytes) = stop_counting();
+    assert_eq!(
+        (hit_allocs, hit_bytes),
+        (0, 0),
+        "cache-hit decisions must not allocate"
+    );
+
+    // Cache-miss lane: bumped stamp ⇒ fresh forecast through the
+    // preallocated scratch, still zero allocations.
+    start_counting();
+    for v in 2..18 {
+        let d = policy.decide_explained(&ctx(&gmm, stamp(v)));
+        assert_eq!(d, warm, "identical window ⇒ identical decision");
+    }
+    let (miss_allocs, miss_bytes) = stop_counting();
+    assert_eq!(
+        (miss_allocs, miss_bytes),
+        (0, 0),
+        "cache-miss decisions must not allocate"
+    );
+
+    // Degenerate lanes stay allocation-free too.
+    start_counting();
+    for _ in 0..8 {
+        // Unknown app: remote-first, no model work.
+        policy.decide_explained(&ctx(&unknown, stamp(1)));
+        // Watcher warm-up: no history window.
+        policy.decide_explained(&DecisionContext {
+            profile: &gmm,
+            history: None,
+            qos_p99_ms: None,
+            stamp: None,
+        });
+    }
+    let (degenerate_allocs, _) = stop_counting();
+    assert_eq!(degenerate_allocs, 0, "degenerate lanes must not allocate");
+}

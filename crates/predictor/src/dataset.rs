@@ -39,21 +39,34 @@ pub const SEQ_LEN: usize = 24;
 ///
 /// Panics if `rows` is empty or `target_len` is zero.
 pub fn pool_rows(rows: &[MetricVec], target_len: usize) -> Vec<MetricVec> {
+    let mut out = Vec::with_capacity(target_len);
+    pool_rows_into(rows, target_len, &mut out);
+    out
+}
+
+/// Allocation-free body of [`pool_rows`]: pools into a reused buffer.
+///
+/// `pool_rows` delegates here so the two can never drift — the inference
+/// fast lane relies on this producing bit-identical rows.
+///
+/// # Panics
+///
+/// Panics if `rows` is empty or `target_len` is zero.
+pub(crate) fn pool_rows_into(rows: &[MetricVec], target_len: usize, out: &mut Vec<MetricVec>) {
     assert!(!rows.is_empty(), "cannot pool an empty window");
     assert!(target_len > 0, "target length must be non-zero");
-    (0..target_len)
-        .map(|i| {
-            let lo = i * rows.len() / target_len;
-            let hi = (((i + 1) * rows.len()) / target_len)
-                .max(lo + 1)
-                .min(rows.len());
-            let mut acc = MetricVec::zero();
-            for r in &rows[lo..hi] {
-                acc = acc.add(r);
-            }
-            acc.scale(1.0 / (hi - lo) as f32)
-        })
-        .collect()
+    out.clear();
+    for i in 0..target_len {
+        let lo = i * rows.len() / target_len;
+        let hi = (((i + 1) * rows.len()) / target_len)
+            .max(lo + 1)
+            .min(rows.len());
+        let mut acc = MetricVec::zero();
+        for r in &rows[lo..hi] {
+            acc = acc.add(r);
+        }
+        out.push(acc.scale(1.0 / (hi - lo) as f32));
+    }
 }
 
 /// Per-metric mean of a set of rows.

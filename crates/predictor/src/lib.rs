@@ -30,9 +30,11 @@ pub mod eval;
 pub mod norm;
 pub mod perf_model;
 pub mod persist;
+pub mod scratch;
 pub mod system_model;
 
 pub use ablation::SHatSource;
+pub use adrias_nn::Tensor;
 pub use dataset::{PerfDataset, PerfRecord, SystemStateDataset};
 pub use eval::RegressionReport;
 pub use norm::Normalizer;
@@ -41,4 +43,5 @@ pub use persist::{
     load_perf_model, load_system_model, save_perf_model, save_system_model, LoadModelError,
     SaveModelError,
 };
+pub use scratch::{PerfScratch, SystemScratch};
 pub use system_model::{SystemStateModel, SystemStateModelConfig};

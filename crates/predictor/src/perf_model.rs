@@ -15,14 +15,15 @@ use adrias_core::rng::Xoshiro256pp;
 
 use adrias_nn::{
     accumulate_minibatch, mix_seed, resolved_workers, Adam, GradModel, Layer, Linear, Lstm,
-    MseLoss, NonLinearBlock, Tensor, TrainStats,
+    LstmScratch, MseLoss, NonLinearBlock, Tensor, TrainStats,
 };
 use adrias_telemetry::{Metric, MetricVec, METRIC_COUNT};
 use adrias_workloads::{AppSignature, MemoryMode};
 
-use crate::dataset::{pool_rows, seq_tensors, PerfDataset, SEQ_LEN};
+use crate::dataset::{pool_rows, pool_rows_into, seq_tensors, PerfDataset, SEQ_LEN};
 use crate::eval::RegressionReport;
 use crate::norm::{Normalizer, ScalarNormalizer};
+use crate::scratch::PerfScratch;
 
 /// Width of the non-sequence side input: mode one-hot (2) + `Ŝ` (7).
 const SIDE_WIDTH: usize = 2 + METRIC_COUNT;
@@ -138,6 +139,13 @@ impl PerfModel {
     /// Whether [`PerfModel::train`] has run.
     pub fn is_trained(&self) -> bool {
         self.metric_norm.is_some()
+    }
+
+    /// Overrides the worker-thread count used by batched inference
+    /// (`0` = auto via `ADRIAS_WORKERS`/parallelism). Results are
+    /// bit-identical at any setting; this only tunes dispatch.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.cfg.workers = workers;
     }
 
     /// Work counters from the most recent [`PerfModel::train`] call
@@ -464,6 +472,267 @@ impl PerfModel {
             })
             .collect()
     }
+
+    /// Builds the reusable inference scratch for
+    /// [`PerfModel::predict_both_into`], capturing this model's shapes
+    /// and batch-norm evaluation scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is untrained (the scratch snapshots the
+    /// batch-norm running statistics, which training mutates).
+    pub fn make_scratch(&self) -> PerfScratch {
+        assert!(self.is_trained(), "make_scratch before train");
+        PerfScratch {
+            pooled: Vec::with_capacity(SEQ_LEN),
+            seq_s: (0..SEQ_LEN)
+                .map(|_| Tensor::zeros(2, METRIC_COUNT))
+                .collect(),
+            seq_k: (0..SEQ_LEN)
+                .map(|_| Tensor::zeros(2, METRIC_COUNT))
+                .collect(),
+            s1: LstmScratch::new(&self.lstm_s1, 2, SEQ_LEN),
+            s2: LstmScratch::new(&self.lstm_s2, 2, SEQ_LEN),
+            k1: LstmScratch::new(&self.lstm_k1, 2, SEQ_LEN),
+            k2: LstmScratch::new(&self.lstm_k2, 2, SEQ_LEN),
+            inv_std: self.blocks.iter().map(|b| b.eval_inv_std()).collect(),
+            concat: Tensor::zeros(2, 2 * self.cfg.hidden + SIDE_WIDTH),
+            x0: Tensor::zeros(2, self.cfg.block_width),
+            x1: Tensor::zeros(2, self.cfg.block_width),
+            out: Tensor::zeros(2, 1),
+        }
+    }
+
+    /// Normalizes a stored signature to the [`SEQ_LEN`]-row window the
+    /// model consumes — the exact rows [`PerfModel::predict_batch`]
+    /// derives per query. The orchestrator precomputes this once per
+    /// known application so the per-decision path never resamples or
+    /// allocates the signature again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is untrained.
+    pub fn normalized_signature_window(&self, signature: &AppSignature) -> Vec<MetricVec> {
+        let metric_norm = self
+            .metric_norm
+            .as_ref()
+            .expect("PerfModel::predict before train");
+        metric_norm.normalize_window(signature.resampled(SEQ_LEN).rows())
+    }
+
+    /// Runs the **history branch** (pool → normalize → stacked history
+    /// LSTMs) into `scratch`, returning the batch-2 feature tensor
+    /// `h_s`. The result depends only on the raw history window — not
+    /// on the application, memory mode or `Ŝ` — so the orchestrator
+    /// memoises it per Watcher `WindowStamp` and skips the whole branch
+    /// on a stamp hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is untrained or the history is empty.
+    pub fn history_features_into<'a>(
+        &self,
+        history_1hz: &[MetricVec],
+        scratch: &'a mut PerfScratch,
+    ) -> &'a Tensor {
+        let metric_norm = self
+            .metric_norm
+            .as_ref()
+            .expect("PerfModel::predict before train");
+        let PerfScratch {
+            pooled,
+            seq_s,
+            s1,
+            s2,
+            ..
+        } = scratch;
+        pool_rows_into(history_1hz, SEQ_LEN, pooled);
+        for r in pooled.iter_mut() {
+            *r = metric_norm.normalize(r);
+        }
+        // Both batch rows share the same history window; only the side
+        // input downstream differs per mode. Same fill as `seq_tensors`
+        // over two identical windows.
+        for (t, x) in seq_s.iter_mut().enumerate() {
+            let d = x.data_mut();
+            for (c, &m) in Metric::ALL.iter().enumerate() {
+                let v = pooled[t].get(m);
+                d[c] = v;
+                d[METRIC_COUNT + c] = v;
+            }
+        }
+        self.lstm_s2
+            .forward_last_scratch(self.lstm_s1.forward_seq_scratch(seq_s, s1), s2)
+    }
+
+    /// Runs the **signature branch** (stacked signature LSTMs) into
+    /// `scratch`, returning the batch-2 feature tensor `h_k`. The
+    /// result depends only on the stored application signature, so the
+    /// orchestrator computes it once per known application at
+    /// construction time and never re-runs this branch on the decision
+    /// path.
+    ///
+    /// `sig_window` must come from
+    /// [`PerfModel::normalized_signature_window`] on this model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is untrained or `sig_window` has the wrong
+    /// length.
+    pub fn signature_features_into<'a>(
+        &self,
+        sig_window: &[MetricVec],
+        scratch: &'a mut PerfScratch,
+    ) -> &'a Tensor {
+        assert_eq!(
+            sig_window.len(),
+            SEQ_LEN,
+            "signature window must be normalized_signature_window output"
+        );
+        let PerfScratch { seq_k, k1, k2, .. } = scratch;
+        for (t, x) in seq_k.iter_mut().enumerate() {
+            let d = x.data_mut();
+            for (c, &m) in Metric::ALL.iter().enumerate() {
+                let v = sig_window[t].get(m);
+                d[c] = v;
+                d[METRIC_COUNT + c] = v;
+            }
+        }
+        self.lstm_k2
+            .forward_last_scratch(self.lstm_k1.forward_seq_scratch(seq_k, k1), k2)
+    }
+
+    /// The prediction **head** on precomputed branch features: manual
+    /// `[h_s | h_k | side]` concatenation, the batch-norm MLP blocks and
+    /// the read-out. `h_s`/`h_k` must be (copies of) the outputs of
+    /// [`PerfModel::history_features_into`] /
+    /// [`PerfModel::signature_features_into`] on this model; the result
+    /// is bit-identical to [`PerfModel::predict_both_into`] with the
+    /// corresponding raw inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is untrained or the feature shapes mismatch.
+    pub fn predict_both_from_features(
+        &self,
+        h_s: &Tensor,
+        h_k: &Tensor,
+        modes: [MemoryMode; 2],
+        s_hat: Option<&MetricVec>,
+        scratch: &mut PerfScratch,
+    ) -> [f32; 2] {
+        let PerfScratch {
+            inv_std,
+            concat,
+            x0,
+            x1,
+            out,
+            ..
+        } = scratch;
+        self.head(h_s, h_k, modes, s_hat, inv_std, concat, x0, x1, out)
+    }
+
+    /// Allocation-free scoring of both candidate memory modes in one
+    /// batch-2 forward: the decision fast lane's cache-miss path.
+    /// Returns the predicted performance for `modes[0]` and `modes[1]`,
+    /// bit-identical to [`PerfModel::predict_batch`] over the
+    /// equivalent two queries (pinned by tests), but takes `&self`,
+    /// reuses `scratch` and performs zero heap allocations in steady
+    /// state. Composition of [`PerfModel::history_features_into`],
+    /// [`PerfModel::signature_features_into`] and
+    /// [`PerfModel::predict_both_from_features`].
+    ///
+    /// `sig_window` must come from
+    /// [`PerfModel::normalized_signature_window`] on this model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is untrained, the history is empty, or
+    /// `sig_window`/`scratch` do not match this model.
+    pub fn predict_both_into(
+        &self,
+        history_1hz: &[MetricVec],
+        sig_window: &[MetricVec],
+        modes: [MemoryMode; 2],
+        s_hat: Option<&MetricVec>,
+        scratch: &mut PerfScratch,
+    ) -> [f32; 2] {
+        self.history_features_into(history_1hz, scratch);
+        self.signature_features_into(sig_window, scratch);
+        let PerfScratch {
+            s1: _,
+            s2,
+            k1: _,
+            k2,
+            inv_std,
+            concat,
+            x0,
+            x1,
+            out,
+            ..
+        } = scratch;
+        let h_s = s2.last_output(SEQ_LEN);
+        let h_k = k2.last_output(SEQ_LEN);
+        self.head(h_s, h_k, modes, s_hat, inv_std, concat, x0, x1, out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn head(
+        &self,
+        h_s: &Tensor,
+        h_k: &Tensor,
+        modes: [MemoryMode; 2],
+        s_hat: Option<&MetricVec>,
+        inv_std: &[Vec<f32>],
+        concat: &mut Tensor,
+        x0: &mut Tensor,
+        x1: &mut Tensor,
+        out: &mut Tensor,
+    ) -> [f32; 2] {
+        let metric_norm = self
+            .metric_norm
+            .as_ref()
+            .expect("PerfModel::predict before train");
+        let target_norm = self.target_norm.expect("trained");
+        let h = self.cfg.hidden;
+        let cw = 2 * h + SIDE_WIDTH;
+        let norm_s_hat = s_hat.map(|v| metric_norm.normalize(v));
+        // Manual `h_s ++ h_k ++ side` concatenation (what `hcat` does,
+        // without the two intermediate tensors).
+        {
+            let hs = h_s.data();
+            let hk = h_k.data();
+            let cd = concat.data_mut();
+            for (b, mode) in modes.iter().enumerate() {
+                let row = &mut cd[b * cw..(b + 1) * cw];
+                row[..h].copy_from_slice(&hs[b * h..(b + 1) * h]);
+                row[h..2 * h].copy_from_slice(&hk[b * h..(b + 1) * h]);
+                let one_hot = mode.one_hot();
+                row[2 * h] = one_hot[0];
+                row[2 * h + 1] = one_hot[1];
+                for (c, &m) in Metric::ALL.iter().enumerate() {
+                    row[2 * h + 2 + c] = match &norm_s_hat {
+                        Some(v) => v.get(m),
+                        None => 0.0,
+                    };
+                }
+            }
+        }
+        let mut cur: &mut Tensor = x0;
+        let mut next: &mut Tensor = x1;
+        self.blocks[0].forward_eval_into(concat, cur, &inv_std[0]);
+        for (i, b) in self.blocks.iter().enumerate().skip(1) {
+            b.forward_eval_into(cur, next, &inv_std[i]);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        self.out.forward_into(cur, out);
+        let perf = |b: usize| {
+            target_norm
+                .denormalize(out.get(b, 0).clamp(-10.0, 10.0))
+                .exp()
+        };
+        [perf(0), perf(1)]
+    }
 }
 
 /// One inference request for [`PerfModel::predict_batch`].
@@ -622,6 +891,51 @@ mod tests {
             remote > 1.2 * local,
             "remote {remote} should clearly exceed local {local} for beta"
         );
+    }
+
+    #[test]
+    fn predict_both_into_is_bit_identical_to_predict_batch() {
+        let (ds, s_hats) = synthetic_dataset(120, 11);
+        let mut model = PerfModel::new(PerfModelConfig::tiny());
+        model.train(&ds, &s_hats);
+        let mut scratch = model.make_scratch();
+        for (i, app) in ["alpha", "beta"].iter().enumerate() {
+            let rec = ds
+                .records()
+                .iter()
+                .find(|r| &r.app == app)
+                .expect("app present");
+            let sig = AppSignature::new(*app, ds.signature(app).unwrap().to_vec());
+            let sig_window = model.normalized_signature_window(&sig);
+            let s_hat = if i == 0 { Some(&rec.future_120) } else { None };
+            let want = model.predict_batch(&[
+                PerfQuery {
+                    history: &rec.history,
+                    signature: &sig,
+                    mode: MemoryMode::Local,
+                    s_hat,
+                },
+                PerfQuery {
+                    history: &rec.history,
+                    signature: &sig,
+                    mode: MemoryMode::Remote,
+                    s_hat,
+                },
+            ]);
+            let got = model.predict_both_into(
+                &rec.history,
+                &sig_window,
+                [MemoryMode::Local, MemoryMode::Remote],
+                s_hat,
+                &mut scratch,
+            );
+            assert_eq!(got[0].to_bits(), want[0].to_bits(), "{app}: local diverged");
+            assert_eq!(
+                got[1].to_bits(),
+                want[1].to_bits(),
+                "{app}: remote diverged"
+            );
+        }
     }
 
     #[test]

@@ -12,13 +12,14 @@ use adrias_core::thread::map_chunks;
 
 use adrias_nn::{
     accumulate_minibatch, mix_seed, resolved_workers, Adam, GradModel, Layer, Linear, Lstm,
-    MseLoss, NonLinearBlock, Tensor, TrainStats,
+    LstmScratch, MseLoss, NonLinearBlock, Tensor, TrainStats,
 };
 use adrias_telemetry::{Metric, MetricVec, METRIC_COUNT};
 
-use crate::dataset::{pool_rows, seq_tensors, SystemStateDataset, SEQ_LEN};
+use crate::dataset::{pool_rows, pool_rows_into, seq_tensors, SystemStateDataset, SEQ_LEN};
 use crate::eval::RegressionReport;
 use crate::norm::Normalizer;
+use crate::scratch::SystemScratch;
 
 /// Hyper-parameters for [`SystemStateModel`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -129,6 +130,13 @@ impl SystemStateModel {
     /// Whether [`SystemStateModel::train`] has run.
     pub fn is_trained(&self) -> bool {
         self.normalizer.is_some()
+    }
+
+    /// Overrides the worker-thread count used by batched inference
+    /// (`0` = auto via `ADRIAS_WORKERS`/parallelism). Results are
+    /// bit-identical at any setting; this only tunes dispatch.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.cfg.workers = workers;
     }
 
     /// Work counters from the most recent [`SystemStateModel::train`]
@@ -325,6 +333,86 @@ impl SystemStateModel {
             .collect()
     }
 
+    /// Builds the reusable inference scratch for
+    /// [`SystemStateModel::predict_into`], capturing this model's
+    /// shapes and batch-norm evaluation scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is untrained (the scratch snapshots the
+    /// batch-norm running statistics, which training mutates).
+    pub fn make_scratch(&self) -> SystemScratch {
+        assert!(self.is_trained(), "make_scratch before train");
+        SystemScratch {
+            pooled: Vec::with_capacity(SEQ_LEN),
+            seq: (0..SEQ_LEN)
+                .map(|_| Tensor::zeros(1, METRIC_COUNT))
+                .collect(),
+            lstm1: LstmScratch::new(&self.lstm1, 1, SEQ_LEN),
+            lstm2: LstmScratch::new(&self.lstm2, 1, SEQ_LEN),
+            inv_std: self.blocks.iter().map(|b| b.eval_inv_std()).collect(),
+            x0: Tensor::zeros(1, self.cfg.block_width),
+            x1: Tensor::zeros(1, self.cfg.block_width),
+            out: Tensor::zeros(1, METRIC_COUNT),
+        }
+    }
+
+    /// Allocation-free [`SystemStateModel::predict`]: the decision fast
+    /// lane. Bit-identical to `predict(history_1hz)` (pinned by tests)
+    /// but takes `&self`, reuses `scratch`'s buffers and performs zero
+    /// heap allocations in steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is untrained, the window is empty, or
+    /// `scratch` was built for a different model shape.
+    pub fn predict_into(
+        &self,
+        history_1hz: &[MetricVec],
+        scratch: &mut SystemScratch,
+    ) -> MetricVec {
+        let norm = self
+            .normalizer
+            .as_ref()
+            .expect("SystemStateModel::predict before train");
+        let SystemScratch {
+            pooled,
+            seq,
+            lstm1,
+            lstm2,
+            inv_std,
+            x0,
+            x1,
+            out,
+        } = scratch;
+        pool_rows_into(history_1hz, SEQ_LEN, pooled);
+        for r in pooled.iter_mut() {
+            *r = norm.normalize(r);
+        }
+        // The same fill as `seq_tensors` for a batch of one window.
+        for (t, x) in seq.iter_mut().enumerate() {
+            let row = x.data_mut();
+            for (c, &m) in Metric::ALL.iter().enumerate() {
+                row[c] = pooled[t].get(m);
+            }
+        }
+        let h1 = self.lstm1.forward_seq_scratch(seq, lstm1);
+        let h2 = self.lstm2.forward_last_scratch(h1, lstm2);
+        let mut cur: &mut Tensor = x0;
+        let mut next: &mut Tensor = x1;
+        self.blocks[0].forward_eval_into(h2, cur, &inv_std[0]);
+        for (i, b) in self.blocks.iter().enumerate().skip(1) {
+            b.forward_eval_into(cur, next, &inv_std[i]);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        self.out.forward_into(cur, out);
+        let mut vec = MetricVec::zero();
+        for m in Metric::ALL {
+            vec.set(m, out.get(0, m.index()));
+        }
+        norm.denormalize(&vec)
+    }
+
     /// Evaluates on a test dataset: per-metric `R²` plus the overall
     /// report across all metrics (normalized space for the overall one so
     /// metrics with different scales contribute equally).
@@ -478,6 +566,35 @@ mod tests {
         );
         let lat = pred.get(Metric::LinkLatency);
         assert!((200.0..1100.0).contains(&lat), "latency off-scale: {lat}");
+    }
+
+    #[test]
+    fn predict_into_is_bit_identical_to_predict() {
+        let ds = dataset();
+        let mut model = SystemStateModel::new(SystemStateModelConfig::tiny());
+        model.train(&ds);
+        let mut scratch = model.make_scratch();
+        for (i, len) in [(0usize, 120usize), (1, 120), (2, 37), (3, 120)] {
+            let trace = synthetic_trace(200, i as f32 * 0.9);
+            let window: Vec<MetricVec> = trace[..len].iter().map(|s| *s.vec()).collect();
+            let want = model.predict(&window);
+            // Reuse the same scratch across windows of different lengths.
+            let got = model.predict_into(&window, &mut scratch);
+            for m in Metric::ALL {
+                assert_eq!(
+                    got.get(m).to_bits(),
+                    want.get(m).to_bits(),
+                    "fast lane diverged on window {i} metric {m:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "make_scratch before train")]
+    fn make_scratch_before_train_panics() {
+        let model = SystemStateModel::new(SystemStateModelConfig::tiny());
+        let _ = model.make_scratch();
     }
 
     #[test]

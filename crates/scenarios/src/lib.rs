@@ -27,7 +27,7 @@ pub mod spec;
 pub mod stack;
 pub mod traces;
 
-pub use runner::{run_comparison, run_observed, PolicyOutcome};
+pub use runner::{run_comparison, run_comparison_merged, run_observed, PolicyOutcome};
 pub use schedule::build_schedule;
 pub use signatures::collect_signatures;
 pub use spec::{paper_corpus, scaled_corpus, ScenarioSpec};

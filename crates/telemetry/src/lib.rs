@@ -41,4 +41,4 @@ pub mod watcher;
 
 pub use metrics::{Metric, MetricSample, MetricVec, METRIC_COUNT};
 pub use series::{MetricRing, TimeSeries};
-pub use watcher::{StateWindow, Watcher};
+pub use watcher::{StateWindow, Watcher, WindowStamp};

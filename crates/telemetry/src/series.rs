@@ -180,6 +180,22 @@ impl MetricRing {
         Some(all[all.len() - n..].to_vec())
     }
 
+    /// Copies the metric rows of the newest `n` samples into `out`
+    /// (oldest first), replacing its contents. Returns `false` (leaving
+    /// `out` untouched) if fewer than `n` samples are retained.
+    ///
+    /// Allocation-free once `out` has capacity `n` — the decision fast
+    /// lane reuses one buffer across calls instead of materializing a
+    /// fresh window per decision.
+    pub fn last_n_rows_into(&self, n: usize, out: &mut Vec<MetricVec>) -> bool {
+        if self.buf.len() < n {
+            return false;
+        }
+        out.clear();
+        out.extend(self.iter().skip(self.buf.len() - n).map(|s| *s.vec()));
+        true
+    }
+
     /// Per-metric mean over every retained sample.
     pub fn mean_vec(&self) -> MetricVec {
         if self.buf.is_empty() {

@@ -1,7 +1,30 @@
 //! The Watcher: Adrias' monitoring front-end.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::metrics::{Metric, MetricSample, MetricVec, METRIC_COUNT};
 use crate::series::MetricRing;
+
+/// Process-wide counter handing every [`Watcher`] a distinct source id,
+/// so stamps from different Watchers (or a cloned Watcher that then
+/// diverges) never compare equal.
+static NEXT_SOURCE: AtomicU64 = AtomicU64::new(1);
+
+/// Identity of one Watcher history-window state.
+///
+/// A stamp is `(source, version)`: `source` names the Watcher instance
+/// and `version` counts its [`Watcher::record`] calls. Two equal stamps
+/// therefore guarantee the underlying window contents are identical,
+/// which is what lets the orchestrator memoise its system-state
+/// forecast — the cache key is the stamp, and any new sample (or a
+/// different Watcher) produces a different stamp, invalidating it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowStamp {
+    /// Watcher instance id (process-unique).
+    pub source: u64,
+    /// Monotonic count of samples recorded by that Watcher.
+    pub version: u64,
+}
 
 /// A fixed-length history window of the system state.
 ///
@@ -108,6 +131,8 @@ impl StateWindow {
 #[derive(Debug, Clone)]
 pub struct Watcher {
     ring: MetricRing,
+    source: u64,
+    version: u64,
 }
 
 impl Watcher {
@@ -119,12 +144,36 @@ impl Watcher {
     pub fn new(capacity: usize) -> Self {
         Self {
             ring: MetricRing::new(capacity),
+            source: NEXT_SOURCE.fetch_add(1, Ordering::Relaxed),
+            version: 0,
         }
     }
 
     /// Ingests one sample (call once per simulated second).
     pub fn record(&mut self, sample: MetricSample) {
         self.ring.push(sample);
+        self.version += 1;
+    }
+
+    /// The stamp identifying the current window state (see
+    /// [`WindowStamp`]). Changes on every [`Watcher::record`] call.
+    pub fn stamp(&self) -> WindowStamp {
+        WindowStamp {
+            source: self.source,
+            version: self.version,
+        }
+    }
+
+    /// Allocation-free [`Watcher::history_window`]: copies the last `r`
+    /// rows (oldest first) into `out`, replacing its contents, and
+    /// returns the current [`WindowStamp`]. Returns `None` — leaving
+    /// `out` untouched — until at least `r` samples are recorded.
+    pub fn history_fill(&self, r: usize, out: &mut Vec<MetricVec>) -> Option<WindowStamp> {
+        if self.ring.last_n_rows_into(r, out) {
+            Some(self.stamp())
+        } else {
+            None
+        }
     }
 
     /// Number of retained samples.
@@ -191,6 +240,43 @@ mod tests {
         let win = w.history_window(4).unwrap();
         let col = win.column(Metric::LlcLoads);
         assert_eq!(col, vec![4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn stamp_changes_per_record_and_per_watcher() {
+        let mut a = Watcher::new(4);
+        let mut b = Watcher::new(4);
+        assert_ne!(a.stamp(), b.stamp(), "distinct Watchers share a stamp");
+        let s0 = a.stamp();
+        a.record(sample(0.0, 1.0));
+        let s1 = a.stamp();
+        assert_ne!(s0, s1, "recording must change the stamp");
+        assert_eq!(s1, a.stamp(), "stamp is stable between records");
+        b.record(sample(0.0, 1.0));
+        assert_ne!(a.stamp(), b.stamp());
+        // A clone shares the stamp until either side diverges.
+        let mut c = a.clone();
+        assert_eq!(c.stamp(), a.stamp());
+        c.record(sample(1.0, 2.0));
+        assert_ne!(c.stamp(), a.stamp());
+    }
+
+    #[test]
+    fn history_fill_matches_history_window() {
+        let mut w = Watcher::new(6);
+        let mut buf = Vec::new();
+        assert!(w.history_fill(1, &mut buf).is_none());
+        for t in 0..9 {
+            w.record(sample(t as f64, t as f32));
+        }
+        let stamp = w.history_fill(4, &mut buf).expect("window available");
+        assert_eq!(stamp, w.stamp());
+        assert_eq!(buf, w.history_window(4).unwrap().rows());
+        // Refilling with a shorter window replaces the contents.
+        w.history_fill(2, &mut buf).expect("window available");
+        assert_eq!(buf, w.history_window(2).unwrap().rows());
+        assert!(w.history_fill(7, &mut buf).is_none());
+        assert_eq!(buf.len(), 2, "failed fill must leave the buffer alone");
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   `chrome://tracing` to see the deployment timeline.
 //! * `ADRIAS_OBS_SEED` — scenario seed (default `7`). Two runs with the
 //!   same seed produce byte-identical exports.
+//! * `ADRIAS_SLOW_DECISIONS` — set to `1` to run the Adrias policy's
+//!   slow decision lane instead of the default fast lane. The exports
+//!   must stay byte-identical either way (CI compares them).
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -52,6 +55,10 @@ fn main() -> ExitCode {
     let catalog = WorkloadCatalog::paper();
     let stack = train_stack(&catalog, &StackOptions::quick());
     let mut policy = stack.policy(0.7, 5.0);
+    if std::env::var("ADRIAS_SLOW_DECISIONS").as_deref() == Ok("1") {
+        policy.set_fast_path(false);
+        println!("(slow decision lane forced via ADRIAS_SLOW_DECISIONS)\n");
+    }
 
     let spec = ScenarioSpec::new(5.0, 30.0, 700.0, seed);
     let mut observer = Observer::new(ObsConfig::default());

@@ -37,6 +37,7 @@
 //!     profile: &app,
 //!     history: None, // warm-up: falls back to local
 //!     qos_p99_ms: None,
+//!     stamp: None,
 //! });
 //! println!("place gmm on {mode}");
 //! ```

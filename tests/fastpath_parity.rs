@@ -1,0 +1,91 @@
+//! Pins the decision fast lane end to end: a full engine run driven by
+//! the Adrias policy with the fast lane on (cached `Ŝ` forecast,
+//! register-blocked micro-kernels, allocation-free scratch) must
+//! produce a report **byte-identical** to the slow lane's, for every
+//! seed and worker count. This is the contract that lets the fast lane
+//! replace the slow one without re-validating a single figure.
+
+use std::sync::OnceLock;
+
+use adrias::orchestrator::engine::{run_schedule, EngineConfig};
+use adrias::orchestrator::AdriasPolicy;
+use adrias::scenarios::schedule::PlacementStyle;
+use adrias::scenarios::{build_schedule, train_stack, ScenarioSpec, StackOptions, TrainedStack};
+use adrias::sim::TestbedConfig;
+use adrias::workloads::WorkloadCatalog;
+
+fn trained() -> &'static (WorkloadCatalog, TrainedStack) {
+    static STACK: OnceLock<(WorkloadCatalog, TrainedStack)> = OnceLock::new();
+    STACK.get_or_init(|| {
+        let catalog = WorkloadCatalog::paper();
+        let stack = train_stack(&catalog, &StackOptions::quick());
+        (catalog, stack)
+    })
+}
+
+/// Builds the Adrias policy with the given inference worker count and
+/// lane, without retraining.
+fn policy(stack: &TrainedStack, workers: usize, fast: bool) -> AdriasPolicy {
+    let mut system_model = stack.system_model.clone();
+    let mut be_model = stack.be_model.clone();
+    let mut lc_model = stack.lc_model.clone();
+    system_model.set_workers(workers);
+    be_model.set_workers(workers);
+    lc_model.set_workers(workers);
+    let mut policy = AdriasPolicy::new(
+        system_model,
+        be_model,
+        lc_model,
+        stack.signatures.clone(),
+        0.8,
+        5.0,
+    );
+    policy.set_fast_path(fast);
+    policy
+}
+
+/// One full scenario run, rendered to its exact debug form — every
+/// placement, runtime bit pattern and counter sample included.
+fn report_bytes(
+    stack: &TrainedStack,
+    catalog: &WorkloadCatalog,
+    seed: u64,
+    workers: usize,
+    fast: bool,
+) -> String {
+    let spec = ScenarioSpec::new(5.0, 30.0, 700.0, seed);
+    let schedule = build_schedule(&spec, catalog, PlacementStyle::PolicyDecided);
+    let engine = EngineConfig {
+        seed: spec.seed ^ 0xE6E,
+        qos_p99_ms: Some(5.0),
+        ..EngineConfig::default()
+    };
+    let mut policy = policy(stack, workers, fast);
+    let report = run_schedule(TestbedConfig::noiseless(), engine, &schedule, &mut policy);
+    format!("{report:?}")
+}
+
+#[test]
+fn fast_lane_reports_are_byte_identical_to_slow_lane() {
+    let (catalog, stack) = trained();
+    for seed in [0u64, 1, 2] {
+        let golden = report_bytes(stack, catalog, seed, 1, false);
+        assert!(
+            golden.contains("outcomes"),
+            "slow-lane run produced no outcomes for seed {seed}"
+        );
+        for workers in [1usize, 2, 8] {
+            let fast = report_bytes(stack, catalog, seed, workers, true);
+            assert_eq!(
+                golden, fast,
+                "fast lane diverged from slow lane at seed {seed}, {workers} workers"
+            );
+        }
+        // The slow lane itself is also worker-count invariant.
+        let slow_w8 = report_bytes(stack, catalog, seed, 8, false);
+        assert_eq!(
+            golden, slow_w8,
+            "slow lane diverged across workers at seed {seed}"
+        );
+    }
+}
