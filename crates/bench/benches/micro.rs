@@ -8,7 +8,8 @@
 //! * `ADRIAS_BENCH_FILTER` — substring filter on section names
 //!   (`testbed_step`, `lstm`, `nn_forward`, `train_step_workers`,
 //!   `adrias_decision`, `decision_throughput`, `obs_intern`,
-//!   `obs_overhead`); unmatched sections are skipped entirely,
+//!   `obs_overhead`, `residual_overhead`); unmatched sections are
+//!   skipped entirely,
 //!   including their setup.
 //!
 //! The run always ends by writing `BENCH_nn.json` (the collected
@@ -453,6 +454,105 @@ fn bench_obs_overhead(h: &mut Harness) -> (Option<f64>, Option<f64>) {
     (Some(traced), Some(observed))
 }
 
+/// The residual tracker riding along a dense paper-config run vs the
+/// same run with plain observability. Both legs use the trained Adrias
+/// policy (so decisions carry the predictions the tracker joins on) and
+/// the tracked leg pays the full online-adaptation read path: pending
+/// joins at decision and completion, the end-of-run system-forecast
+/// scoring pass, and the flush into the registry.
+///
+/// Like [`bench_obs_overhead`], the derived `online_residual_overhead_x`
+/// metric is the median ratio over interleaved A/B rounds, which cancels
+/// machine drift that sequential sections cannot.
+fn bench_residual_overhead(h: &mut Harness) -> Option<f64> {
+    use adrias_obs::{ObsConfig, Observer};
+    use adrias_orchestrator::engine::{run_schedule_hooked, EngineConfig, ScheduledArrival};
+    use adrias_orchestrator::{ObservedRun, ResidualConfig, ResidualTracker, TrackedRun};
+    use adrias_scenarios::{train_stack, StackOptions};
+    use std::cell::RefCell;
+    use std::time::Instant;
+
+    let catalog = WorkloadCatalog::paper();
+    let stack = train_stack(&catalog, &StackOptions::quick());
+    // The same sustained dense co-location mix as `bench_obs_overhead`.
+    let apps = [
+        "gmm", "sort", "pca", "lr", "kmeans", "nweight", "als", "svd", "rf", "linear", "bayes",
+        "terasort", "gmm", "sort", "pca", "lr", "kmeans", "nweight", "als", "svd",
+    ];
+    let arrivals: Vec<ScheduledArrival> = apps
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            ScheduledArrival::new(i as f64 * 2.0, spark::by_name(name).unwrap())
+                .with_duration(600.0)
+        })
+        .collect();
+    let engine = || EngineConfig {
+        lc_latency_samples: 100,
+        ..EngineConfig::default()
+    };
+    let scorer = RefCell::new(stack.system_model.clone());
+    let run_observed = || {
+        let mut policy = stack.policy(0.8, 5.0);
+        let mut obs = Observer::new(ObsConfig::default());
+        let mut hooks = ObservedRun::new(&mut obs);
+        black_box(run_schedule_hooked(
+            TestbedConfig::paper(),
+            engine(),
+            &arrivals,
+            &mut policy,
+            &mut hooks,
+        ));
+    };
+    let run_tracked = || {
+        let mut policy = stack.policy(0.8, 5.0);
+        let mut obs = Observer::new(ObsConfig::default());
+        let mut tracker = ResidualTracker::new(ResidualConfig::default());
+        let report = {
+            let mut hooks = TrackedRun::new(&mut tracker, ObservedRun::new(&mut obs));
+            run_schedule_hooked(
+                TestbedConfig::paper(),
+                engine(),
+                &arrivals,
+                &mut policy,
+                &mut hooks,
+            )
+        };
+        tracker.score_system_forecasts(&report, &mut scorer.borrow_mut());
+        black_box(tracker.flush(&mut obs));
+    };
+
+    h.bench_function("engine_run_adrias_observed", |b| b.iter(run_observed));
+    h.bench_function("engine_run_adrias_tracked", |b| b.iter(run_tracked));
+
+    let pairs: usize = std::env::var("ADRIAS_BENCH_PAIRS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    const RUNS_PER_LEG: usize = 5;
+    let time_leg = |f: &dyn Fn()| {
+        let t = Instant::now();
+        for _ in 0..RUNS_PER_LEG {
+            f();
+        }
+        t.elapsed().as_secs_f64()
+    };
+    for _ in 0..3 {
+        time_leg(&run_observed);
+        time_leg(&run_tracked);
+    }
+    let mut ratios = Vec::with_capacity(pairs);
+    for _ in 0..pairs {
+        let tracked = time_leg(&run_tracked);
+        let observed = time_leg(&run_observed);
+        ratios.push(tracked / observed);
+    }
+    ratios.sort_by(f64::total_cmp);
+    let median = ratios[ratios.len() / 2];
+    println!("  residual-tracking overhead, median of {pairs} interleaved rounds: {median:.3}x");
+    Some(median)
+}
+
 fn main() {
     let filter = std::env::var("ADRIAS_BENCH_FILTER").unwrap_or_default();
     let enabled = |section: &str| filter.is_empty() || section.contains(filter.as_str());
@@ -479,6 +579,10 @@ fn main() {
     let mut obs_overhead: (Option<f64>, Option<f64>) = (None, None);
     if enabled("obs_overhead") {
         obs_overhead = bench_obs_overhead(&mut h);
+    }
+    let mut residual_overhead: Option<f64> = None;
+    if enabled("residual_overhead") {
+        residual_overhead = bench_residual_overhead(&mut h);
     }
 
     let mut derived: Vec<(&str, f64)> = Vec::new();
@@ -531,6 +635,10 @@ fn main() {
     if let Some(observed) = obs_overhead.1 {
         println!("  observed vs plain engine run:         {observed:.3}x");
         derived.push(("obs_overhead_x", observed));
+    }
+    if let Some(tracked) = residual_overhead {
+        println!("  tracked vs observed engine run:       {tracked:.3}x");
+        derived.push(("online_residual_overhead_x", tracked));
     }
 
     // `cargo bench` runs with the package directory as cwd; anchor the

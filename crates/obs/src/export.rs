@@ -13,6 +13,7 @@ use std::fmt;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
+use crate::adapt::{CaptureRecord, DriftEvent, ModelSwapRecord};
 use crate::audit::DecisionRecord;
 use crate::json::{escape, num_f32, num_f64};
 use crate::observer::Observer;
@@ -50,6 +51,8 @@ pub struct ExportPaths {
     pub metrics: PathBuf,
     /// Chrome `trace_event` JSON for timeline viewers.
     pub trace: PathBuf,
+    /// Online-adaptation audit log, one JSON object per line.
+    pub adaptation: PathBuf,
 }
 
 fn render_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
@@ -162,6 +165,75 @@ pub fn to_jsonl_decisions(obs: &Observer) -> String {
     out
 }
 
+fn render_capture_line(out: &mut String, r: &CaptureRecord) {
+    let _ = writeln!(
+        out,
+        r#"{{"type":"capture","app":{},"arrived_s":{},"finished_s":{},"rows":{},"co_runners":{},"skip":{}}}"#,
+        escape(r.app),
+        num_f64(r.arrived_s),
+        num_f64(r.finished_s),
+        r.rows,
+        r.co_runners,
+        match r.skip {
+            Some(skip) => escape(skip.tag()),
+            None => "null".to_owned(),
+        },
+    );
+}
+
+fn render_drift_line(out: &mut String, e: &DriftEvent) {
+    let _ = writeln!(
+        out,
+        r#"{{"type":"drift","at_s":{},"stream":{},"samples":{},"mean":{},"stat":{},"threshold":{}}}"#,
+        num_f64(e.at_s),
+        escape(e.stream),
+        e.samples,
+        num_f64(e.mean),
+        num_f64(e.stat),
+        num_f64(e.threshold),
+    );
+}
+
+fn render_swap_line(out: &mut String, r: &ModelSwapRecord) {
+    let _ = write!(
+        out,
+        r#"{{"type":"swap","at_s":{},"target":{},"verdict":{},"incumbent_version":{},"candidate_version":{},"incumbent_mae":{},"candidate_mae":{},"incumbent_r2":{},"candidate_r2":{},"gate_margin":{},"reasons":["#,
+        num_f64(r.at_s),
+        escape(r.target),
+        escape(r.verdict.tag()),
+        r.incumbent_version,
+        r.candidate_version,
+        num_f32(r.incumbent_mae),
+        num_f32(r.candidate_mae),
+        num_f32(r.incumbent_r2),
+        num_f32(r.candidate_r2),
+        num_f32(r.gate_margin),
+    );
+    for (i, reason) in r.reasons.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&escape(reason));
+    }
+    out.push_str("]}\n");
+}
+
+/// Renders the adaptation log as JSONL: capture records, drift events
+/// and swap verdicts, each kind in insertion (sim-time) order.
+pub fn to_jsonl_adaptation(obs: &Observer) -> String {
+    let mut out = String::new();
+    for r in obs.adapt.captures() {
+        render_capture_line(&mut out, r);
+    }
+    for e in obs.adapt.drifts() {
+        render_drift_line(&mut out, e);
+    }
+    for r in obs.adapt.swaps() {
+        render_swap_line(&mut out, r);
+    }
+    out
+}
+
 /// Renders the metrics registry as JSONL: counters, then gauges, then
 /// histogram summaries, each in name order.
 pub fn to_jsonl_metrics(obs: &Observer) -> String {
@@ -249,8 +321,9 @@ pub fn to_chrome_trace(obs: &Observer) -> String {
     out
 }
 
-/// Writes all four exports into `dir` (created if missing):
-/// `events.jsonl`, `decisions.jsonl`, `metrics.jsonl`, `trace.json`.
+/// Writes all five exports into `dir` (created if missing):
+/// `events.jsonl`, `decisions.jsonl`, `metrics.jsonl`, `trace.json`,
+/// `adaptation.jsonl`.
 ///
 /// # Errors
 ///
@@ -273,6 +346,7 @@ pub fn write_all(obs: &Observer, dir: &Path) -> Result<ExportPaths, ExportError>
         decisions: write("decisions.jsonl", to_jsonl_decisions(obs))?,
         metrics: write("metrics.jsonl", to_jsonl_metrics(obs))?,
         trace: write("trace.json", to_chrome_trace(obs))?,
+        adaptation: write("adaptation.jsonl", to_jsonl_adaptation(obs))?,
     })
 }
 
@@ -382,7 +456,7 @@ mod tests {
     }
 
     #[test]
-    fn write_all_creates_the_four_files() {
+    fn write_all_creates_the_five_files() {
         let dir = std::env::temp_dir().join("adrias_obs_export_test");
         let _ = std::fs::remove_dir_all(&dir);
         let obs = sample_observer();
@@ -392,9 +466,76 @@ mod tests {
             &paths.decisions,
             &paths.metrics,
             &paths.trace,
+            &paths.adaptation,
         ] {
             assert!(p.exists(), "{} missing", p.display());
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn adaptation_lines_parse_and_carry_their_kind() {
+        use crate::adapt::{CaptureRecord, CaptureSkip, DriftEvent, ModelSwapRecord, SwapVerdict};
+        let mut obs = sample_observer();
+        obs.record_capture(CaptureRecord {
+            app: "pca",
+            arrived_s: 10.0,
+            finished_s: 95.5,
+            rows: 85,
+            co_runners: 3,
+            skip: None,
+        });
+        obs.record_capture(CaptureRecord {
+            app: "sort",
+            arrived_s: 700.0,
+            finished_s: 701.0,
+            rows: 0,
+            co_runners: 0,
+            skip: Some(CaptureSkip::EmptyResidency),
+        });
+        obs.record_drift(DriftEvent {
+            at_s: 120.0,
+            stream: "be.rel_err",
+            samples: 11,
+            mean: 0.8,
+            stat: 1.7,
+            threshold: 1.0,
+        });
+        obs.record_swap(ModelSwapRecord {
+            at_s: 130.0,
+            target: "be",
+            verdict: SwapVerdict::Swapped,
+            incumbent_version: 0,
+            candidate_version: 1,
+            incumbent_mae: 9.0,
+            candidate_mae: 4.5,
+            incumbent_r2: 0.5,
+            candidate_r2: 0.8,
+            gate_margin: 0.5,
+            reasons: vec![],
+        });
+        let text = to_jsonl_adaptation(&obs);
+        assert_eq!(text.lines().count(), 4);
+        let docs: Vec<_> = text
+            .lines()
+            .map(|l| json::parse(l).expect("parses"))
+            .collect();
+        assert_eq!(docs[0].get("type").unwrap().as_str(), Some("capture"));
+        assert_eq!(docs[0].get("skip"), Some(&json::Json::Null));
+        assert_eq!(
+            docs[1].get("skip").unwrap().as_str(),
+            Some("empty_residency")
+        );
+        assert_eq!(docs[2].get("stream").unwrap().as_str(), Some("be.rel_err"));
+        assert_eq!(docs[3].get("verdict").unwrap().as_str(), Some("swapped"));
+        assert_eq!(docs[3].get("gate_margin").unwrap().as_num(), Some(0.5));
+        // The recording helpers also bumped counters + trace events.
+        assert_eq!(obs.registry.counter("adapt.captures"), 1);
+        assert_eq!(
+            obs.registry.counter("adapt.capture_skip.empty_residency"),
+            1
+        );
+        assert_eq!(obs.registry.counter("adapt.drift_events"), 1);
+        assert_eq!(obs.registry.counter("adapt.swaps.swapped"), 1);
     }
 }

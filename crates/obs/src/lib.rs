@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod audit;
 pub mod export;
 pub mod intern;
@@ -48,6 +49,10 @@ pub mod report;
 pub mod trace;
 pub mod validate;
 
+pub use adapt::{
+    AdaptationLog, CaptureRecord, CaptureSkip, DriftConfig, DriftEvent, ModelSwapRecord,
+    PageHinkley, SwapVerdict,
+};
 pub use audit::{AuditTrail, DecisionInput, DecisionRecord, DecisionRule, WindowSummary};
 pub use export::{write_all, ExportError, ExportPaths};
 pub use intern::intern;
@@ -56,6 +61,6 @@ pub use registry::{Histogram, Registry};
 pub use report::render_report;
 pub use trace::{ArgValue, TraceEvent, TraceKind, Tracer};
 pub use validate::{
-    validate_chrome_trace, validate_jsonl_decisions, validate_jsonl_events, validate_jsonl_metrics,
-    ValidateError,
+    validate_chrome_trace, validate_jsonl_adaptation, validate_jsonl_decisions,
+    validate_jsonl_events, validate_jsonl_metrics, ValidateError,
 };

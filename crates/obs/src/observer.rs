@@ -10,6 +10,7 @@
 
 use adrias_nn::TrainStats;
 
+use crate::adapt::AdaptationLog;
 use crate::audit::{AuditTrail, DecisionInput};
 use crate::registry::Registry;
 use crate::trace::Tracer;
@@ -57,6 +58,8 @@ pub struct Observer {
     pub registry: Registry,
     /// Orchestration decision audit trail.
     pub audit: AuditTrail,
+    /// Online-adaptation audit log (captures, drift, model swaps).
+    pub adapt: AdaptationLog,
 }
 
 impl Observer {
@@ -70,6 +73,7 @@ impl Observer {
             tracer,
             registry: Registry::new(),
             audit: AuditTrail::new(cfg.near_flip_band),
+            adapt: AdaptationLog::new(),
         }
     }
 
@@ -123,6 +127,84 @@ impl Observer {
         self.tracer
             .instant("decision", "decision", input.at_s, 0, args);
         self.audit.record(input);
+    }
+
+    /// Records one signature-capture attempt: appends it to the
+    /// adaptation log, bumps the capture counters, and emits an instant
+    /// trace event on the engine track (`cat = "adapt"`).
+    pub fn record_capture(&mut self, record: crate::adapt::CaptureRecord) {
+        let key = match record.skip {
+            None => "adapt.captures",
+            Some(crate::adapt::CaptureSkip::Interference) => "adapt.capture_skip.interference",
+            Some(crate::adapt::CaptureSkip::NotRemote) => "adapt.capture_skip.not_remote",
+            Some(crate::adapt::CaptureSkip::AlreadyKnown) => "adapt.capture_skip.already_known",
+            Some(crate::adapt::CaptureSkip::DuplicateInRun) => {
+                "adapt.capture_skip.duplicate_in_run"
+            }
+            Some(crate::adapt::CaptureSkip::EmptyResidency) => "adapt.capture_skip.empty_residency",
+        };
+        self.registry.counter_add(key, 1);
+        let mut args = vec![
+            ("app", record.app.into()),
+            ("rows", (record.rows as f64).into()),
+            ("co_runners", (record.co_runners as f64).into()),
+        ];
+        if let Some(skip) = record.skip {
+            args.push(("skip", skip.tag().into()));
+        }
+        self.tracer
+            .instant("capture", "adapt", record.finished_s, 0, args);
+        self.adapt.record_capture(record);
+    }
+
+    /// Records one drift detection: appends it to the adaptation log,
+    /// bumps the drift counter, and emits an instant trace event.
+    pub fn record_drift(&mut self, event: crate::adapt::DriftEvent) {
+        self.registry.counter_add("adapt.drift_events", 1);
+        self.tracer.instant(
+            "drift",
+            "adapt",
+            event.at_s,
+            0,
+            vec![
+                ("stream", event.stream.into()),
+                ("samples", (event.samples as f64).into()),
+                ("mean", event.mean.into()),
+                ("stat", event.stat.into()),
+                ("threshold", event.threshold.into()),
+            ],
+        );
+        self.adapt.record_drift(event);
+    }
+
+    /// Records one swap-gate verdict: appends it to the adaptation log,
+    /// bumps the verdict counter, and emits an instant trace event.
+    pub fn record_swap(&mut self, record: crate::adapt::ModelSwapRecord) {
+        let key = match record.verdict {
+            crate::adapt::SwapVerdict::Swapped => "adapt.swaps.swapped",
+            crate::adapt::SwapVerdict::Rejected => "adapt.swaps.rejected",
+        };
+        self.registry.counter_add(key, 1);
+        self.tracer.instant(
+            "model_swap",
+            "adapt",
+            record.at_s,
+            0,
+            vec![
+                ("target", record.target.into()),
+                ("verdict", record.verdict.tag().into()),
+                (
+                    "incumbent_version",
+                    (record.incumbent_version as f64).into(),
+                ),
+                (
+                    "candidate_version",
+                    (record.candidate_version as f64).into(),
+                ),
+                ("gate_margin", record.gate_margin.into()),
+            ],
+        );
+        self.adapt.record_swap(record);
     }
 
     /// Records the counters of a finished training run under

@@ -456,6 +456,54 @@ mod tests {
     }
 
     #[test]
+    fn registry_merge_with_disjoint_key_sets_keeps_both_sides() {
+        let mut a = Registry::new();
+        a.counter_add("a.count", 7);
+        a.gauge_set("a.gauge", 1.5);
+        a.observe("a.hist", 2.0);
+        let mut b = Registry::new();
+        b.counter_add("b.count", 3);
+        b.gauge_set("b.gauge", -0.5);
+        b.observe("b.hist", 20.0);
+        a.merge(&b);
+        assert_eq!(a.counter("a.count"), 7);
+        assert_eq!(a.counter("b.count"), 3);
+        assert_eq!(a.gauge("a.gauge"), Some(1.5));
+        assert_eq!(a.gauge("b.gauge"), Some(-0.5));
+        assert_eq!(a.histogram("a.hist").unwrap().count(), 1);
+        assert_eq!(a.histogram("b.hist").unwrap().count(), 1);
+        // `b` was only read from.
+        assert_eq!(b.counter("b.count"), 3);
+        assert!(b.histogram("a.hist").is_none());
+    }
+
+    #[test]
+    fn registry_merge_with_empty_key_sets_is_identity_both_ways() {
+        let mut populated = Registry::new();
+        populated.counter_add("c", 4);
+        populated.gauge_set("g", 2.0);
+        populated.observe("h", 9.0);
+
+        // empty.merge(populated) adopts everything...
+        let mut empty = Registry::new();
+        empty.merge(&populated);
+        assert_eq!(empty.counter("c"), 4);
+        assert_eq!(empty.gauge("g"), Some(2.0));
+        assert_eq!(empty.histogram("h").unwrap().count(), 1);
+
+        // ...and populated.merge(empty) changes nothing.
+        populated.merge(&Registry::new());
+        assert_eq!(populated.counter("c"), 4);
+        assert_eq!(populated.gauge("g"), Some(2.0));
+        assert_eq!(populated.histogram("h").unwrap().count(), 1);
+
+        // Two empties stay empty.
+        let mut x = Registry::new();
+        x.merge(&Registry::new());
+        assert!(x.is_empty());
+    }
+
+    #[test]
     #[should_panic(expected = "different buckets")]
     fn merge_rejects_mismatched_buckets() {
         let mut a = Histogram::new(vec![1.0]);

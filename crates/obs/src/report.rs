@@ -33,10 +33,62 @@ pub fn render_report(obs: &Observer) -> String {
 
     render_decision_distribution(&mut out, obs);
     render_near_flips(&mut out, obs);
+    render_adaptation(&mut out, obs);
     render_slowdown_sources(&mut out, obs);
     render_metrics(&mut out, obs);
     render_wall_clock(&mut out, obs);
     out
+}
+
+fn render_adaptation(out: &mut String, obs: &Observer) {
+    let log = &obs.adapt;
+    if log.is_empty() {
+        return;
+    }
+    let captured = log.captures().iter().filter(|c| c.skip.is_none()).count();
+    let skipped = log.captures().len() - captured;
+    let _ = writeln!(out, "\n-- online adaptation --");
+    let _ = writeln!(
+        out,
+        "  captures: {captured} stored, {skipped} skipped (of {} attempts)",
+        log.captures().len()
+    );
+    for skip in crate::adapt::CaptureSkip::ALL {
+        let n = log
+            .captures()
+            .iter()
+            .filter(|c| c.skip == Some(skip))
+            .count();
+        if n > 0 {
+            let _ = writeln!(out, "    skip {:<20} {n:>5}", skip.tag());
+        }
+    }
+    let _ = writeln!(out, "  drift events: {}", log.drifts().len());
+    for e in log.drifts().iter().take(10) {
+        let _ = writeln!(
+            out,
+            "    t={:>7.1}s {:<18} stat {:.3} > λ={:.3} (mean {:.3} over {} samples)",
+            e.at_s, e.stream, e.stat, e.threshold, e.mean, e.samples
+        );
+    }
+    let _ = writeln!(out, "  model swaps: {}", log.swaps().len());
+    for s in log.swaps().iter().take(10) {
+        let _ = writeln!(
+            out,
+            "    t={:>7.1}s {:<3} v{} -> v{} {:<8} mae {:.4} -> {:.4} (margin {:+.3})",
+            s.at_s,
+            s.target,
+            s.incumbent_version,
+            s.candidate_version,
+            s.verdict.tag(),
+            s.incumbent_mae,
+            s.candidate_mae,
+            s.gate_margin
+        );
+        for reason in &s.reasons {
+            let _ = writeln!(out, "      reason: {reason}");
+        }
+    }
 }
 
 fn render_decision_distribution(out: &mut String, obs: &Observer) {
@@ -164,6 +216,33 @@ mod tests {
         assert!(text.contains("top slowdown sources"));
         assert!(text.contains("in-memory-analytics"));
         assert!(!text.contains("wall clock"), "no wall data was recorded");
+    }
+
+    #[test]
+    fn adaptation_section_appears_only_when_recorded() {
+        use crate::adapt::{CaptureRecord, CaptureSkip, DriftEvent};
+        let mut obs = Observer::default();
+        assert!(!render_report(&obs).contains("online adaptation"));
+        obs.record_capture(CaptureRecord {
+            app: "pca",
+            arrived_s: 0.0,
+            finished_s: 1.0,
+            rows: 0,
+            co_runners: 0,
+            skip: Some(CaptureSkip::EmptyResidency),
+        });
+        obs.record_drift(DriftEvent {
+            at_s: 50.0,
+            stream: "be.rel_err",
+            samples: 9,
+            mean: 0.5,
+            stat: 1.2,
+            threshold: 1.0,
+        });
+        let text = render_report(&obs);
+        assert!(text.contains("online adaptation"));
+        assert!(text.contains("empty_residency"));
+        assert!(text.contains("drift events: 1"));
     }
 
     #[test]

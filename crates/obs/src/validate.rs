@@ -183,6 +183,108 @@ pub fn validate_jsonl_decisions(text: &str) -> Result<usize, ValidateError> {
     Ok(count)
 }
 
+/// Validates an `adaptation.jsonl` export. Returns the number of
+/// records.
+///
+/// Checks, per record: a known kind (`capture` / `drift` / `swap`), a
+/// known skip reason (or `null`) on captures, a sane residency window,
+/// a known verdict on swaps, and that rejections carry at least one
+/// reason.
+///
+/// # Errors
+///
+/// Returns the first schema violation found.
+pub fn validate_jsonl_adaptation(text: &str) -> Result<usize, ValidateError> {
+    let known_skips: Vec<&str> = crate::adapt::CaptureSkip::ALL
+        .iter()
+        .map(|s| s.tag())
+        .collect();
+    let mut count = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let doc = parse_line(line_no, line)?;
+        match require_str(&doc, "type", line_no)? {
+            "capture" => {
+                require_str(&doc, "app", line_no)?;
+                let arrived = require_num(&doc, "arrived_s", line_no)?;
+                let finished = require_num(&doc, "finished_s", line_no)?;
+                if finished < arrived {
+                    return Err(err(
+                        line_no,
+                        format!("residency ends before it starts ({finished} < {arrived})"),
+                    ));
+                }
+                let rows = require_num(&doc, "rows", line_no)?;
+                require_num(&doc, "co_runners", line_no)?;
+                let skip = doc
+                    .get("skip")
+                    .ok_or_else(|| err(line_no, "missing field `skip`"))?;
+                match skip {
+                    Json::Null => {
+                        if rows < 1.0 {
+                            return Err(err(line_no, "successful capture with zero rows"));
+                        }
+                    }
+                    Json::Str(reason) => {
+                        if !known_skips.contains(&reason.as_str()) {
+                            return Err(err(line_no, format!("unknown skip reason `{reason}`")));
+                        }
+                    }
+                    _ => return Err(err(line_no, "`skip` must be a string or null")),
+                }
+            }
+            "drift" => {
+                require_num(&doc, "at_s", line_no)?;
+                require_str(&doc, "stream", line_no)?;
+                let samples = require_num(&doc, "samples", line_no)?;
+                if samples < 1.0 {
+                    return Err(err(line_no, "drift event with no samples"));
+                }
+                require_num(&doc, "mean", line_no)?;
+                let stat = require_num(&doc, "stat", line_no)?;
+                let threshold = require_num(&doc, "threshold", line_no)?;
+                if stat <= threshold {
+                    return Err(err(
+                        line_no,
+                        format!("drift stat {stat} did not cross threshold {threshold}"),
+                    ));
+                }
+            }
+            "swap" => {
+                require_num(&doc, "at_s", line_no)?;
+                require_str(&doc, "target", line_no)?;
+                for key in [
+                    "incumbent_version",
+                    "candidate_version",
+                    "incumbent_mae",
+                    "candidate_mae",
+                    "incumbent_r2",
+                    "candidate_r2",
+                    "gate_margin",
+                ] {
+                    require_num(&doc, key, line_no)?;
+                }
+                let reasons = doc
+                    .get("reasons")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| err(line_no, "missing array field `reasons`"))?;
+                match require_str(&doc, "verdict", line_no)? {
+                    "swapped" => {}
+                    "rejected" => {
+                        if reasons.is_empty() {
+                            return Err(err(line_no, "rejection without reasons"));
+                        }
+                    }
+                    other => return Err(err(line_no, format!("unknown verdict `{other}`"))),
+                }
+            }
+            other => return Err(err(line_no, format!("unknown adaptation type `{other}`"))),
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
 /// Validates a `metrics.jsonl` export. Returns the number of metric
 /// lines.
 ///
@@ -311,6 +413,75 @@ mod tests {
             validate_chrome_trace(&export::to_chrome_trace(&obs)).unwrap(),
             2
         );
+    }
+
+    #[test]
+    fn adaptation_export_validates_and_rejects_bad_records() {
+        use crate::adapt::{CaptureRecord, CaptureSkip, DriftEvent, ModelSwapRecord, SwapVerdict};
+        let mut obs = observer();
+        obs.record_capture(CaptureRecord {
+            app: "pca",
+            arrived_s: 10.0,
+            finished_s: 90.0,
+            rows: 80,
+            co_runners: 2,
+            skip: None,
+        });
+        obs.record_capture(CaptureRecord {
+            app: "sort",
+            arrived_s: 300.0,
+            finished_s: 301.0,
+            rows: 0,
+            co_runners: 0,
+            skip: Some(CaptureSkip::EmptyResidency),
+        });
+        obs.record_drift(DriftEvent {
+            at_s: 95.0,
+            stream: "be.rel_err",
+            samples: 10,
+            mean: 0.7,
+            stat: 1.3,
+            threshold: 1.0,
+        });
+        obs.record_swap(ModelSwapRecord {
+            at_s: 96.0,
+            target: "be",
+            verdict: SwapVerdict::Rejected,
+            incumbent_version: 2,
+            candidate_version: 3,
+            incumbent_mae: 4.0,
+            candidate_mae: 4.1,
+            incumbent_r2: 0.9,
+            candidate_r2: 0.89,
+            gate_margin: -0.025,
+            reasons: vec!["held-out MAE regressed".into()],
+        });
+        let text = export::to_jsonl_adaptation(&obs);
+        assert_eq!(validate_jsonl_adaptation(&text).unwrap(), 4);
+
+        let bad_skip = r#"{"type":"capture","app":"x","arrived_s":0,"finished_s":1,"rows":0,"co_runners":0,"skip":"because"}"#;
+        assert!(validate_jsonl_adaptation(bad_skip)
+            .unwrap_err()
+            .reason
+            .contains("unknown skip reason"));
+
+        let empty_success = r#"{"type":"capture","app":"x","arrived_s":0,"finished_s":1,"rows":0,"co_runners":0,"skip":null}"#;
+        assert!(validate_jsonl_adaptation(empty_success)
+            .unwrap_err()
+            .reason
+            .contains("zero rows"));
+
+        let weak_drift = r#"{"type":"drift","at_s":1,"stream":"be.rel_err","samples":9,"mean":0.2,"stat":0.5,"threshold":1}"#;
+        assert!(validate_jsonl_adaptation(weak_drift)
+            .unwrap_err()
+            .reason
+            .contains("did not cross"));
+
+        let silent_rejection = r#"{"type":"swap","at_s":1,"target":"be","verdict":"rejected","incumbent_version":0,"candidate_version":1,"incumbent_mae":1,"candidate_mae":2,"incumbent_r2":0.9,"candidate_r2":0.5,"gate_margin":-1,"reasons":[]}"#;
+        assert!(validate_jsonl_adaptation(silent_rejection)
+            .unwrap_err()
+            .reason
+            .contains("without reasons"));
     }
 
     #[test]

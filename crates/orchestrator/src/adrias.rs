@@ -222,6 +222,82 @@ impl AdriasPolicy {
         self.signatures.insert(name, signature);
     }
 
+    /// The trained best-effort performance model currently deployed.
+    pub fn be_model(&self) -> &PerfModel {
+        &self.be_model
+    }
+
+    /// The trained latency-critical performance model currently deployed.
+    pub fn lc_model(&self) -> &PerfModel {
+        &self.lc_model
+    }
+
+    /// The trained system-state forecaster.
+    pub fn system_model(&self) -> &SystemStateModel {
+        &self.system_model
+    }
+
+    /// The stored application signatures, sorted by name (the backing
+    /// store is a hash map, so the accessor fixes the order).
+    pub fn signatures(&self) -> Vec<&AppSignature> {
+        let mut sigs: Vec<&AppSignature> = self.signatures.values().collect();
+        sigs.sort_by(|a, b| a.app_name().cmp(b.app_name()));
+        sigs
+    }
+
+    /// Hot-swaps the best-effort performance model for `model`.
+    ///
+    /// Everything derived from the old model is rebuilt: the prediction
+    /// scratch (which snapshots batch-norm running stats), the per-app
+    /// signature features (the new model may normalize differently), and
+    /// the memoised forecast/history caches. Decisions after the swap
+    /// are exactly what a policy constructed with `model` would make.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is untrained.
+    pub fn swap_be_model(&mut self, model: PerfModel) {
+        assert!(model.is_trained(), "cannot swap in an untrained BE model");
+        self.be_model = model;
+        self.be_scratch = self.be_model.make_scratch();
+        self.forecast_cache = None;
+        self.be_hist.clear();
+        self.be_sig_feats.clear();
+        for signature in self.signatures.values() {
+            let window = self.be_model.normalized_signature_window(signature);
+            let feats = self
+                .be_model
+                .signature_features_into(&window, &mut self.be_scratch)
+                .clone();
+            self.be_sig_feats
+                .insert(signature.app_name().to_owned(), feats);
+        }
+    }
+
+    /// Hot-swaps the latency-critical performance model; see
+    /// [`AdriasPolicy::swap_be_model`] for the rebuild guarantees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is untrained.
+    pub fn swap_lc_model(&mut self, model: PerfModel) {
+        assert!(model.is_trained(), "cannot swap in an untrained LC model");
+        self.lc_model = model;
+        self.lc_scratch = self.lc_model.make_scratch();
+        self.forecast_cache = None;
+        self.lc_hist.clear();
+        self.lc_sig_feats.clear();
+        for signature in self.signatures.values() {
+            let window = self.lc_model.normalized_signature_window(signature);
+            let feats = self
+                .lc_model
+                .signature_features_into(&window, &mut self.lc_scratch)
+                .clone();
+            self.lc_sig_feats
+                .insert(signature.app_name().to_owned(), feats);
+        }
+    }
+
     /// Predicted performance (execution time for BE, p99 for LC) for one
     /// mode, or `None` when no history window or signature is available.
     pub fn predict_perf(&mut self, ctx: &DecisionContext<'_>, mode: MemoryMode) -> Option<f32> {
@@ -390,135 +466,13 @@ impl Policy for AdriasPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test_support::{metric_row, policy_with_beta};
     use adrias_core::prop::prelude::*;
     use adrias_core::rng::Xoshiro256pp;
     use adrias_core::rng::{Rng, SeedableRng};
-    use adrias_predictor::dataset::{PerfRecord, HISTORY_S};
-    use adrias_predictor::{
-        PerfDataset, PerfModelConfig, SystemStateDataset, SystemStateModelConfig,
-    };
-    use adrias_telemetry::{Metric, MetricSample, MetricVec};
+    use adrias_predictor::dataset::HISTORY_S;
+    use adrias_telemetry::{MetricSample, MetricVec};
     use adrias_workloads::{keyvalue, spark, WorkloadProfile};
-
-    fn metric_row(x: f32) -> MetricVec {
-        let mut v = MetricVec::zero();
-        v.set(Metric::LlcLoads, 1e8 * (1.0 + x));
-        v.set(Metric::MemLoads, 4e7 * (1.0 + x));
-        v.set(Metric::LinkLatency, 350.0 + 100.0 * x);
-        v
-    }
-
-    /// Trains minimal models on synthetic data that encodes "remote is
-    /// `penalty`× slower" so decide() behaves predictably. Training
-    /// happens once per test binary; policies are built from clones.
-    fn policy_with_beta(beta: f32) -> AdriasPolicy {
-        let (system_model, be_model, lc_model, signatures) = trained_parts();
-        AdriasPolicy::new(
-            system_model.clone(),
-            be_model.clone(),
-            lc_model.clone(),
-            signatures.clone(),
-            beta,
-            2.0,
-        )
-    }
-
-    type TrainedParts = (SystemStateModel, PerfModel, PerfModel, Vec<AppSignature>);
-
-    fn trained_parts() -> &'static TrainedParts {
-        static PARTS: std::sync::OnceLock<TrainedParts> = std::sync::OnceLock::new();
-        PARTS.get_or_init(train_parts)
-    }
-
-    fn train_parts() -> TrainedParts {
-        let mut rng = Xoshiro256pp::seed_from_u64(0);
-
-        // System model on a flat synthetic trace.
-        let trace: Vec<MetricSample> = (0..400)
-            .map(|t| MetricSample::new(t as f64, metric_row(((t as f32) * 0.02).sin() * 0.2)))
-            .collect();
-        let sys_ds = SystemStateDataset::from_traces(&[trace], 10);
-        let mut system_model = SystemStateModel::new(SystemStateModelConfig {
-            epochs: 4,
-            hidden: 6,
-            block_width: 8,
-            ..SystemStateModelConfig::tiny()
-        });
-        system_model.train(&sys_ds);
-
-        // Perf datasets: gmm cheap remote (1.05×), nweight costly (2×);
-        // redis p99 1.2 local / 2.4 remote.
-        let be_apps: Vec<(WorkloadProfile, f32)> = vec![
-            (spark::by_name("gmm").unwrap(), 1.05),
-            (spark::by_name("nweight").unwrap(), 2.0),
-        ];
-        // Records vary in background load `x`, which shows up in the
-        // history window, the future state and (mildly) the performance —
-        // mirroring the structure of real traces so the Ŝ input weights
-        // are properly constrained during training.
-        let mut be_records = Vec::new();
-        for _ in 0..60 {
-            let (app, penalty) = &be_apps[rng.gen_range(0..be_apps.len())];
-            let x: f32 = rng.gen_range(-0.2..0.2);
-            for mode in MemoryMode::BOTH {
-                let perf = app.base_runtime_s()
-                    * if mode == MemoryMode::Remote {
-                        *penalty
-                    } else {
-                        1.0
-                    }
-                    * (1.0 + 0.1 * (x + 0.2));
-                be_records.push(PerfRecord {
-                    app: app.name().to_owned(),
-                    mode,
-                    history: vec![metric_row(x); HISTORY_S],
-                    future_120: metric_row(x),
-                    future_exec: metric_row(x),
-                    perf,
-                });
-            }
-        }
-        let mut lc_records = Vec::new();
-        for _ in 0..40 {
-            let x: f32 = rng.gen_range(-0.2..0.2);
-            for mode in MemoryMode::BOTH {
-                lc_records.push(PerfRecord {
-                    app: "redis".to_owned(),
-                    mode,
-                    history: vec![metric_row(x); HISTORY_S],
-                    future_120: metric_row(x),
-                    future_exec: metric_row(x),
-                    perf: (if mode == MemoryMode::Remote { 2.4 } else { 1.2 })
-                        * (1.0 + 0.1 * (x + 0.2)),
-                });
-            }
-        }
-        let signatures: Vec<AppSignature> = vec![
-            AppSignature::new("gmm", vec![metric_row(0.1); 20]),
-            AppSignature::new("nweight", vec![metric_row(0.9); 20]),
-            AppSignature::new("redis", vec![metric_row(0.5); 20]),
-        ];
-        let be_ds = PerfDataset::new(be_records, &signatures);
-        let lc_ds = PerfDataset::new(lc_records, &signatures);
-        let cfg = PerfModelConfig {
-            epochs: 80,
-            hidden: 8,
-            block_width: 12,
-            learning_rate: 4e-3,
-            dropout: 0.0,
-            ..PerfModelConfig::tiny()
-        };
-        let be_hats: Vec<Option<MetricVec>> =
-            be_ds.records().iter().map(|r| Some(r.future_120)).collect();
-        let lc_hats: Vec<Option<MetricVec>> =
-            lc_ds.records().iter().map(|r| Some(r.future_120)).collect();
-        let mut be_model = PerfModel::new(cfg);
-        be_model.train(&be_ds, &be_hats);
-        let mut lc_model = PerfModel::new(cfg);
-        lc_model.train(&lc_ds, &lc_hats);
-
-        (system_model, be_model, lc_model, signatures)
-    }
 
     fn ctx_for<'a>(
         profile: &'a WorkloadProfile,

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod adrias;
 pub mod baselines;
 pub mod engine;
@@ -28,7 +29,13 @@ pub mod engine_obs;
 pub mod online;
 pub mod policy;
 pub mod qos;
+#[cfg(test)]
+pub(crate) mod test_support;
 
+pub use adapt::{
+    fine_tune_candidate, gate_swap, harvest_perf_records, GateConfig, ModelTarget, ResidualConfig,
+    ResidualTracker, TrackedRun,
+};
 pub use adrias::{be_rule, lc_rule, AdriasPolicy};
 pub use baselines::{AllLocalPolicy, AllRemotePolicy, RandomPolicy, RoundRobinPolicy};
 pub use engine::{
@@ -36,6 +43,9 @@ pub use engine::{
     EngineObserver, RunReport, ScheduledArrival,
 };
 pub use engine_obs::ObservedRun;
-pub use online::{absorb_signatures, capture_unknown_signatures};
+pub use online::{
+    absorb_signatures, absorb_signatures_observed, capture_unknown_signatures,
+    capture_unknown_signatures_audited,
+};
 pub use policy::{DecisionContext, ExplainedDecision, Policy};
 pub use qos::qos_levels;

@@ -14,6 +14,7 @@
 //! paper accepts for unknown applications until a retraining pass
 //! happens.
 
+use adrias_obs::{CaptureRecord, CaptureSkip, Observer};
 use adrias_telemetry::MetricVec;
 use adrias_workloads::{AppSignature, MemoryMode, WorkloadClass};
 
@@ -21,33 +22,73 @@ use crate::adrias::AdriasPolicy;
 use crate::engine::RunReport;
 
 /// Extracts candidate signatures for applications the policy does not
-/// know yet, from one finished engine run.
+/// know yet, from one finished engine run, together with one
+/// [`CaptureRecord`] per completed deployment explaining what happened
+/// to it — stored, or skipped and why.
 ///
 /// A candidate is produced for the **first completed remote-mode
-/// deployment** of each unknown BE/LC application; the signature rows are
-/// the Watcher samples covering its residency.
+/// deployment** of each unknown BE/LC application; the signature rows
+/// are the Watcher samples covering its residency. Every other outcome
+/// gets an audit record with the first skip reason that applied, in
+/// rule order: interference stressor, not remote, already known,
+/// duplicate in this run, empty residency clip (a residency that rounds
+/// to zero trace rows — previously a silent drop).
+pub fn capture_unknown_signatures_audited(
+    report: &RunReport,
+    is_known: impl Fn(&str) -> bool,
+) -> (Vec<AppSignature>, Vec<CaptureRecord>) {
+    let mut captured: Vec<AppSignature> = Vec::new();
+    let mut records: Vec<CaptureRecord> = Vec::with_capacity(report.outcomes.len());
+    for (i, o) in report.outcomes.iter().enumerate() {
+        let lo = (o.arrived_s.floor() as usize).min(report.samples.len());
+        let hi = (o.finished_s.ceil() as usize).min(report.samples.len());
+        let skip = if o.class == WorkloadClass::Interference {
+            Some(CaptureSkip::Interference)
+        } else if o.mode != MemoryMode::Remote {
+            Some(CaptureSkip::NotRemote)
+        } else if is_known(&o.name) {
+            Some(CaptureSkip::AlreadyKnown)
+        } else if captured.iter().any(|s| s.app_name() == o.name) {
+            Some(CaptureSkip::DuplicateInRun)
+        } else if hi <= lo {
+            Some(CaptureSkip::EmptyResidency)
+        } else {
+            None
+        };
+        let co_runners = report
+            .outcomes
+            .iter()
+            .enumerate()
+            .filter(|(j, other)| {
+                *j != i && other.arrived_s < o.finished_s && other.finished_s > o.arrived_s
+            })
+            .count();
+        records.push(CaptureRecord {
+            app: adrias_obs::intern(&o.name),
+            arrived_s: o.arrived_s,
+            finished_s: o.finished_s,
+            rows: hi.saturating_sub(lo),
+            co_runners,
+            skip,
+        });
+        if skip.is_none() {
+            let rows: Vec<MetricVec> = report.samples[lo..hi].iter().map(|s| *s.vec()).collect();
+            captured.push(AppSignature::new(o.name.clone(), rows));
+        }
+    }
+    (captured, records)
+}
+
+/// Extracts candidate signatures for applications the policy does not
+/// know yet, from one finished engine run.
+///
+/// The unaudited form of [`capture_unknown_signatures_audited`]: same
+/// signatures, no per-outcome records.
 pub fn capture_unknown_signatures(
     report: &RunReport,
     is_known: impl Fn(&str) -> bool,
 ) -> Vec<AppSignature> {
-    let mut captured: Vec<AppSignature> = Vec::new();
-    for o in &report.outcomes {
-        if o.class == WorkloadClass::Interference
-            || o.mode != MemoryMode::Remote
-            || is_known(&o.name)
-            || captured.iter().any(|s| s.app_name() == o.name)
-        {
-            continue;
-        }
-        let lo = (o.arrived_s.floor() as usize).min(report.samples.len());
-        let hi = (o.finished_s.ceil() as usize).min(report.samples.len());
-        if hi <= lo {
-            continue;
-        }
-        let rows: Vec<MetricVec> = report.samples[lo..hi].iter().map(|s| *s.vec()).collect();
-        captured.push(AppSignature::new(o.name.clone(), rows));
-    }
-    captured
+    capture_unknown_signatures_audited(report, is_known).0
 }
 
 /// Runs the full §V-C loop on a policy: capture signatures for every
@@ -55,6 +96,26 @@ pub fn capture_unknown_signatures(
 /// return how many were added.
 pub fn absorb_signatures(policy: &mut AdriasPolicy, report: &RunReport) -> usize {
     let captured = capture_unknown_signatures(report, |name| policy.knows(name));
+    let count = captured.len();
+    for sig in captured {
+        policy.store_signature(sig);
+    }
+    count
+}
+
+/// [`absorb_signatures`] with an audit trail: every completed
+/// deployment's capture attempt lands in the observer (stored captures
+/// and skip reasons alike) before the stored signatures are absorbed
+/// into the policy. Returns how many signatures were added.
+pub fn absorb_signatures_observed(
+    policy: &mut AdriasPolicy,
+    report: &RunReport,
+    obs: &mut Observer,
+) -> usize {
+    let (captured, records) = capture_unknown_signatures_audited(report, |name| policy.knows(name));
+    for record in records {
+        obs.record_capture(record);
+    }
     let count = captured.len();
     for sig in captured {
         policy.store_signature(sig);
@@ -130,5 +191,188 @@ mod tests {
         let report = remote_run(&["lda", "lda", "lda"]);
         let sigs = capture_unknown_signatures(&report, |_| false);
         assert_eq!(sigs.len(), 1);
+    }
+
+    #[test]
+    fn audited_capture_reports_every_outcome_with_skip_reasons() {
+        let report = remote_run(&["gmm", "pca", "gmm"]);
+        let (sigs, records) = capture_unknown_signatures_audited(&report, |name| name == "pca");
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(records.len(), report.outcomes.len());
+        // Records follow completion order; find each app's verdict.
+        let skip_of = |app: &str| -> Vec<Option<CaptureSkip>> {
+            records
+                .iter()
+                .filter(|r| r.app == app)
+                .map(|r| r.skip)
+                .collect()
+        };
+        assert_eq!(skip_of("pca"), vec![Some(CaptureSkip::AlreadyKnown)]);
+        let gmm = skip_of("gmm");
+        assert!(gmm.contains(&None), "first gmm completion is stored");
+        assert!(
+            gmm.contains(&Some(CaptureSkip::DuplicateInRun)),
+            "second gmm completion is a duplicate"
+        );
+        for r in &records {
+            if r.skip.is_none() {
+                assert!(r.rows >= 1, "stored captures carry their row count");
+            }
+            assert!(r.finished_s >= r.arrived_s);
+        }
+    }
+
+    /// Regression: a residency that clips to zero trace rows used to be
+    /// a silent `continue`; it must now surface as an
+    /// [`CaptureSkip::EmptyResidency`] audit record.
+    #[test]
+    fn empty_residency_clip_is_reported_not_silently_dropped() {
+        use crate::engine::AppOutcome;
+        use adrias_workloads::WorkloadClass;
+        // Hand-built report: the trace is empty (e.g. truncated), so the
+        // only outcome's residency clips to zero rows.
+        let report = RunReport {
+            policy: "test".to_owned(),
+            outcomes: vec![AppOutcome {
+                name: "ghost".to_owned(),
+                class: WorkloadClass::BestEffort,
+                mode: MemoryMode::Remote,
+                policy_decided: true,
+                arrived_s: 10.0,
+                finished_s: 12.0,
+                runtime_s: 2.0,
+                mean_slowdown: 1.0,
+                p99_ms: None,
+                p999_ms: None,
+                lc_total_time_s: None,
+            }],
+            samples: Vec::new(),
+            link_bytes: 0.0,
+            end_time_s: 12.0,
+            unfinished: 0,
+        };
+        let (sigs, records) = capture_unknown_signatures_audited(&report, |_| false);
+        assert!(sigs.is_empty());
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].skip, Some(CaptureSkip::EmptyResidency));
+        assert_eq!(records[0].rows, 0);
+        assert_eq!(records[0].co_runners, 0);
+    }
+
+    /// The §V-C round trip under interference: an unknown app captured
+    /// remote-first amid a co-runner must round-trip through
+    /// `store_signature` and, on a clean re-run, produce the same
+    /// decision as a policy seeded with the offline isolated-remote
+    /// signature.
+    #[test]
+    fn captured_signature_round_trips_to_the_same_decision_as_offline() {
+        use crate::engine::{run_isolated, run_schedule_observed, EngineConfig};
+        use crate::online::absorb_signatures_observed;
+        use crate::test_support::policy_with_beta;
+        use adrias_obs::{DecisionRule, Observer};
+        use adrias_workloads::{ibench, IbenchKind};
+
+        let engine = EngineConfig {
+            lc_latency_samples: 500,
+            ..EngineConfig::default()
+        };
+        let schedule = vec![
+            ScheduledArrival::new(0.0, ibench::profile(IbenchKind::MemBw))
+                .with_mode(MemoryMode::Local)
+                .with_duration(400.0),
+            ScheduledArrival::new(150.0, spark::by_name("pca").unwrap()),
+        ];
+
+        // Run 1: pca is unknown → remote-first capture under the
+        // stressor.
+        let mut policy = policy_with_beta(0.7);
+        let mut obs = Observer::default();
+        let report = run_schedule_observed(
+            TestbedConfig::noiseless(),
+            engine,
+            &schedule,
+            &mut policy,
+            &mut obs,
+        );
+        let pca = report.outcomes.iter().find(|o| o.name == "pca").unwrap();
+        assert_eq!(pca.mode, MemoryMode::Remote, "unknown app goes remote");
+        let added = absorb_signatures_observed(&mut policy, &report, &mut obs);
+        assert_eq!(added, 1);
+        assert!(policy.knows("pca"));
+        let stored = obs
+            .adapt
+            .captures()
+            .iter()
+            .find(|c| c.app == "pca" && c.skip.is_none())
+            .expect("stored capture is audited");
+        assert!(stored.co_runners >= 1, "captured amid a co-runner");
+        assert!(stored.rows >= 1);
+
+        // Clean re-run: pca is now known, so the β-slack rule decides.
+        let mut obs2 = Observer::default();
+        let _ = run_schedule_observed(
+            TestbedConfig::noiseless(),
+            engine,
+            &schedule,
+            &mut policy,
+            &mut obs2,
+        );
+        let captured_rec = obs2
+            .audit
+            .records()
+            .iter()
+            .find(|r| r.input.app == "pca")
+            .expect("audited");
+        assert!(matches!(
+            captured_rec.input.rule,
+            DecisionRule::BetaSlack { .. }
+        ));
+
+        // Same re-run with the offline isolated-remote signature.
+        let (_, trace) = run_isolated(
+            TestbedConfig::noiseless(),
+            engine,
+            spark::by_name("pca").unwrap(),
+            MemoryMode::Remote,
+        );
+        let mut offline_policy = policy_with_beta(0.7);
+        offline_policy.store_signature(AppSignature::new(
+            "pca",
+            trace.iter().map(|s| *s.vec()).collect(),
+        ));
+        let mut obs3 = Observer::default();
+        let _ = run_schedule_observed(
+            TestbedConfig::noiseless(),
+            engine,
+            &schedule,
+            &mut offline_policy,
+            &mut obs3,
+        );
+        let offline_rec = obs3
+            .audit
+            .records()
+            .iter()
+            .find(|r| r.input.app == "pca")
+            .expect("audited");
+        assert!(matches!(
+            offline_rec.input.rule,
+            DecisionRule::BetaSlack { .. }
+        ));
+        assert_eq!(
+            captured_rec.input.chosen, offline_rec.input.chosen,
+            "captured and offline signatures must agree on placement"
+        );
+    }
+
+    #[test]
+    fn co_runner_counts_cover_overlapping_residencies() {
+        // gmm and pca arrive 10 s apart and overlap; each sees one
+        // co-runner.
+        let report = remote_run(&["gmm", "pca"]);
+        let (_, records) = capture_unknown_signatures_audited(&report, |_| false);
+        assert_eq!(records.len(), 2);
+        for r in &records {
+            assert_eq!(r.co_runners, 1, "app {} overlaps its peer", r.app);
+        }
     }
 }

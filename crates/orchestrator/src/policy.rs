@@ -49,6 +49,16 @@ impl ExplainedDecision {
             pred_remote: None,
         }
     }
+
+    /// The prediction backing `mode`, when the policy produced one —
+    /// the value the residual tracker compares against the realised
+    /// performance once the deployment finishes.
+    pub fn predicted(&self, mode: MemoryMode) -> Option<f32> {
+        match mode {
+            MemoryMode::Local => self.pred_local,
+            MemoryMode::Remote => self.pred_remote,
+        }
+    }
 }
 
 /// A memory-mode placement policy.
@@ -103,6 +113,22 @@ mod tests {
         let mut p: Box<dyn Policy> = Box::new(Always(MemoryMode::Remote));
         assert_eq!(p.decide(&ctx), MemoryMode::Remote);
         assert_eq!(p.name(), "always");
+    }
+
+    #[test]
+    fn predicted_selects_the_prediction_for_the_mode() {
+        let d = ExplainedDecision {
+            mode: MemoryMode::Remote,
+            rule: DecisionRule::Static,
+            pred_local: Some(10.0),
+            pred_remote: Some(12.0),
+        };
+        assert_eq!(d.predicted(MemoryMode::Local), Some(10.0));
+        assert_eq!(d.predicted(MemoryMode::Remote), Some(12.0));
+        assert_eq!(
+            ExplainedDecision::bare(MemoryMode::Local).predicted(MemoryMode::Local),
+            None
+        );
     }
 
     #[test]

@@ -407,6 +407,44 @@ impl PerfDataset {
         (train_ds, test_ds)
     }
 
+    /// Deterministic index-based holdout split: every `every_k`-th
+    /// record (indices `k-1, 2k-1, …`) becomes the held-out side, the
+    /// rest train. No RNG is involved, so the same dataset yields the
+    /// same split everywhere — the property the online swap gate needs
+    /// to stay seed- and worker-invariant. Normalizers refit on the
+    /// training side and are shared by the holdout side.
+    ///
+    /// Returns `None` if either side would be empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every_k < 2` (the holdout would swallow everything).
+    pub fn split_holdout(&self, every_k: usize) -> Option<(Self, Self)> {
+        assert!(every_k >= 2, "every_k must be at least 2, got {every_k}");
+        let mut train = Vec::new();
+        let mut hold = Vec::new();
+        for (i, r) in self.records.iter().enumerate() {
+            if (i + 1) % every_k == 0 {
+                hold.push(r.clone());
+            } else {
+                train.push(r.clone());
+            }
+        }
+        if train.is_empty() || hold.is_empty() {
+            return None;
+        }
+        let sigs: Vec<AppSignature> = self
+            .signatures
+            .iter()
+            .map(|(name, rows)| AppSignature::new(name.clone(), rows.clone()))
+            .collect();
+        let train_ds = Self::new(train, &sigs);
+        let mut hold_ds = Self::new(hold, &sigs);
+        hold_ds.metric_norm = train_ds.metric_norm.clone();
+        hold_ds.target_norm = train_ds.target_norm;
+        Some((train_ds, hold_ds))
+    }
+
     /// Splits by application: records of `app` become the test set
     /// (leave-one-out validation of Fig. 15).
     ///
@@ -589,5 +627,41 @@ mod tests {
     fn perf_dataset_rejects_all_unknown() {
         let records = vec![perf_record("zz", MemoryMode::Local, 50.0)];
         let _ = PerfDataset::new(records, &signatures());
+    }
+
+    #[test]
+    fn holdout_split_is_deterministic_and_index_based() {
+        let records: Vec<PerfRecord> = (0..10)
+            .map(|i| {
+                perf_record(
+                    if i % 2 == 0 { "a" } else { "b" },
+                    MemoryMode::Local,
+                    50.0 + i as f32,
+                )
+            })
+            .collect();
+        let ds = PerfDataset::new(records, &signatures());
+        let (train, hold) = ds.split_holdout(3).unwrap();
+        // Indices 2, 5, 8 held out.
+        assert_eq!(hold.len(), 3);
+        assert_eq!(train.len(), 7);
+        assert_eq!(hold.records()[0].perf, 52.0);
+        assert_eq!(hold.records()[1].perf, 55.0);
+        assert_eq!(hold.records()[2].perf, 58.0);
+        // Holdout reuses the training normalizers.
+        assert_eq!(
+            hold.target_norm().normalize(1.0),
+            train.target_norm().normalize(1.0)
+        );
+        // Repeat split is identical (no RNG involved).
+        let (train2, hold2) = ds.split_holdout(3).unwrap();
+        assert_eq!(train.records(), train2.records());
+        assert_eq!(hold.records(), hold2.records());
+        // A holdout that would leave a side empty is refused.
+        let two = PerfDataset::new(
+            vec![perf_record("a", MemoryMode::Local, 60.0)],
+            &signatures(),
+        );
+        assert!(two.split_holdout(3).is_none());
     }
 }

@@ -100,6 +100,7 @@ pub struct PerfModel {
     metric_norm: Option<Normalizer>,
     target_norm: Option<ScalarNormalizer>,
     train_stats: Option<TrainStats>,
+    version: u64,
 }
 
 impl PerfModel {
@@ -128,6 +129,7 @@ impl PerfModel {
             metric_norm: None,
             target_norm: None,
             train_stats: None,
+            version: 0,
         }
     }
 
@@ -153,6 +155,26 @@ impl PerfModel {
     /// persisted snapshot).
     pub fn last_train_stats(&self) -> Option<TrainStats> {
         self.train_stats
+    }
+
+    /// The model's version id. `0` for a freshly constructed model;
+    /// the online-adaptation loop bumps it on every fine-tuned
+    /// candidate so swap audits can name incumbent and candidate.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Sets the version id (used when deriving a fine-tuned candidate
+    /// from an incumbent).
+    pub fn set_version(&mut self, version: u64) {
+        self.version = version;
+    }
+
+    /// Overrides the epoch budget for subsequent [`PerfModel::train`]
+    /// calls — online fine-tuning passes run far fewer epochs than the
+    /// original offline fit.
+    pub fn set_epochs(&mut self, epochs: usize) {
+        self.cfg.epochs = epochs;
     }
 
     fn forward(

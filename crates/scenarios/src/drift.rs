@@ -1,0 +1,453 @@
+//! The drifting-workload runner: phases of scenario replay with
+//! residual tracking, drift detection and audited model hot-swaps.
+//!
+//! Each phase pairs a testbed configuration with a scenario spec, so a
+//! corpus can start on the conditions the stack was trained on and then
+//! shift — a congested or degraded interconnect, say — while one
+//! persistent [`ResidualTracker`] watches predicted-vs-realised
+//! residuals across the whole sequence. When the tracker's
+//! Page–Hinkley detectors fire, the runner harvests the live capture
+//! buffer, fine-tunes a versioned candidate model and pushes it through
+//! the swap gate; the verdict (swap or rejection, with held-out
+//! accuracy either way) lands in the observer's adaptation log.
+//!
+//! The runner reuses the exact schedule construction and engine seeding
+//! of [`crate::runner::run_observed`], and the tracker only *reads*
+//! engine state — so with adaptation disabled the per-phase reports are
+//! bit-identical to plain (un)observed runs.
+
+use adrias_obs::{DriftEvent, Observer, SwapVerdict};
+use adrias_orchestrator::engine::{
+    run_schedule_hooked, run_schedule_observed, EngineConfig, RunReport,
+};
+use adrias_orchestrator::{
+    absorb_signatures_observed, fine_tune_candidate, gate_swap, harvest_perf_records, AdriasPolicy,
+    GateConfig, ModelTarget, ObservedRun, ResidualConfig, ResidualTracker, TrackedRun,
+};
+use adrias_predictor::dataset::PerfRecord;
+use adrias_predictor::PerfDataset;
+use adrias_sim::TestbedConfig;
+use adrias_workloads::{AppSignature, WorkloadCatalog, WorkloadClass};
+
+use crate::schedule::{build_schedule, PlacementStyle};
+use crate::spec::ScenarioSpec;
+
+/// One phase of a drifting corpus: a testbed state and the scenario
+/// replayed on it.
+#[derive(Debug, Clone)]
+pub struct DriftPhase {
+    /// Testbed conditions during this phase.
+    pub testbed: TestbedConfig,
+    /// The arrival scenario.
+    pub spec: ScenarioSpec,
+}
+
+impl DriftPhase {
+    /// Pairs a testbed state with a scenario.
+    pub fn new(testbed: TestbedConfig, spec: ScenarioSpec) -> Self {
+        Self { testbed, spec }
+    }
+}
+
+/// How the runner reacts to what the tracker sees.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftRunConfig {
+    /// Residual tracking and drift-detection parameters.
+    pub residual: ResidualConfig,
+    /// Swap-gate parameters.
+    pub gate: GateConfig,
+    /// Track residuals at all. When `false` the phases replay exactly
+    /// like [`crate::runner::run_observed`] — no tracker hooks, no
+    /// drift events, no adaptation; reports are bit-identical to the
+    /// unobserved path.
+    pub track: bool,
+    /// React to drift with capture absorption, fine-tuning and the swap
+    /// gate. With `track = true, adapt = false` the loop observes but
+    /// never acts (useful for overhead measurement and bit-identity
+    /// checks).
+    pub adapt: bool,
+    /// QoS constraint handed to the engine.
+    pub qos_p99_ms: Option<f32>,
+}
+
+impl Default for DriftRunConfig {
+    fn default() -> Self {
+        Self {
+            residual: ResidualConfig::default(),
+            gate: GateConfig::default(),
+            track: true,
+            adapt: true,
+            qos_p99_ms: None,
+        }
+    }
+}
+
+impl DriftRunConfig {
+    /// Observe-only: track residuals and emit drift events but never
+    /// fine-tune or swap.
+    pub fn observe_only() -> Self {
+        Self {
+            adapt: false,
+            ..Self::default()
+        }
+    }
+
+    /// Fully disabled: phases replay exactly like plain observed runs.
+    pub fn disabled() -> Self {
+        Self {
+            track: false,
+            adapt: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// What one phase produced.
+#[derive(Debug, Clone)]
+pub struct PhaseOutcome {
+    /// The engine report of the phase.
+    pub report: RunReport,
+    /// Drift events the tracker flushed at the end of the phase.
+    pub drifts: Vec<DriftEvent>,
+    /// Signatures captured online and absorbed into the policy.
+    pub signatures_absorbed: usize,
+    /// Swap-gate verdicts taken in response to this phase's drift.
+    pub verdicts: Vec<(ModelTarget, SwapVerdict)>,
+}
+
+/// The full drifting-corpus result.
+#[derive(Debug, Clone)]
+pub struct DriftRunResult {
+    /// Per-phase outcomes, in phase order.
+    pub phases: Vec<PhaseOutcome>,
+}
+
+impl DriftRunResult {
+    /// Total drift events across all phases.
+    pub fn total_drifts(&self) -> usize {
+        self.phases.iter().map(|p| p.drifts.len()).sum()
+    }
+
+    /// Total accepted hot-swaps across all phases.
+    pub fn total_swaps(&self) -> usize {
+        self.phases
+            .iter()
+            .flat_map(|p| p.verdicts.iter())
+            .filter(|(_, v)| *v == SwapVerdict::Swapped)
+            .count()
+    }
+}
+
+/// Replays `phases` under `policy`, closing the §V-C online loop.
+///
+/// Per phase: replay the scenario with the tracker riding along, score
+/// the system-state forecasts against the realised trace, flush the
+/// residual histograms and drift events into `obs`. If drift fired and
+/// adaptation is enabled: absorb any online-captured signatures, then
+/// for every drifted model target harvest the capture buffer
+/// (policy-decided outcomes of all phases so far), fine-tune a
+/// versioned candidate on the index-based train split and run it
+/// through the swap gate. Every capture, drift and swap lands in
+/// `obs`'s adaptation log.
+///
+/// # Panics
+///
+/// Panics if `phases` is empty.
+pub fn run_drift_phases(
+    catalog: &WorkloadCatalog,
+    phases: &[DriftPhase],
+    policy: &mut AdriasPolicy,
+    cfg: &DriftRunConfig,
+    obs: &mut Observer,
+) -> DriftRunResult {
+    assert!(!phases.is_empty(), "no phases to run");
+    let mut tracker = ResidualTracker::new(cfg.residual);
+    // Scoring clone: `predict_batch` needs `&mut` scratch, and the
+    // policy's own forecaster must stay untouched by the check.
+    let mut scorer = policy.system_model().clone();
+    let mut outcomes: Vec<PhaseOutcome> = Vec::with_capacity(phases.len());
+    let mut capture_buffer: Vec<RunReport> = Vec::new();
+
+    for phase in phases {
+        let schedule = build_schedule(&phase.spec, catalog, PlacementStyle::PolicyDecided);
+        let engine = EngineConfig {
+            seed: phase.spec.seed ^ 0xE6E,
+            qos_p99_ms: cfg.qos_p99_ms,
+            ..EngineConfig::default()
+        };
+        let report = if cfg.track {
+            let mut hooks = TrackedRun::new(&mut tracker, ObservedRun::new(obs));
+            run_schedule_hooked(phase.testbed, engine, &schedule, policy, &mut hooks)
+        } else {
+            run_schedule_observed(phase.testbed, engine, &schedule, policy, obs)
+        };
+
+        let (drifts, signatures_absorbed, verdicts) = if cfg.track {
+            tracker.score_system_forecasts(&report, &mut scorer);
+            let drifts = tracker.flush(obs);
+            capture_buffer.push(report.clone());
+            if cfg.adapt && !drifts.is_empty() {
+                let absorbed = absorb_signatures_observed(policy, &report, obs);
+                let verdicts = adapt_to_drift(policy, &drifts, &capture_buffer, cfg, &report, obs);
+                (drifts, absorbed, verdicts)
+            } else {
+                (drifts, 0, Vec::new())
+            }
+        } else {
+            (Vec::new(), 0, Vec::new())
+        };
+
+        outcomes.push(PhaseOutcome {
+            report,
+            drifts,
+            signatures_absorbed,
+            verdicts,
+        });
+    }
+
+    DriftRunResult { phases: outcomes }
+}
+
+/// Maps drifted residual streams to the model targets they implicate
+/// and runs one fine-tune + gate cycle per target. A system-state
+/// stream drift implicates the BE model (its Ŝ input shifted); the LC
+/// stream implicates the LC model.
+fn adapt_to_drift(
+    policy: &mut AdriasPolicy,
+    drifts: &[DriftEvent],
+    capture_buffer: &[RunReport],
+    cfg: &DriftRunConfig,
+    report: &RunReport,
+    obs: &mut Observer,
+) -> Vec<(ModelTarget, SwapVerdict)> {
+    let mut targets: Vec<ModelTarget> = Vec::new();
+    for event in drifts {
+        let target = if event.stream == "lc.rel_err" {
+            ModelTarget::LatencyCritical
+        } else {
+            ModelTarget::BestEffort
+        };
+        if !targets.contains(&target) {
+            targets.push(target);
+        }
+    }
+    targets.sort_by_key(|t| t.tag());
+
+    let signatures: Vec<AppSignature> = policy.signatures().into_iter().cloned().collect();
+    let mut verdicts = Vec::new();
+    for target in targets {
+        let class = match target {
+            ModelTarget::BestEffort => WorkloadClass::BestEffort,
+            ModelTarget::LatencyCritical => WorkloadClass::LatencyCritical,
+        };
+        let records: Vec<PerfRecord> = capture_buffer
+            .iter()
+            .flat_map(|r| harvest_perf_records(r, class))
+            .collect();
+        if records.is_empty() {
+            continue;
+        }
+        let dataset = PerfDataset::new(records, &signatures);
+        let Some((train, holdout)) = dataset.split_holdout(cfg.gate.holdout_every) else {
+            continue;
+        };
+        let incumbent = match target {
+            ModelTarget::BestEffort => policy.be_model(),
+            ModelTarget::LatencyCritical => policy.lc_model(),
+        };
+        let candidate = fine_tune_candidate(incumbent, &train, cfg.gate.fine_tune_epochs);
+        let verdict = gate_swap(
+            policy,
+            target,
+            candidate,
+            &holdout,
+            report.end_time_s,
+            cfg.gate.min_margin,
+            obs,
+        );
+        verdicts.push((target, verdict));
+    }
+    verdicts
+}
+
+/// A degraded interconnect for drift demos: the effective channel
+/// throughput collapses to 1 Gbit/s and idle remote latency nearly
+/// doubles — remote-mode performance falls well outside the
+/// distribution a stack trained on [`TestbedConfig::noiseless`] saw.
+pub fn degraded_testbed() -> TestbedConfig {
+    let mut cfg = TestbedConfig::noiseless();
+    cfg.link.effective_cap_gbps = 1.0;
+    cfg.link.base_latency_cycles = 550.0;
+    cfg.link.remote_latency_ns = 1600.0;
+    cfg
+}
+
+/// The canonical drift-demo corpus: two phases on the training-time
+/// testbed, then two on the degraded link. Deterministic in `seed`.
+pub fn demo_phases(seed: u64) -> Vec<DriftPhase> {
+    let stable = TestbedConfig::noiseless();
+    let degraded = degraded_testbed();
+    vec![
+        DriftPhase::new(stable, ScenarioSpec::new(5.0, 25.0, 900.0, seed)),
+        DriftPhase::new(stable, ScenarioSpec::new(5.0, 35.0, 900.0, seed ^ 0x1)),
+        DriftPhase::new(degraded, ScenarioSpec::new(5.0, 25.0, 900.0, seed ^ 0x2)),
+        DriftPhase::new(degraded, ScenarioSpec::new(5.0, 35.0, 900.0, seed ^ 0x3)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_observed;
+    use crate::stack::{train_stack, StackOptions};
+    use adrias_workloads::WorkloadCatalog;
+    use std::sync::OnceLock;
+
+    fn quick_stack() -> &'static crate::stack::TrainedStack {
+        static STACK: OnceLock<crate::stack::TrainedStack> = OnceLock::new();
+        STACK.get_or_init(|| train_stack(&WorkloadCatalog::paper(), &StackOptions::quick()))
+    }
+
+    #[test]
+    fn disabled_runner_matches_plain_observed_runs_bit_for_bit() {
+        let catalog = WorkloadCatalog::paper();
+        let stack = quick_stack();
+        let phases = vec![
+            DriftPhase::new(
+                TestbedConfig::noiseless(),
+                ScenarioSpec::new(5.0, 25.0, 700.0, 77),
+            ),
+            DriftPhase::new(degraded_testbed(), ScenarioSpec::new(5.0, 35.0, 700.0, 78)),
+        ];
+
+        let mut policy = stack.policy(0.8, 5.0);
+        let mut obs = Observer::default();
+        let result = run_drift_phases(
+            &catalog,
+            &phases,
+            &mut policy,
+            &DriftRunConfig::disabled(),
+            &mut obs,
+        );
+        assert_eq!(result.total_drifts(), 0);
+        assert_eq!(result.total_swaps(), 0);
+        assert!(obs.adapt.is_empty(), "disabled mode records no adaptation");
+
+        for (phase, outcome) in phases.iter().zip(&result.phases) {
+            let mut plain_policy = stack.policy(0.8, 5.0);
+            let mut plain_obs = Observer::default();
+            let plain = run_observed(
+                phase.testbed,
+                &catalog,
+                &phase.spec,
+                Some(5.0),
+                &mut plain_policy,
+                &mut plain_obs,
+            );
+            assert_eq!(
+                outcome.report.end_time_s.to_bits(),
+                plain.end_time_s.to_bits()
+            );
+            assert_eq!(
+                outcome.report.link_bytes.to_bits(),
+                plain.link_bytes.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn observe_only_tracking_never_perturbs_decisions() {
+        let catalog = WorkloadCatalog::paper();
+        let stack = quick_stack();
+        let phases = vec![DriftPhase::new(
+            degraded_testbed(),
+            ScenarioSpec::new(5.0, 25.0, 700.0, 79),
+        )];
+
+        let mut policy = stack.policy(0.8, 5.0);
+        let mut obs = Observer::default();
+        let tracked = run_drift_phases(
+            &catalog,
+            &phases,
+            &mut policy,
+            &DriftRunConfig::observe_only(),
+            &mut obs,
+        );
+
+        let mut plain_policy = stack.policy(0.8, 5.0);
+        let mut plain_obs = Observer::default();
+        let plain = run_observed(
+            phases[0].testbed,
+            &catalog,
+            &phases[0].spec,
+            None,
+            &mut plain_policy,
+            &mut plain_obs,
+        );
+        let tracked_report = &tracked.phases[0].report;
+        assert_eq!(
+            tracked_report.end_time_s.to_bits(),
+            plain.end_time_s.to_bits()
+        );
+        assert_eq!(
+            tracked_report.link_bytes.to_bits(),
+            plain.link_bytes.to_bits()
+        );
+        for (a, b) in tracked_report.outcomes.iter().zip(&plain.outcomes) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.mode, b.mode);
+            assert_eq!(a.runtime_s.to_bits(), b.runtime_s.to_bits());
+        }
+        // Observe-only never touches the models.
+        assert_eq!(policy.be_model().version(), 0);
+        assert!(obs.adapt.swaps().is_empty());
+        // But it does track: residual histograms landed in the registry.
+        assert!(obs
+            .registry
+            .histogram("adapt.residual.be.rel_err")
+            .is_some());
+    }
+
+    #[test]
+    fn degraded_link_fires_drift_and_the_loop_reacts() {
+        let catalog = WorkloadCatalog::paper();
+        let stack = quick_stack();
+        let mut policy = stack.policy(0.8, 5.0);
+        let mut obs = Observer::default();
+        let result = run_drift_phases(
+            &catalog,
+            &demo_phases(0x0D51),
+            &mut policy,
+            &DriftRunConfig::default(),
+            &mut obs,
+        );
+        assert!(
+            result.total_drifts() > 0,
+            "a collapsed link must fire the drift detector"
+        );
+        // The BE residual stream is quiet while the link matches the
+        // training conditions and fires once it degrades (phases 2+).
+        // (The quick stack's LC and system models are rougher, so only
+        // the BE stream carries the clean stable/degraded contrast.)
+        for stable in &result.phases[..2] {
+            assert!(
+                stable.drifts.iter().all(|d| d.stream != "be.rel_err"),
+                "BE residuals must not drift on the training-time link"
+            );
+        }
+        assert!(
+            result.phases[2..]
+                .iter()
+                .flat_map(|p| p.drifts.iter())
+                .any(|d| d.stream == "be.rel_err"),
+            "the degraded link must shift the BE residual stream"
+        );
+        let verdict_count: usize = result.phases.iter().map(|p| p.verdicts.len()).sum();
+        assert!(verdict_count > 0, "drift must reach the swap gate");
+        assert_eq!(obs.adapt.swaps().len(), verdict_count);
+        assert_eq!(obs.adapt.drifts().len(), result.total_drifts());
+        // Fine-tuning on the degraded capture buffer produces a
+        // genuinely better candidate, so at least one swap lands.
+        assert!(result.total_swaps() > 0, "the loop must close with a swap");
+    }
+}

@@ -15,11 +15,14 @@
 //!   runs);
 //! * [`stack`] — one-call training of the full Adrias model stack;
 //! * [`runner`] — the orchestration-evaluation loop comparing policies
-//!   across scenarios (Figs. 16–17), with parallel execution.
+//!   across scenarios (Figs. 16–17), with parallel execution;
+//! * [`drift`] — the drifting-workload runner closing the §V-C online
+//!   loop: residual tracking, drift detection and audited hot-swaps.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod drift;
 pub mod runner;
 pub mod schedule;
 pub mod signatures;
@@ -27,6 +30,10 @@ pub mod spec;
 pub mod stack;
 pub mod traces;
 
+pub use drift::{
+    degraded_testbed, demo_phases, run_drift_phases, DriftPhase, DriftRunConfig, DriftRunResult,
+    PhaseOutcome,
+};
 pub use runner::{run_comparison, run_comparison_merged, run_observed, PolicyOutcome};
 pub use schedule::build_schedule;
 pub use signatures::collect_signatures;

@@ -39,6 +39,7 @@ pub struct SimMetrics {
     mem_bw: Histogram,
     llc: Histogram,
     slowdown: Histogram,
+    slowdown_bounds: Vec<f64>,
     slowdown_per_app: BTreeMap<String, Histogram>,
 }
 
@@ -49,8 +50,23 @@ impl Default for SimMetrics {
 }
 
 impl SimMetrics {
-    /// Creates an empty accumulator.
+    /// Creates an empty accumulator with the default
+    /// [`SLOWDOWN_BUCKETS`] layout.
     pub fn new() -> Self {
+        Self::with_slowdown_buckets(SLOWDOWN_BUCKETS.to_vec())
+    }
+
+    /// Creates an empty accumulator whose slowdown histograms (global
+    /// and per-app) use the given bucket layout instead of the default
+    /// [`SLOWDOWN_BUCKETS`]. Long rack-scale runs can pick a layout
+    /// matching their contention regime (e.g. finer resolution below
+    /// 1.5×); the default layout is unchanged, so existing golden
+    /// exports stay bitwise-stable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn with_slowdown_buckets(bounds: Vec<f64>) -> Self {
         Self {
             steps: 0,
             time_s: 0.0,
@@ -61,7 +77,8 @@ impl SimMetrics {
             link_utilization: Histogram::new(UTIL_BUCKETS.to_vec()),
             mem_bw: Histogram::new(UTIL_BUCKETS.to_vec()),
             llc: Histogram::new(UTIL_BUCKETS.to_vec()),
-            slowdown: Histogram::new(SLOWDOWN_BUCKETS.to_vec()),
+            slowdown: Histogram::new(bounds.clone()),
+            slowdown_bounds: bounds,
             slowdown_per_app: BTreeMap::new(),
         }
     }
@@ -88,7 +105,7 @@ impl SimMetrics {
             self.slowdown.observe(slowdown);
             self.slowdown_per_app
                 .entry(done.name.clone())
-                .or_insert_with(|| Histogram::new(SLOWDOWN_BUCKETS.to_vec()))
+                .or_insert_with(|| Histogram::new(self.slowdown_bounds.clone()))
                 .observe(slowdown);
         }
     }
