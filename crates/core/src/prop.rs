@@ -269,6 +269,71 @@ pub mod collection {
     }
 }
 
+/// A strategy that always yields the same value. The fixed points of a
+/// structured spec (a pinned field while the rest fuzzes) — never
+/// shrinks.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut Xoshiro256pp) -> T {
+        self.0.clone()
+    }
+}
+
+/// Choice strategies, namespaced like proptest's `prop::sample`.
+pub mod sample {
+    use super::{fmt, Strategy, Xoshiro256pp};
+    use crate::rng::Rng;
+
+    /// Strategy drawing uniformly from a fixed option set; see
+    /// [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Draws uniformly from `options`, shrinking toward *earlier*
+    /// entries — order the options simplest-first so a structured spec
+    /// (an enum of fault kinds, a palette of app mixes) shrinks toward
+    /// its most boring variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone + fmt::Debug + PartialEq>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone + fmt::Debug + PartialEq> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut Xoshiro256pp) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+
+        fn shrink(&self, value: &T) -> Vec<T> {
+            // Mirror the numeric halving: jump to the simplest option,
+            // then to the midpoint between it and the current one.
+            let Some(i) = self.options.iter().position(|o| o == value) else {
+                return Vec::new();
+            };
+            let mut out = Vec::new();
+            if i > 0 {
+                out.push(self.options[0].clone());
+                let half = i / 2;
+                if half != 0 && half != i {
+                    out.push(self.options[half].clone());
+                }
+            }
+            out
+        }
+    }
+}
+
 macro_rules! impl_tuple_strategy {
     ($($S:ident . $i:tt),+) => {
         impl<$($S: Strategy),+> Strategy for ($($S,)+) {
@@ -337,20 +402,46 @@ pub fn base_seed(name: &str) -> u64 {
 
 const MAX_SHRINK_STEPS: usize = 512;
 
-/// Drives one property: generates `case_count()` inputs, checks each,
-/// and on failure shrinks the input before panicking with the minimal
-/// counterexample and replay seed. Used via the [`crate::proptest!`]
-/// macro rather than directly.
-pub fn run<S, F>(name: &str, strat: &S, check: F)
+/// A falsified, fully-shrunk case found by [`falsify_from`]: the
+/// minimal input, the failure it still triggers, and the coordinates
+/// to regenerate the original un-shrunk value from scratch.
+#[derive(Debug, Clone)]
+pub struct Counterexample<V> {
+    /// Minimal failing input after shrinking.
+    pub minimal: V,
+    /// The failure the minimal input triggers.
+    pub fail: PropFail,
+    /// Which generated case (0-based) first failed.
+    pub case: u64,
+    /// The base seed the search ran under.
+    pub base_seed: u64,
+    /// Accepted shrink steps between the original and `minimal`.
+    pub shrink_steps: usize,
+}
+
+/// Per-case generator seed: decorrelates cases while keeping each one
+/// individually replayable from `(base, case)`.
+pub fn case_seed(base: u64, case: u64) -> u64 {
+    base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Searches `cases` generated inputs from `base` for one falsifying
+/// `check`, and greedily shrinks the first failure. Returns `None` when
+/// every case passes. This is [`run`] without the panic — callers that
+/// want to *persist* counterexamples (the scenario fuzzer) rather than
+/// abort use this directly.
+pub fn falsify_from<S, F>(
+    base: u64,
+    cases: u64,
+    strat: &S,
+    check: F,
+) -> Option<Counterexample<S::Value>>
 where
     S: Strategy,
     F: Fn(S::Value) -> Result<(), PropFail>,
 {
-    let cases = case_count();
-    let base = base_seed(name);
     for case in 0..cases {
-        // Per-case stream: decorrelate cases while staying replayable.
-        let mut rng = Xoshiro256pp::seed_from_u64(base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = Xoshiro256pp::seed_from_u64(case_seed(base, case));
         let value = strat.generate(&mut rng);
         if let Err(first_fail) = check(value.clone()) {
             let mut best = value;
@@ -367,12 +458,39 @@ where
                 }
                 break;
             }
-            panic!(
-                "property `{name}` falsified on case {case}/{cases} (base seed {base:#x})\n  \
-                 minimal input after {steps} shrink step(s): {best:?}\n  {best_fail}\n  \
-                 replay with ADRIAS_PROP_SEED={base:#x} ADRIAS_PROP_CASES={cases}",
-            );
+            return Some(Counterexample {
+                minimal: best,
+                fail: best_fail,
+                case,
+                base_seed: base,
+                shrink_steps: steps,
+            });
         }
+    }
+    None
+}
+
+/// Drives one property: generates `case_count()` inputs, checks each,
+/// and on failure shrinks the input before panicking with the minimal
+/// counterexample and replay seed. Used via the [`crate::proptest!`]
+/// macro rather than directly.
+pub fn run<S, F>(name: &str, strat: &S, check: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), PropFail>,
+{
+    let cases = case_count();
+    let base = base_seed(name);
+    if let Some(cex) = falsify_from(base, cases, strat, check) {
+        panic!(
+            "property `{name}` falsified on case {case}/{cases} (base seed {base:#x})\n  \
+             minimal input after {steps} shrink step(s): {best:?}\n  {best_fail}\n  \
+             replay with ADRIAS_PROP_SEED={base:#x} ADRIAS_PROP_CASES={cases}",
+            case = cex.case,
+            steps = cex.shrink_steps,
+            best = cex.minimal,
+            best_fail = cex.fail,
+        );
     }
 }
 
@@ -499,6 +617,54 @@ mod tests {
             .and_then(|s| s.trim().parse().ok())
             .expect("panic message should contain the minimal tuple");
         assert!((50..100).contains(&minimal), "minimal {minimal}: {msg}");
+    }
+
+    #[test]
+    fn just_always_yields_its_value_and_never_shrinks() {
+        let strat = Just(42u64);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        assert_eq!(strat.generate(&mut rng), 42);
+        assert!(strat.shrink(&42).is_empty());
+    }
+
+    #[test]
+    fn select_draws_from_options_and_shrinks_toward_first() {
+        let strat = sample::select(vec!["calm", "spiky", "collapse", "flap"]);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!(["calm", "spiky", "collapse", "flap"].contains(&v));
+        }
+        let cands = strat.shrink(&"flap");
+        assert_eq!(cands, vec!["calm", "spiky"]);
+        assert!(strat.shrink(&"calm").is_empty());
+    }
+
+    #[test]
+    fn falsify_from_returns_shrunk_counterexample_without_panicking() {
+        let cex = falsify_from(0xF00D, 64, &(0u64..1000,), |(x,)| {
+            if x >= 50 {
+                Err(PropFail::new(format!("{x} too big"), file!(), line!()))
+            } else {
+                Ok(())
+            }
+        })
+        .expect("property is falsifiable");
+        assert!((50..100).contains(&cex.minimal.0), "minimal {cex:?}");
+        assert_eq!(cex.base_seed, 0xF00D);
+
+        let none = falsify_from(0xF00D, 64, &(0u64..1000,), |_| Ok(()));
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn case_seed_is_replayable() {
+        let base = base_seed("replay");
+        let strat = collection::vec(0.0f64..1.0, 4..9);
+        let mut r1 = Xoshiro256pp::seed_from_u64(case_seed(base, 7));
+        let mut r2 = Xoshiro256pp::seed_from_u64(case_seed(base, 7));
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+        assert_ne!(case_seed(base, 1), case_seed(base, 2));
     }
 
     #[test]

@@ -255,6 +255,43 @@ impl PageHinkley {
         self.m = 0.0;
         self.m_min = 0.0;
     }
+
+    /// Captures the accumulated fold state so a detector can be
+    /// persisted (or handed across a flush boundary) and resumed later
+    /// with [`PageHinkley::restore`]. The configuration and stream tag
+    /// are construction-time identity, not accumulated state, and are
+    /// deliberately not part of the snapshot.
+    pub fn snapshot(&self) -> PageHinkleyState {
+        PageHinkleyState {
+            samples: self.samples,
+            mean: self.mean,
+            m: self.m,
+            m_min: self.m_min,
+        }
+    }
+
+    /// Restores state captured by [`PageHinkley::snapshot`]. A detector
+    /// that observes a residual stream, is snapshotted, recreated and
+    /// restored mid-stream emits exactly the events the uninterrupted
+    /// detector would have — the fold is pure, so the snapshot is the
+    /// whole state.
+    pub fn restore(&mut self, state: PageHinkleyState) {
+        self.samples = state.samples;
+        self.mean = state.mean;
+        self.m = state.m;
+        self.m_min = state.m_min;
+    }
+}
+
+/// Opaque accumulated state of a [`PageHinkley`] detector, captured by
+/// [`PageHinkley::snapshot`] and re-applied with
+/// [`PageHinkley::restore`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageHinkleyState {
+    samples: u64,
+    mean: f64,
+    m: f64,
+    m_min: f64,
 }
 
 /// The adaptation audit log: capture attempts, drift events, and model
@@ -378,6 +415,65 @@ mod tests {
             events
         };
         assert_eq!(run(), run());
+    }
+
+    adrias_core::proptest! {
+        #[test]
+        fn chunked_feeding_with_snapshot_restore_matches_one_shot(
+            raw in adrias_core::prop::collection::vec(0.0f64..2.0, 1..120),
+            cuts in adrias_core::prop::collection::vec(0usize..120, 0..4),
+        ) {
+            // Quantise the residuals so chunking cannot hide behind
+            // float noise: the streams must be *identical*, and so must
+            // the emitted events.
+            let stream: Vec<f64> = raw.iter().map(|x| (x * 8.0).round() / 8.0).collect();
+
+            // One-shot: a single detector folds the whole stream.
+            let mut whole = PageHinkley::new("be.rel_err", DriftConfig::default());
+            let mut expected = Vec::new();
+            for (i, &x) in stream.iter().enumerate() {
+                if let Some(e) = whole.observe(x, i as f64) {
+                    expected.push(e);
+                }
+            }
+
+            // Chunked: at every cut point the detector is snapshotted,
+            // dropped, and a fresh one restored from the snapshot —
+            // the flush/restore path a persisted detector would take.
+            let mut cuts: Vec<usize> = cuts.iter().map(|&c| c % (stream.len() + 1)).collect();
+            cuts.sort_unstable();
+            cuts.dedup();
+            let mut chunked = PageHinkley::new("be.rel_err", DriftConfig::default());
+            let mut got = Vec::new();
+            for (i, &x) in stream.iter().enumerate() {
+                if cuts.contains(&i) {
+                    let state = chunked.snapshot();
+                    chunked = PageHinkley::new("be.rel_err", DriftConfig::default());
+                    chunked.restore(state);
+                }
+                if let Some(e) = chunked.observe(x, i as f64) {
+                    got.push(e);
+                }
+            }
+
+            adrias_core::prop_assert_eq!(got, expected);
+            adrias_core::prop_assert_eq!(chunked.snapshot(), whole.snapshot());
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_mid_window() {
+        let mut ph = PageHinkley::new("lc.rel_err", DriftConfig::default());
+        for i in 0..5 {
+            assert_eq!(ph.observe(0.2 + 0.1 * i as f64, i as f64), None);
+        }
+        let state = ph.snapshot();
+        let mut resumed = PageHinkley::new("lc.rel_err", DriftConfig::default());
+        resumed.restore(state);
+        assert_eq!(resumed.samples(), ph.samples());
+        assert_eq!(resumed.mean(), ph.mean());
+        assert_eq!(resumed.stat(), ph.stat());
+        assert_eq!(resumed.snapshot(), state);
     }
 
     #[test]

@@ -165,6 +165,31 @@ pub fn to_jsonl_decisions(obs: &Observer) -> String {
     out
 }
 
+/// Renders counterexample evidence for a failed QoS oracle: every
+/// audited decision that offloaded a latency-critical deployment whose
+/// own predicted remote p99 violates `qos_p99_ms` (missing or
+/// non-finite predictions count as violations). Each line uses the
+/// same schema as [`to_jsonl_decisions`] but keeps the original `seq`
+/// numbers, so every piece of evidence points back into the full audit
+/// trail; a fuzzer can attach this to a shrunk failing case. Empty when
+/// the oracle holds.
+pub fn to_jsonl_qos_counterexamples(obs: &Observer, qos_p99_ms: f32) -> String {
+    let mut out = String::new();
+    for r in obs.audit.records() {
+        let i = &r.input;
+        let offloaded_lc =
+            i.rule.tag() == "qos_threshold" && i.chosen == adrias_workloads::MemoryMode::Remote;
+        let violates = match i.pred_remote {
+            Some(p) => !p.is_finite() || p > qos_p99_ms,
+            None => true,
+        };
+        if offloaded_lc && violates {
+            render_decision_line(&mut out, r);
+        }
+    }
+    out
+}
+
 fn render_capture_line(out: &mut String, r: &CaptureRecord) {
     let _ = writeln!(
         out,
@@ -443,6 +468,49 @@ mod tests {
         let inst = &events[1];
         assert_eq!(inst.get("ph").unwrap().as_str(), Some("i"));
         assert_eq!(inst.get("tid").unwrap().as_num(), Some(1.0));
+    }
+
+    #[test]
+    fn qos_counterexamples_select_only_violating_offloads() {
+        let mut obs = Observer::new(ObsConfig::default());
+        let record = |obs: &mut Observer, pred_remote: Option<f32>, chosen: MemoryMode| {
+            obs.record_decision(DecisionInput {
+                at_s: 1.0,
+                deployment_id: 0,
+                app: "redis",
+                class: WorkloadClass::LatencyCritical,
+                window: WindowSummary::empty(),
+                pred_local: None,
+                pred_remote,
+                rule: DecisionRule::QosThreshold { qos_p99_ms: 5.0 },
+                chosen,
+                policy: "adrias",
+            });
+        };
+        record(&mut obs, Some(4.0), MemoryMode::Remote); // compliant offload
+        record(&mut obs, Some(9.0), MemoryMode::Remote); // violation
+        record(&mut obs, Some(9.0), MemoryMode::Local); // kept local: fine
+        record(&mut obs, None, MemoryMode::Remote); // no prediction: violation
+        record(&mut obs, Some(f32::NAN), MemoryMode::Remote); // NaN: violation
+        let text = to_jsonl_qos_counterexamples(&obs, 5.0);
+        assert_eq!(text.lines().count(), 3);
+        // Evidence keeps the original audit `seq` numbers and the full
+        // decision schema.
+        let docs: Vec<_> = text
+            .lines()
+            .map(|l| json::parse(l).expect("evidence line parses"))
+            .collect();
+        let seqs: Vec<f64> = docs
+            .iter()
+            .map(|d| d.get("seq").unwrap().as_num().unwrap())
+            .collect();
+        assert_eq!(seqs, vec![1.0, 3.0, 4.0]);
+        for d in &docs {
+            assert_eq!(d.get("rule").unwrap().as_str(), Some("qos_threshold"));
+            assert_eq!(d.get("chosen").unwrap().as_str(), Some("remote"));
+        }
+        // A healthy trail yields no evidence at all.
+        assert!(to_jsonl_qos_counterexamples(&sample_observer(), 5.0).is_empty());
     }
 
     #[test]

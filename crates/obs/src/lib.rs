@@ -51,10 +51,10 @@ pub mod validate;
 
 pub use adapt::{
     AdaptationLog, CaptureRecord, CaptureSkip, DriftConfig, DriftEvent, ModelSwapRecord,
-    PageHinkley, SwapVerdict,
+    PageHinkley, PageHinkleyState, SwapVerdict,
 };
 pub use audit::{AuditTrail, DecisionInput, DecisionRecord, DecisionRule, WindowSummary};
-pub use export::{write_all, ExportError, ExportPaths};
+pub use export::{to_jsonl_qos_counterexamples, write_all, ExportError, ExportPaths};
 pub use intern::intern;
 pub use observer::{ObsConfig, Observer};
 pub use registry::{Histogram, Registry};

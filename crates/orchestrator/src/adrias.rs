@@ -61,6 +61,11 @@ pub struct AdriasPolicy {
     /// (default). The slow lane survives for parity pinning and honest
     /// benchmarking; both produce bit-identical decisions.
     fast_path: bool,
+    /// Test-only fault injection: when set, the LC branch ignores the
+    /// QoS threshold and offloads unconditionally. Exists so the
+    /// adversarial fuzzer can prove its QoS oracle detects a genuinely
+    /// broken policy; see [`AdriasPolicy::set_test_qos_bypass`].
+    test_qos_bypass: bool,
     /// Memoised system-state forecast, keyed by the Watcher stamp of
     /// the window it was computed from.
     forecast_cache: Option<(WindowStamp, MetricVec)>,
@@ -150,6 +155,7 @@ impl AdriasPolicy {
             beta,
             default_qos_p99_ms,
             fast_path: true,
+            test_qos_bypass: false,
             forecast_cache: None,
             be_sig_feats: HashMap::new(),
             lc_sig_feats: HashMap::new(),
@@ -182,6 +188,21 @@ impl AdriasPolicy {
     /// Whether the cached decision lane is active.
     pub fn fast_path(&self) -> bool {
         self.fast_path
+    }
+
+    /// **Test-only** fault injection: when enabled, latency-critical
+    /// decisions offload remote unconditionally, *ignoring* the QoS
+    /// threshold — a deliberately broken policy. The audit trail still
+    /// records the `QosThreshold` rule with the real predictions, so a
+    /// violating decision is visible as `chosen = remote` with
+    /// `pred_remote > qos` (negative margin).
+    ///
+    /// This exists so the adversarial fuzzer can prove its differential
+    /// QoS oracle finds and shrinks a real counterexample. Never enable
+    /// it outside that self-check.
+    #[doc(hidden)]
+    pub fn set_test_qos_bypass(&mut self, enabled: bool) {
+        self.test_qos_bypass = enabled;
     }
 
     /// The slack parameter β.
@@ -444,10 +465,12 @@ impl Policy for AdriasPolicy {
         let (mode, rule) = match ctx.profile.class() {
             WorkloadClass::LatencyCritical => {
                 let qos = ctx.qos_p99_ms.unwrap_or(self.default_qos_p99_ms);
-                (
-                    lc_rule(pred_remote, qos),
-                    DecisionRule::QosThreshold { qos_p99_ms: qos },
-                )
+                let mode = if self.test_qos_bypass {
+                    MemoryMode::Remote
+                } else {
+                    lc_rule(pred_remote, qos)
+                };
+                (mode, DecisionRule::QosThreshold { qos_p99_ms: qos })
             }
             _ => (
                 be_rule(pred_local, pred_remote, self.beta),

@@ -4,7 +4,7 @@
 use adrias_core::rng::SeedableRng;
 use adrias_core::rng::Xoshiro256pp;
 
-use adrias_sim::{DeploymentId, StepReport, Testbed, TestbedConfig};
+use adrias_sim::{DeploymentId, LinkConfig, StepReport, Testbed, TestbedConfig};
 use adrias_telemetry::{MetricSample, MetricVec, Watcher};
 use adrias_workloads::keyvalue::tail_latency;
 use adrias_workloads::{LoadSpec, MemoryMode, WorkloadClass, WorkloadProfile};
@@ -48,6 +48,23 @@ impl ScheduledArrival {
         self.duration_s = Some(duration_s);
         self
     }
+}
+
+/// One link-degradation fault: at `at_s` the testbed's ThymesisFlow
+/// channel parameters are replaced wholesale with `link`.
+///
+/// A schedule of these models the failure modes catalogued for
+/// disaggregated fabrics — latency spikes (`base_latency_cycles` up),
+/// throughput collapse (`effective_cap_gbps` down), and link flapping
+/// (alternating degraded/healthy entries). Restoring the original
+/// `LinkConfig` in a later event heals the link; an empty schedule
+/// leaves the engine loop bit-identical to the un-faulted path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Sim time at which the fault takes effect, seconds.
+    pub at_s: f64,
+    /// The link parameters in force from `at_s` onward.
+    pub link: LinkConfig,
 }
 
 /// Engine parameters.
@@ -254,7 +271,7 @@ pub fn run_schedule(
     arrivals: &[ScheduledArrival],
     policy: &mut dyn Policy,
 ) -> RunReport {
-    run_schedule_inner(testbed_cfg, engine_cfg, arrivals, policy, &mut ())
+    run_schedule_inner(testbed_cfg, engine_cfg, arrivals, &[], policy, &mut ())
 }
 
 /// [`run_schedule`] with an attached [`adrias_obs::Observer`]: every
@@ -269,7 +286,27 @@ pub fn run_schedule_observed(
     obs: &mut adrias_obs::Observer,
 ) -> RunReport {
     let mut run = crate::engine_obs::ObservedRun::new(obs);
-    run_schedule_inner(testbed_cfg, engine_cfg, arrivals, policy, &mut run)
+    run_schedule_inner(testbed_cfg, engine_cfg, arrivals, &[], policy, &mut run)
+}
+
+/// [`run_schedule_observed`] with a link-degradation schedule: each
+/// [`FaultEvent`] is applied to the testbed just before the first step
+/// at or after its `at_s`, in order. An empty `faults` slice runs the
+/// exact un-faulted loop (same RNG streams, bit-identical report).
+///
+/// # Panics
+///
+/// Panics if `arrivals` or `faults` is not sorted by time.
+pub fn run_schedule_observed_faulted(
+    testbed_cfg: TestbedConfig,
+    engine_cfg: EngineConfig,
+    arrivals: &[ScheduledArrival],
+    faults: &[FaultEvent],
+    policy: &mut dyn Policy,
+    obs: &mut adrias_obs::Observer,
+) -> RunReport {
+    let mut run = crate::engine_obs::ObservedRun::new(obs);
+    run_schedule_inner(testbed_cfg, engine_cfg, arrivals, faults, policy, &mut run)
 }
 
 /// [`run_schedule`] with a caller-supplied [`EngineObserver`] — the
@@ -285,13 +322,14 @@ pub fn run_schedule_hooked<O: EngineObserver>(
     policy: &mut dyn Policy,
     obs: &mut O,
 ) -> RunReport {
-    run_schedule_inner(testbed_cfg, engine_cfg, arrivals, policy, obs)
+    run_schedule_inner(testbed_cfg, engine_cfg, arrivals, &[], policy, obs)
 }
 
 fn run_schedule_inner<O: EngineObserver>(
     testbed_cfg: TestbedConfig,
     engine_cfg: EngineConfig,
     arrivals: &[ScheduledArrival],
+    faults: &[FaultEvent],
     policy: &mut dyn Policy,
     obs: &mut O,
 ) -> RunReport {
@@ -299,7 +337,12 @@ fn run_schedule_inner<O: EngineObserver>(
         arrivals.windows(2).all(|w| w[0].at_s <= w[1].at_s),
         "arrivals must be sorted by time"
     );
+    assert!(
+        faults.windows(2).all(|w| w[0].at_s <= w[1].at_s),
+        "faults must be sorted by time"
+    );
     let mut testbed = Testbed::new(testbed_cfg, engine_cfg.seed);
+    let mut next_fault = 0usize;
     let mut watcher = Watcher::new(engine_cfg.history_window_s.max(1));
     let mut lc_rng = Xoshiro256pp::seed_from_u64(engine_cfg.seed ^ 0x1C);
     let mut outcomes = Vec::new();
@@ -319,6 +362,12 @@ fn run_schedule_inner<O: EngineObserver>(
 
     loop {
         let now = testbed.time_s();
+        // Apply every link fault due at or before `now` (last one wins)
+        // before deployments consult the policy and the testbed steps.
+        while next_fault < faults.len() && faults[next_fault].at_s <= now {
+            testbed.set_link(faults[next_fault].link);
+            next_fault += 1;
+        }
         // Deploy everything due at or before `now`.
         while next_arrival < arrivals.len() && arrivals[next_arrival].at_s <= now {
             let arrival = &arrivals[next_arrival];
@@ -634,6 +683,146 @@ mod tests {
             quick_engine(),
             &arrivals,
             &mut policy,
+        );
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_bit_identical_to_unfaulted_run() {
+        let app = spark::by_name("lr").unwrap();
+        let arrivals = [ScheduledArrival::new(0.0, app)];
+        let run = |faults: &[FaultEvent]| {
+            let mut policy = AllRemotePolicy::new();
+            let mut obs = adrias_obs::Observer::default();
+            let report = run_schedule_observed_faulted(
+                TestbedConfig::paper(),
+                quick_engine(),
+                &arrivals,
+                faults,
+                &mut policy,
+                &mut obs,
+            );
+            (
+                format!("{report:?}"),
+                adrias_obs::export::to_jsonl_events(&obs),
+            )
+        };
+        assert_eq!(run(&[]), run(&[]));
+        let (plain_report, plain_events) = run(&[]);
+        let mut policy = AllRemotePolicy::new();
+        let unfaulted = run_schedule(
+            TestbedConfig::paper(),
+            quick_engine(),
+            &arrivals,
+            &mut policy,
+        );
+        assert_eq!(plain_report, format!("{unfaulted:?}"));
+        assert!(!plain_events.is_empty());
+    }
+
+    #[test]
+    fn throughput_collapse_slows_remote_apps() {
+        let app = spark::by_name("lr").unwrap();
+        let arrivals = [ScheduledArrival::new(0.0, app)];
+        let run = |faults: &[FaultEvent]| {
+            let mut policy = AllRemotePolicy::new();
+            let mut obs = adrias_obs::Observer::default();
+            run_schedule_observed_faulted(
+                TestbedConfig::noiseless(),
+                quick_engine(),
+                &arrivals,
+                faults,
+                &mut policy,
+                &mut obs,
+            )
+        };
+        let healthy = run(&[]);
+        let collapsed = run(&[FaultEvent {
+            at_s: 0.0,
+            link: LinkConfig {
+                effective_cap_gbps: 0.25,
+                base_latency_cycles: 850.0,
+                saturated_latency_cycles: 1700.0,
+                remote_latency_ns: 2400.0,
+                ..LinkConfig::paper()
+            },
+        }]);
+        assert!(
+            collapsed.outcomes[0].runtime_s > healthy.outcomes[0].runtime_s,
+            "collapsed link {} vs healthy {}",
+            collapsed.outcomes[0].runtime_s,
+            healthy.outcomes[0].runtime_s
+        );
+    }
+
+    #[test]
+    fn healing_fault_restores_the_link() {
+        // Flap: degrade at t=0, heal at t=5; a local app is unaffected
+        // either way, but a remote app started after the heal sees the
+        // healthy link again.
+        let app = spark::by_name("lr").unwrap();
+        let degraded = LinkConfig {
+            effective_cap_gbps: 0.25,
+            remote_latency_ns: 2400.0,
+            ..LinkConfig::paper()
+        };
+        let flap = [
+            FaultEvent {
+                at_s: 0.0,
+                link: degraded,
+            },
+            FaultEvent {
+                at_s: 5.0,
+                link: LinkConfig::paper(),
+            },
+        ];
+        let arrivals = [ScheduledArrival::new(10.0, app.clone())];
+        let mut policy = AllRemotePolicy::new();
+        let mut obs = adrias_obs::Observer::default();
+        let flapped = run_schedule_observed_faulted(
+            TestbedConfig::noiseless(),
+            quick_engine(),
+            &arrivals,
+            &flap,
+            &mut policy,
+            &mut obs,
+        );
+        let mut policy = AllRemotePolicy::new();
+        let healthy = run_schedule(
+            TestbedConfig::noiseless(),
+            quick_engine(),
+            &arrivals,
+            &mut policy,
+        );
+        assert!(
+            (flapped.outcomes[0].runtime_s - healthy.outcomes[0].runtime_s).abs() < 1.0,
+            "healed link should behave like the healthy one: {} vs {}",
+            flapped.outcomes[0].runtime_s,
+            healthy.outcomes[0].runtime_s
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "faults must be sorted")]
+    fn unsorted_faults_rejected() {
+        let faults = [
+            FaultEvent {
+                at_s: 10.0,
+                link: LinkConfig::paper(),
+            },
+            FaultEvent {
+                at_s: 5.0,
+                link: LinkConfig::paper(),
+            },
+        ];
+        let mut policy = AllLocalPolicy::new();
+        let mut obs = adrias_obs::Observer::default();
+        let _ = run_schedule_observed_faulted(
+            TestbedConfig::noiseless(),
+            quick_engine(),
+            &[],
+            &faults,
+            &mut policy,
+            &mut obs,
         );
     }
 

@@ -39,8 +39,8 @@ pub use adapt::{
 pub use adrias::{be_rule, lc_rule, AdriasPolicy};
 pub use baselines::{AllLocalPolicy, AllRemotePolicy, RandomPolicy, RoundRobinPolicy};
 pub use engine::{
-    run_schedule, run_schedule_hooked, run_schedule_observed, AppOutcome, EngineConfig,
-    EngineObserver, RunReport, ScheduledArrival,
+    run_schedule, run_schedule_hooked, run_schedule_observed, run_schedule_observed_faulted,
+    AppOutcome, EngineConfig, EngineObserver, FaultEvent, RunReport, ScheduledArrival,
 };
 pub use engine_obs::ObservedRun;
 pub use online::{

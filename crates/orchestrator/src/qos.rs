@@ -13,9 +13,12 @@ use adrias_telemetry::stats;
 /// level the strictest (a low quantile). Thresholds are strictly
 /// decreasing across levels for any non-degenerate distribution.
 ///
-/// # Panics
-///
-/// Panics if `samples` is empty or `n_levels` is zero.
+/// Degenerate inputs are well-defined rather than panics: an empty
+/// sample set or `n_levels == 0` yields an empty vector, and non-finite
+/// samples (NaN, ±∞) are ignored — thresholds are derived from the
+/// finite subset only. If *no* sample is finite the result is empty.
+/// Callers that need to treat "no levels derivable" as an error can
+/// check `is_empty()` on the result.
 ///
 /// # Examples
 ///
@@ -26,10 +29,21 @@ use adrias_telemetry::stats;
 /// let levels = qos_levels(&p99s, 5);
 /// assert_eq!(levels.len(), 5);
 /// assert!(levels.windows(2).all(|w| w[0] >= w[1]));
+///
+/// assert!(qos_levels(&[], 5).is_empty());
+/// assert!(qos_levels(&p99s, 0).is_empty());
 /// ```
 pub fn qos_levels(samples: &[f32], n_levels: usize) -> Vec<f32> {
-    assert!(!samples.is_empty(), "no p99 samples to derive QoS from");
-    assert!(n_levels > 0, "need at least one QoS level");
+    if n_levels == 0 {
+        return Vec::new();
+    }
+    // `stats::percentile` sorts with `partial_cmp(..).expect(..)` and
+    // would panic on NaN; strip every non-finite sample up front so a
+    // single corrupt p99 cannot take the whole derivation down.
+    let finite: Vec<f32> = samples.iter().copied().filter(|p| p.is_finite()).collect();
+    if finite.is_empty() {
+        return Vec::new();
+    }
     // Quantiles from 90 % (loose) down to 30 % (strict), evenly spaced.
     let hi = 90.0;
     let lo = 30.0;
@@ -40,14 +54,23 @@ pub fn qos_levels(samples: &[f32], n_levels: usize) -> Vec<f32> {
             } else {
                 hi - (hi - lo) * i as f64 / (n_levels - 1) as f64
             };
-            stats::percentile(samples, q)
+            stats::percentile(&finite, q)
         })
         .collect()
 }
 
 /// Counts how many outcomes violate a QoS threshold.
+///
+/// A sample violates when it is *not known to meet* the threshold:
+/// strictly above it, `NaN` (the measurement carries no evidence the
+/// deadline was met), or `+∞`. `-∞` trivially meets any threshold and
+/// is not counted. A `NaN` threshold means "no QoS constraint" and
+/// yields zero violations.
 pub fn count_violations(p99s: &[f32], qos: f32) -> usize {
-    p99s.iter().filter(|&&p| p > qos).count()
+    if qos.is_nan() {
+        return 0;
+    }
+    p99s.iter().filter(|&&p| p.is_nan() || p > qos).count()
 }
 
 #[cfg(test)]
@@ -80,8 +103,43 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no p99 samples")]
-    fn empty_samples_rejected() {
-        let _ = qos_levels(&[], 5);
+    fn empty_inputs_yield_empty_levels() {
+        assert!(qos_levels(&[], 5).is_empty());
+        assert!(qos_levels(&[1.0, 2.0], 0).is_empty());
+        assert!(qos_levels(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored() {
+        let clean = [1.0, 2.0, 3.0, 4.0];
+        let dirty = [
+            f32::NAN,
+            1.0,
+            f32::INFINITY,
+            2.0,
+            3.0,
+            f32::NEG_INFINITY,
+            4.0,
+            f32::NAN,
+        ];
+        assert_eq!(qos_levels(&clean, 5), qos_levels(&dirty, 5));
+    }
+
+    #[test]
+    fn all_non_finite_yields_empty_levels() {
+        assert!(qos_levels(&[f32::NAN, f32::INFINITY], 3).is_empty());
+    }
+
+    #[test]
+    fn nan_and_inf_outcomes_count_as_violations() {
+        // NaN p99: no evidence the deadline was met — that is a violation.
+        assert_eq!(count_violations(&[f32::NAN], 10.0), 1);
+        assert_eq!(count_violations(&[f32::INFINITY], 10.0), 1);
+        assert_eq!(count_violations(&[f32::NEG_INFINITY], 10.0), 0);
+        assert_eq!(count_violations(&[1.0, f32::NAN, 20.0], 10.0), 2);
+        // NaN threshold: constraint undefined, nothing counted.
+        assert_eq!(count_violations(&[1.0, f32::NAN], f32::NAN), 0);
+        // +inf threshold admits everything finite or NaN-free.
+        assert_eq!(count_violations(&[1.0, 1e30], f32::INFINITY), 0);
     }
 }

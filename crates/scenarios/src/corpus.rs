@@ -1,0 +1,465 @@
+//! Versioned on-disk regression corpus for the adversarial fuzzer.
+//!
+//! Layout: a corpus directory holds one JSON file per case plus a
+//! `manifest.json` index. Every file carries
+//! [`CORPUS_FORMAT_VERSION`]; loading rejects unknown versions, files
+//! missing from the manifest are ignored, and manifest entries whose
+//! digest disagrees with the case file are load errors — the manifest
+//! is the single source of truth for what CI must replay.
+//!
+//! Serialization is hand-rendered JSON (the workspace is
+//! zero-dependency) parsed back with the in-tree `adrias_obs::json`
+//! parser, and rendering is deterministic: same entries in, byte-same
+//! files out.
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use adrias_obs::json::{self, escape, Json};
+
+use crate::fuzz::{AppMix, ArrivalShape, FaultKind, FaultSpec, FuzzCase};
+
+/// On-disk format version; bump on any schema change and teach
+/// [`load_corpus`] the migration (or reject).
+pub const CORPUS_FORMAT_VERSION: u64 = 1;
+
+/// Why a case is in the corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusOrigin {
+    /// A fuzzed scenario that passed both oracles and was promoted as a
+    /// regression anchor: it must keep replaying green, bit-identically.
+    Promoted,
+    /// A shrunk oracle violation: it documents a bug until the fix
+    /// lands, after which it must replay green forever.
+    Counterexample,
+}
+
+impl CorpusOrigin {
+    /// Stable on-disk tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            CorpusOrigin::Promoted => "promoted",
+            CorpusOrigin::Counterexample => "counterexample",
+        }
+    }
+
+    /// Inverse of [`CorpusOrigin::tag`].
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "promoted" => Some(CorpusOrigin::Promoted),
+            "counterexample" => Some(CorpusOrigin::Counterexample),
+            _ => None,
+        }
+    }
+}
+
+/// One corpus case: the scenario plus its replay contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusEntry {
+    /// Unique id; doubles as the file stem (`<id>.json`).
+    pub id: String,
+    /// Why the case was persisted.
+    pub origin: CorpusOrigin,
+    /// Expected [`crate::fuzz::case_digest`] of the differential run;
+    /// replay fails if the actual digest drifts by a single bit.
+    pub digest: u64,
+    /// The scenario itself.
+    pub case: FuzzCase,
+    /// Free-form provenance note (shrink steps, generating seed, …).
+    pub note: String,
+}
+
+/// Corpus I/O or schema failure.
+#[derive(Debug)]
+pub struct CorpusError {
+    /// The file (or directory) involved.
+    pub path: PathBuf,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.reason)
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+fn err(path: &Path, reason: impl Into<String>) -> CorpusError {
+    CorpusError {
+        path: path.to_path_buf(),
+        reason: reason.into(),
+    }
+}
+
+/// Renders one corpus case as its canonical JSON document.
+pub fn render_entry(entry: &CorpusEntry) -> String {
+    let c = &entry.case;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"format_version\": {CORPUS_FORMAT_VERSION},\n  \"id\": {},\n  \"origin\": {},\n  \
+         \"digest\": \"{:#018x}\",\n  \"note\": {},\n  \"mix\": {},\n  \"arrivals\": {},\n  \
+         \"duration_s\": {},\n  \"seed\": \"{:#x}\",\n  \"faults\": [",
+        escape(&entry.id),
+        escape(entry.origin.tag()),
+        entry.digest,
+        escape(&entry.note),
+        escape(c.mix.tag()),
+        escape(c.arrivals.tag()),
+        c.duration_s,
+        c.seed,
+    );
+    for (i, f) in c.faults.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"at_pct\": {}, \"kind\": {}}}",
+            f.at_pct,
+            escape(f.kind.tag())
+        );
+    }
+    if c.faults.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+fn get_str<'a>(doc: &'a Json, key: &str, path: &Path) -> Result<&'a str, CorpusError> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| err(path, format!("missing or non-string `{key}`")))
+}
+
+fn get_num(doc: &Json, key: &str, path: &Path) -> Result<f64, CorpusError> {
+    doc.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| err(path, format!("missing or non-numeric `{key}`")))
+}
+
+/// Parses a `"0x…"` hex string (u64 values don't round-trip through
+/// JSON's f64 numbers, so they're stored as strings).
+fn parse_hex(text: &str, key: &str, path: &Path) -> Result<u64, CorpusError> {
+    text.strip_prefix("0x")
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or_else(|| err(path, format!("`{key}` is not a 0x-hex string: {text:?}")))
+}
+
+/// Parses one corpus case document.
+pub fn parse_entry(text: &str, path: &Path) -> Result<CorpusEntry, CorpusError> {
+    let doc = json::parse(text).map_err(|e| err(path, format!("bad JSON: {e}")))?;
+    let version = get_num(&doc, "format_version", path)?;
+    if version != CORPUS_FORMAT_VERSION as f64 {
+        return Err(err(
+            path,
+            format!(
+                "unsupported corpus format version {version} (expected {CORPUS_FORMAT_VERSION})"
+            ),
+        ));
+    }
+    let origin_tag = get_str(&doc, "origin", path)?;
+    let origin = CorpusOrigin::from_tag(origin_tag)
+        .ok_or_else(|| err(path, format!("unknown origin {origin_tag:?}")))?;
+    let mix_tag = get_str(&doc, "mix", path)?;
+    let mix =
+        AppMix::from_tag(mix_tag).ok_or_else(|| err(path, format!("unknown mix {mix_tag:?}")))?;
+    let arrivals_tag = get_str(&doc, "arrivals", path)?;
+    let arrivals = ArrivalShape::from_tag(arrivals_tag)
+        .ok_or_else(|| err(path, format!("unknown arrivals {arrivals_tag:?}")))?;
+    let duration = get_num(&doc, "duration_s", path)?;
+    if !(duration.is_finite() && duration > 0.0 && duration.fract() == 0.0) {
+        return Err(err(path, format!("bad duration_s {duration}")));
+    }
+    let mut faults = Vec::new();
+    let fault_arr = doc
+        .get("faults")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err(path, "missing or non-array `faults`"))?;
+    for f in fault_arr {
+        let at_pct = f
+            .get("at_pct")
+            .and_then(Json::as_num)
+            .filter(|p| (0.0..=100.0).contains(p) && p.fract() == 0.0)
+            .ok_or_else(|| err(path, "fault with missing or bad `at_pct`"))?;
+        let kind_tag = f
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err(path, "fault with missing `kind`"))?;
+        let kind = FaultKind::from_tag(kind_tag)
+            .ok_or_else(|| err(path, format!("unknown fault kind {kind_tag:?}")))?;
+        faults.push(FaultSpec {
+            at_pct: at_pct as u8,
+            kind,
+        });
+    }
+    Ok(CorpusEntry {
+        id: get_str(&doc, "id", path)?.to_owned(),
+        origin,
+        digest: parse_hex(get_str(&doc, "digest", path)?, "digest", path)?,
+        note: get_str(&doc, "note", path)?.to_owned(),
+        case: FuzzCase {
+            mix,
+            arrivals,
+            duration_s: duration as u32,
+            seed: parse_hex(get_str(&doc, "seed", path)?, "seed", path)?,
+            faults,
+        },
+    })
+}
+
+fn render_manifest(entries: &[CorpusEntry]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"format_version\": {CORPUS_FORMAT_VERSION},\n  \"cases\": ["
+    );
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"file\": {}, \"id\": {}, \"origin\": {}, \"digest\": \"{:#018x}\"}}",
+            escape(&format!("{}.json", e.id)),
+            escape(&e.id),
+            escape(e.origin.tag()),
+            e.digest
+        );
+    }
+    if entries.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+/// Writes `entries` as a complete corpus under `dir` (created if
+/// missing): one `<id>.json` per case plus `manifest.json`. Rendering
+/// is deterministic, so re-saving an unchanged corpus is a no-op diff.
+///
+/// # Errors
+///
+/// Returns [`CorpusError`] naming the file that could not be written;
+/// duplicate ids are rejected before anything is written.
+pub fn save_corpus(dir: &Path, entries: &[CorpusEntry]) -> Result<(), CorpusError> {
+    for (i, e) in entries.iter().enumerate() {
+        if entries[..i].iter().any(|other| other.id == e.id) {
+            return Err(err(dir, format!("duplicate corpus id {:?}", e.id)));
+        }
+    }
+    std::fs::create_dir_all(dir).map_err(|e| err(dir, format!("cannot create: {e}")))?;
+    for entry in entries {
+        let path = dir.join(format!("{}.json", entry.id));
+        std::fs::write(&path, render_entry(entry))
+            .map_err(|e| err(&path, format!("cannot write: {e}")))?;
+    }
+    let manifest = dir.join("manifest.json");
+    std::fs::write(&manifest, render_manifest(entries))
+        .map_err(|e| err(&manifest, format!("cannot write: {e}")))?;
+    Ok(())
+}
+
+/// Loads a corpus in manifest order. Every manifest entry must resolve
+/// to a parseable case file whose id and digest match the manifest —
+/// a mismatch means the corpus was hand-edited inconsistently and
+/// replaying it would silently test the wrong contract.
+///
+/// # Errors
+///
+/// Returns [`CorpusError`] on a missing/bad manifest, unsupported
+/// format version, unreadable case file, or manifest/file mismatch.
+pub fn load_corpus(dir: &Path) -> Result<Vec<CorpusEntry>, CorpusError> {
+    let manifest_path = dir.join("manifest.json");
+    let text = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| err(&manifest_path, format!("cannot read: {e}")))?;
+    let doc = json::parse(&text).map_err(|e| err(&manifest_path, format!("bad JSON: {e}")))?;
+    let version = get_num(&doc, "format_version", &manifest_path)?;
+    if version != CORPUS_FORMAT_VERSION as f64 {
+        return Err(err(
+            &manifest_path,
+            format!(
+                "unsupported corpus format version {version} (expected {CORPUS_FORMAT_VERSION})"
+            ),
+        ));
+    }
+    let cases = doc
+        .get("cases")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err(&manifest_path, "missing or non-array `cases`"))?;
+    let mut entries = Vec::with_capacity(cases.len());
+    for c in cases {
+        let file = c
+            .get("file")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err(&manifest_path, "manifest case without `file`"))?;
+        let path = dir.join(file);
+        let case_text =
+            std::fs::read_to_string(&path).map_err(|e| err(&path, format!("cannot read: {e}")))?;
+        let entry = parse_entry(&case_text, &path)?;
+        let want_id = c
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err(&manifest_path, "manifest case without `id`"))?;
+        if entry.id != want_id {
+            return Err(err(
+                &path,
+                format!("id {:?} disagrees with manifest {want_id:?}", entry.id),
+            ));
+        }
+        let want_digest = c
+            .get("digest")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err(&manifest_path, "manifest case without `digest`"))?;
+        let want_digest = parse_hex(want_digest, "digest", &manifest_path)?;
+        if entry.digest != want_digest {
+            return Err(err(
+                &path,
+                format!(
+                    "digest {:#018x} disagrees with manifest {want_digest:#018x}",
+                    entry.digest
+                ),
+            ));
+        }
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entries() -> Vec<CorpusEntry> {
+        vec![
+            CorpusEntry {
+                id: "promoted-000".into(),
+                origin: CorpusOrigin::Promoted,
+                digest: 0xDEAD_BEEF_0123_4567,
+                case: FuzzCase {
+                    mix: AppMix::LcHeavy,
+                    arrivals: ArrivalShape::Burst,
+                    duration_s: 640,
+                    seed: 0x2A,
+                    faults: vec![
+                        FaultSpec {
+                            at_pct: 25,
+                            kind: FaultKind::Flap,
+                        },
+                        FaultSpec {
+                            at_pct: 75,
+                            kind: FaultKind::LatencySpike,
+                        },
+                    ],
+                },
+                note: "fuzzed from base seed 0x0, case 3".into(),
+            },
+            CorpusEntry {
+                id: "promoted-001".into(),
+                origin: CorpusOrigin::Counterexample,
+                digest: u64::MAX,
+                case: FuzzCase {
+                    mix: AppMix::Full,
+                    arrivals: ArrivalShape::Calm,
+                    duration_s: 480,
+                    seed: 0,
+                    faults: Vec::new(),
+                },
+                note: String::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn entries_round_trip_through_render_and_parse() {
+        for entry in sample_entries() {
+            let text = render_entry(&entry);
+            let back = parse_entry(&text, Path::new("test.json")).expect("parses");
+            assert_eq!(back, entry);
+            // Rendering is deterministic.
+            assert_eq!(text, render_entry(&back));
+        }
+    }
+
+    #[test]
+    fn save_and_load_round_trip_in_manifest_order() {
+        let dir = std::env::temp_dir().join("adrias_corpus_roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let entries = sample_entries();
+        save_corpus(&dir, &entries).expect("saves");
+        let back = load_corpus(&dir).expect("loads");
+        assert_eq!(back, entries);
+        // A stray file not in the manifest is ignored.
+        std::fs::write(dir.join("stray.json"), "{not json").unwrap();
+        assert_eq!(load_corpus(&dir).expect("still loads"), entries);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unsupported_version_and_tampered_digest_are_rejected() {
+        let dir = std::env::temp_dir().join("adrias_corpus_reject");
+        let _ = std::fs::remove_dir_all(&dir);
+        let entries = sample_entries();
+        save_corpus(&dir, &entries).expect("saves");
+
+        // Future format version in a case file → load error.
+        let path = dir.join("promoted-000.json");
+        let bumped = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"format_version\": 1", "\"format_version\": 99");
+        std::fs::write(&path, bumped).unwrap();
+        let e = load_corpus(&dir).expect_err("version must be rejected");
+        assert!(e.reason.contains("version"), "{e}");
+
+        // Restore the file but tamper the digest → manifest mismatch.
+        save_corpus(&dir, &entries).expect("restores");
+        let tampered = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("0xdeadbeef01234567", "0xdeadbeef01234568");
+        std::fs::write(&path, tampered).unwrap();
+        let e = load_corpus(&dir).expect_err("digest drift must be rejected");
+        assert!(e.reason.contains("digest"), "{e}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected_before_writing() {
+        let dir = std::env::temp_dir().join("adrias_corpus_dup");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut entries = sample_entries();
+        entries[1].id = entries[0].id.clone();
+        let e = save_corpus(&dir, &entries).expect_err("duplicates rejected");
+        assert!(e.reason.contains("duplicate"), "{e}");
+        assert!(!dir.exists(), "nothing was written");
+    }
+
+    #[test]
+    fn malformed_case_documents_name_the_offending_field() {
+        let base = render_entry(&sample_entries()[0]);
+        for (needle, replacement, expect) in [
+            ("\"mix\": \"lc_heavy\"", "\"mix\": \"weird\"", "unknown mix"),
+            (
+                "\"kind\": \"flap\"",
+                "\"kind\": \"meteor\"",
+                "unknown fault kind",
+            ),
+            ("\"seed\": \"0x2a\"", "\"seed\": \"42\"", "seed"),
+            (
+                "\"arrivals\": \"burst\"",
+                "\"arrivals\": \"never\"",
+                "unknown arrivals",
+            ),
+        ] {
+            let broken = base.replace(needle, replacement);
+            assert_ne!(broken, base, "replacement {needle:?} must apply");
+            let e = parse_entry(&broken, Path::new("t.json")).expect_err("must fail");
+            assert!(e.reason.contains(expect), "{e}");
+        }
+    }
+}

@@ -17,12 +17,19 @@
 //! * [`runner`] — the orchestration-evaluation loop comparing policies
 //!   across scenarios (Figs. 16–17), with parallel execution;
 //! * [`drift`] — the drifting-workload runner closing the §V-C online
-//!   loop: residual tracking, drift detection and audited hot-swaps.
+//!   loop: residual tracking, drift detection and audited hot-swaps;
+//! * [`fuzz`] — the adversarial scenario fuzzer: property-driven
+//!   generation of app mixes, arrival bursts and link-fault schedules,
+//!   gated by differential QoS oracles with shrinking;
+//! * [`corpus`] — the versioned on-disk regression corpus the fuzzer's
+//!   promoted cases and shrunk counterexamples persist into.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod drift;
+pub mod fuzz;
 pub mod runner;
 pub mod schedule;
 pub mod signatures;
@@ -30,9 +37,17 @@ pub mod spec;
 pub mod stack;
 pub mod traces;
 
+pub use corpus::{
+    load_corpus, save_corpus, CorpusEntry, CorpusError, CorpusOrigin, CORPUS_FORMAT_VERSION,
+};
 pub use drift::{
     degraded_testbed, demo_phases, run_drift_phases, DriftPhase, DriftRunConfig, DriftRunResult,
     PhaseOutcome,
+};
+pub use fuzz::{
+    case_strategy, find_qos_counterexample, generate_cases, replay_corpus, run_case, run_suite,
+    AppMix, ArrivalShape, CaseOutcome, FaultKind, FaultSpec, FuzzCase, FuzzConfig, ReplayReport,
+    SuiteReport, SuiteVerdict,
 };
 pub use runner::{run_comparison, run_comparison_merged, run_observed, PolicyOutcome};
 pub use schedule::build_schedule;

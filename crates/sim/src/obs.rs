@@ -139,7 +139,90 @@ impl SimMetrics {
 mod tests {
     use super::*;
     use crate::{Testbed, TestbedConfig};
+    use adrias_obs::export::to_jsonl_metrics;
+    use adrias_obs::{validate_jsonl_metrics, Observer};
     use adrias_workloads::{spark, MemoryMode};
+
+    /// Runs a deterministic co-located scenario and feeds every step to
+    /// each accumulator, so layouts can be compared on identical data.
+    fn record_run(sims: &mut [&mut SimMetrics]) {
+        let mut tb = Testbed::new(TestbedConfig::noiseless(), 1);
+        tb.deploy_for(spark::by_name("gmm").unwrap(), MemoryMode::Remote, 5.0);
+        tb.deploy_for(spark::by_name("kmeans").unwrap(), MemoryMode::Remote, 5.0);
+        tb.deploy_for(spark::by_name("lda").unwrap(), MemoryMode::Local, 5.0);
+        for _ in 0..40 {
+            let report = tb.step();
+            for sim in sims.iter_mut() {
+                sim.record(&report);
+            }
+        }
+    }
+
+    fn export(sim: &SimMetrics) -> String {
+        let mut obs = Observer::default();
+        sim.flush(&mut obs.registry);
+        to_jsonl_metrics(&obs)
+    }
+
+    #[test]
+    fn custom_slowdown_layout_round_trips_export_and_validation() {
+        // Finer resolution below 1.5x than the default layout offers.
+        let custom = vec![1.0, 1.05, 1.1, 1.15, 1.2, 1.3, 1.4, 1.5, 2.0, 4.0];
+        let mut fine = SimMetrics::with_slowdown_buckets(custom);
+        let mut coarse = SimMetrics::new();
+        record_run(&mut [&mut fine, &mut coarse]);
+        assert!(fine.steps() >= 40);
+
+        let fine_text = export(&fine);
+        let coarse_text = export(&coarse);
+        let validated = validate_jsonl_metrics(&fine_text).expect("custom layout exports validate");
+        assert_eq!(validated, fine_text.lines().count());
+        assert!(fine_text.contains(r#""name":"sim.slowdown""#));
+
+        // The layout only reshapes the slowdown histograms: counters and
+        // gauges are identical, and the slowdown quantile estimates (which
+        // interpolate within buckets) differ between layouts.
+        let non_slowdown = |text: &str| -> Vec<String> {
+            text.lines()
+                .filter(|l| !l.contains("sim.slowdown"))
+                .map(str::to_owned)
+                .collect()
+        };
+        assert_eq!(non_slowdown(&fine_text), non_slowdown(&coarse_text));
+        assert_ne!(
+            fine_text.lines().find(|l| l.contains(r#""sim.slowdown""#)),
+            coarse_text
+                .lines()
+                .find(|l| l.contains(r#""sim.slowdown""#)),
+            "a finer layout must change the interpolated quantiles"
+        );
+    }
+
+    #[test]
+    fn default_layout_matches_the_golden_buckets_bitwise() {
+        // Golden layout predating the configurable constructor: the
+        // default export must stay bitwise-stable for existing dashboards.
+        assert_eq!(
+            SLOWDOWN_BUCKETS,
+            [1.0, 1.1, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 4.0]
+        );
+        let mut a = SimMetrics::new();
+        let mut b = SimMetrics::with_slowdown_buckets(SLOWDOWN_BUCKETS.to_vec());
+        record_run(&mut [&mut a, &mut b]);
+        assert_eq!(export(&a), export(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotonic_layouts_are_rejected() {
+        let _ = SimMetrics::with_slowdown_buckets(vec![1.0, 2.0, 1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn empty_layouts_are_rejected() {
+        let _ = SimMetrics::with_slowdown_buckets(Vec::new());
+    }
 
     #[test]
     fn steps_and_completions_are_counted() {

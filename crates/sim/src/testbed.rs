@@ -230,6 +230,33 @@ impl Testbed {
         &self.cfg
     }
 
+    /// Replaces the ThymesisFlow channel parameters in place.
+    ///
+    /// This is the fault-injection hook: a degradation schedule can
+    /// spike `base_latency_cycles`, collapse `effective_cap_gbps`, or
+    /// flap between healthy and degraded parameter sets mid-run. The
+    /// change takes effect from the next [`Testbed::step`]; resident
+    /// deployments, accumulated environment averages, and the noise RNG
+    /// stream are untouched, so a schedule that restores the original
+    /// `LinkConfig` converges back to the healthy trajectory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is degenerate (non-positive capacity, or a
+    /// saturated latency below the base latency) — the same invariants
+    /// the interconnect model asserts.
+    pub fn set_link(&mut self, link: crate::config::LinkConfig) {
+        assert!(
+            link.effective_cap_gbps > 0.0,
+            "link capacity must be positive"
+        );
+        assert!(
+            link.saturated_latency_cycles >= link.base_latency_cycles,
+            "saturated latency below base latency"
+        );
+        self.cfg.link = link;
+    }
+
     /// Current simulation time, seconds.
     pub fn time_s(&self) -> f64 {
         self.time_s

@@ -1,0 +1,345 @@
+//! Adversarial scenario fuzzer driver: fuzz, shrink, promote and
+//! replay (see `crates/scenarios/src/fuzz.rs` and DESIGN.md §10).
+//!
+//! ```sh
+//! # Bounded fuzz smoke over fixed base seeds (CI):
+//! cargo run --release --example adversarial -- fuzz --seeds 0,1,2 --cases 4
+//!
+//! # Replay the committed regression corpus at several worker counts:
+//! cargo run --release --example adversarial -- replay --workers 1,2,8
+//!
+//! # Self-check: arm the test-only QoS-rule bypass and prove the
+//! # fuzzer finds and shrinks it to a minimal counterexample:
+//! cargo run --release --example adversarial -- selfcheck --out fuzz_out
+//!
+//! # Rebuild the committed corpus (maintainers only):
+//! cargo run --release --example adversarial -- promote --count 20
+//! ```
+//!
+//! Exit code 0 means every oracle and digest gate passed; anything
+//! else is a finding. New shrunk counterexamples are persisted in
+//! corpus format under `--out` together with their audit-trail
+//! evidence (`<id>.evidence.jsonl`), ready for artifact upload.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use adrias::scenarios::corpus::{save_corpus, CorpusEntry, CorpusOrigin};
+use adrias::scenarios::fuzz::replay_corpus;
+use adrias::scenarios::{
+    find_qos_counterexample, generate_cases, load_corpus, run_case, run_suite, train_stack,
+    FuzzConfig, StackOptions, SuiteVerdict, TrainedStack,
+};
+use adrias::workloads::WorkloadCatalog;
+
+struct Args {
+    command: String,
+    seeds: Vec<u64>,
+    cases: u64,
+    count: usize,
+    workers: Vec<usize>,
+    corpus: PathBuf,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or("missing command")?;
+    let mut args = Args {
+        command,
+        seeds: vec![0],
+        cases: 4,
+        count: 20,
+        workers: vec![std::thread::available_parallelism().map_or(4, |n| n.get())],
+        corpus: PathBuf::from("corpus"),
+        out: PathBuf::from("fuzz_out"),
+    };
+    while let Some(flag) = argv.next() {
+        let value = argv.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        let parse_list = |v: &str| -> Result<Vec<u64>, String> {
+            v.split(',')
+                .map(|s| s.trim().parse().map_err(|_| format!("bad number {s:?}")))
+                .collect()
+        };
+        match flag.as_str() {
+            "--seeds" | "--seed" => args.seeds = parse_list(&value)?,
+            "--cases" => args.cases = value.parse().map_err(|_| "bad --cases")?,
+            "--count" => args.count = value.parse().map_err(|_| "bad --count")?,
+            "--workers" => {
+                args.workers = parse_list(&value)?
+                    .into_iter()
+                    .map(|w| w as usize)
+                    .collect()
+            }
+            "--corpus" => args.corpus = PathBuf::from(value),
+            "--out" => args.out = PathBuf::from(value),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.seeds.is_empty() || args.workers.is_empty() {
+        return Err("empty --seeds or --workers".into());
+    }
+    Ok(args)
+}
+
+fn trained() -> TrainedStack {
+    println!("Training the quick model stack (deterministic, offline phase)...");
+    let t0 = Instant::now();
+    let stack = train_stack(&WorkloadCatalog::paper(), &StackOptions::quick());
+    println!("  trained in {:.1} s\n", t0.elapsed().as_secs_f64());
+    stack
+}
+
+fn print_verdict(verdict: &SuiteVerdict) {
+    println!(
+        "  oracle 1 (QoS consistency): {} ({} failing case(s))",
+        if verdict.qos_failures.is_empty() {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+        verdict.qos_failures.len()
+    );
+    println!(
+        "  oracle 2 (differential):    {} (median BE slowdown adrias {:.4} vs random {:.4} / round-robin {:.4})",
+        if verdict.differential_ok() {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+        verdict.adrias_median,
+        verdict.random_median,
+        verdict.rr_median
+    );
+    println!("  suite digest: {:#018x}", verdict.suite_digest);
+}
+
+/// Persists a shrunk counterexample (corpus format + evidence JSONL).
+fn persist_counterexample(
+    stack: &TrainedStack,
+    cfg: &FuzzConfig,
+    out: &Path,
+    id: String,
+    case: adrias::scenarios::FuzzCase,
+    note: String,
+) -> Result<(), String> {
+    let outcome = run_case(stack, cfg, &case);
+    let entry = CorpusEntry {
+        id: id.clone(),
+        origin: CorpusOrigin::Counterexample,
+        digest: outcome.digest,
+        case,
+        note,
+    };
+    save_corpus(out, &[entry]).map_err(|e| e.to_string())?;
+    let evidence_path = out.join(format!("{id}.evidence.jsonl"));
+    std::fs::write(&evidence_path, &outcome.qos_evidence)
+        .map_err(|e| format!("cannot write {}: {e}", evidence_path.display()))?;
+    println!(
+        "  counterexample persisted: {}/{id}.json ({} evidence line(s))",
+        out.display(),
+        outcome.qos_evidence.lines().count()
+    );
+    Ok(())
+}
+
+fn cmd_fuzz(args: &Args, cfg: &FuzzConfig) -> Result<bool, String> {
+    let stack = trained();
+    let workers = args.workers[0];
+    let mut all_green = true;
+    let mut total_cases = 0u64;
+    let t0 = Instant::now();
+    for &seed in &args.seeds {
+        println!(
+            "Fuzzing base seed {seed:#x}: {} case(s), {} worker(s)",
+            args.cases, workers
+        );
+        let cases = generate_cases(seed, args.cases);
+        let suite = run_suite(&stack, cfg, &cases, workers);
+        total_cases += args.cases;
+        print_verdict(&suite.verdict);
+        if !suite.verdict.qos_failures.is_empty() {
+            all_green = false;
+            println!("  shrinking the first QoS violation...");
+            if let Some(cex) = find_qos_counterexample(&stack, cfg, seed, args.cases) {
+                persist_counterexample(
+                    &stack,
+                    cfg,
+                    &args.out,
+                    format!("cex-{seed:04x}-{:03}", cex.case),
+                    cex.minimal.clone(),
+                    format!(
+                        "shrunk from base seed {seed:#x} case {} after {} accepted step(s): {}",
+                        cex.case, cex.shrink_steps, cex.fail
+                    ),
+                )?;
+            }
+        }
+        if !suite.verdict.differential_ok() {
+            all_green = false;
+        }
+        println!();
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "Fuzz throughput: {total_cases} case(s) in {dt:.1} s ({:.2} cases/s, 3 policy runs per case)",
+        total_cases as f64 / dt
+    );
+    Ok(all_green)
+}
+
+fn cmd_replay(args: &Args, cfg: &FuzzConfig) -> Result<bool, String> {
+    let entries = load_corpus(&args.corpus).map_err(|e| e.to_string())?;
+    println!(
+        "Replaying {} corpus case(s) from {}\n",
+        entries.len(),
+        args.corpus.display()
+    );
+    let stack = trained();
+    let mut all_green = true;
+    let mut digests = Vec::new();
+    for &workers in &args.workers {
+        let replay = replay_corpus(&stack, cfg, &entries, workers);
+        println!("Workers {workers}:");
+        print_verdict(&replay.verdict);
+        let mismatches = replay.digest_mismatches();
+        if mismatches.is_empty() {
+            println!("  bit-reproduction:           PASS (all digests match the manifest)");
+        } else {
+            println!("  bit-reproduction:           FAIL ({mismatches:?})");
+            all_green = false;
+        }
+        if !replay.ok() {
+            all_green = false;
+        }
+        digests.push(replay.verdict.suite_digest);
+        println!();
+    }
+    if digests.windows(2).any(|w| w[0] != w[1]) {
+        println!("suite digest varies across worker counts: {digests:?}");
+        all_green = false;
+    }
+    Ok(all_green)
+}
+
+fn cmd_promote(args: &Args, cfg: &FuzzConfig) -> Result<bool, String> {
+    let stack = trained();
+    let workers = args.workers[0];
+    let base = args.seeds[0];
+    let mut entries: Vec<CorpusEntry> = Vec::new();
+    let mut batch_start = 0u64;
+    // Fuzz in batches until `count` green cases have been promoted.
+    while entries.len() < args.count {
+        let n = (args.count - entries.len()).max(4) as u64;
+        // generate_cases is prefix-stable (every case is seeded from
+        // its own index), so extending the range only appends.
+        let all = generate_cases(base, batch_start + n);
+        let cases = &all[batch_start as usize..];
+        let suite = run_suite(&stack, cfg, cases, workers);
+        for (i, o) in suite.outcomes.iter().enumerate() {
+            if o.qos_violations == 0 && entries.len() < args.count {
+                entries.push(CorpusEntry {
+                    id: format!("promoted-{:03}", entries.len()),
+                    origin: CorpusOrigin::Promoted,
+                    digest: o.digest,
+                    case: o.case.clone(),
+                    note: format!(
+                        "fuzzed from base seed {base:#x}, case {}",
+                        batch_start + i as u64
+                    ),
+                });
+            }
+        }
+        batch_start += n;
+    }
+    save_corpus(&args.corpus, &entries).map_err(|e| e.to_string())?;
+    println!(
+        "Promoted {} case(s) into {}\n",
+        entries.len(),
+        args.corpus.display()
+    );
+    // The promoted corpus must itself replay green before it is
+    // committed.
+    let replay = replay_corpus(&stack, cfg, &entries, workers);
+    print_verdict(&replay.verdict);
+    Ok(replay.ok())
+}
+
+fn cmd_selfcheck(args: &Args) -> Result<bool, String> {
+    let stack = trained();
+    let cfg = FuzzConfig {
+        qos_bypass: true,
+        ..FuzzConfig::default()
+    };
+    let base = args.seeds[0];
+    println!(
+        "Self-check: QoS-rule bypass armed; fuzzing {} case(s) from base seed {base:#x}...",
+        args.cases
+    );
+    let Some(cex) = find_qos_counterexample(&stack, &cfg, base, args.cases) else {
+        println!("FAIL: the seeded QoS-rule bypass was not found — the fuzzer is blind");
+        return Ok(false);
+    };
+    println!(
+        "  found on case {} and shrunk in {} accepted step(s)",
+        cex.case, cex.shrink_steps
+    );
+    println!("  minimal case: {:?}", cex.minimal);
+    persist_counterexample(
+        &stack,
+        &cfg,
+        &args.out,
+        format!("selfcheck-{base:04x}-{:03}", cex.case),
+        cex.minimal.clone(),
+        format!(
+            "selfcheck: seeded qos bypass, shrunk from base seed {base:#x} case {} after {} step(s)",
+            cex.case, cex.shrink_steps
+        ),
+    )?;
+    // The same minimal case must be clean without the bypass — the
+    // violation is the injected bug, not the scenario.
+    let clean = run_case(&stack, &FuzzConfig::default(), &cex.minimal);
+    if clean.qos_violations != 0 {
+        println!("FAIL: minimal case still violates without the bypass");
+        return Ok(false);
+    }
+    println!("  minimal case is clean without the bypass: the oracle isolates the bug");
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!(
+                "error: {e}\nusage: adversarial <fuzz|replay|promote|selfcheck> \
+                 [--seeds 0,1,2] [--cases N] [--count N] [--workers 1,2,8] \
+                 [--corpus DIR] [--out DIR]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = FuzzConfig::default();
+    let result = match args.command.as_str() {
+        "fuzz" => cmd_fuzz(&args, &cfg),
+        "replay" => cmd_replay(&args, &cfg),
+        "promote" => cmd_promote(&args, &cfg),
+        "selfcheck" => cmd_selfcheck(&args),
+        other => Err(format!("unknown command {other}")),
+    };
+    match result {
+        Ok(true) => {
+            println!("OK: all gates passed");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            println!("FAILED: see findings above");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! End-to-end contract of the adversarial scenario fuzzer (ROADMAP 5):
+//! the seeded QoS-rule bypass must be found and shrunk to a minimal
+//! counterexample with audit-trail evidence, a clean stack must pass
+//! both differential oracles, and fuzzed suites plus corpus replays
+//! must be bitwise reproducible at any worker count.
+
+use std::sync::OnceLock;
+
+use adrias::obs::json;
+use adrias::scenarios::corpus::{save_corpus, CorpusEntry, CorpusOrigin};
+use adrias::scenarios::fuzz::replay_corpus;
+use adrias::scenarios::{
+    find_qos_counterexample, generate_cases, load_corpus, run_case, run_suite, train_stack, AppMix,
+    FuzzConfig, StackOptions, TrainedStack,
+};
+use adrias::workloads::WorkloadCatalog;
+
+fn trained() -> &'static TrainedStack {
+    static STACK: OnceLock<TrainedStack> = OnceLock::new();
+    STACK.get_or_init(|| train_stack(&WorkloadCatalog::paper(), &StackOptions::quick()))
+}
+
+#[test]
+fn seeded_qos_bypass_is_found_and_shrunk_with_evidence() {
+    let stack = trained();
+    let cfg = FuzzConfig {
+        qos_bypass: true,
+        ..FuzzConfig::default()
+    };
+    let cex = find_qos_counterexample(stack, &cfg, 0, 16)
+        .expect("the seeded QoS bypass must be falsifiable within the smoke budget");
+
+    // The minimal case still needs latency-critical deployments — a
+    // BE-only mix cannot violate the QoS rule, so shrinking must have
+    // kept the mix above its simplest palette entry.
+    assert_ne!(cex.minimal.mix, AppMix::BestEffortOnly, "{cex:?}");
+    assert!(
+        format!("{}", cex.fail).contains("QoS oracle violated"),
+        "{cex:?}"
+    );
+
+    // Replaying the minimal case reproduces the violation with
+    // audit-trail evidence: decision JSONL lines whose rule is the QoS
+    // threshold and whose chosen mode is remote.
+    let outcome = run_case(stack, &cfg, &cex.minimal);
+    assert!(outcome.qos_violations > 0);
+    assert!(!outcome.qos_evidence.is_empty());
+    for line in outcome.qos_evidence.lines() {
+        let doc = json::parse(line).expect("evidence line parses");
+        assert_eq!(doc.get("rule").unwrap().as_str(), Some("qos_threshold"));
+        assert_eq!(doc.get("chosen").unwrap().as_str(), Some("remote"));
+        let pred = doc.get("pred_remote").unwrap().as_num();
+        assert!(
+            pred.is_none() || pred.unwrap() > f64::from(cfg.qos_p99_ms),
+            "evidence must show the violating prediction: {line}"
+        );
+    }
+
+    // Without the bypass, the very same case is clean: the violation
+    // is the injected bug, not the scenario.
+    let clean = run_case(stack, &FuzzConfig::default(), &cex.minimal);
+    assert_eq!(clean.qos_violations, 0);
+    assert!(clean.qos_evidence.is_empty());
+}
+
+#[test]
+fn clean_stack_passes_both_oracles_and_suites_are_worker_invariant() {
+    let stack = trained();
+    let cfg = FuzzConfig::default();
+    let cases = generate_cases(0, 4);
+    let a = run_suite(stack, &cfg, &cases, 1);
+    assert!(
+        a.verdict.qos_failures.is_empty(),
+        "QoS oracle must hold on a clean stack: {:?}",
+        a.verdict
+    );
+    assert!(
+        a.verdict.differential_ok(),
+        "Adrias must not lose to the baselines: {:?}",
+        a.verdict
+    );
+    for workers in [2usize, 8] {
+        let b = run_suite(stack, &cfg, &cases, workers);
+        assert_eq!(
+            a.verdict.suite_digest, b.verdict.suite_digest,
+            "suite digest drifted at {workers} workers"
+        );
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.digest, y.digest);
+        }
+    }
+}
+
+#[test]
+fn promoted_corpus_replays_green_and_bitwise_identically() {
+    let stack = trained();
+    let cfg = FuzzConfig::default();
+    let cases = generate_cases(1, 3);
+    let suite = run_suite(stack, &cfg, &cases, 2);
+    assert!(suite.verdict.ok(), "{:?}", suite.verdict);
+
+    // Promote the survivors exactly like the adversarial runner does.
+    let entries: Vec<CorpusEntry> = suite
+        .outcomes
+        .iter()
+        .enumerate()
+        .map(|(i, o)| CorpusEntry {
+            id: format!("promoted-{i:03}"),
+            origin: CorpusOrigin::Promoted,
+            digest: o.digest,
+            case: o.case.clone(),
+            note: "fuzzed from base seed 0x1".into(),
+        })
+        .collect();
+    let dir = std::env::temp_dir().join("adrias_fuzz_replay_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    save_corpus(&dir, &entries).expect("saves");
+    let loaded = load_corpus(&dir).expect("loads");
+    assert_eq!(loaded, entries);
+
+    for workers in [1usize, 2, 8] {
+        let replay = replay_corpus(stack, &cfg, &loaded, workers);
+        assert!(
+            replay.ok(),
+            "replay at {workers} workers: mismatches {:?}, verdict {:?}",
+            replay.digest_mismatches(),
+            replay.verdict
+        );
+    }
+
+    // A digest tampered in the entry list is caught by the replay gate.
+    let mut tampered = loaded;
+    tampered[0].digest ^= 1;
+    let replay = replay_corpus(stack, &cfg, &tampered, 2);
+    assert!(!replay.ok());
+    assert_eq!(replay.digest_mismatches(), vec!["promoted-000"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
