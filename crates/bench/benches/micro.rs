@@ -8,8 +8,8 @@
 //! * `ADRIAS_BENCH_FILTER` — substring filter on section names
 //!   (`testbed_step`, `lstm`, `nn_forward`, `train_step_workers`,
 //!   `adrias_decision`, `decision_throughput`, `obs_intern`,
-//!   `obs_overhead`, `residual_overhead`); unmatched sections are
-//!   skipped entirely,
+//!   `obs_overhead`, `residual_overhead`, `event_engine`); unmatched
+//!   sections are skipped entirely,
 //!   including their setup.
 //!
 //! The run always ends by writing `BENCH_nn.json` (the collected
@@ -553,6 +553,125 @@ fn bench_residual_overhead(h: &mut Harness) -> Option<f64> {
     Some(median)
 }
 
+/// End-to-end event-engine throughput: a high-rate Poisson stream of
+/// short best-effort jobs through the engine with the full in-memory
+/// observer attached — arrival generation, heap scheduling, the policy
+/// decision, sim stepping, completion accounting and obs recording are
+/// all on the clock. Three legs over the *same* materialized arrival
+/// sequence:
+///
+/// * `step loop` — the legacy 1 Hz core on the pre-built schedule (the
+///   "before" column in EXPERIMENTS.md §event-engine);
+/// * `event heap` — the new core on the same schedule;
+/// * `streamed` — the new core pulling straight from the generator with
+///   O(1) arrivals in memory, the path the million-arrival example uses.
+///
+/// The derived `decisions_per_sec` metric (streamed leg, median of 5)
+/// is the gate the ISSUE pins: CI fails if it falls below 1e5/s.
+fn bench_event_engine(h: &mut Harness) -> Vec<(&'static str, f64)> {
+    use adrias_obs::{ObsConfig, Observer};
+    use adrias_orchestrator::engine::{
+        run_schedule_hooked_mode, run_stream_hooked, EngineConfig, EngineMode, GeneratedStream,
+        ScheduledArrival,
+    };
+    use adrias_orchestrator::{ObservedRun, RoundRobinPolicy};
+    use adrias_workloads::{ArrivalSource, PoissonSource};
+    use std::time::Instant;
+
+    const RATE_PER_S: f64 = 400.0;
+    const HORIZON_S: f64 = 250.0;
+    const SEED: u64 = 41;
+
+    let app = spark::by_name("lr").unwrap();
+    let engine = || EngineConfig {
+        lc_latency_samples: 100,
+        ..EngineConfig::default()
+    };
+    let make_source = || PoissonSource::new(RATE_PER_S, HORIZON_S, SEED);
+    let make_arrival = |t: f64| ScheduledArrival::new(t, app.clone()).with_duration(1.0);
+
+    // The identical arrival sequence, pre-materialized for the two
+    // schedule-driven legs.
+    let schedule: Vec<ScheduledArrival> = {
+        let mut src = make_source();
+        let mut out = Vec::new();
+        while let Some(t) = src.next_time() {
+            out.push(make_arrival(t));
+        }
+        out
+    };
+    let n = schedule.len();
+    println!("  event-engine workload: {n} Poisson arrivals over {HORIZON_S} s");
+
+    let run_schedule_leg = |mode: EngineMode| -> f64 {
+        let mut policy = RoundRobinPolicy::new();
+        let mut obs = Observer::new(ObsConfig::default());
+        let mut hooks = ObservedRun::new(&mut obs);
+        let t = Instant::now();
+        let report = run_schedule_hooked_mode(
+            TestbedConfig::paper(),
+            engine(),
+            &schedule,
+            &mut policy,
+            &mut hooks,
+            mode,
+        );
+        let elapsed = t.elapsed().as_secs_f64();
+        assert_eq!(report.unfinished, 0, "arrivals left behind in bench run");
+        black_box(report);
+        n as f64 / elapsed
+    };
+    let run_stream_leg = || -> f64 {
+        let mut stream = GeneratedStream::new(make_source(), |_, t| make_arrival(t));
+        let mut policy = RoundRobinPolicy::new();
+        let mut obs = Observer::new(ObsConfig::default());
+        let mut hooks = ObservedRun::new(&mut obs);
+        let t = Instant::now();
+        let report = run_stream_hooked(
+            TestbedConfig::paper(),
+            engine(),
+            &mut stream,
+            &[],
+            &mut policy,
+            &mut hooks,
+        );
+        let elapsed = t.elapsed().as_secs_f64();
+        assert_eq!(report.unfinished, 0, "arrivals left behind in bench run");
+        assert_eq!(report.outcomes.len() as u64, stream.issued());
+        black_box(report);
+        n as f64 / elapsed
+    };
+
+    // Warm-up, then median of 5 per leg.
+    run_stream_leg();
+    let median = |mut xs: Vec<f64>| -> f64 {
+        xs.sort_by(f64::total_cmp);
+        xs[xs.len() / 2]
+    };
+    let step = median(
+        (0..5)
+            .map(|_| run_schedule_leg(EngineMode::StepLoop))
+            .collect(),
+    );
+    let event = median(
+        (0..5)
+            .map(|_| run_schedule_leg(EngineMode::EventHeap))
+            .collect(),
+    );
+    let streamed = median((0..5).map(|_| run_stream_leg()).collect());
+    println!("  step loop (schedule):  {step:>12.0} decisions/s");
+    println!("  event heap (schedule): {event:>12.0} decisions/s");
+    println!("  event heap (streamed): {streamed:>12.0} decisions/s");
+    h.record_ns("engine_arrival_step_loop", 1e9 / step);
+    h.record_ns("engine_arrival_event_heap", 1e9 / event);
+    h.record_ns("engine_arrival_streamed", 1e9 / streamed);
+    vec![
+        ("decisions_per_sec", streamed),
+        ("decisions_per_sec_step_loop", step),
+        ("decisions_per_sec_event_schedule", event),
+    ]
+}
+
 fn main() {
     let filter = std::env::var("ADRIAS_BENCH_FILTER").unwrap_or_default();
     let enabled = |section: &str| filter.is_empty() || section.contains(filter.as_str());
@@ -583,6 +702,10 @@ fn main() {
     let mut residual_overhead: Option<f64> = None;
     if enabled("residual_overhead") {
         residual_overhead = bench_residual_overhead(&mut h);
+    }
+    let mut engine_throughput: Vec<(&'static str, f64)> = Vec::new();
+    if enabled("event_engine") {
+        engine_throughput = bench_event_engine(&mut h);
     }
 
     let mut derived: Vec<(&str, f64)> = Vec::new();
@@ -640,6 +763,7 @@ fn main() {
         println!("  tracked vs observed engine run:       {tracked:.3}x");
         derived.push(("online_residual_overhead_x", tracked));
     }
+    derived.extend(engine_throughput);
 
     // `cargo bench` runs with the package directory as cwd; anchor the
     // report at the workspace root so CI and humans find it in one place.

@@ -164,6 +164,22 @@ impl Harness {
         self
     }
 
+    /// Records an externally measured median (e.g. from a whole-run
+    /// stopwatch that the per-iteration [`Bencher`] machinery does not
+    /// fit) so it lands in the JSON report next to the sampled sections.
+    pub fn record_ns(&mut self, name: &str, median_ns: f64) -> &mut Self {
+        println!("  {name:<40} median {:>12} (recorded)", fmt_ns(median_ns));
+        self.reports.push((
+            name.to_owned(),
+            BenchReport {
+                median_ns,
+                p95_ns: median_ns,
+                iterations: 1,
+            },
+        ));
+        self
+    }
+
     /// All collected reports, in execution order.
     pub fn reports(&self) -> &[(String, BenchReport)] {
         &self.reports

@@ -254,6 +254,184 @@ pub fn lc_load_spec(profile: &WorkloadProfile) -> LoadSpec {
     }
 }
 
+/// Selects which engine core replays a schedule.
+///
+/// The event-heap engine is the default. The legacy fixed 1 Hz step
+/// loop remains available behind `ADRIAS_STEP_LOOP=1` for one release
+/// so the parity battery (`tests/event_engine_parity.rs`) can pin the
+/// two byte-identical; it is slated for removal once the flag has
+/// shipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Discrete-event simulation over the deterministic typed-event
+    /// heap ([`crate::event::EventHeap`]).
+    EventHeap,
+    /// The legacy fixed 1 Hz polling loop.
+    StepLoop,
+}
+
+impl EngineMode {
+    /// Resolves the mode from the environment: `ADRIAS_STEP_LOOP=1`
+    /// selects the legacy loop, anything else the event heap. Tests
+    /// that need a specific engine should call the explicit `*_mode`
+    /// entry points instead of mutating the (process-global)
+    /// environment.
+    pub fn from_env() -> Self {
+        match std::env::var("ADRIAS_STEP_LOOP") {
+            Ok(v) if v == "1" => EngineMode::StepLoop,
+            _ => EngineMode::EventHeap,
+        }
+    }
+}
+
+/// A pull-based stream of arrivals consumed by the event engine, so a
+/// million-arrival run never materialises its schedule: the engine
+/// holds at most a handful of future arrivals in its heap and pulls
+/// the next one on demand.
+///
+/// [`ScheduleStream`] adapts the pre-built `&[ScheduledArrival]` path
+/// onto this trait; [`GeneratedStream`] adapts any
+/// [`adrias_workloads::ArrivalSource`] (Poisson, diurnal, MMPP, trace
+/// replay, closed-loop think time).
+pub trait ArrivalStream {
+    /// Pulls the next arrival. `None` means nothing is available right
+    /// now, which is final iff [`ArrivalStream::is_exhausted`] also
+    /// holds (a closed-loop source with every client in flight returns
+    /// `None` transiently).
+    fn next_arrival(&mut self) -> Option<ScheduledArrival>;
+
+    /// Completion feedback at `finished_s`. Returns `true` when the
+    /// completion made a new arrival available (closed-loop sources);
+    /// open-loop streams ignore it.
+    fn on_complete(&mut self, finished_s: f64) -> bool {
+        let _ = finished_s;
+        false
+    }
+
+    /// `true` once no further arrival can ever be produced.
+    fn is_exhausted(&self) -> bool;
+
+    /// The instant of the final arrival when it is known upfront
+    /// (pre-built schedules), anchoring the drain deadline exactly as
+    /// the step loop computes it. `None` for generated streams — the
+    /// engine then extends the deadline from the last pulled arrival.
+    fn final_arrival_hint(&self) -> Option<f64> {
+        None
+    }
+
+    /// Discards every remaining arrival and returns how many there
+    /// were — drain-deadline accounting for [`RunReport::unfinished`].
+    fn drain_remaining(&mut self) -> usize;
+}
+
+/// [`ArrivalStream`] over a pre-built sorted schedule slice — the lens
+/// through which every legacy `&[ScheduledArrival]` entry point runs
+/// on the event engine.
+pub struct ScheduleStream<'a> {
+    arrivals: &'a [ScheduledArrival],
+    next: usize,
+}
+
+impl<'a> ScheduleStream<'a> {
+    /// Wraps `arrivals`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals` is not sorted by time.
+    pub fn new(arrivals: &'a [ScheduledArrival]) -> Self {
+        assert!(
+            arrivals.windows(2).all(|w| w[0].at_s <= w[1].at_s),
+            "arrivals must be sorted by time"
+        );
+        Self { arrivals, next: 0 }
+    }
+}
+
+impl ArrivalStream for ScheduleStream<'_> {
+    fn next_arrival(&mut self) -> Option<ScheduledArrival> {
+        let a = self.arrivals.get(self.next)?.clone();
+        self.next += 1;
+        Some(a)
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.next == self.arrivals.len()
+    }
+
+    fn final_arrival_hint(&self) -> Option<f64> {
+        // `map_or(0.0, ..)` mirrors the step loop's empty-schedule
+        // deadline anchor exactly.
+        Some(self.arrivals.last().map_or(0.0, |a| a.at_s))
+    }
+
+    fn drain_remaining(&mut self) -> usize {
+        let n = self.arrivals.len() - self.next;
+        self.next = self.arrivals.len();
+        n
+    }
+}
+
+/// [`ArrivalStream`] over an [`adrias_workloads::ArrivalSource`]: each
+/// emitted instant is turned into a [`ScheduledArrival`] by the
+/// `spawn` factory, which receives the submission index and instant
+/// (the factory's `at_s` is overwritten with the source's instant).
+pub struct GeneratedStream<S, F> {
+    source: S,
+    spawn: F,
+    issued: u64,
+}
+
+impl<S, F> GeneratedStream<S, F>
+where
+    S: adrias_workloads::ArrivalSource,
+    F: FnMut(u64, f64) -> ScheduledArrival,
+{
+    /// Couples `source` with the arrival factory `spawn`.
+    pub fn new(source: S, spawn: F) -> Self {
+        Self {
+            source,
+            spawn,
+            issued: 0,
+        }
+    }
+
+    /// Total arrivals issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+impl<S, F> ArrivalStream for GeneratedStream<S, F>
+where
+    S: adrias_workloads::ArrivalSource,
+    F: FnMut(u64, f64) -> ScheduledArrival,
+{
+    fn next_arrival(&mut self) -> Option<ScheduledArrival> {
+        let t = self.source.next_time()?;
+        let idx = self.issued;
+        self.issued += 1;
+        let mut a = (self.spawn)(idx, t);
+        a.at_s = t;
+        Some(a)
+    }
+
+    fn on_complete(&mut self, finished_s: f64) -> bool {
+        self.source.on_complete(finished_s)
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.source.exhausted()
+    }
+
+    fn drain_remaining(&mut self) -> usize {
+        let mut n = 0;
+        while self.source.next_time().is_some() {
+            n += 1;
+        }
+        n
+    }
+}
+
 /// Replays `arrivals` on a fresh testbed under `policy`.
 ///
 /// Each simulated second: deploy due arrivals (consulting the policy
@@ -261,6 +439,9 @@ pub fn lc_load_spec(profile: &WorkloadProfile) -> LoadSpec {
 /// and collect completions. LC completions get their tail latency
 /// measured from the contention environment averaged over their
 /// residency.
+///
+/// Runs on the engine selected by [`EngineMode::from_env`]; the two
+/// engines are pinned byte-identical by `tests/event_engine_parity.rs`.
 ///
 /// # Panics
 ///
@@ -271,7 +452,32 @@ pub fn run_schedule(
     arrivals: &[ScheduledArrival],
     policy: &mut dyn Policy,
 ) -> RunReport {
-    run_schedule_inner(testbed_cfg, engine_cfg, arrivals, &[], policy, &mut ())
+    run_schedule_mode(
+        testbed_cfg,
+        engine_cfg,
+        arrivals,
+        policy,
+        EngineMode::from_env(),
+    )
+}
+
+/// [`run_schedule`] on an explicitly chosen engine core.
+pub fn run_schedule_mode(
+    testbed_cfg: TestbedConfig,
+    engine_cfg: EngineConfig,
+    arrivals: &[ScheduledArrival],
+    policy: &mut dyn Policy,
+    mode: EngineMode,
+) -> RunReport {
+    dispatch(
+        testbed_cfg,
+        engine_cfg,
+        arrivals,
+        &[],
+        policy,
+        &mut (),
+        mode,
+    )
 }
 
 /// [`run_schedule`] with an attached [`adrias_obs::Observer`]: every
@@ -286,7 +492,15 @@ pub fn run_schedule_observed(
     obs: &mut adrias_obs::Observer,
 ) -> RunReport {
     let mut run = crate::engine_obs::ObservedRun::new(obs);
-    run_schedule_inner(testbed_cfg, engine_cfg, arrivals, &[], policy, &mut run)
+    dispatch(
+        testbed_cfg,
+        engine_cfg,
+        arrivals,
+        &[],
+        policy,
+        &mut run,
+        EngineMode::from_env(),
+    )
 }
 
 /// [`run_schedule_observed`] with a link-degradation schedule: each
@@ -305,8 +519,38 @@ pub fn run_schedule_observed_faulted(
     policy: &mut dyn Policy,
     obs: &mut adrias_obs::Observer,
 ) -> RunReport {
+    run_schedule_observed_faulted_mode(
+        testbed_cfg,
+        engine_cfg,
+        arrivals,
+        faults,
+        policy,
+        obs,
+        EngineMode::from_env(),
+    )
+}
+
+/// [`run_schedule_observed_faulted`] on an explicitly chosen engine
+/// core.
+pub fn run_schedule_observed_faulted_mode(
+    testbed_cfg: TestbedConfig,
+    engine_cfg: EngineConfig,
+    arrivals: &[ScheduledArrival],
+    faults: &[FaultEvent],
+    policy: &mut dyn Policy,
+    obs: &mut adrias_obs::Observer,
+    mode: EngineMode,
+) -> RunReport {
     let mut run = crate::engine_obs::ObservedRun::new(obs);
-    run_schedule_inner(testbed_cfg, engine_cfg, arrivals, faults, policy, &mut run)
+    dispatch(
+        testbed_cfg,
+        engine_cfg,
+        arrivals,
+        faults,
+        policy,
+        &mut run,
+        mode,
+    )
 }
 
 /// [`run_schedule`] with a caller-supplied [`EngineObserver`] — the
@@ -322,10 +566,394 @@ pub fn run_schedule_hooked<O: EngineObserver>(
     policy: &mut dyn Policy,
     obs: &mut O,
 ) -> RunReport {
-    run_schedule_inner(testbed_cfg, engine_cfg, arrivals, &[], policy, obs)
+    dispatch(
+        testbed_cfg,
+        engine_cfg,
+        arrivals,
+        &[],
+        policy,
+        obs,
+        EngineMode::from_env(),
+    )
 }
 
-fn run_schedule_inner<O: EngineObserver>(
+/// [`run_schedule_hooked`] on an explicitly chosen engine core.
+pub fn run_schedule_hooked_mode<O: EngineObserver>(
+    testbed_cfg: TestbedConfig,
+    engine_cfg: EngineConfig,
+    arrivals: &[ScheduledArrival],
+    policy: &mut dyn Policy,
+    obs: &mut O,
+    mode: EngineMode,
+) -> RunReport {
+    dispatch(testbed_cfg, engine_cfg, arrivals, &[], policy, obs, mode)
+}
+
+/// Drives an [`ArrivalStream`] through the event engine — the entry
+/// point for generated open/closed-loop traffic, which has no schedule
+/// slice to replay (and therefore no step-loop fallback).
+pub fn run_stream(
+    testbed_cfg: TestbedConfig,
+    engine_cfg: EngineConfig,
+    stream: &mut dyn ArrivalStream,
+    policy: &mut dyn Policy,
+) -> RunReport {
+    run_event_inner(testbed_cfg, engine_cfg, stream, &[], policy, &mut ())
+}
+
+/// [`run_stream`] with a fault schedule and a caller-supplied observer.
+///
+/// # Panics
+///
+/// Panics if `faults` is not sorted by time.
+pub fn run_stream_hooked<O: EngineObserver>(
+    testbed_cfg: TestbedConfig,
+    engine_cfg: EngineConfig,
+    stream: &mut dyn ArrivalStream,
+    faults: &[FaultEvent],
+    policy: &mut dyn Policy,
+    obs: &mut O,
+) -> RunReport {
+    run_event_inner(testbed_cfg, engine_cfg, stream, faults, policy, obs)
+}
+
+fn dispatch<O: EngineObserver>(
+    testbed_cfg: TestbedConfig,
+    engine_cfg: EngineConfig,
+    arrivals: &[ScheduledArrival],
+    faults: &[FaultEvent],
+    policy: &mut dyn Policy,
+    obs: &mut O,
+    mode: EngineMode,
+) -> RunReport {
+    match mode {
+        EngineMode::EventHeap => {
+            let mut stream = ScheduleStream::new(arrivals);
+            run_event_inner(testbed_cfg, engine_cfg, &mut stream, faults, policy, obs)
+        }
+        EngineMode::StepLoop => {
+            run_step_loop_inner(testbed_cfg, engine_cfg, arrivals, faults, policy, obs)
+        }
+    }
+}
+
+/// Consults the policy (or the forced mode), deploys the arrival at the
+/// current testbed instant, and records it — shared verbatim by both
+/// engine cores so their call sequences stay bitwise identical.
+#[allow(clippy::too_many_arguments)]
+fn deploy_arrival<O: EngineObserver>(
+    testbed: &mut Testbed,
+    watcher: &Watcher,
+    history_buf: &mut Vec<MetricVec>,
+    engine_cfg: &EngineConfig,
+    arrival: &ScheduledArrival,
+    policy: &mut dyn Policy,
+    obs: &mut O,
+    decided: &mut std::collections::HashMap<DeploymentId, (bool, WorkloadProfile)>,
+) {
+    let now = testbed.time_s();
+    let stamp = watcher.history_fill(engine_cfg.history_window_s, history_buf);
+    let history_rows: Option<&[MetricVec]> = stamp.map(|_| history_buf.as_slice());
+    let (decision, was_decided) = match arrival.forced_mode {
+        Some(m) => (
+            ExplainedDecision {
+                mode: m,
+                rule: adrias_obs::DecisionRule::Forced,
+                pred_local: None,
+                pred_remote: None,
+            },
+            false,
+        ),
+        None => {
+            let ctx = DecisionContext {
+                profile: &arrival.profile,
+                history: history_rows,
+                qos_p99_ms: engine_cfg.qos_p99_ms,
+                stamp,
+            };
+            (policy.decide_explained(&ctx), true)
+        }
+    };
+    let duration = arrival
+        .duration_s
+        .unwrap_or_else(|| arrival.profile.base_runtime_s());
+    let id = testbed.deploy_for(arrival.profile.clone(), decision.mode, duration);
+    obs.on_decision(
+        now,
+        id,
+        &arrival.profile,
+        history_rows,
+        &decision,
+        policy.name(),
+    );
+    decided.insert(id, (was_decided, arrival.profile.clone()));
+}
+
+/// Converts a testbed completion into an [`AppOutcome`], measuring LC
+/// tail latency from `lc_rng` — shared by both engine cores and
+/// [`run_isolated`] so the RNG consumption pattern is identical.
+fn completed_outcome(
+    done: adrias_sim::CompletedApp,
+    policy_decided: bool,
+    profile: &WorkloadProfile,
+    engine_cfg: &EngineConfig,
+    lc_rng: &mut Xoshiro256pp,
+) -> AppOutcome {
+    let (p99, p999, total) = if done.class == WorkloadClass::LatencyCritical {
+        let spec = lc_load_spec(profile);
+        let tl = tail_latency(
+            profile,
+            &spec,
+            &done.average_env,
+            engine_cfg.lc_latency_samples,
+            lc_rng,
+        );
+        (Some(tl.p99_ms), Some(tl.p999_ms), Some(tl.total_time_s))
+    } else {
+        (None, None, None)
+    };
+    AppOutcome {
+        name: done.name,
+        class: done.class,
+        mode: done.mode,
+        policy_decided,
+        arrived_s: done.arrived_s,
+        finished_s: done.finished_s,
+        runtime_s: done.runtime_s,
+        mean_slowdown: done.mean_slowdown,
+        p99_ms: p99,
+        p999_ms: p999,
+        lc_total_time_s: total,
+    }
+}
+
+/// Event payload for the discrete-event engine core.
+enum EventPayload {
+    /// Admit this arrival at the event's tick.
+    Arrival(ScheduledArrival),
+    /// Replace the link parameters.
+    Fault(LinkConfig),
+    /// The 1 Hz watcher tick: step the testbed, sample, decide whether
+    /// to continue.
+    Sample,
+    /// Fold a testbed completion into the report.
+    Finish(adrias_sim::CompletedApp),
+    /// The drain budget expired; account for undelivered arrivals.
+    Deadline,
+}
+
+/// The discrete-event engine core.
+///
+/// Pops events in `(time, kind-rank, seq)` order from a deterministic
+/// heap. Per instant the rank order admits arrivals first, applies
+/// faults second, then takes the watcher sample (which steps the
+/// testbed), folds completions in after the sample that surfaced them,
+/// and judges the drain deadline last. Bitwise parity with the step
+/// loop holds because the rank order reproduces the legacy loop's
+/// per-iteration phases exactly — the one transposition (legacy applies
+/// faults *before* deploying the same second's arrivals) is
+/// output-invariant, since a fault only rewrites the link config, which
+/// nothing before the testbed step reads.
+///
+/// Arrivals are pulled lazily: at most one future open-loop arrival
+/// lives in the heap (plus at most one per closed-loop completion), so
+/// heap occupancy — and memory — is O(residents), not O(arrivals).
+///
+/// The `stopped` flag implements the legacy break: the run ends at a
+/// watcher tick (natural idle or drain deadline), after which pending
+/// arrival/fault events drain without effect (arrivals count as
+/// unfinished), while completions surfaced by the final step are still
+/// folded in.
+fn run_event_inner<O: EngineObserver>(
+    testbed_cfg: TestbedConfig,
+    engine_cfg: EngineConfig,
+    stream: &mut dyn ArrivalStream,
+    faults: &[FaultEvent],
+    policy: &mut dyn Policy,
+    obs: &mut O,
+) -> RunReport {
+    assert!(
+        faults.windows(2).all(|w| w[0].at_s <= w[1].at_s),
+        "faults must be sorted by time"
+    );
+    let mut testbed = Testbed::new(testbed_cfg, engine_cfg.seed);
+    let mut watcher = Watcher::new(engine_cfg.history_window_s.max(1));
+    let mut lc_rng = Xoshiro256pp::seed_from_u64(engine_cfg.seed ^ 0x1C);
+    let mut outcomes = Vec::new();
+    let mut samples = Vec::new();
+    let mut history_buf: Vec<MetricVec> = Vec::with_capacity(engine_cfg.history_window_s);
+    let mut decided: std::collections::HashMap<DeploymentId, (bool, WorkloadProfile)> =
+        std::collections::HashMap::new();
+
+    let final_hint = stream.final_arrival_hint();
+    let mut last_pulled_s = 0.0_f64;
+    let mut arrivals_in_heap = 0usize;
+    let mut skipped = 0usize;
+    let mut drained = 0usize;
+    let mut stopped = false;
+
+    let mut heap: crate::event::EventHeap<EventPayload> = crate::event::EventHeap::new();
+    for f in faults {
+        // Effective tick: the first watcher instant with `at_s <= t`,
+        // i.e. ceil — same-tick faults keep slice order via seq, so the
+        // last one wins exactly as in the step loop.
+        heap.push(
+            f.at_s.ceil(),
+            crate::event::EventKind::FaultApply,
+            EventPayload::Fault(f.link),
+        );
+    }
+    pull_arrival(
+        &mut heap,
+        stream,
+        0.0,
+        &mut arrivals_in_heap,
+        &mut last_pulled_s,
+    );
+    heap.push(
+        0.0,
+        crate::event::EventKind::WatcherSample,
+        EventPayload::Sample,
+    );
+
+    heap.run_until_idle(|heap, ev| match ev.payload {
+        EventPayload::Arrival(arrival) => {
+            arrivals_in_heap -= 1;
+            if stopped {
+                skipped += 1;
+            } else {
+                deploy_arrival(
+                    &mut testbed,
+                    &watcher,
+                    &mut history_buf,
+                    &engine_cfg,
+                    &arrival,
+                    policy,
+                    obs,
+                    &mut decided,
+                );
+            }
+            // Open-loop pull-ahead: keep exactly one future arrival in
+            // the heap.
+            if !stopped && arrivals_in_heap == 0 {
+                pull_arrival(
+                    heap,
+                    stream,
+                    testbed.time_s(),
+                    &mut arrivals_in_heap,
+                    &mut last_pulled_s,
+                );
+            }
+        }
+        EventPayload::Fault(link) => {
+            if !stopped {
+                testbed.set_link(link);
+            }
+        }
+        EventPayload::Sample => {
+            let report = testbed.step();
+            watcher.record(report.sample);
+            samples.push(report.sample);
+            obs.on_step(&report);
+            // Completions pop at this tick's own instant (rank orders
+            // them after the sample, before the next tick's arrivals),
+            // in report order — the lc_rng consumption order the step
+            // loop produces.
+            for done in report.finished {
+                heap.push(
+                    ev.time_s,
+                    crate::event::EventKind::DeploymentFinish,
+                    EventPayload::Finish(done),
+                );
+            }
+            let pending = arrivals_in_heap > 0 || !stream.is_exhausted();
+            let deadline_s = final_hint.unwrap_or(last_pulled_s) + engine_cfg.max_drain_s;
+            if !pending && testbed.resident_count() == 0 {
+                stopped = true; // natural idle: the heap drains out
+            } else if testbed.time_s() >= deadline_s {
+                stopped = true;
+                heap.push(
+                    testbed.time_s(),
+                    crate::event::EventKind::DrainDeadline,
+                    EventPayload::Deadline,
+                );
+            } else {
+                heap.push(
+                    testbed.time_s(),
+                    crate::event::EventKind::WatcherSample,
+                    EventPayload::Sample,
+                );
+            }
+        }
+        EventPayload::Finish(done) => {
+            // Always folded in, even after the stop tick: the step loop
+            // processes the final step's completions before breaking.
+            let (policy_decided, profile) = decided
+                .remove(&done.id)
+                .expect("completion for unknown deployment");
+            let id = done.id;
+            let finished_s = done.finished_s;
+            let outcome =
+                completed_outcome(done, policy_decided, &profile, &engine_cfg, &mut lc_rng);
+            obs.on_complete(id, &outcome);
+            outcomes.push(outcome);
+            if stream.on_complete(finished_s) && !stopped {
+                // A closed-loop client became ready; admit it. Bounded
+                // by the client count, so heap occupancy stays small.
+                pull_arrival(
+                    heap,
+                    stream,
+                    testbed.time_s(),
+                    &mut arrivals_in_heap,
+                    &mut last_pulled_s,
+                );
+            }
+        }
+        EventPayload::Deadline => {
+            drained = stream.drain_remaining();
+        }
+    });
+
+    let report = RunReport {
+        policy: policy.name().to_owned(),
+        outcomes,
+        samples,
+        link_bytes: testbed.link_bytes_total(),
+        end_time_s: testbed.time_s(),
+        unfinished: testbed.resident_count() + skipped + drained,
+    };
+    obs.on_run_end(&report, final_hint.unwrap_or(last_pulled_s));
+    report
+}
+
+/// Pulls one arrival from `stream` into the heap. The event tick is
+/// `ceil(at_s)` — the first watcher instant with `at_s <= tick`,
+/// replicating the step loop's admission test — clamped to `floor_s`
+/// so closed-loop submissions scheduled behind the post-step clock
+/// (a completion at `t + 0.4` thinking for less than the step
+/// remainder) land on the current tick rather than in the past.
+fn pull_arrival(
+    heap: &mut crate::event::EventHeap<EventPayload>,
+    stream: &mut dyn ArrivalStream,
+    floor_s: f64,
+    arrivals_in_heap: &mut usize,
+    last_pulled_s: &mut f64,
+) {
+    if let Some(a) = stream.next_arrival() {
+        *last_pulled_s = last_pulled_s.max(a.at_s);
+        let tick = a.at_s.ceil().max(floor_s);
+        heap.push(
+            tick,
+            crate::event::EventKind::Arrival,
+            EventPayload::Arrival(a),
+        );
+        *arrivals_in_heap += 1;
+    }
+}
+
+/// The legacy fixed 1 Hz polling loop — kept behind
+/// [`EngineMode::StepLoop`] for one release as the parity oracle.
+fn run_step_loop_inner<O: EngineObserver>(
     testbed_cfg: TestbedConfig,
     engine_cfg: EngineConfig,
     arrivals: &[ScheduledArrival],
@@ -354,7 +982,7 @@ fn run_schedule_inner<O: EngineObserver>(
     // their system-state forecast between arrivals of the same second.
     let mut history_buf: Vec<MetricVec> = Vec::with_capacity(engine_cfg.history_window_s);
     // Deployment id → (policy_decided, profile)
-    let mut decided: std::collections::HashMap<adrias_sim::DeploymentId, (bool, WorkloadProfile)> =
+    let mut decided: std::collections::HashMap<DeploymentId, (bool, WorkloadProfile)> =
         std::collections::HashMap::new();
 
     let last_arrival_s = arrivals.last().map_or(0.0, |a| a.at_s);
@@ -372,41 +1000,16 @@ fn run_schedule_inner<O: EngineObserver>(
         while next_arrival < arrivals.len() && arrivals[next_arrival].at_s <= now {
             let arrival = &arrivals[next_arrival];
             next_arrival += 1;
-            let stamp = watcher.history_fill(engine_cfg.history_window_s, &mut history_buf);
-            let history_rows: Option<&[MetricVec]> = stamp.map(|_| history_buf.as_slice());
-            let (decision, was_decided) = match arrival.forced_mode {
-                Some(m) => (
-                    ExplainedDecision {
-                        mode: m,
-                        rule: adrias_obs::DecisionRule::Forced,
-                        pred_local: None,
-                        pred_remote: None,
-                    },
-                    false,
-                ),
-                None => {
-                    let ctx = DecisionContext {
-                        profile: &arrival.profile,
-                        history: history_rows,
-                        qos_p99_ms: engine_cfg.qos_p99_ms,
-                        stamp,
-                    };
-                    (policy.decide_explained(&ctx), true)
-                }
-            };
-            let duration = arrival
-                .duration_s
-                .unwrap_or_else(|| arrival.profile.base_runtime_s());
-            let id = testbed.deploy_for(arrival.profile.clone(), decision.mode, duration);
-            obs.on_decision(
-                now,
-                id,
-                &arrival.profile,
-                history_rows,
-                &decision,
-                policy.name(),
+            deploy_arrival(
+                &mut testbed,
+                &watcher,
+                &mut history_buf,
+                &engine_cfg,
+                arrival,
+                policy,
+                obs,
+                &mut decided,
             );
-            decided.insert(id, (was_decided, arrival.profile.clone()));
         }
 
         let report = testbed.step();
@@ -418,33 +1021,10 @@ fn run_schedule_inner<O: EngineObserver>(
             let (policy_decided, profile) = decided
                 .remove(&done.id)
                 .expect("completion for unknown deployment");
-            let (p99, p999, total) = if done.class == WorkloadClass::LatencyCritical {
-                let spec = lc_load_spec(&profile);
-                let tl = tail_latency(
-                    &profile,
-                    &spec,
-                    &done.average_env,
-                    engine_cfg.lc_latency_samples,
-                    &mut lc_rng,
-                );
-                (Some(tl.p99_ms), Some(tl.p999_ms), Some(tl.total_time_s))
-            } else {
-                (None, None, None)
-            };
-            let outcome = AppOutcome {
-                name: done.name,
-                class: done.class,
-                mode: done.mode,
-                policy_decided,
-                arrived_s: done.arrived_s,
-                finished_s: done.finished_s,
-                runtime_s: done.runtime_s,
-                mean_slowdown: done.mean_slowdown,
-                p99_ms: p99,
-                p999_ms: p999,
-                lc_total_time_s: total,
-            };
-            obs.on_complete(done.id, &outcome);
+            let id = done.id;
+            let outcome =
+                completed_outcome(done, policy_decided, &profile, &engine_cfg, &mut lc_rng);
+            obs.on_complete(id, &outcome);
             outcomes.push(outcome);
         }
 
@@ -478,35 +1058,8 @@ pub fn run_isolated(
     let mut testbed = Testbed::new(testbed_cfg, engine_cfg.seed);
     let mut lc_rng = Xoshiro256pp::seed_from_u64(engine_cfg.seed ^ 0x150);
     let (done, trace) = testbed.run_isolated(profile.clone(), mode);
-    let (p99, p999, total) = if done.class == WorkloadClass::LatencyCritical {
-        let spec = lc_load_spec(&profile);
-        let tl = tail_latency(
-            &profile,
-            &spec,
-            &done.average_env,
-            engine_cfg.lc_latency_samples,
-            &mut lc_rng,
-        );
-        (Some(tl.p99_ms), Some(tl.p999_ms), Some(tl.total_time_s))
-    } else {
-        (None, None, None)
-    };
-    (
-        AppOutcome {
-            name: done.name,
-            class: done.class,
-            mode: done.mode,
-            policy_decided: false,
-            arrived_s: done.arrived_s,
-            finished_s: done.finished_s,
-            runtime_s: done.runtime_s,
-            mean_slowdown: done.mean_slowdown,
-            p99_ms: p99,
-            p999_ms: p999,
-            lc_total_time_s: total,
-        },
-        trace,
-    )
+    let outcome = completed_outcome(done, false, &profile, &engine_cfg, &mut lc_rng);
+    (outcome, trace)
 }
 
 #[cfg(test)]
@@ -824,6 +1377,151 @@ mod tests {
             &mut policy,
             &mut obs,
         );
+    }
+
+    #[test]
+    fn both_engine_modes_agree_on_a_mixed_schedule() {
+        let app = spark::by_name("gmm").unwrap();
+        let lc = adrias_workloads::keyvalue::redis();
+        let arrivals = vec![
+            ScheduledArrival::new(0.0, app.clone()),
+            ScheduledArrival::new(2.5, lc).with_duration(40.0),
+            ScheduledArrival::new(2.5, app.clone()).with_mode(MemoryMode::Remote),
+            ScheduledArrival::new(30.0, app),
+        ];
+        let run = |mode: EngineMode| {
+            let mut policy = RoundRobinPolicy::new();
+            let report = run_schedule_mode(
+                TestbedConfig::paper(),
+                quick_engine(),
+                &arrivals,
+                &mut policy,
+                mode,
+            );
+            format!("{report:?}")
+        };
+        assert_eq!(run(EngineMode::EventHeap), run(EngineMode::StepLoop));
+    }
+
+    #[test]
+    fn uniform_stream_matches_the_equivalent_schedule_slice() {
+        // The streamed uniform source and a pre-materialised
+        // `times_until` schedule draw identical gap sequences from the
+        // same seed, so the two entry points must produce bit-identical
+        // reports — the "ScheduledArrival path implements the same
+        // trait" contract.
+        use adrias_core::rng::SeedableRng;
+        let app = spark::by_name("lr").unwrap();
+        let process = adrias_workloads::ArrivalProcess::new(4.0, 9.0);
+        let horizon = 120.0;
+        let seed = 11u64;
+
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let schedule: Vec<ScheduledArrival> = process
+            .times_until(horizon, &mut rng)
+            .into_iter()
+            .map(|t| ScheduledArrival::new(t, app.clone()))
+            .collect();
+        assert!(schedule.len() > 5);
+        let mut policy = RoundRobinPolicy::new();
+        let scheduled = run_schedule_mode(
+            TestbedConfig::noiseless(),
+            quick_engine(),
+            &schedule,
+            &mut policy,
+            EngineMode::EventHeap,
+        );
+
+        let mut stream = GeneratedStream::new(process.source(horizon, seed), |_, t| {
+            ScheduledArrival::new(t, app.clone())
+        });
+        let mut policy = RoundRobinPolicy::new();
+        let streamed = run_stream(
+            TestbedConfig::noiseless(),
+            quick_engine(),
+            &mut stream,
+            &mut policy,
+        );
+        assert_eq!(stream.issued(), schedule.len() as u64);
+        assert_eq!(format!("{scheduled:?}"), format!("{streamed:?}"));
+    }
+
+    #[test]
+    fn poisson_stream_drives_the_event_engine_end_to_end() {
+        let app = spark::by_name("gmm").unwrap();
+        let source = adrias_workloads::PoissonSource::new(0.2, 300.0, 5);
+        let mut stream = GeneratedStream::new(source, |_, t| ScheduledArrival::new(t, app.clone()));
+        let mut policy = RoundRobinPolicy::new();
+        let report = run_stream(
+            TestbedConfig::noiseless(),
+            quick_engine(),
+            &mut stream,
+            &mut policy,
+        );
+        assert!(!report.outcomes.is_empty());
+        assert_eq!(report.outcomes.len() as u64, stream.issued());
+        assert_eq!(report.unfinished, 0);
+        // Every second of the run is sampled exactly once.
+        assert_eq!(report.samples.len(), report.end_time_s.ceil() as usize);
+    }
+
+    /// Tracks peak concurrent residency through the observer hooks.
+    #[derive(Default)]
+    struct ConcurrencyProbe {
+        live: usize,
+        peak: usize,
+    }
+
+    impl EngineObserver for ConcurrencyProbe {
+        fn on_decision(
+            &mut self,
+            _at_s: f64,
+            _id: DeploymentId,
+            _profile: &WorkloadProfile,
+            _history: Option<&[MetricVec]>,
+            _decision: &ExplainedDecision,
+            _policy_name: &str,
+        ) {
+            self.live += 1;
+            self.peak = self.peak.max(self.live);
+        }
+
+        fn on_complete(&mut self, _id: DeploymentId, _outcome: &AppOutcome) {
+            self.live -= 1;
+        }
+    }
+
+    #[test]
+    fn closed_loop_stream_caps_concurrent_residency_at_client_count() {
+        let app = spark::by_name("lr").unwrap();
+        let clients = 3usize;
+        let source = adrias_workloads::ClosedLoopSource::new(clients, 2.0, 6.0, 400.0, 17);
+        let mut stream = GeneratedStream::new(source, |_, t| {
+            // Short BE jobs so clients cycle many times.
+            ScheduledArrival::new(t, app.clone()).with_duration(12.0)
+        });
+        let mut policy = RoundRobinPolicy::new();
+        let mut probe = ConcurrencyProbe::default();
+        let report = run_stream_hooked(
+            TestbedConfig::noiseless(),
+            quick_engine(),
+            &mut stream,
+            &[],
+            &mut policy,
+            &mut probe,
+        );
+        assert!(
+            stream.issued() > clients as u64 * 3,
+            "clients barely cycled: {}",
+            stream.issued()
+        );
+        assert!(
+            probe.peak <= clients,
+            "{} concurrent residents with {clients} closed-loop clients",
+            probe.peak
+        );
+        assert_eq!(report.outcomes.len() as u64, stream.issued());
+        assert_eq!(report.unfinished, 0);
     }
 
     #[test]

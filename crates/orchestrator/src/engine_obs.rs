@@ -109,6 +109,12 @@ impl EngineObserver for ObservedRun<'_> {
         self.obs
             .registry
             .gauge_set("engine.end_time_s", report.end_time_s);
+        // Watcher ticks processed — identical between the event-heap
+        // and step-loop engines (one sample per simulated second), so
+        // the parity battery byte-compares it for free.
+        self.obs
+            .registry
+            .gauge_set("engine.ticks", report.samples.len() as f64);
         self.obs
             .registry
             .gauge_set("engine.link_bytes", report.link_bytes);

@@ -26,6 +26,7 @@ pub mod adrias;
 pub mod baselines;
 pub mod engine;
 pub mod engine_obs;
+pub mod event;
 pub mod online;
 pub mod policy;
 pub mod qos;
@@ -39,10 +40,13 @@ pub use adapt::{
 pub use adrias::{be_rule, lc_rule, AdriasPolicy};
 pub use baselines::{AllLocalPolicy, AllRemotePolicy, RandomPolicy, RoundRobinPolicy};
 pub use engine::{
-    run_schedule, run_schedule_hooked, run_schedule_observed, run_schedule_observed_faulted,
-    AppOutcome, EngineConfig, EngineObserver, FaultEvent, RunReport, ScheduledArrival,
+    run_schedule, run_schedule_hooked, run_schedule_hooked_mode, run_schedule_mode,
+    run_schedule_observed, run_schedule_observed_faulted, run_schedule_observed_faulted_mode,
+    run_stream, run_stream_hooked, AppOutcome, ArrivalStream, EngineConfig, EngineMode,
+    EngineObserver, FaultEvent, GeneratedStream, RunReport, ScheduleStream, ScheduledArrival,
 };
 pub use engine_obs::ObservedRun;
+pub use event::{Event, EventHeap, EventKind};
 pub use online::{
     absorb_signatures, absorb_signatures_observed, capture_unknown_signatures,
     capture_unknown_signatures_audited,

@@ -1,0 +1,106 @@
+//! Property contract of the deterministic event heap: any push order
+//! pops in `(time, kind-rank, seq)` order, the documented equal-time
+//! rank semantics hold, and `run_until_idle` drains to a fixed point
+//! with an exact watcher-tick count.
+
+use adrias_core::prop::prelude::*;
+use adrias_orchestrator::{EventHeap, EventKind};
+
+const KINDS: [EventKind; 5] = [
+    EventKind::Arrival,
+    EventKind::FaultApply,
+    EventKind::WatcherSample,
+    EventKind::DeploymentFinish,
+    EventKind::DrainDeadline,
+];
+
+proptest! {
+    /// Events pushed in any order pop sorted by time, then kind rank,
+    /// then insertion sequence. The expected order is an independent
+    /// stable sort on `(time, rank)` — stability encodes exactly the
+    /// seq tie-break, so agreement proves the heap's total order.
+    #[test]
+    fn any_push_order_pops_in_time_rank_seq_order(
+        events in prop::collection::vec((0u8..12, 0usize..5), 1..64),
+    ) {
+        let mut heap = EventHeap::new();
+        let mut expected: Vec<(f64, u8, usize)> = Vec::new();
+        for (i, (t, k)) in events.iter().enumerate() {
+            // Coarse time grid (halves of a second) forces plenty of
+            // equal-time and equal-rank collisions.
+            let time = f64::from(*t) * 0.5;
+            heap.push(time, KINDS[*k], i);
+            expected.push((time, KINDS[*k].rank(), i));
+        }
+        expected.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut popped = Vec::new();
+        while let Some(ev) = heap.pop() {
+            popped.push((ev.time_s, ev.kind.rank(), ev.payload));
+        }
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// `run_until_idle` counts exactly the WatcherSample events it
+    /// processes, including ones the handler schedules on the fly.
+    #[test]
+    fn run_until_idle_counts_exactly_the_watcher_samples(
+        chain in 0u64..20,
+        extras in prop::collection::vec(0u8..4, 0..16),
+    ) {
+        let mut heap = EventHeap::new();
+        for (i, k) in extras.iter().enumerate() {
+            // Non-sample kinds only; must not count as ticks.
+            let kind = [
+                EventKind::Arrival,
+                EventKind::FaultApply,
+                EventKind::DeploymentFinish,
+                EventKind::DrainDeadline,
+            ][usize::from(*k)];
+            heap.push(i as f64, kind, u64::MAX);
+        }
+        heap.push(0.0, EventKind::WatcherSample, 0u64);
+        let ticks = heap.run_until_idle(|h, ev| {
+            if ev.kind == EventKind::WatcherSample && ev.payload < chain {
+                h.push(ev.time_s + 1.0, EventKind::WatcherSample, ev.payload + 1);
+            }
+        });
+        prop_assert_eq!(ticks, chain + 1);
+    }
+}
+
+/// The documented equal-time semantics, spelled out: at one instant the
+/// engine admits arrivals, then applies faults, then samples (stepping
+/// the testbed), then folds in completions, and judges the drain
+/// deadline last.
+#[test]
+fn equal_time_rank_order_matches_documented_semantics() {
+    let mut heap = EventHeap::new();
+    // Push in deliberately scrambled order.
+    heap.push(3.0, EventKind::DeploymentFinish, "finish");
+    heap.push(3.0, EventKind::DrainDeadline, "deadline");
+    heap.push(3.0, EventKind::WatcherSample, "sample");
+    heap.push(3.0, EventKind::Arrival, "arrival");
+    heap.push(3.0, EventKind::FaultApply, "fault");
+    let order: Vec<&str> = std::iter::from_fn(|| heap.pop())
+        .map(|e| e.payload)
+        .collect();
+    assert_eq!(
+        order,
+        vec!["arrival", "fault", "sample", "finish", "deadline"]
+    );
+    for pair in KINDS.windows(2) {
+        assert!(pair[0].rank() < pair[1].rank(), "{pair:?} rank inverted");
+    }
+}
+
+/// Draining a heap with zero events terminates immediately: zero ticks,
+/// handler never invoked.
+#[test]
+fn zero_event_drain_returns_zero_ticks() {
+    let mut heap: EventHeap<u8> = EventHeap::new();
+    let ticks = heap.run_until_idle(|_, _| unreachable!("no events to handle"));
+    assert_eq!(ticks, 0);
+    assert!(heap.is_empty());
+    assert_eq!(heap.len(), 0);
+    assert!(heap.peek().is_none());
+}

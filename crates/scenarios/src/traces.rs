@@ -6,7 +6,7 @@ use adrias_orchestrator::RandomPolicy;
 use adrias_predictor::dataset::{PerfRecord, HISTORY_S};
 use adrias_sim::TestbedConfig;
 use adrias_telemetry::MetricSample;
-use adrias_workloads::{WorkloadCatalog, WorkloadClass};
+use adrias_workloads::{TraceSource, WorkloadCatalog, WorkloadClass};
 
 use crate::schedule::{build_schedule, PlacementStyle};
 use crate::spec::ScenarioSpec;
@@ -42,6 +42,35 @@ impl TraceBundle {
     /// `SystemStateDataset::from_traces`).
     pub fn system_traces(&self) -> Vec<Vec<MetricSample>> {
         self.reports.iter().map(|r| r.samples.clone()).collect()
+    }
+
+    /// The arrival instants of every completed application in scenario
+    /// `idx`, sorted ascending — outcomes are stored in completion
+    /// order, so this re-sorts by arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn arrival_times(&self, idx: usize) -> Vec<f64> {
+        let mut times: Vec<f64> = self.reports[idx]
+            .outcomes
+            .iter()
+            .map(|o| o.arrived_s)
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times
+    }
+
+    /// Replays scenario `idx`'s observed arrival instants as an
+    /// [`adrias_workloads::ArrivalSource`] — the bridge from a
+    /// collected trace back into the event engine's generated-traffic
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn trace_source(&self, idx: usize) -> TraceSource {
+        TraceSource::new(self.arrival_times(idx))
     }
 
     /// Extracts performance records for one workload class.
@@ -197,6 +226,27 @@ mod tests {
             // p99 in milliseconds — plausible range.
             assert!((0.05..250.0).contains(&r.perf), "{}: {}", r.app, r.perf);
         }
+    }
+
+    #[test]
+    fn trace_source_replays_sorted_arrivals() {
+        use adrias_workloads::ArrivalSource;
+        let bundle = collect_traces(
+            TestbedConfig::noiseless(),
+            &WorkloadCatalog::paper(),
+            &small_specs(),
+            1,
+        );
+        let times = bundle.arrival_times(0);
+        assert!(!times.is_empty());
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        let mut src = bundle.trace_source(0);
+        let mut replayed = Vec::new();
+        while let Some(t) = src.next_time() {
+            replayed.push(t);
+        }
+        assert_eq!(replayed, times);
+        assert!(src.exhausted());
     }
 
     #[test]

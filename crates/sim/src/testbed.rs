@@ -350,16 +350,18 @@ impl Testbed {
     /// deployment's progress, collects completions (with sub-second
     /// completion-time interpolation) and synthesizes the Watcher sample.
     pub fn step(&mut self) -> StepReport {
-        let pressure = self.pressure();
+        // One reference vec serves both the pressure model and the
+        // counter synthesis — profiles are borrowed, never cloned, so
+        // the per-step cost is independent of profile size.
         let refs: Vec<_> = self
             .resident
             .values()
-            .map(|d| (d.profile.clone(), d.mode))
+            .map(|d| (&d.profile, d.mode))
             .collect();
-        let ref_pairs: Vec<_> = refs.iter().map(|(w, m)| (w, *m)).collect();
+        let pressure = ResourcePressure::compute(&self.cfg, &refs);
         let sample = counters::sample(
             &self.cfg,
-            &ref_pairs,
+            &refs,
             &pressure,
             self.time_s + Self::STEP_S,
             &mut self.rng,

@@ -42,7 +42,10 @@ pub mod profile;
 pub mod signature;
 pub mod spark;
 
-pub use arrival::ArrivalProcess;
+pub use arrival::{
+    ArrivalProcess, ArrivalSource, ClosedLoopSource, DiurnalSource, MmppSource, PoissonSource,
+    TraceSource, UniformSource,
+};
 pub use catalog::WorkloadCatalog;
 pub use ibench::IbenchKind;
 pub use keyvalue::{LatencyEnv, LoadSpec};

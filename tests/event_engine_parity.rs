@@ -1,0 +1,225 @@
+//! Pins the event-heap engine bitwise against the legacy step loop:
+//! every committed corpus case and every seeded scenario must produce
+//! byte-identical RunReports, audit trails, and JSONL exports on both
+//! engine cores, across worker counts 1/2/8. This is the contract that
+//! lets the event engine replace the step loop without re-validating a
+//! single figure — the same harness shape as `tests/fastpath_parity.rs`
+//! uses for the decision fast lane.
+
+use std::path::Path;
+use std::sync::OnceLock;
+
+use adrias::obs::export::{to_jsonl_decisions, to_jsonl_events, to_jsonl_metrics};
+use adrias::obs::Observer;
+use adrias::orchestrator::engine::{run_schedule_observed_faulted_mode, EngineConfig, EngineMode};
+use adrias::orchestrator::AdriasPolicy;
+use adrias::scenarios::fuzz::replay_corpus;
+use adrias::scenarios::schedule::PlacementStyle;
+use adrias::scenarios::{
+    build_schedule, load_corpus, run_case_mode, train_stack, FuzzConfig, ScenarioSpec,
+    StackOptions, TrainedStack,
+};
+use adrias::sim::TestbedConfig;
+use adrias::workloads::WorkloadCatalog;
+
+fn trained() -> &'static (WorkloadCatalog, TrainedStack) {
+    static STACK: OnceLock<(WorkloadCatalog, TrainedStack)> = OnceLock::new();
+    STACK.get_or_init(|| {
+        let catalog = WorkloadCatalog::paper();
+        let stack = train_stack(&catalog, &StackOptions::quick());
+        (catalog, stack)
+    })
+}
+
+/// Builds the Adrias policy with the given inference worker count,
+/// without retraining.
+fn policy(stack: &TrainedStack, workers: usize) -> AdriasPolicy {
+    let mut system_model = stack.system_model.clone();
+    let mut be_model = stack.be_model.clone();
+    let mut lc_model = stack.lc_model.clone();
+    system_model.set_workers(workers);
+    be_model.set_workers(workers);
+    lc_model.set_workers(workers);
+    AdriasPolicy::new(
+        system_model,
+        be_model,
+        lc_model,
+        stack.signatures.clone(),
+        0.8,
+        5.0,
+    )
+}
+
+/// One full observed scenario run on the chosen engine core, rendered
+/// to every byte stream the engines must agree on: the exact RunReport
+/// debug form, the decision audit trail, the trace spans, and the
+/// metrics export.
+fn run_fingerprint(
+    stack: &TrainedStack,
+    catalog: &WorkloadCatalog,
+    seed: u64,
+    workers: usize,
+    mode: EngineMode,
+) -> [String; 4] {
+    let spec = ScenarioSpec::new(5.0, 30.0, 700.0, seed);
+    let schedule = build_schedule(&spec, catalog, PlacementStyle::PolicyDecided);
+    let engine = EngineConfig {
+        seed: spec.seed ^ 0xE6E,
+        qos_p99_ms: Some(5.0),
+        ..EngineConfig::default()
+    };
+    let mut policy = policy(stack, workers);
+    let mut obs = Observer::default();
+    let report = run_schedule_observed_faulted_mode(
+        TestbedConfig::noiseless(),
+        engine,
+        &schedule,
+        &[],
+        &mut policy,
+        &mut obs,
+        mode,
+    );
+    [
+        format!("{report:?}"),
+        to_jsonl_decisions(&obs),
+        to_jsonl_events(&obs),
+        to_jsonl_metrics(&obs),
+    ]
+}
+
+/// The committed regression corpus replays with identical digests on
+/// both engine cores — and both match the manifest that gates CI, so
+/// neither engine has drifted from the corpus ground truth.
+#[test]
+fn committed_corpus_cases_digest_identically_on_both_engines() {
+    let (_, stack) = trained();
+    let cfg = FuzzConfig::default();
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let entries = load_corpus(&dir).expect("committed corpus loads");
+    assert_eq!(entries.len(), 20, "corpus size changed; update this test");
+    for entry in &entries {
+        let event = run_case_mode(stack, &cfg, &entry.case, EngineMode::EventHeap);
+        let step = run_case_mode(stack, &cfg, &entry.case, EngineMode::StepLoop);
+        assert_eq!(
+            event.digest, step.digest,
+            "engines diverged on corpus case {}",
+            entry.id
+        );
+        assert_eq!(
+            event.digest, entry.digest,
+            "corpus case {} drifted from its manifest digest",
+            entry.id
+        );
+        assert_eq!(event.qos_violations, step.qos_violations);
+        assert_eq!(event.qos_evidence, step.qos_evidence);
+        assert_eq!(event.adrias_slowdowns, step.adrias_slowdowns);
+    }
+}
+
+/// The replay harness itself (the CI gate) is worker-count invariant on
+/// the event engine and green against the committed manifest.
+#[test]
+fn corpus_replay_is_green_and_worker_invariant_on_the_event_engine() {
+    let (_, stack) = trained();
+    let cfg = FuzzConfig::default();
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let entries = load_corpus(&dir).expect("committed corpus loads");
+    let golden = replay_corpus(stack, &cfg, &entries, 1);
+    assert!(
+        golden.ok(),
+        "corpus replay diverged at 1 worker: {:?}",
+        golden.digest_mismatches()
+    );
+    for workers in [2usize, 8] {
+        let replay = replay_corpus(stack, &cfg, &entries, workers);
+        assert!(replay.ok(), "replay diverged at {workers} workers");
+        assert_eq!(
+            golden.verdict.suite_digest, replay.verdict.suite_digest,
+            "suite digest drifted at {workers} workers"
+        );
+    }
+}
+
+/// Seeds {0,1,2} × workers {1,2,8}: the event engine's RunReport and
+/// all three JSONL exports are byte-identical to the step loop's, with
+/// the step loop at 1 worker as the golden reference.
+#[test]
+fn event_engine_runs_are_byte_identical_to_step_loop_runs() {
+    let (catalog, stack) = trained();
+    for seed in [0u64, 1, 2] {
+        let golden = run_fingerprint(stack, catalog, seed, 1, EngineMode::StepLoop);
+        assert!(
+            golden[0].contains("outcomes"),
+            "step-loop run produced no outcomes for seed {seed}"
+        );
+        assert!(
+            !golden[1].is_empty() && !golden[2].is_empty() && !golden[3].is_empty(),
+            "observed step-loop run exported nothing for seed {seed}"
+        );
+        for workers in [1usize, 2, 8] {
+            let event = run_fingerprint(stack, catalog, seed, workers, EngineMode::EventHeap);
+            for (i, stream) in ["report", "decisions", "events", "metrics"]
+                .iter()
+                .enumerate()
+            {
+                assert_eq!(
+                    golden[i], event[i],
+                    "event engine diverged from step loop on {stream} at seed {seed}, \
+                     {workers} workers"
+                );
+            }
+        }
+        // The step loop itself also stays worker-count invariant.
+        let step_w8 = run_fingerprint(stack, catalog, seed, 8, EngineMode::StepLoop);
+        assert_eq!(
+            golden, step_w8,
+            "step loop diverged across workers at seed {seed}"
+        );
+    }
+}
+
+/// Faulted runs (the fuzzer's engine path) hold parity too: a link
+/// collapse mid-scenario lands on the same tick with the same bytes on
+/// both cores.
+#[test]
+fn faulted_runs_hold_parity_across_engines() {
+    use adrias::orchestrator::engine::FaultEvent;
+    use adrias::sim::LinkConfig;
+    let (catalog, stack) = trained();
+    let spec = ScenarioSpec::new(5.0, 25.0, 700.0, 3);
+    let schedule = build_schedule(&spec, catalog, PlacementStyle::PolicyDecided);
+    let engine = EngineConfig {
+        seed: spec.seed ^ 0xE6E,
+        qos_p99_ms: Some(5.0),
+        ..EngineConfig::default()
+    };
+    let faults = [
+        FaultEvent {
+            at_s: 120.0,
+            link: LinkConfig {
+                effective_cap_gbps: 0.5,
+                remote_latency_ns: 2400.0,
+                ..LinkConfig::paper()
+            },
+        },
+        FaultEvent {
+            at_s: 300.5,
+            link: LinkConfig::paper(),
+        },
+    ];
+    let run = |mode: EngineMode| {
+        let mut policy = policy(stack, 1);
+        let mut obs = Observer::default();
+        let report = run_schedule_observed_faulted_mode(
+            TestbedConfig::noiseless(),
+            engine,
+            &schedule,
+            &faults,
+            &mut policy,
+            &mut obs,
+            mode,
+        );
+        (format!("{report:?}"), to_jsonl_events(&obs))
+    };
+    assert_eq!(run(EngineMode::EventHeap), run(EngineMode::StepLoop));
+}
