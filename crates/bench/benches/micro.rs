@@ -8,8 +8,8 @@
 //! * `ADRIAS_BENCH_FILTER` — substring filter on section names
 //!   (`testbed_step`, `lstm`, `nn_forward`, `train_step_workers`,
 //!   `adrias_decision`, `decision_throughput`, `obs_intern`,
-//!   `obs_overhead`, `residual_overhead`, `event_engine`); unmatched
-//!   sections are skipped entirely,
+//!   `obs_overhead`, `span_overhead`, `residual_overhead`,
+//!   `event_engine`); unmatched sections are skipped entirely,
 //!   including their setup.
 //!
 //! The run always ends by writing `BENCH_nn.json` (the collected
@@ -454,6 +454,86 @@ fn bench_obs_overhead(h: &mut Harness) -> (Option<f64>, Option<f64>) {
     (Some(traced), Some(observed))
 }
 
+/// Lifecycle spans + quantile sketches on vs off, over the same dense
+/// observed run. Both legs carry the full [`adrias_obs::Observer`]
+/// (audit, trace, histograms, flight recorder); the only difference is
+/// `ObsConfig::record_spans`, which gates span open/close bookkeeping
+/// and the decision-latency / queue-wait / slowdown sketch observes.
+///
+/// Like [`bench_obs_overhead`], the derived `span_overhead_x` metric is
+/// the median on/off ratio over interleaved A/B rounds so machine drift
+/// cancels. CI gates it at ≤ 1.15×.
+fn bench_span_overhead(h: &mut Harness) -> Option<f64> {
+    use adrias_obs::{ObsConfig, Observer};
+    use adrias_orchestrator::engine::{run_schedule_observed, EngineConfig, ScheduledArrival};
+    use adrias_orchestrator::RoundRobinPolicy;
+    use std::time::Instant;
+
+    // The same sustained dense co-location mix as `bench_obs_overhead`.
+    let apps = [
+        "gmm", "sort", "pca", "lr", "kmeans", "nweight", "als", "svd", "rf", "linear", "bayes",
+        "terasort", "gmm", "sort", "pca", "lr", "kmeans", "nweight", "als", "svd",
+    ];
+    let arrivals: Vec<ScheduledArrival> = apps
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            ScheduledArrival::new(i as f64 * 2.0, spark::by_name(name).unwrap())
+                .with_duration(600.0)
+        })
+        .collect();
+    let engine = || EngineConfig {
+        lc_latency_samples: 100,
+        ..EngineConfig::default()
+    };
+    let run_with = |record_spans: bool| {
+        let mut policy = RoundRobinPolicy::new();
+        let mut obs = Observer::new(ObsConfig {
+            record_spans,
+            ..ObsConfig::default()
+        });
+        black_box(run_schedule_observed(
+            TestbedConfig::paper(),
+            engine(),
+            &arrivals,
+            &mut policy,
+            &mut obs,
+        ));
+    };
+    let run_spans_on = || run_with(true);
+    let run_spans_off = || run_with(false);
+
+    h.bench_function("engine_run_spans_on", |b| b.iter(run_spans_on));
+    h.bench_function("engine_run_spans_off", |b| b.iter(run_spans_off));
+
+    let pairs: usize = std::env::var("ADRIAS_BENCH_PAIRS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    const RUNS_PER_LEG: usize = 5;
+    let time_leg = |f: &dyn Fn()| {
+        let t = Instant::now();
+        for _ in 0..RUNS_PER_LEG {
+            f();
+        }
+        t.elapsed().as_secs_f64()
+    };
+    for _ in 0..3 {
+        time_leg(&run_spans_on);
+        time_leg(&run_spans_off);
+    }
+    let mut ratios = Vec::with_capacity(pairs);
+    for _ in 0..pairs {
+        let on = time_leg(&run_spans_on);
+        let off = time_leg(&run_spans_off);
+        ratios.push(on / off);
+    }
+    ratios.sort_by(f64::total_cmp);
+    let median = ratios[ratios.len() / 2];
+    println!("  span+sketch overhead, median of {pairs} interleaved rounds: {median:.3}x");
+    Some(median)
+}
+
 /// The residual tracker riding along a dense paper-config run vs the
 /// same run with plain observability. Both legs use the trained Adrias
 /// policy (so decisions carry the predictions the tracker joins on) and
@@ -699,6 +779,10 @@ fn main() {
     if enabled("obs_overhead") {
         obs_overhead = bench_obs_overhead(&mut h);
     }
+    let mut span_overhead: Option<f64> = None;
+    if enabled("span_overhead") {
+        span_overhead = bench_span_overhead(&mut h);
+    }
     let mut residual_overhead: Option<f64> = None;
     if enabled("residual_overhead") {
         residual_overhead = bench_residual_overhead(&mut h);
@@ -758,6 +842,10 @@ fn main() {
     if let Some(observed) = obs_overhead.1 {
         println!("  observed vs plain engine run:         {observed:.3}x");
         derived.push(("obs_overhead_x", observed));
+    }
+    if let Some(spans) = span_overhead {
+        println!("  spans+sketches vs spans-off run:      {spans:.3}x");
+        derived.push(("span_overhead_x", spans));
     }
     if let Some(tracked) = residual_overhead {
         println!("  tracked vs observed engine run:       {tracked:.3}x");

@@ -17,6 +17,7 @@ use crate::adapt::{CaptureRecord, DriftEvent, ModelSwapRecord};
 use crate::audit::DecisionRecord;
 use crate::json::{escape, num_f32, num_f64};
 use crate::observer::Observer;
+use crate::spans::{phase, LifecycleSpan};
 use crate::trace::{ArgValue, TraceEvent, TraceKind};
 
 /// Error from [`write_all`]: which file failed and why.
@@ -53,6 +54,8 @@ pub struct ExportPaths {
     pub trace: PathBuf,
     /// Online-adaptation audit log, one JSON object per line.
     pub adaptation: PathBuf,
+    /// Per-deployment lifecycle span trees, one JSON object per line.
+    pub spans: PathBuf,
 }
 
 fn render_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
@@ -111,6 +114,101 @@ pub fn to_jsonl_events(obs: &Observer) -> String {
     );
     for e in obs.tracer.events() {
         render_event_line(&mut out, e);
+    }
+    out
+}
+
+fn render_span_lines(out: &mut String, r: &LifecycleSpan) {
+    let root = r.root_id();
+    let _ = writeln!(
+        out,
+        r#"{{"type":"span","phase":"lifecycle","id":{},"parent":null,"deployment_id":{},"t0_s":{},"t1_s":{},"app":{},"class":{},"mode":{},"drained":{}}}"#,
+        root,
+        r.deployment_id,
+        num_f64(r.arrived_s),
+        num_f64(r.finished_s),
+        escape(r.app),
+        escape(r.class),
+        escape(r.mode),
+        r.drained,
+    );
+    let _ = writeln!(
+        out,
+        r#"{{"type":"span","phase":"queue","id":{},"parent":{},"deployment_id":{},"t0_s":{},"t1_s":{}}}"#,
+        r.deployment_id * 4 + phase::QUEUE,
+        root,
+        r.deployment_id,
+        num_f64(r.arrived_s),
+        num_f64(r.decided_s),
+    );
+    let _ = writeln!(
+        out,
+        r#"{{"type":"span","phase":"decision","id":{},"parent":{},"deployment_id":{},"t0_s":{},"t1_s":{},"rule":{},"lane":{}}}"#,
+        r.deployment_id * 4 + phase::DECISION,
+        root,
+        r.deployment_id,
+        num_f64(r.decided_s),
+        num_f64(r.decided_s),
+        escape(r.rule),
+        escape(r.lane),
+    );
+    let _ = writeln!(
+        out,
+        r#"{{"type":"span","phase":"resident","id":{},"parent":{},"deployment_id":{},"t0_s":{},"t1_s":{},"samples":{}}}"#,
+        r.deployment_id * 4 + phase::RESIDENT,
+        root,
+        r.deployment_id,
+        num_f64(r.decided_s),
+        num_f64(r.finished_s),
+        r.samples,
+    );
+}
+
+/// Renders the lifecycle span store as JSONL: a metadata line (ring
+/// capacity, still-open count, drop count) followed by four lines per
+/// closed deployment — the `lifecycle` root and its `queue`, `decision`
+/// and `resident` children, linked by `id`/`parent`. Span ids derive
+/// from the deployment id alone, so the file is byte-identical across
+/// same-seed runs, worker counts and engine cores.
+pub fn to_jsonl_spans(obs: &Observer) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"{{"type":"meta","capacity":{},"open":{},"dropped":{}}}"#,
+        obs.spans.capacity(),
+        obs.spans.open_count(),
+        obs.spans.dropped()
+    );
+    for r in obs.spans.records() {
+        render_span_lines(&mut out, r);
+    }
+    out
+}
+
+/// Renders the flight-recorder ring as JSONL: a metadata line (ring
+/// capacity, total events ever recorded, drop count) followed by one
+/// line per retained entry, oldest first.
+pub fn to_jsonl_flight(obs: &Observer) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"{{"type":"meta","capacity":{},"recorded":{},"dropped":{}}}"#,
+        obs.flight.capacity(),
+        obs.flight.recorded(),
+        obs.flight.dropped()
+    );
+    for e in obs.flight.entries() {
+        let _ = writeln!(
+            out,
+            r#"{{"type":"flight","seq":{},"kind":{},"at_s":{},"deployment_id":{}}}"#,
+            e.seq,
+            escape(e.kind),
+            num_f64(e.at_s),
+            match e.deployment_id {
+                Some(id) => id.to_string(),
+                None => "null".to_owned(),
+            },
+        );
     }
     out
 }
@@ -260,7 +358,8 @@ pub fn to_jsonl_adaptation(obs: &Observer) -> String {
 }
 
 /// Renders the metrics registry as JSONL: counters, then gauges, then
-/// histogram summaries, each in name order.
+/// histogram summaries, then quantile-sketch summaries, each in name
+/// order.
 pub fn to_jsonl_metrics(obs: &Observer) -> String {
     let mut out = String::new();
     for (name, v) in obs.registry.counters() {
@@ -294,24 +393,45 @@ pub fn to_jsonl_metrics(obs: &Observer) -> String {
             num_f64(h.quantile(0.99)),
         );
     }
+    for (name, s) in obs.registry.sketches() {
+        let _ = writeln!(
+            out,
+            r#"{{"type":"sketch","name":{},"count":{},"zero":{},"min":{},"max":{},"p50":{},"p95":{},"p99":{},"buckets":{}}}"#,
+            escape(name),
+            s.count(),
+            s.zero_count(),
+            num_f64(s.min()),
+            num_f64(s.max()),
+            num_f64(s.quantile(0.5)),
+            num_f64(s.quantile(0.95)),
+            num_f64(s.quantile(0.99)),
+            s.occupied_buckets(),
+        );
+    }
     out
 }
 
 /// Renders the event trace as Chrome `trace_event` JSON.
 ///
 /// Spans become complete events (`ph: "X"`), instants become
-/// thread-scoped instant events (`ph: "i"`). Sim seconds map to trace
-/// microseconds (the format's native unit), and each track becomes a
-/// `tid` under a single `pid`, so deployments appear as parallel rows
-/// in Perfetto.
+/// thread-scoped instant events (`ph: "i"`), and closed lifecycle
+/// span trees become *nested* begin/end pairs (`ph: "B"`/`"E"`): the
+/// deployment's lifecycle opens, its queue / decision / resident
+/// children open and close inside it, and the lifecycle closes — so
+/// Perfetto renders each deployment as a proper call stack. Sim
+/// seconds map to trace microseconds (the format's native unit), and
+/// each track becomes a `tid` under a single `pid`.
 pub fn to_chrome_trace(obs: &Observer) -> String {
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
-    for e in obs.tracer.events() {
+    let mut sep = |out: &mut String| {
         if !first {
             out.push(',');
         }
         first = false;
+    };
+    for e in obs.tracer.events() {
+        sep(&mut out);
         match e.kind {
             TraceKind::Span { t0_s, t1_s } => {
                 let _ = write!(
@@ -338,6 +458,63 @@ pub fn to_chrome_trace(obs: &Observer) -> String {
         render_args(&mut out, &e.args);
         out.push('}');
     }
+    for r in obs.spans.records() {
+        // Decision lanes are deliberately left out of the args: the
+        // Chrome trace is part of the byte-compared export set, which
+        // must not vary between the fast and slow decision paths.
+        let tid = r.deployment_id + 1;
+        let begin = |out: &mut String, name: &str, ts_s: f64| {
+            let _ = write!(
+                out,
+                r#"{{"name":{},"cat":"lifecycle","ph":"B","ts":{},"pid":1,"tid":{},"args":"#,
+                escape(name),
+                num_f64(ts_s * 1e6),
+                tid
+            );
+        };
+        let end = |out: &mut String, name: &str, ts_s: f64| {
+            let _ = write!(
+                out,
+                r#"{{"name":{},"cat":"lifecycle","ph":"E","ts":{},"pid":1,"tid":{},"args":{{}}}}"#,
+                escape(name),
+                num_f64(ts_s * 1e6),
+                tid
+            );
+        };
+        let root = format!("lifecycle:{}", r.app);
+        let end_s = r.finished_s.max(r.decided_s);
+        sep(&mut out);
+        begin(&mut out, &root, r.arrived_s);
+        render_args(
+            &mut out,
+            &[
+                ("app", ArgValue::Str(r.app.to_owned())),
+                ("class", ArgValue::Str(r.class.to_owned())),
+                ("mode", ArgValue::Str(r.mode.to_owned())),
+                ("drained", ArgValue::Num(f64::from(u8::from(r.drained)))),
+            ],
+        );
+        out.push('}');
+        sep(&mut out);
+        begin(&mut out, "queue", r.arrived_s);
+        out.push_str("{}}");
+        sep(&mut out);
+        end(&mut out, "queue", r.decided_s);
+        sep(&mut out);
+        begin(&mut out, "decision", r.decided_s);
+        render_args(&mut out, &[("rule", ArgValue::Str(r.rule.to_owned()))]);
+        out.push('}');
+        sep(&mut out);
+        end(&mut out, "decision", r.decided_s);
+        sep(&mut out);
+        begin(&mut out, "resident", r.decided_s);
+        render_args(&mut out, &[("samples", ArgValue::Num(r.samples as f64))]);
+        out.push('}');
+        sep(&mut out);
+        end(&mut out, "resident", end_s);
+        sep(&mut out);
+        end(&mut out, &root, end_s);
+    }
     let _ = write!(
         out,
         r#"],"displayTimeUnit":"ms","otherData":{{"clock":"sim","dropped_events":{}}}}}"#,
@@ -346,9 +523,72 @@ pub fn to_chrome_trace(obs: &Observer) -> String {
     out
 }
 
-/// Writes all five exports into `dir` (created if missing):
+/// Renders the wall-clock self-profile in collapsed-stack ("folded")
+/// format: one `label microseconds` line per profiled engine phase,
+/// stack frames separated by `;` (e.g. `engine;heap;pop 1234`), ready
+/// for `flamegraph.pl` or speedscope. Host-dependent by construction —
+/// this file is **excluded** from the byte-compared export set. Empty
+/// unless the observer was created with `record_wall`.
+pub fn render_flamegraph(obs: &Observer) -> String {
+    let mut out = String::new();
+    for (label, ms) in obs.tracer.wall_totals() {
+        let micros = (ms * 1e3).round().max(0.0) as u64;
+        let _ = writeln!(out, "{label} {micros}");
+    }
+    out
+}
+
+/// Writes the collapsed-stack flamegraph file as `flame.folded` in
+/// `dir` (created if missing) and returns its path.
+///
+/// # Errors
+///
+/// Returns [`ExportError`] naming the file that could not be written.
+pub fn write_flamegraph(obs: &Observer, dir: &Path) -> Result<PathBuf, ExportError> {
+    std::fs::create_dir_all(dir).map_err(|source| ExportError {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    let path = dir.join("flame.folded");
+    std::fs::write(&path, render_flamegraph(obs)).map_err(|source| ExportError {
+        path: path.clone(),
+        source,
+    })?;
+    Ok(path)
+}
+
+/// Writes a post-mortem bundle into `dir` (created if missing): the
+/// flight-recorder ring (`flight.jsonl`), the QoS counterexample
+/// evidence against `qos_p99_ms` (`qos_counterexamples.jsonl`), the
+/// registry snapshot (`metrics.jsonl`) and the lifecycle spans
+/// (`spans.jsonl`). Called by the fuzzer when an oracle fails, so the
+/// failing case ships with the engine's recent history attached.
+///
+/// # Errors
+///
+/// Returns [`ExportError`] naming the file that could not be written.
+pub fn write_post_mortem(obs: &Observer, dir: &Path, qos_p99_ms: f32) -> Result<(), ExportError> {
+    std::fs::create_dir_all(dir).map_err(|source| ExportError {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    let write = |name: &str, contents: String| -> Result<(), ExportError> {
+        let path = dir.join(name);
+        std::fs::write(&path, contents).map_err(|source| ExportError { path, source })
+    };
+    write("flight.jsonl", to_jsonl_flight(obs))?;
+    write(
+        "qos_counterexamples.jsonl",
+        to_jsonl_qos_counterexamples(obs, qos_p99_ms),
+    )?;
+    write("metrics.jsonl", to_jsonl_metrics(obs))?;
+    write("spans.jsonl", to_jsonl_spans(obs))?;
+    Ok(())
+}
+
+/// Writes all six exports into `dir` (created if missing):
 /// `events.jsonl`, `decisions.jsonl`, `metrics.jsonl`, `trace.json`,
-/// `adaptation.jsonl`.
+/// `adaptation.jsonl`, `spans.jsonl`.
 ///
 /// # Errors
 ///
@@ -372,6 +612,7 @@ pub fn write_all(obs: &Observer, dir: &Path) -> Result<ExportPaths, ExportError>
         metrics: write("metrics.jsonl", to_jsonl_metrics(obs))?,
         trace: write("trace.json", to_chrome_trace(obs))?,
         adaptation: write("adaptation.jsonl", to_jsonl_adaptation(obs))?,
+        spans: write("spans.jsonl", to_jsonl_spans(obs))?,
     })
 }
 
@@ -524,7 +765,7 @@ mod tests {
     }
 
     #[test]
-    fn write_all_creates_the_five_files() {
+    fn write_all_creates_the_six_files() {
         let dir = std::env::temp_dir().join("adrias_obs_export_test");
         let _ = std::fs::remove_dir_all(&dir);
         let obs = sample_observer();
@@ -535,9 +776,183 @@ mod tests {
             &paths.metrics,
             &paths.trace,
             &paths.adaptation,
+            &paths.spans,
         ] {
             assert!(p.exists(), "{} missing", p.display());
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn closed_span_observer() -> Observer {
+        let mut obs = sample_observer();
+        obs.spans.open(crate::spans::LifecycleSpan {
+            deployment_id: 2,
+            app: "redis",
+            class: "lc",
+            mode: "remote",
+            rule: "qos_threshold",
+            lane: "fast",
+            arrived_s: 1.5,
+            decided_s: 2.0,
+            opened_tick: 2,
+            finished_s: 0.0,
+            samples: 0,
+            drained: false,
+        });
+        obs.spans.close(2, 9.0, 9, false);
+        obs
+    }
+
+    #[test]
+    fn spans_jsonl_renders_a_linked_four_node_tree() {
+        let obs = closed_span_observer();
+        let text = to_jsonl_spans(&obs);
+        let docs: Vec<_> = text
+            .lines()
+            .map(|l| json::parse(l).expect("span line parses"))
+            .collect();
+        assert_eq!(docs.len(), 5); // meta + 4 phases
+        assert_eq!(docs[0].get("type").unwrap().as_str(), Some("meta"));
+        assert_eq!(docs[0].get("dropped").unwrap().as_num(), Some(0.0));
+        let root_id = docs[1].get("id").unwrap().as_num().unwrap();
+        assert_eq!(root_id, 8.0); // deployment 2 * 4 + LIFECYCLE
+        assert_eq!(docs[1].get("parent"), Some(&json::Json::Null));
+        assert_eq!(docs[1].get("phase").unwrap().as_str(), Some("lifecycle"));
+        assert_eq!(docs[1].get("app").unwrap().as_str(), Some("redis"));
+        for (doc, phase, id) in [
+            (&docs[2], "queue", 9.0),
+            (&docs[3], "decision", 10.0),
+            (&docs[4], "resident", 11.0),
+        ] {
+            assert_eq!(doc.get("phase").unwrap().as_str(), Some(phase));
+            assert_eq!(doc.get("id").unwrap().as_num(), Some(id));
+            assert_eq!(doc.get("parent").unwrap().as_num(), Some(root_id));
+        }
+        assert_eq!(docs[3].get("lane").unwrap().as_str(), Some("fast"));
+        assert_eq!(docs[4].get("samples").unwrap().as_num(), Some(7.0));
+        // Queue waits from raw arrival to the admission tick.
+        assert_eq!(docs[2].get("t0_s").unwrap().as_num(), Some(1.5));
+        assert_eq!(docs[2].get("t1_s").unwrap().as_num(), Some(2.0));
+    }
+
+    #[test]
+    fn sketch_lines_follow_histograms_in_metrics_jsonl() {
+        let mut obs = sample_observer();
+        obs.registry
+            .sketch_observe("orchestrator.queue_wait_s", 0.5);
+        obs.registry
+            .sketch_observe("orchestrator.queue_wait_s", 1.5);
+        let text = to_jsonl_metrics(&obs);
+        let kinds: Vec<String> = text
+            .lines()
+            .map(|l| {
+                json::parse(l)
+                    .unwrap()
+                    .get("type")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_owned()
+            })
+            .collect();
+        let first_sketch = kinds.iter().position(|k| k == "sketch").unwrap();
+        assert!(kinds[..first_sketch].iter().all(|k| k != "sketch"));
+        assert!(kinds[..first_sketch].iter().any(|k| k == "histogram"));
+        let sketch_line = text.lines().nth(first_sketch).unwrap();
+        let doc = json::parse(sketch_line).unwrap();
+        assert_eq!(doc.get("count").unwrap().as_num(), Some(2.0));
+        assert_eq!(doc.get("zero").unwrap().as_num(), Some(0.0));
+        assert!(doc.get("p99").unwrap().as_num().unwrap() <= 1.5);
+    }
+
+    #[test]
+    fn chrome_trace_nests_lifecycle_begin_end_pairs() {
+        let obs = closed_span_observer();
+        let doc = json::parse(&to_chrome_trace(&obs)).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // 3 tracer events + 8 lifecycle B/E events.
+        assert_eq!(events.len(), 11);
+        let be: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                let ph = e.get("ph").unwrap().as_str().unwrap();
+                ph == "B" || ph == "E"
+            })
+            .collect();
+        assert_eq!(be.len(), 8);
+        // Proper nesting: B lifecycle, B queue, E queue, B decision,
+        // E decision, B resident, E resident, E lifecycle.
+        let shape: Vec<(String, String)> = be
+            .iter()
+            .map(|e| {
+                (
+                    e.get("ph").unwrap().as_str().unwrap().to_owned(),
+                    e.get("name").unwrap().as_str().unwrap().to_owned(),
+                )
+            })
+            .collect();
+        assert_eq!(shape[0], ("B".into(), "lifecycle:redis".into()));
+        assert_eq!(shape[1], ("B".into(), "queue".into()));
+        assert_eq!(shape[2], ("E".into(), "queue".into()));
+        assert_eq!(shape[7], ("E".into(), "lifecycle:redis".into()));
+        // Timestamps are monotone within the pair stream.
+        let ts: Vec<f64> = be
+            .iter()
+            .map(|e| e.get("ts").unwrap().as_num().unwrap())
+            .collect();
+        assert!(
+            ts.windows(2).all(|w| w[0] <= w[1]),
+            "ts not monotone: {ts:?}"
+        );
+        // All eight share the deployment's tid and never leak the lane.
+        for e in &be {
+            assert_eq!(e.get("tid").unwrap().as_num(), Some(3.0));
+            assert!(e.get("args").unwrap().get("lane").is_none());
+        }
+    }
+
+    #[test]
+    fn flamegraph_renders_folded_stacks_only_when_wall_enabled() {
+        let mut obs = sample_observer();
+        assert!(render_flamegraph(&obs).is_empty());
+        obs.tracer = obs.tracer.clone().with_wall_clock();
+        obs.tracer.add_wall_ns("engine;heap;pop", 1_500_000);
+        obs.tracer.add_wall_ns("engine;decide;fast", 250_000);
+        let folded = render_flamegraph(&obs);
+        let lines: Vec<&str> = folded.lines().collect();
+        // BTreeMap order, "<stack> <micros>" per line.
+        assert_eq!(
+            lines,
+            vec!["engine;decide;fast 250", "engine;heap;pop 1500"]
+        );
+    }
+
+    #[test]
+    fn post_mortem_bundle_contains_flight_and_evidence() {
+        let dir = std::env::temp_dir().join("adrias_obs_postmortem_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut obs = closed_span_observer();
+        obs.flight.record("arrival", 1.5, Some(2));
+        obs.flight.record("finish", 9.0, Some(2));
+        obs.record_decision(DecisionInput {
+            at_s: 2.0,
+            deployment_id: 2,
+            app: "redis",
+            class: WorkloadClass::LatencyCritical,
+            window: WindowSummary::empty(),
+            pred_local: Some(4.0),
+            pred_remote: Some(9.0),
+            rule: DecisionRule::QosThreshold { qos_p99_ms: 5.0 },
+            chosen: MemoryMode::Remote,
+            policy: "adrias",
+        });
+        write_post_mortem(&obs, &dir, 5.0).unwrap();
+        let flight = std::fs::read_to_string(dir.join("flight.jsonl")).unwrap();
+        assert!(flight.lines().count() >= 3, "meta + 2 entries");
+        let evidence = std::fs::read_to_string(dir.join("qos_counterexamples.jsonl")).unwrap();
+        assert_eq!(evidence.lines().count(), 1, "the injected violation");
+        assert!(dir.join("metrics.jsonl").exists());
+        assert!(dir.join("spans.jsonl").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -40,12 +40,16 @@
 
 pub mod adapt;
 pub mod audit;
+pub mod burn;
 pub mod export;
+pub mod flight;
 pub mod intern;
 pub mod json;
 pub mod observer;
 pub mod registry;
 pub mod report;
+pub mod sketch;
+pub mod spans;
 pub mod trace;
 pub mod validate;
 
@@ -54,13 +58,20 @@ pub use adapt::{
     PageHinkley, PageHinkleyState, SwapVerdict,
 };
 pub use audit::{AuditTrail, DecisionInput, DecisionRecord, DecisionRule, WindowSummary};
-pub use export::{to_jsonl_qos_counterexamples, write_all, ExportError, ExportPaths};
+pub use burn::{BurnConfig, BurnEvent, SloBurnMonitor};
+pub use export::{
+    to_jsonl_qos_counterexamples, write_all, write_flamegraph, write_post_mortem, ExportError,
+    ExportPaths,
+};
+pub use flight::{FlightEntry, FlightRecorder};
 pub use intern::intern;
 pub use observer::{ObsConfig, Observer};
 pub use registry::{Histogram, Registry};
 pub use report::render_report;
+pub use sketch::Sketch;
+pub use spans::{LifecycleSpan, SpanStore};
 pub use trace::{ArgValue, TraceEvent, TraceKind, Tracer};
 pub use validate::{
     validate_chrome_trace, validate_jsonl_adaptation, validate_jsonl_decisions,
-    validate_jsonl_events, validate_jsonl_metrics, ValidateError,
+    validate_jsonl_events, validate_jsonl_metrics, validate_jsonl_spans, ValidateError,
 };

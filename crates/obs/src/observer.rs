@@ -12,7 +12,10 @@ use adrias_nn::TrainStats;
 
 use crate::adapt::AdaptationLog;
 use crate::audit::{AuditTrail, DecisionInput};
+use crate::burn::BurnEvent;
+use crate::flight::FlightRecorder;
 use crate::registry::Registry;
+use crate::spans::SpanStore;
 use crate::trace::Tracer;
 
 /// Configuration for an [`Observer`].
@@ -24,8 +27,16 @@ pub struct ObsConfig {
     /// e.g. `0.05` flags decisions within 5% of flipping).
     pub near_flip_band: f32,
     /// Whether to accumulate host wall-clock timings (kept out of the
-    /// deterministic exports; shown only in the human report).
+    /// deterministic exports; shown in the human report and the
+    /// flamegraph file only).
     pub record_wall: bool,
+    /// Maximum retained closed lifecycle spans (ring capacity).
+    pub span_capacity: usize,
+    /// Maximum retained flight-recorder entries (ring capacity).
+    pub flight_capacity: usize,
+    /// Whether to record per-deployment lifecycle spans (and feed the
+    /// decision-latency / queue-wait / slowdown quantile sketches).
+    pub record_spans: bool,
 }
 
 impl Default for ObsConfig {
@@ -34,6 +45,9 @@ impl Default for ObsConfig {
             trace_capacity: 65_536,
             near_flip_band: 0.05,
             record_wall: false,
+            span_capacity: 65_536,
+            flight_capacity: 4096,
+            record_spans: true,
         }
     }
 }
@@ -60,6 +74,12 @@ pub struct Observer {
     pub audit: AuditTrail,
     /// Online-adaptation audit log (captures, drift, model swaps).
     pub adapt: AdaptationLog,
+    /// Per-deployment lifecycle span trees.
+    pub spans: SpanStore,
+    /// Bounded ring of recent engine events (post-mortem source).
+    pub flight: FlightRecorder,
+    /// SLO burn alerts fired during the run, in trigger order.
+    pub burn: Vec<BurnEvent>,
 }
 
 impl Observer {
@@ -74,6 +94,9 @@ impl Observer {
             registry: Registry::new(),
             audit: AuditTrail::new(cfg.near_flip_band),
             adapt: AdaptationLog::new(),
+            spans: SpanStore::new(cfg.span_capacity, cfg.record_spans),
+            flight: FlightRecorder::new(cfg.flight_capacity),
+            burn: Vec::new(),
         }
     }
 
@@ -127,6 +150,26 @@ impl Observer {
         self.tracer
             .instant("decision", "decision", input.at_s, 0, args);
         self.audit.record(input);
+    }
+
+    /// Records one SLO burn alert: stores the typed event, bumps the
+    /// alert counter, and emits an instant trace event on the engine
+    /// track (`cat = "slo"`).
+    pub fn record_burn(&mut self, event: BurnEvent) {
+        self.registry.counter_add("slo.burn.alerts", 1);
+        self.tracer.instant(
+            "slo_burn",
+            "slo",
+            event.at_s,
+            0,
+            vec![
+                ("window_s", event.window_s.into()),
+                ("rate", event.rate.into()),
+                ("violations", (event.violations as f64).into()),
+                ("total", (event.total as f64).into()),
+            ],
+        );
+        self.burn.push(event);
     }
 
     /// Records one signature-capture attempt: appends it to the
@@ -261,6 +304,22 @@ mod tests {
         assert_eq!(obs.registry.counter("orchestrator.decisions.local"), 1);
         assert_eq!(obs.registry.counter("orchestrator.rule.beta_slack"), 1);
         assert_eq!(obs.tracer.len(), 1);
+    }
+
+    #[test]
+    fn record_burn_updates_counter_trace_and_typed_log() {
+        let mut obs = Observer::default();
+        obs.record_burn(crate::burn::BurnEvent {
+            at_s: 42.0,
+            window_s: 60.0,
+            rate: 0.75,
+            violations: 3,
+            total: 4,
+        });
+        assert_eq!(obs.registry.counter("slo.burn.alerts"), 1);
+        assert_eq!(obs.tracer.len(), 1);
+        assert_eq!(obs.burn.len(), 1);
+        assert_eq!(obs.burn[0].window_s, 60.0);
     }
 
     #[test]

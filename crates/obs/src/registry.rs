@@ -17,6 +17,8 @@ use std::collections::BTreeMap;
 
 use adrias_telemetry::stats::OnlineStats;
 
+use crate::sketch::Sketch;
+
 /// Default histogram boundaries: a log10 grid from `1e-3` to `1e12`,
 /// three buckets per decade. Wide enough for cycle latencies (~1e2),
 /// flit counts (~1e8) and slowdown factors (~1e0) alike.
@@ -192,6 +194,7 @@ pub struct Registry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    sketches: BTreeMap<String, Sketch>,
 }
 
 impl Registry {
@@ -295,6 +298,48 @@ impl Registry {
         for (name, h) in other.histograms() {
             self.merge_histogram(name, h);
         }
+        for (name, s) in other.sketches() {
+            self.merge_sketch(name, s);
+        }
+    }
+
+    /// Records `v` into the named quantile sketch, creating it on first
+    /// use. Sketches share one global log-bucket layout (see
+    /// [`crate::sketch`]), so unlike [`Registry::observe`] there is no
+    /// bounds choice to make and cross-worker merges stay exact.
+    pub fn sketch_observe(&mut self, name: &str, v: f64) {
+        match self.sketches.get_mut(name) {
+            Some(s) => s.observe(v),
+            None => {
+                let mut s = Sketch::new();
+                s.observe(v);
+                self.sketches.insert(name.to_owned(), s);
+            }
+        }
+    }
+
+    /// The named quantile sketch, if any sample was recorded.
+    pub fn sketch(&self, name: &str) -> Option<&Sketch> {
+        self.sketches.get(name)
+    }
+
+    /// All sketches in name order.
+    pub fn sketches(&self) -> impl Iterator<Item = (&str, &Sketch)> {
+        self.sketches.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Folds a pre-accumulated sketch into the named one (adopting a
+    /// clone on first use). Empty sketches are ignored.
+    pub fn merge_sketch(&mut self, name: &str, s: &Sketch) {
+        if s.is_empty() {
+            return;
+        }
+        match self.sketches.get_mut(name) {
+            Some(dst) => dst.merge(s),
+            None => {
+                self.sketches.insert(name.to_owned(), s.clone());
+            }
+        }
     }
 
     /// The named histogram, if any observation was recorded.
@@ -319,7 +364,10 @@ impl Registry {
 
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.sketches.is_empty()
     }
 }
 
@@ -508,5 +556,86 @@ mod tests {
     fn merge_rejects_mismatched_buckets() {
         let mut a = Histogram::new(vec![1.0]);
         a.merge(&Histogram::new(vec![2.0]));
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_and_moments_read_zero() {
+        let h = Histogram::new(default_buckets());
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.0, "q{q} on empty");
+        }
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn single_bucket_histogram_interpolates_within_observed_range() {
+        // One bucket bound: everything below 10 lands in bucket 0, and
+        // quantiles must interpolate inside [min, max], never escape it.
+        let mut h = Histogram::new(vec![10.0]);
+        for v in [2.0, 4.0, 6.0] {
+            h.observe(v);
+        }
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let est = h.quantile(q);
+            assert!((2.0..=6.0).contains(&est), "q{q} escaped range: {est}");
+        }
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn merge_after_empty_is_identical_to_the_source() {
+        let mut src = Histogram::new(vec![1.0, 10.0]);
+        for v in [0.5, 5.0, 50.0] {
+            src.observe(v);
+        }
+        // empty.merge(src) must behave exactly like src for every read.
+        let mut dst = Histogram::new(vec![1.0, 10.0]);
+        dst.merge(&src);
+        assert_eq!(dst.counts(), src.counts());
+        assert_eq!(dst.count(), src.count());
+        assert_eq!(dst.min(), src.min());
+        assert_eq!(dst.max(), src.max());
+        for q in [0.0, 0.5, 0.99] {
+            assert_eq!(dst.quantile(q).to_bits(), src.quantile(q).to_bits());
+        }
+        // ...and merging an empty histogram afterwards changes nothing.
+        dst.merge(&Histogram::new(vec![1.0, 10.0]));
+        assert_eq!(dst.counts(), src.counts());
+        assert_eq!(dst.min(), src.min());
+    }
+
+    #[test]
+    fn p99_on_a_single_sample_returns_that_sample() {
+        let mut h = Histogram::new(default_buckets());
+        h.observe(3.7);
+        // rank = q * (1 - 1) = 0 for every q: the clamp to [min, max]
+        // must pin all quantiles to the lone observation.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 3.7, "q{q}");
+        }
+    }
+
+    #[test]
+    fn registry_sketches_record_merge_and_iterate_in_name_order() {
+        let mut a = Registry::new();
+        a.sketch_observe("z.lat", 1.0);
+        a.sketch_observe("a.lat", 2.0);
+        let names: Vec<&str> = a.sketches().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a.lat", "z.lat"]);
+        assert_eq!(a.sketch("a.lat").unwrap().count(), 1);
+        assert!(a.sketch("missing").is_none());
+
+        let mut b = Registry::new();
+        b.sketch_observe("a.lat", 4.0);
+        a.merge(&b);
+        assert_eq!(a.sketch("a.lat").unwrap().count(), 2);
+
+        // Empty sketches leave no trace, mirroring merge_histogram.
+        a.merge_sketch("ghost", &Sketch::new());
+        assert!(a.sketch("ghost").is_none());
+        assert!(!a.is_empty());
+        assert!(Registry::new().is_empty());
     }
 }

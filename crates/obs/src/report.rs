@@ -24,6 +24,31 @@ pub fn render_report(obs: &Observer) -> String {
         obs.tracer.dropped(),
         obs.tracer.capacity()
     );
+    if obs.tracer.dropped() > 0 {
+        let _ = writeln!(
+            out,
+            "  WARNING: trace ring overflowed, {} oldest events lost — raise \
+             ObsConfig::trace_capacity for a complete trace",
+            obs.tracer.dropped()
+        );
+    }
+    if obs.spans.enabled() {
+        let _ = writeln!(
+            out,
+            "spans: {} lifecycle records closed ({} open, {} dropped, capacity {})",
+            obs.spans.len(),
+            obs.spans.open_count(),
+            obs.spans.dropped(),
+            obs.spans.capacity()
+        );
+        if obs.spans.dropped() > 0 {
+            let _ = writeln!(
+                out,
+                "  WARNING: span ring overflowed, {} oldest lifecycles lost",
+                obs.spans.dropped()
+            );
+        }
+    }
     let _ = writeln!(
         out,
         "audit: {} decisions, near-flip band {:.1}%",
@@ -33,11 +58,33 @@ pub fn render_report(obs: &Observer) -> String {
 
     render_decision_distribution(&mut out, obs);
     render_near_flips(&mut out, obs);
+    render_burn(&mut out, obs);
     render_adaptation(&mut out, obs);
     render_slowdown_sources(&mut out, obs);
     render_metrics(&mut out, obs);
     render_wall_clock(&mut out, obs);
     out
+}
+
+fn render_burn(out: &mut String, obs: &Observer) {
+    if obs.burn.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\n-- SLO burn alerts: {} --", obs.burn.len());
+    for e in obs.burn.iter().take(10) {
+        let _ = writeln!(
+            out,
+            "  t={:>7.1}s window {:>5.0}s rate {:.0}% ({}/{} violations)",
+            e.at_s,
+            e.window_s,
+            e.rate * 100.0,
+            e.violations,
+            e.total
+        );
+    }
+    if obs.burn.len() > 10 {
+        let _ = writeln!(out, "  ... and {} more", obs.burn.len() - 10);
+    }
 }
 
 fn render_adaptation(out: &mut String, obs: &Observer) {
@@ -174,6 +221,15 @@ fn render_metrics(out: &mut String, obs: &Observer) {
             h.quantile(0.95)
         );
     }
+    for (name, s) in obs.registry.sketches() {
+        let _ = writeln!(
+            out,
+            "  sketch  {name:<38} n={} p50={:.4} p99={:.4}",
+            s.count(),
+            s.quantile(0.5),
+            s.quantile(0.99)
+        );
+    }
 }
 
 fn render_wall_clock(out: &mut String, obs: &Observer) {
@@ -243,6 +299,40 @@ mod tests {
         assert!(text.contains("online adaptation"));
         assert!(text.contains("empty_residency"));
         assert!(text.contains("drift events: 1"));
+    }
+
+    #[test]
+    fn forced_trace_drops_surface_a_warning() {
+        let mut obs = Observer::new(crate::ObsConfig {
+            trace_capacity: 2,
+            ..crate::ObsConfig::default()
+        });
+        for t in 0..5 {
+            obs.tracer.instant("e", "t", f64::from(t), 0, vec![]);
+        }
+        let text = render_report(&obs);
+        assert!(text.contains("(3 dropped, capacity 2)"));
+        assert!(text.contains("WARNING: trace ring overflowed, 3 oldest events lost"));
+        // A drop-free run stays warning-free.
+        assert!(!render_report(&Observer::default()).contains("WARNING"));
+    }
+
+    #[test]
+    fn burn_and_sketch_sections_render() {
+        let mut obs = Observer::default();
+        obs.record_burn(crate::burn::BurnEvent {
+            at_s: 30.0,
+            window_s: 60.0,
+            rate: 0.6,
+            violations: 3,
+            total: 5,
+        });
+        obs.registry
+            .sketch_observe("orchestrator.queue_wait_s", 0.25);
+        let text = render_report(&obs);
+        assert!(text.contains("SLO burn alerts: 1"));
+        assert!(text.contains("window    60s rate 60%"));
+        assert!(text.contains("sketch  orchestrator.queue_wait_s"));
     }
 
     #[test]

@@ -214,6 +214,22 @@ impl Tracer {
         out
     }
 
+    /// Whether wall-clock accumulation is enabled.
+    pub fn wall_enabled(&self) -> bool {
+        self.record_wall
+    }
+
+    /// Adds `ns` nanoseconds of externally measured wall time under
+    /// `label`. No-op unless wall-clock recording is enabled. Lets hot
+    /// loops time themselves with a raw `Instant` and deposit the total
+    /// once, instead of paying a closure call per iteration.
+    pub fn add_wall_ns(&mut self, label: &str, ns: u64) {
+        if !self.record_wall {
+            return;
+        }
+        *self.wall_totals.entry(label.to_owned()).or_insert(0.0) += ns as f64 / 1e6;
+    }
+
     /// Accumulated wall-clock milliseconds per label (host-dependent;
     /// empty unless [`Tracer::with_wall_clock`] was used).
     pub fn wall_totals(&self) -> &BTreeMap<String, f64> {
@@ -259,6 +275,21 @@ mod tests {
         assert!(on.wall_totals().contains_key("work"));
         // And no trace *events* were produced either way.
         assert!(on.is_empty());
+    }
+
+    #[test]
+    fn add_wall_ns_respects_the_opt_in_gate() {
+        let mut off = Tracer::new(4);
+        off.add_wall_ns("engine;heap;push", 5_000_000);
+        assert!(off.wall_totals().is_empty());
+        assert!(!off.wall_enabled());
+
+        let mut on = Tracer::new(4).with_wall_clock();
+        assert!(on.wall_enabled());
+        on.add_wall_ns("engine;heap;push", 5_000_000);
+        on.add_wall_ns("engine;heap;push", 2_500_000);
+        let ms = on.wall_totals()["engine;heap;push"];
+        assert!((ms - 7.5).abs() < 1e-9, "accumulated {ms} ms");
     }
 
     #[test]

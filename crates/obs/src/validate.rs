@@ -310,7 +310,119 @@ pub fn validate_jsonl_metrics(text: &str) -> Result<usize, ValidateError> {
                     require_num(&doc, key, line_no)?;
                 }
             }
+            "sketch" => {
+                let n = require_num(&doc, "count", line_no)?;
+                if n < 1.0 {
+                    return Err(err(line_no, "sketch with no samples exported"));
+                }
+                for key in ["zero", "min", "max", "buckets"] {
+                    require_num(&doc, key, line_no)?;
+                }
+                let p50 = require_num(&doc, "p50", line_no)?;
+                let p95 = require_num(&doc, "p95", line_no)?;
+                let p99 = require_num(&doc, "p99", line_no)?;
+                if p50 > p95 || p95 > p99 {
+                    return Err(err(
+                        line_no,
+                        format!("sketch quantiles not monotone ({p50}, {p95}, {p99})"),
+                    ));
+                }
+            }
             other => return Err(err(line_no, format!("unknown metric type `{other}`"))),
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
+const KNOWN_LANES: [&str; 4] = ["fast", "slow", "direct", "forced"];
+
+/// Validates a `spans.jsonl` export. Returns the number of span lines
+/// (excluding the meta header).
+///
+/// Checks the meta header, and per span: a known phase, the
+/// id-derivation contract (`id = deployment_id * 4 + phase_offset`),
+/// parent links (`null` on the root, the root id on children), interval
+/// sanity (`t0_s <= t1_s`), and the phase-specific payload (app/class/
+/// mode/drained on `lifecycle`, a known rule and lane on `decision`, a
+/// sample count on `resident`).
+///
+/// # Errors
+///
+/// Returns the first schema violation found.
+pub fn validate_jsonl_spans(text: &str) -> Result<usize, ValidateError> {
+    let mut lines = text.lines().enumerate();
+    let (_, meta_line) = lines.next().ok_or_else(|| err(0, "empty spans export"))?;
+    let meta = parse_line(1, meta_line)?;
+    if require_str(&meta, "type", 1)? != "meta" {
+        return Err(err(1, "first line must be the meta record"));
+    }
+    let capacity = require_num(&meta, "capacity", 1)?;
+    let open = require_num(&meta, "open", 1)?;
+    let dropped = require_num(&meta, "dropped", 1)?;
+    if capacity < 1.0 || open < 0.0 || dropped < 0.0 {
+        return Err(err(1, "meta capacity/open/dropped out of range"));
+    }
+
+    let mut count = 0usize;
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let doc = parse_line(line_no, line)?;
+        if require_str(&doc, "type", line_no)? != "span" {
+            return Err(err(line_no, "span lines must have type `span`"));
+        }
+        let id = require_num(&doc, "id", line_no)?;
+        let deployment = require_num(&doc, "deployment_id", line_no)?;
+        let t0 = require_num(&doc, "t0_s", line_no)?;
+        let t1 = require_num(&doc, "t1_s", line_no)?;
+        if t1 < t0 {
+            return Err(err(
+                line_no,
+                format!("span ends before it starts ({t1} < {t0})"),
+            ));
+        }
+        let phase = require_str(&doc, "phase", line_no)?;
+        let offset = match phase {
+            "lifecycle" => 0.0,
+            "queue" => 1.0,
+            "decision" => 2.0,
+            "resident" => 3.0,
+            other => return Err(err(line_no, format!("unknown phase `{other}`"))),
+        };
+        if id != deployment * 4.0 + offset {
+            return Err(err(
+                line_no,
+                format!("id {id} violates the derivation contract for phase `{phase}`"),
+            ));
+        }
+        let parent = doc
+            .get("parent")
+            .ok_or_else(|| err(line_no, "missing field `parent`"))?;
+        if phase == "lifecycle" {
+            if *parent != Json::Null {
+                return Err(err(line_no, "lifecycle root must have a null parent"));
+            }
+            require_str(&doc, "app", line_no)?;
+            require_str(&doc, "class", line_no)?;
+            require_str(&doc, "mode", line_no)?;
+            if doc.get("drained").and_then(Json::as_bool).is_none() {
+                return Err(err(line_no, "missing boolean field `drained`"));
+            }
+        } else if parent.as_num() != Some(deployment * 4.0) {
+            return Err(err(line_no, "child span must point at its lifecycle root"));
+        }
+        if phase == "decision" {
+            let rule = require_str(&doc, "rule", line_no)?;
+            if !KNOWN_RULES.contains(&rule) {
+                return Err(err(line_no, format!("unknown rule `{rule}`")));
+            }
+            let lane = require_str(&doc, "lane", line_no)?;
+            if !KNOWN_LANES.contains(&lane) {
+                return Err(err(line_no, format!("unknown lane `{lane}`")));
+            }
+        }
+        if phase == "resident" && require_num(&doc, "samples", line_no)? < 0.0 {
+            return Err(err(line_no, "negative sample count"));
         }
         count += 1;
     }
@@ -319,6 +431,12 @@ pub fn validate_jsonl_metrics(text: &str) -> Result<usize, ValidateError> {
 
 /// Validates a Chrome `trace_event` JSON document. Returns the number
 /// of trace events.
+///
+/// Besides per-event field checks, the duration-begin/end stream
+/// (`ph: "B"` / `"E"`) is checked for proper nesting: per `tid`, every
+/// `E` must close the most recent open `B` by name, timestamps within
+/// the B/E stream must be non-decreasing per `tid`, and no begin may be
+/// left open at the end of the document.
 ///
 /// # Errors
 ///
@@ -329,6 +447,11 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, ValidateError> {
         .get("traceEvents")
         .and_then(Json::as_arr)
         .ok_or_else(|| err(0, "missing `traceEvents` array"))?;
+    // Per-tid open-begin stacks and last-seen B/E timestamp. Keyed by
+    // the tid's bit pattern so non-integral tids still hash stably.
+    let mut stacks: std::collections::BTreeMap<u64, Vec<(String, f64)>> =
+        std::collections::BTreeMap::new();
+    let mut last_ts: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
     for (i, e) in events.iter().enumerate() {
         let what = format!("traceEvents[{i}]");
         if !e.is_obj() {
@@ -363,7 +486,52 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, ValidateError> {
                     return Err(err(0, format!("{what} instant missing scope `s`")));
                 }
             }
+            "B" | "E" => {
+                let name = e.get("name").and_then(Json::as_str).unwrap();
+                let ts = e.get("ts").and_then(Json::as_num).unwrap();
+                let tid = e.get("tid").and_then(Json::as_num).unwrap().to_bits();
+                if let Some(&prev) = last_ts.get(&tid) {
+                    if ts < prev {
+                        return Err(err(
+                            0,
+                            format!("{what} timestamp {ts} rewinds its track (last {prev})"),
+                        ));
+                    }
+                }
+                last_ts.insert(tid, ts);
+                let stack = stacks.entry(tid).or_default();
+                if ph == "B" {
+                    stack.push((name.to_owned(), ts));
+                } else {
+                    let Some((open_name, open_ts)) = stack.pop() else {
+                        return Err(err(0, format!("{what} ends `{name}` with no open begin")));
+                    };
+                    if open_name != name {
+                        return Err(err(
+                            0,
+                            format!("{what} ends `{name}` but `{open_name}` is open"),
+                        ));
+                    }
+                    if ts < open_ts {
+                        return Err(err(
+                            0,
+                            format!("{what} ends `{name}` before it began ({ts} < {open_ts})"),
+                        ));
+                    }
+                }
+            }
             other => return Err(err(0, format!("{what} has unsupported phase `{other}`"))),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some((name, _)) = stack.last() {
+            return Err(err(
+                0,
+                format!(
+                    "unclosed begin `{name}` on tid {} at end of trace",
+                    f64::from_bits(*tid)
+                ),
+            ));
         }
     }
     Ok(events.len())
@@ -543,5 +711,164 @@ mod tests {
             .unwrap_err()
             .reason
             .contains("dur"));
+    }
+
+    fn be(ph: &str, name: &str, ts: f64, tid: u64) -> String {
+        format!(
+            r#"{{"name":"{name}","cat":"lifecycle","ph":"{ph}","ts":{ts},"pid":1,"tid":{tid},"args":{{}}}}"#
+        )
+    }
+
+    fn trace_of(events: &[String]) -> String {
+        format!(r#"{{"traceEvents":[{}]}}"#, events.join(","))
+    }
+
+    #[test]
+    fn chrome_trace_accepts_properly_nested_begin_end_pairs() {
+        let good = trace_of(&[
+            be("B", "outer", 0.0, 1),
+            be("B", "inner", 1.0, 1),
+            be("E", "inner", 2.0, 1),
+            // Other tracks interleave freely.
+            be("B", "other", 0.5, 2),
+            be("E", "other", 3.0, 2),
+            be("E", "outer", 4.0, 1),
+        ]);
+        assert_eq!(validate_chrome_trace(&good).unwrap(), 6);
+    }
+
+    #[test]
+    fn chrome_trace_golden_failing_inputs_are_rejected() {
+        // Crossed pairs: E names the outer span while the inner is open.
+        let crossed = trace_of(&[
+            be("B", "outer", 0.0, 1),
+            be("B", "inner", 1.0, 1),
+            be("E", "outer", 2.0, 1),
+            be("E", "inner", 3.0, 1),
+        ]);
+        assert!(validate_chrome_trace(&crossed)
+            .unwrap_err()
+            .reason
+            .contains("`inner` is open"));
+
+        // An end with nothing open on its track.
+        let orphan = trace_of(&[be("E", "ghost", 1.0, 1)]);
+        assert!(validate_chrome_trace(&orphan)
+            .unwrap_err()
+            .reason
+            .contains("no open begin"));
+
+        // A begin never closed before the document ends.
+        let unclosed = trace_of(&[be("B", "forever", 0.0, 1)]);
+        assert!(validate_chrome_trace(&unclosed)
+            .unwrap_err()
+            .reason
+            .contains("unclosed begin"));
+
+        // A timestamp that rewinds its own track.
+        let rewind = trace_of(&[
+            be("B", "a", 5.0, 1),
+            be("E", "a", 7.0, 1),
+            be("B", "b", 6.0, 1),
+            be("E", "b", 8.0, 1),
+        ]);
+        assert!(validate_chrome_trace(&rewind)
+            .unwrap_err()
+            .reason
+            .contains("rewinds"));
+    }
+
+    #[test]
+    fn real_span_export_validates() {
+        let mut obs = observer();
+        obs.spans.open(crate::spans::LifecycleSpan {
+            deployment_id: 0,
+            app: "gmm",
+            class: "be",
+            mode: "local",
+            rule: "beta_slack",
+            lane: "fast",
+            arrived_s: 0.5,
+            decided_s: 1.0,
+            opened_tick: 1,
+            finished_s: 0.0,
+            samples: 0,
+            drained: false,
+        });
+        obs.spans.close(0, 5.0, 5, false);
+        let text = export::to_jsonl_spans(&obs);
+        assert_eq!(validate_jsonl_spans(&text).unwrap(), 4);
+        // And the nested Chrome rendering passes the pairing checks:
+        // 1 engine span + 1 decision instant + 8 lifecycle B/E events.
+        assert_eq!(
+            validate_chrome_trace(&export::to_chrome_trace(&obs)).unwrap(),
+            10
+        );
+    }
+
+    #[test]
+    fn span_validator_rejects_contract_violations() {
+        let meta = r#"{"type":"meta","capacity":8,"open":0,"dropped":0}"#;
+
+        let bad_id = format!(
+            "{meta}\n{}",
+            r#"{"type":"span","phase":"queue","id":3,"parent":0,"deployment_id":0,"t0_s":0,"t1_s":1}"#
+        );
+        assert!(validate_jsonl_spans(&bad_id)
+            .unwrap_err()
+            .reason
+            .contains("derivation contract"));
+
+        let bad_parent = format!(
+            "{meta}\n{}",
+            r#"{"type":"span","phase":"queue","id":5,"parent":0,"deployment_id":1,"t0_s":0,"t1_s":1}"#
+        );
+        assert!(validate_jsonl_spans(&bad_parent)
+            .unwrap_err()
+            .reason
+            .contains("lifecycle root"));
+
+        let bad_lane = format!(
+            "{meta}\n{}",
+            r#"{"type":"span","phase":"decision","id":2,"parent":0,"deployment_id":0,"t0_s":1,"t1_s":1,"rule":"static","lane":"warp"}"#
+        );
+        assert!(validate_jsonl_spans(&bad_lane)
+            .unwrap_err()
+            .reason
+            .contains("unknown lane"));
+
+        let backwards = format!(
+            "{meta}\n{}",
+            r#"{"type":"span","phase":"lifecycle","id":0,"parent":null,"deployment_id":0,"t0_s":5,"t1_s":1,"app":"a","class":"be","mode":"local","drained":false}"#
+        );
+        assert!(validate_jsonl_spans(&backwards)
+            .unwrap_err()
+            .reason
+            .contains("ends before"));
+
+        assert!(validate_jsonl_spans("")
+            .unwrap_err()
+            .reason
+            .contains("empty"));
+    }
+
+    #[test]
+    fn metrics_validator_accepts_sketches_and_rejects_bad_ones() {
+        let mut obs = observer();
+        obs.registry.sketch_observe("orchestrator.slowdown", 1.4);
+        let n = validate_jsonl_metrics(&export::to_jsonl_metrics(&obs)).unwrap();
+        assert!(n >= 6, "expected sketch line to count, got {n}");
+
+        let empty_sketch = r#"{"type":"sketch","name":"s","count":0,"zero":0,"min":0,"max":0,"p50":0,"p95":0,"p99":0,"buckets":0}"#;
+        assert!(validate_jsonl_metrics(empty_sketch)
+            .unwrap_err()
+            .reason
+            .contains("no samples"));
+
+        let inverted = r#"{"type":"sketch","name":"s","count":3,"zero":0,"min":1,"max":9,"p50":5,"p95":4,"p99":9,"buckets":2}"#;
+        assert!(validate_jsonl_metrics(inverted)
+            .unwrap_err()
+            .reason
+            .contains("not monotone"));
     }
 }

@@ -66,6 +66,11 @@ pub struct AdriasPolicy {
     /// adversarial fuzzer can prove its QoS oracle detects a genuinely
     /// broken policy; see [`AdriasPolicy::set_test_qos_bypass`].
     test_qos_bypass: bool,
+    /// Whether to time model forwards (host wall clock) for the engine
+    /// self-profiler; see [`Policy::take_forward_wall_ns`].
+    wall_profile: bool,
+    /// Accumulated forward wall nanoseconds since the last drain.
+    forward_wall_ns: u64,
     /// Memoised system-state forecast, keyed by the Watcher stamp of
     /// the window it was computed from.
     forecast_cache: Option<(WindowStamp, MetricVec)>,
@@ -156,6 +161,8 @@ impl AdriasPolicy {
             default_qos_p99_ms,
             fast_path: true,
             test_qos_bypass: false,
+            wall_profile: false,
+            forward_wall_ns: 0,
             forecast_cache: None,
             be_sig_feats: HashMap::new(),
             lc_sig_feats: HashMap::new(),
@@ -343,11 +350,16 @@ impl AdriasPolicy {
     /// allocations. Each entry is bit-identical to the corresponding
     /// [`AdriasPolicy::predict_perf`] call on either lane.
     pub fn predict_perf_both(&mut self, ctx: &DecisionContext<'_>) -> Option<(f32, f32)> {
-        if self.fast_path {
+        let t0 = self.wall_profile.then(std::time::Instant::now);
+        let out = if self.fast_path {
             self.predict_perf_both_fast(ctx)
         } else {
             self.predict_perf_both_slow(ctx)
+        };
+        if let Some(t0) = t0 {
+            self.forward_wall_ns += t0.elapsed().as_nanos() as u64;
         }
+        out
     }
 
     /// Reference implementation: allocating, uncached.
@@ -437,6 +449,22 @@ impl AdriasPolicy {
 impl Policy for AdriasPolicy {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn lane(&self) -> &'static str {
+        if self.fast_path {
+            "fast"
+        } else {
+            "slow"
+        }
+    }
+
+    fn set_wall_profiling(&mut self, enabled: bool) {
+        self.wall_profile = enabled;
+    }
+
+    fn take_forward_wall_ns(&mut self) -> u64 {
+        std::mem::take(&mut self.forward_wall_ns)
     }
 
     fn decide(&mut self, ctx: &DecisionContext<'_>) -> MemoryMode {

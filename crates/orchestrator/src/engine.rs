@@ -239,6 +239,57 @@ pub trait EngineObserver {
     fn on_run_end(&mut self, report: &RunReport, last_arrival_s: f64) {
         let _ = (report, last_arrival_s);
     }
+
+    /// Called once per admission, right after
+    /// [`EngineObserver::on_decision`], with the causal-lifecycle
+    /// coordinates: the raw arrival instant, the admitting watcher tick
+    /// (`decided_s`), and the decision lane — `"fast"`, `"slow"`,
+    /// `"direct"`, or `"forced"` for arrivals that bypass the policy.
+    fn on_admitted(
+        &mut self,
+        id: DeploymentId,
+        arrived_s: f64,
+        decided_s: f64,
+        profile: &WorkloadProfile,
+        decision: &ExplainedDecision,
+        lane: &'static str,
+    ) {
+        let _ = (id, arrived_s, decided_s, profile, decision, lane);
+    }
+
+    /// Called when a link fault takes effect, with its effective tick.
+    fn on_fault(&mut self, at_s: f64) {
+        let _ = at_s;
+    }
+
+    /// Called when the drain deadline expires, ending the run with
+    /// admitted work still resident.
+    fn on_deadline(&mut self, at_s: f64) {
+        let _ = at_s;
+    }
+
+    /// Called once at run start with the arrival stream's source label
+    /// ([`ArrivalStream::source_label`]).
+    fn on_stream(&mut self, label: &'static str) {
+        let _ = label;
+    }
+
+    /// `true` when the observer wants host wall-clock self-profiling.
+    /// The engine then times its phases (heap push/pop, policy decide,
+    /// model forward, watcher sampling) and reports them through
+    /// [`EngineObserver::on_wall`]. Defaults to off, so the unprofiled
+    /// loop never touches the host clock.
+    fn wall_profiling(&self) -> bool {
+        false
+    }
+
+    /// Receives accumulated wall nanoseconds for one engine phase,
+    /// identified by a collapsed-stack label (`"engine;heap;push"`,
+    /// `"engine;decide;fast"`, ...). Only called when
+    /// [`EngineObserver::wall_profiling`] returns `true`.
+    fn on_wall(&mut self, label: &str, ns: u64) {
+        let _ = (label, ns);
+    }
 }
 
 /// The no-op observer: every hook is an empty default method.
@@ -322,6 +373,14 @@ pub trait ArrivalStream {
     /// Discards every remaining arrival and returns how many there
     /// were — drain-deadline accounting for [`RunReport::unfinished`].
     fn drain_remaining(&mut self) -> usize;
+
+    /// Short static label naming where this traffic came from, recorded
+    /// on the engine's run span. Pre-built schedule slices report
+    /// `"schedule"`; generated streams forward their source's
+    /// [`adrias_workloads::ArrivalSource::label`].
+    fn source_label(&self) -> &'static str {
+        "schedule"
+    }
 }
 
 /// [`ArrivalStream`] over a pre-built sorted schedule slice — the lens
@@ -430,6 +489,10 @@ where
         }
         n
     }
+
+    fn source_label(&self) -> &'static str {
+        self.source.label()
+    }
 }
 
 /// Replays `arrivals` on a fresh testbed under `policy`.
@@ -491,7 +554,7 @@ pub fn run_schedule_observed(
     policy: &mut dyn Policy,
     obs: &mut adrias_obs::Observer,
 ) -> RunReport {
-    let mut run = crate::engine_obs::ObservedRun::new(obs);
+    let mut run = crate::engine_obs::ObservedRun::with_qos(obs, engine_cfg.qos_p99_ms);
     dispatch(
         testbed_cfg,
         engine_cfg,
@@ -541,7 +604,7 @@ pub fn run_schedule_observed_faulted_mode(
     obs: &mut adrias_obs::Observer,
     mode: EngineMode,
 ) -> RunReport {
-    let mut run = crate::engine_obs::ObservedRun::new(obs);
+    let mut run = crate::engine_obs::ObservedRun::with_qos(obs, engine_cfg.qos_p99_ms);
     dispatch(
         testbed_cfg,
         engine_cfg,
@@ -654,7 +717,8 @@ fn deploy_arrival<O: EngineObserver>(
     let now = testbed.time_s();
     let stamp = watcher.history_fill(engine_cfg.history_window_s, history_buf);
     let history_rows: Option<&[MetricVec]> = stamp.map(|_| history_buf.as_slice());
-    let (decision, was_decided) = match arrival.forced_mode {
+    let t0 = obs.wall_profiling().then(std::time::Instant::now);
+    let (decision, was_decided, lane) = match arrival.forced_mode {
         Some(m) => (
             ExplainedDecision {
                 mode: m,
@@ -663,6 +727,7 @@ fn deploy_arrival<O: EngineObserver>(
                 pred_remote: None,
             },
             false,
+            "forced",
         ),
         None => {
             let ctx = DecisionContext {
@@ -671,9 +736,23 @@ fn deploy_arrival<O: EngineObserver>(
                 qos_p99_ms: engine_cfg.qos_p99_ms,
                 stamp,
             };
-            (policy.decide_explained(&ctx), true)
+            let d = policy.decide_explained(&ctx);
+            (d, true, policy.lane())
         }
     };
+    if let Some(t0) = t0 {
+        // Split decide time into the model forward (reported by the
+        // policy) and everything around it, collapsed-stack style.
+        let total = t0.elapsed().as_nanos() as u64;
+        let forward = policy.take_forward_wall_ns();
+        obs.on_wall(
+            &format!("engine;decide;{lane}"),
+            total.saturating_sub(forward),
+        );
+        if forward > 0 {
+            obs.on_wall("engine;decide;forward", forward);
+        }
+    }
     let duration = arrival
         .duration_s
         .unwrap_or_else(|| arrival.profile.base_runtime_s());
@@ -686,6 +765,7 @@ fn deploy_arrival<O: EngineObserver>(
         &decision,
         policy.name(),
     );
+    obs.on_admitted(id, arrival.at_s, now, &arrival.profile, &decision, lane);
     decided.insert(id, (was_decided, arrival.profile.clone()));
 }
 
@@ -792,7 +872,15 @@ fn run_event_inner<O: EngineObserver>(
     let mut drained = 0usize;
     let mut stopped = false;
 
+    let profiling = obs.wall_profiling();
+    policy.set_wall_profiling(profiling);
+    obs.on_stream(stream.source_label());
+    let mut sample_wall_ns = 0u64;
+
     let mut heap: crate::event::EventHeap<EventPayload> = crate::event::EventHeap::new();
+    if profiling {
+        heap.enable_wall_profiling();
+    }
     for f in faults {
         // Effective tick: the first watcher instant with `at_s <= t`,
         // i.e. ceil — same-tick faults keep slice order via seq, so the
@@ -848,12 +936,17 @@ fn run_event_inner<O: EngineObserver>(
         EventPayload::Fault(link) => {
             if !stopped {
                 testbed.set_link(link);
+                obs.on_fault(ev.time_s);
             }
         }
         EventPayload::Sample => {
+            let t0 = profiling.then(std::time::Instant::now);
             let report = testbed.step();
             watcher.record(report.sample);
             samples.push(report.sample);
+            if let Some(t0) = t0 {
+                sample_wall_ns += t0.elapsed().as_nanos() as u64;
+            }
             obs.on_step(&report);
             // Completions pop at this tick's own instant (rank orders
             // them after the sample, before the next tick's arrivals),
@@ -910,9 +1003,17 @@ fn run_event_inner<O: EngineObserver>(
             }
         }
         EventPayload::Deadline => {
+            obs.on_deadline(ev.time_s);
             drained = stream.drain_remaining();
         }
     });
+
+    if profiling {
+        let (push_ns, pop_ns) = heap.wall_ns();
+        obs.on_wall("engine;heap;push", push_ns);
+        obs.on_wall("engine;heap;pop", pop_ns);
+        obs.on_wall("engine;sample", sample_wall_ns);
+    }
 
     let report = RunReport {
         policy: policy.name().to_owned(),
@@ -988,10 +1089,16 @@ fn run_step_loop_inner<O: EngineObserver>(
     let last_arrival_s = arrivals.last().map_or(0.0, |a| a.at_s);
     let deadline_s = last_arrival_s + engine_cfg.max_drain_s;
 
+    let profiling = obs.wall_profiling();
+    policy.set_wall_profiling(profiling);
+    obs.on_stream("schedule");
+    let mut sample_wall_ns = 0u64;
+
     loop {
         let now = testbed.time_s();
         // Apply every link fault due at or before `now` (last one wins)
         // before deployments consult the policy and the testbed steps.
+        let fault_lo = next_fault;
         while next_fault < faults.len() && faults[next_fault].at_s <= now {
             testbed.set_link(faults[next_fault].link);
             next_fault += 1;
@@ -1011,10 +1118,21 @@ fn run_step_loop_inner<O: EngineObserver>(
                 &mut decided,
             );
         }
+        // The event core ranks same-tick arrivals before faults, so the
+        // observer hears about this tick's faults only after its
+        // admissions — the link rewrite itself stayed above, which is
+        // output-invariant (nothing before the step reads it).
+        for _ in fault_lo..next_fault {
+            obs.on_fault(now);
+        }
 
+        let t0 = profiling.then(std::time::Instant::now);
         let report = testbed.step();
         watcher.record(report.sample);
         samples.push(report.sample);
+        if let Some(t0) = t0 {
+            sample_wall_ns += t0.elapsed().as_nanos() as u64;
+        }
         obs.on_step(&report);
 
         for done in report.finished {
@@ -1028,10 +1146,21 @@ fn run_step_loop_inner<O: EngineObserver>(
             outcomes.push(outcome);
         }
 
+        // Ordered exactly like the event core's sample handler: natural
+        // idle wins over the deadline when both hold at the same tick,
+        // so `on_deadline` fires in precisely the same runs.
         let all_arrived = next_arrival == arrivals.len();
-        if (all_arrived && testbed.resident_count() == 0) || testbed.time_s() >= deadline_s {
+        if all_arrived && testbed.resident_count() == 0 {
             break;
         }
+        if testbed.time_s() >= deadline_s {
+            obs.on_deadline(testbed.time_s());
+            break;
+        }
+    }
+
+    if profiling {
+        obs.on_wall("engine;sample", sample_wall_ns);
     }
 
     let report = RunReport {

@@ -8,7 +8,9 @@
 //! folded into the registry once at the end of the run, keeping the
 //! per-simulated-second observation cost to plain arithmetic.
 
-use adrias_obs::{DecisionInput, Observer, WindowSummary};
+use adrias_obs::{
+    BurnConfig, DecisionInput, LifecycleSpan, Observer, SloBurnMonitor, WindowSummary,
+};
 use adrias_sim::obs::SimMetrics;
 use adrias_sim::{DeploymentId, StepReport};
 use adrias_telemetry::MetricVec;
@@ -18,19 +20,44 @@ use crate::engine::{AppOutcome, EngineObserver, RunReport};
 use crate::policy::ExplainedDecision;
 
 /// One observed engine run: borrows the [`Observer`] that collects the
-/// audit trail, traces and registry, plus the per-run sim accumulator.
+/// audit trail, traces, lifecycle spans, flight recorder and registry,
+/// plus the per-run sim accumulator.
 /// Created by [`crate::engine::run_schedule_observed`].
 pub struct ObservedRun<'a> {
     obs: &'a mut Observer,
     sim: SimMetrics,
+    burn: Option<SloBurnMonitor>,
+    /// Watcher ticks seen so far (`on_step` calls) — the span clock.
+    ticks: u64,
+    /// Took-effect pop counts, flushed as `engine.events_popped.*`.
+    admitted: u64,
+    faults: u64,
+    finishes: u64,
+    deadlines: u64,
+    source: &'static str,
 }
 
 impl<'a> ObservedRun<'a> {
-    /// Wraps an observer for one engine run.
+    /// Wraps an observer for one engine run with no QoS target (no SLO
+    /// burn monitoring).
     pub fn new(obs: &'a mut Observer) -> Self {
+        Self::with_qos(obs, None)
+    }
+
+    /// Wraps an observer for one engine run; when `qos_p99_ms` is set,
+    /// LC completions additionally feed an [`SloBurnMonitor`] whose
+    /// alerts land in the trace, the registry and `obs.burn`.
+    pub fn with_qos(obs: &'a mut Observer, qos_p99_ms: Option<f32>) -> Self {
         Self {
             obs,
             sim: SimMetrics::new(),
+            burn: qos_p99_ms.map(|q| SloBurnMonitor::new(q, BurnConfig::default())),
+            ticks: 0,
+            admitted: 0,
+            faults: 0,
+            finishes: 0,
+            deadlines: 0,
+            source: "schedule",
         }
     }
 }
@@ -59,11 +86,89 @@ impl EngineObserver for ObservedRun<'_> {
         });
     }
 
+    fn on_admitted(
+        &mut self,
+        id: DeploymentId,
+        arrived_s: f64,
+        decided_s: f64,
+        profile: &WorkloadProfile,
+        decision: &ExplainedDecision,
+        lane: &'static str,
+    ) {
+        self.admitted += 1;
+        self.obs
+            .flight
+            .record("arrival", decided_s, Some(id.index()));
+        if !self.obs.spans.enabled() {
+            return;
+        }
+        // Both sketches record the admission delay; they are kept as
+        // separate series because an async-decision engine would split
+        // them (queue wait vs decide time).
+        let wait = decided_s - arrived_s;
+        self.obs
+            .registry
+            .sketch_observe("orchestrator.decision_latency_s", wait);
+        self.obs
+            .registry
+            .sketch_observe("orchestrator.queue_wait_s", wait);
+        self.obs.spans.open(LifecycleSpan {
+            deployment_id: id.index(),
+            app: adrias_obs::intern(profile.name()),
+            class: adrias_obs::intern(&profile.class().to_string()),
+            mode: adrias_obs::intern(&decision.mode.to_string()),
+            rule: decision.rule.tag(),
+            lane,
+            arrived_s,
+            decided_s,
+            opened_tick: self.ticks,
+            finished_s: decided_s,
+            samples: 0,
+            drained: false,
+        });
+    }
+
+    fn on_fault(&mut self, at_s: f64) {
+        self.faults += 1;
+        self.obs.flight.record("fault", at_s, None);
+    }
+
+    fn on_deadline(&mut self, at_s: f64) {
+        self.deadlines += 1;
+        self.obs.flight.record("deadline", at_s, None);
+    }
+
+    fn on_stream(&mut self, label: &'static str) {
+        self.source = label;
+    }
+
+    fn wall_profiling(&self) -> bool {
+        self.obs.tracer.wall_enabled()
+    }
+
+    fn on_wall(&mut self, label: &str, ns: u64) {
+        self.obs.tracer.add_wall_ns(label, ns);
+    }
+
     fn on_step(&mut self, report: &StepReport) {
         self.sim.record(report);
+        self.obs.flight.record("sample", self.ticks as f64, None);
+        self.ticks += 1;
     }
 
     fn on_complete(&mut self, id: DeploymentId, outcome: &AppOutcome) {
+        self.finishes += 1;
+        self.obs
+            .flight
+            .record("finish", outcome.finished_s, Some(id.index()));
+        if self.obs.spans.enabled() {
+            self.obs
+                .spans
+                .close(id.index(), outcome.finished_s, self.ticks, false);
+            self.obs
+                .registry
+                .sketch_observe("orchestrator.slowdown", f64::from(outcome.mean_slowdown));
+        }
         let mut args = vec![
             ("mode", outcome.mode.to_string().into()),
             ("class", outcome.class.to_string().into()),
@@ -74,6 +179,12 @@ impl EngineObserver for ObservedRun<'_> {
             self.obs
                 .registry
                 .observe("orchestrator.lc.p99_ms", f64::from(p99));
+            if let Some(burn) = &mut self.burn {
+                for event in burn.observe(outcome.finished_s, p99) {
+                    self.obs.record_burn(event);
+                    self.obs.flight.record("burn", event.at_s, None);
+                }
+            }
         }
         if outcome.class == WorkloadClass::BestEffort {
             self.obs
@@ -94,6 +205,7 @@ impl EngineObserver for ObservedRun<'_> {
 
     fn on_run_end(&mut self, report: &RunReport, last_arrival_s: f64) {
         self.sim.flush(&mut self.obs.registry);
+        self.obs.spans.drain_open(report.end_time_s, self.ticks);
         self.obs.tracer.span(
             "engine.run",
             "engine",
@@ -102,10 +214,36 @@ impl EngineObserver for ObservedRun<'_> {
             0,
             vec![
                 ("policy", report.policy.as_str().into()),
+                ("source", self.source.into()),
                 ("outcomes", (report.outcomes.len() as f64).into()),
                 ("unfinished", (report.unfinished as f64).into()),
             ],
         );
+        // Took-effect event counts, one counter per heap event kind —
+        // identical between the engine cores because the hooks fire at
+        // equivalent sites in both loops.
+        self.obs
+            .registry
+            .counter_add("engine.events_popped.arrival", self.admitted);
+        self.obs
+            .registry
+            .counter_add("engine.events_popped.fault", self.faults);
+        self.obs
+            .registry
+            .counter_add("engine.events_popped.sample", self.ticks);
+        self.obs
+            .registry
+            .counter_add("engine.events_popped.finish", self.finishes);
+        self.obs
+            .registry
+            .counter_add("engine.events_popped.deadline", self.deadlines);
+        if let Some(burn) = &self.burn {
+            for (window_s, rate) in burn.rates() {
+                self.obs
+                    .registry
+                    .gauge_set(&format!("slo.burn.rate.{window_s:.0}s"), rate);
+            }
+        }
         self.obs
             .registry
             .gauge_set("engine.end_time_s", report.end_time_s);
@@ -242,10 +380,82 @@ mod tests {
                 export::to_jsonl_decisions(&obs),
                 export::to_jsonl_metrics(&obs),
                 export::to_chrome_trace(&obs),
+                export::to_jsonl_spans(&obs),
             )
         };
         let a = run();
         let b = run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lifecycle_spans_and_event_counters_record() {
+        let mut obs = Observer::new(ObsConfig::default());
+        let mut policy = RoundRobinPolicy::new();
+        let report = run_schedule_observed(
+            TestbedConfig::noiseless(),
+            engine(),
+            &schedule(),
+            &mut policy,
+            &mut obs,
+        );
+        // One closed lifecycle tree per outcome, none left open.
+        assert_eq!(obs.spans.len(), report.outcomes.len());
+        assert_eq!(obs.spans.open_count(), 0);
+        let forced: Vec<_> = obs.spans.records().filter(|r| r.lane == "forced").collect();
+        assert_eq!(forced.len(), 1, "the stressor bypassed the policy");
+        assert!(obs
+            .spans
+            .records()
+            .all(|r| !r.drained && r.finished_s >= r.decided_s && r.decided_s >= r.arrived_s));
+        // Took-effect counters match the run report.
+        assert_eq!(
+            obs.registry.counter("engine.events_popped.arrival") as usize,
+            3
+        );
+        assert_eq!(
+            obs.registry.counter("engine.events_popped.finish") as usize,
+            report.outcomes.len()
+        );
+        assert_eq!(
+            obs.registry.counter("engine.events_popped.sample") as usize,
+            report.samples.len()
+        );
+        assert_eq!(obs.registry.counter("engine.events_popped.fault"), 0);
+        assert_eq!(obs.registry.counter("engine.events_popped.deadline"), 0);
+        // Admission sketches saw every arrival; slowdown every finish.
+        let wait = obs.registry.sketch("orchestrator.queue_wait_s").unwrap();
+        assert_eq!(wait.count(), 3);
+        let slow = obs.registry.sketch("orchestrator.slowdown").unwrap();
+        assert_eq!(slow.count() as usize, report.outcomes.len());
+        // The flight recorder kept the arrival→finish interleaving.
+        assert!(obs.flight.recorded() > 0);
+        let kinds: Vec<&str> = obs.flight.entries().map(|e| e.kind).collect();
+        assert!(kinds.contains(&"arrival") && kinds.contains(&"finish"));
+        // The run span names its traffic source.
+        let chrome = export::to_chrome_trace(&obs);
+        assert!(chrome.contains(r#""source":"schedule""#));
+    }
+
+    #[test]
+    fn disabling_spans_skips_lifecycle_work_but_keeps_counters() {
+        let mut obs = Observer::new(ObsConfig {
+            record_spans: false,
+            ..ObsConfig::default()
+        });
+        let mut policy = RoundRobinPolicy::new();
+        let report = run_schedule_observed(
+            TestbedConfig::noiseless(),
+            engine(),
+            &schedule(),
+            &mut policy,
+            &mut obs,
+        );
+        assert!(obs.spans.is_empty());
+        assert!(obs.registry.sketch("orchestrator.queue_wait_s").is_none());
+        assert_eq!(
+            obs.registry.counter("engine.events_popped.finish") as usize,
+            report.outcomes.len()
+        );
     }
 }

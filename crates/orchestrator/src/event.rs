@@ -100,6 +100,11 @@ impl<P> Ord for HeapEntry<P> {
 pub struct EventHeap<P> {
     heap: BinaryHeap<HeapEntry<P>>,
     next_seq: u64,
+    /// Pops per kind, indexed by [`EventKind::rank`].
+    pop_counts: [u64; 5],
+    profile_wall: bool,
+    push_wall_ns: u64,
+    pop_wall_ns: u64,
 }
 
 impl<P> Default for EventHeap<P> {
@@ -114,7 +119,25 @@ impl<P> EventHeap<P> {
         Self {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            pop_counts: [0; 5],
+            profile_wall: false,
+            push_wall_ns: 0,
+            pop_wall_ns: 0,
         }
+    }
+
+    /// Switches on wall-clock self-profiling of push/pop. Off by
+    /// default: the timing syscalls cost more than the heap operations
+    /// they measure, so the engine enables this only when the observer
+    /// asks for a profile. Never affects pop order or counts.
+    pub fn enable_wall_profiling(&mut self) {
+        self.profile_wall = true;
+    }
+
+    /// Accumulated `(push, pop)` wall nanoseconds; zeros unless
+    /// [`EventHeap::enable_wall_profiling`] was called.
+    pub fn wall_ns(&self) -> (u64, u64) {
+        (self.push_wall_ns, self.pop_wall_ns)
     }
 
     /// Schedules `payload` at `time_s`, assigning the next sequence
@@ -126,6 +149,7 @@ impl<P> EventHeap<P> {
     /// order the parity contract depends on.
     pub fn push(&mut self, time_s: f64, kind: EventKind, payload: P) -> u64 {
         assert!(!time_s.is_nan(), "event time must not be NaN");
+        let t0 = self.profile_wall.then(std::time::Instant::now);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(HeapEntry(Event {
@@ -134,12 +158,33 @@ impl<P> EventHeap<P> {
             seq,
             payload,
         }));
+        if let Some(t0) = t0 {
+            self.push_wall_ns += t0.elapsed().as_nanos() as u64;
+        }
         seq
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<Event<P>> {
-        self.heap.pop().map(|e| e.0)
+        let t0 = self.profile_wall.then(std::time::Instant::now);
+        let ev = self.heap.pop().map(|e| e.0);
+        if let Some(ev) = &ev {
+            self.pop_counts[usize::from(ev.kind.rank())] += 1;
+        }
+        if let Some(t0) = t0 {
+            self.pop_wall_ns += t0.elapsed().as_nanos() as u64;
+        }
+        ev
+    }
+
+    /// Events of `kind` popped so far.
+    pub fn pop_count(&self, kind: EventKind) -> u64 {
+        self.pop_counts[usize::from(kind.rank())]
+    }
+
+    /// Pops per kind, indexed by [`EventKind::rank`].
+    pub fn pop_counts(&self) -> [u64; 5] {
+        self.pop_counts
     }
 
     /// The `(time, kind)` of the earliest event without removing it.
@@ -217,6 +262,42 @@ mod tests {
             }
         });
         assert_eq!(ticks, 4);
+    }
+
+    #[test]
+    fn pop_counts_track_each_kind() {
+        let mut h = EventHeap::new();
+        h.push(0.0, EventKind::Arrival, ());
+        h.push(0.0, EventKind::Arrival, ());
+        h.push(1.0, EventKind::WatcherSample, ());
+        h.push(2.0, EventKind::DeploymentFinish, ());
+        assert_eq!(h.pop_counts(), [0; 5], "pushes alone count nothing");
+        while h.pop().is_some() {}
+        assert_eq!(h.pop_count(EventKind::Arrival), 2);
+        assert_eq!(h.pop_count(EventKind::WatcherSample), 1);
+        assert_eq!(h.pop_count(EventKind::DeploymentFinish), 1);
+        assert_eq!(h.pop_count(EventKind::FaultApply), 0);
+        assert_eq!(h.pop_counts(), [2, 0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn wall_profiling_is_opt_in_and_order_preserving() {
+        let mut plain = EventHeap::new();
+        plain.push(1.0, EventKind::Arrival, "a");
+        plain.pop();
+        assert_eq!(plain.wall_ns(), (0, 0), "profiling off by default");
+
+        let mut profiled = EventHeap::new();
+        profiled.enable_wall_profiling();
+        for t in (0..50).rev() {
+            profiled.push(f64::from(t), EventKind::Arrival, t);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| profiled.pop())
+            .map(|e| e.payload)
+            .collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+        let (push_ns, pop_ns) = profiled.wall_ns();
+        assert!(push_ns > 0 && pop_ns > 0, "timings accumulated");
     }
 
     #[test]

@@ -82,6 +82,25 @@ pub trait Policy {
     fn decide_explained(&mut self, ctx: &DecisionContext<'_>) -> ExplainedDecision {
         ExplainedDecision::bare(self.decide(ctx))
     }
+
+    /// The decision lane this policy currently runs on, as recorded in
+    /// lifecycle spans: `"fast"` (memoised forward path), `"slow"`
+    /// (full forward), or `"direct"` (no prediction involved — the
+    /// default for baselines). The engine tags forced placements as
+    /// `"forced"` without consulting the policy.
+    fn lane(&self) -> &'static str {
+        "direct"
+    }
+
+    /// Asks the policy to time its model-forward work (host wall
+    /// clock) for the engine self-profiler. Default: ignored.
+    fn set_wall_profiling(&mut self, _enabled: bool) {}
+
+    /// Drains the wall nanoseconds spent in model forwards since the
+    /// last call. Default: always 0 (nothing measured).
+    fn take_forward_wall_ns(&mut self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +148,14 @@ mod tests {
             ExplainedDecision::bare(MemoryMode::Local).predicted(MemoryMode::Local),
             None
         );
+    }
+
+    #[test]
+    fn default_lane_and_profiling_hooks_are_inert() {
+        let mut p = Always(MemoryMode::Local);
+        assert_eq!(p.lane(), "direct");
+        p.set_wall_profiling(true);
+        assert_eq!(p.take_forward_wall_ns(), 0);
     }
 
     #[test]

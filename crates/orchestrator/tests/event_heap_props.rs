@@ -38,6 +38,16 @@ proptest! {
             popped.push((ev.time_s, ev.kind.rank(), ev.payload));
         }
         prop_assert_eq!(popped, expected);
+        // The per-kind pop counters account for every event exactly
+        // once, matching an independent tally of the push set.
+        let mut pushed = [0u64; 5];
+        for (_, k) in &events {
+            pushed[usize::from(KINDS[*k].rank())] += 1;
+        }
+        prop_assert_eq!(heap.pop_counts(), pushed);
+        for kind in KINDS {
+            prop_assert_eq!(heap.pop_count(kind), pushed[usize::from(kind.rank())]);
+        }
     }
 
     /// `run_until_idle` counts exactly the WatcherSample events it
@@ -65,6 +75,15 @@ proptest! {
             }
         });
         prop_assert_eq!(ticks, chain + 1);
+        // run_until_idle's tick count and the pop counter agree, and
+        // the non-sample extras all landed in their own buckets.
+        prop_assert_eq!(heap.pop_count(EventKind::WatcherSample), ticks);
+        let non_sample: u64 = heap
+            .pop_counts()
+            .iter()
+            .sum::<u64>()
+            - heap.pop_count(EventKind::WatcherSample);
+        prop_assert_eq!(non_sample, extras.len() as u64);
     }
 }
 

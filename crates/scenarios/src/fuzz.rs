@@ -534,6 +534,32 @@ impl Policy for AnyPolicy {
             AnyPolicy::Rr(p) => p.decide_explained(ctx),
         }
     }
+
+    // Forwarded so lifecycle spans in post-mortem bundles carry the
+    // real fast/slow lane instead of the baseline "direct" default.
+    fn lane(&self) -> &'static str {
+        match self {
+            AnyPolicy::Adrias(p) => p.lane(),
+            AnyPolicy::Random(p) => p.lane(),
+            AnyPolicy::Rr(p) => p.lane(),
+        }
+    }
+
+    fn set_wall_profiling(&mut self, enabled: bool) {
+        match self {
+            AnyPolicy::Adrias(p) => p.set_wall_profiling(enabled),
+            AnyPolicy::Random(p) => p.set_wall_profiling(enabled),
+            AnyPolicy::Rr(p) => p.set_wall_profiling(enabled),
+        }
+    }
+
+    fn take_forward_wall_ns(&mut self) -> u64 {
+        match self {
+            AnyPolicy::Adrias(p) => p.take_forward_wall_ns(),
+            AnyPolicy::Random(p) => p.take_forward_wall_ns(),
+            AnyPolicy::Rr(p) => p.take_forward_wall_ns(),
+        }
+    }
 }
 
 /// Runs one policy over the case's faulted scenario, observed, on an
@@ -809,6 +835,39 @@ pub fn replay_corpus(
         results,
         verdict: suite.verdict,
     }
+}
+
+/// Replays a case's Adrias leg and dumps the flight recorder's
+/// post-mortem bundle into `dir`: the last popped engine events, the
+/// QoS counterexample evidence, the metrics/sketch registry snapshot
+/// and the lifecycle spans (`flight.jsonl`, `qos_counterexamples.jsonl`,
+/// `metrics.jsonl`, `spans.jsonl`). This is the forensic artifact the
+/// adversarial runner persists next to each shrunk counterexample, and
+/// the seeded-bypass selfcheck asserts it is non-empty.
+///
+/// Returns the oracle-1 violation count observed during the replay.
+///
+/// # Errors
+///
+/// Propagates any filesystem failure from the bundle writer as a
+/// rendered message.
+pub fn dump_post_mortem(
+    stack: &TrainedStack,
+    cfg: &FuzzConfig,
+    case: &FuzzCase,
+    dir: &std::path::Path,
+) -> Result<usize, String> {
+    let mut adrias = {
+        let mut p = stack.policy(cfg.beta, cfg.qos_p99_ms);
+        if cfg.qos_bypass {
+            p.set_test_qos_bypass(true);
+        }
+        AnyPolicy::Adrias(Box::new(p))
+    };
+    let (_, obs) = run_policy(cfg, case, &mut adrias, EngineMode::from_env());
+    let violations = audit_qos_violations(&obs, cfg.qos_p99_ms);
+    adrias_obs::write_post_mortem(&obs, dir, cfg.qos_p99_ms).map_err(|e| e.to_string())?;
+    Ok(violations)
 }
 
 /// Oracle-1 check in the shape [`prop::falsify_from`] wants: runs only

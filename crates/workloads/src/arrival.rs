@@ -149,6 +149,12 @@ pub trait ArrivalSource {
 
     /// `true` once no further arrival can ever be produced.
     fn exhausted(&self) -> bool;
+
+    /// Short static label naming the generator family, recorded on the
+    /// engine's run span so exports say where traffic came from.
+    fn label(&self) -> &'static str {
+        "generated"
+    }
 }
 
 /// Draws an exponential gap with the given rate from `rng`.
@@ -186,6 +192,10 @@ impl ArrivalSource for UniformSource {
 
     fn exhausted(&self) -> bool {
         self.done
+    }
+
+    fn label(&self) -> &'static str {
+        "uniform"
     }
 }
 
@@ -241,6 +251,10 @@ impl ArrivalSource for PoissonSource {
 
     fn exhausted(&self) -> bool {
         self.done
+    }
+
+    fn label(&self) -> &'static str {
+        "poisson"
     }
 }
 
@@ -316,6 +330,10 @@ impl ArrivalSource for DiurnalSource {
 
     fn exhausted(&self) -> bool {
         self.done
+    }
+
+    fn label(&self) -> &'static str {
+        "diurnal"
     }
 }
 
@@ -393,6 +411,10 @@ impl ArrivalSource for MmppSource {
     fn exhausted(&self) -> bool {
         self.done
     }
+
+    fn label(&self) -> &'static str {
+        "mmpp"
+    }
 }
 
 /// Replays a recorded arrival-instant trace (e.g. the arrivals observed
@@ -432,6 +454,10 @@ impl ArrivalSource for TraceSource {
 
     fn exhausted(&self) -> bool {
         self.next == self.times.len()
+    }
+
+    fn label(&self) -> &'static str {
+        "trace"
     }
 }
 
@@ -540,6 +566,10 @@ impl ArrivalSource for ClosedLoopSource {
 
     fn exhausted(&self) -> bool {
         self.ready.is_empty() && self.in_flight == 0
+    }
+
+    fn label(&self) -> &'static str {
+        "closed_loop"
     }
 }
 
@@ -669,6 +699,28 @@ mod tests {
     #[should_panic(expected = "trace times must be sorted")]
     fn trace_source_rejects_unsorted_times() {
         let _ = TraceSource::new(vec![5.0, 1.0]);
+    }
+
+    #[test]
+    fn every_source_reports_its_family_label() {
+        assert_eq!(
+            ArrivalProcess::paper(20.0).source(10.0, 1).label(),
+            "uniform"
+        );
+        assert_eq!(PoissonSource::new(0.5, 10.0, 1).label(), "poisson");
+        assert_eq!(
+            DiurnalSource::new(0.5, 0.5, 60.0, 10.0, 1).label(),
+            "diurnal"
+        );
+        assert_eq!(
+            MmppSource::new([0.2, 8.0], [50.0, 50.0], 10.0, 1).label(),
+            "mmpp"
+        );
+        assert_eq!(TraceSource::new(vec![1.0]).label(), "trace");
+        assert_eq!(
+            ClosedLoopSource::new(1, 1.0, 2.0, 10.0, 1).label(),
+            "closed_loop"
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use adrias::scenarios::corpus::{save_corpus, CorpusEntry, CorpusOrigin};
-use adrias::scenarios::fuzz::replay_corpus;
+use adrias::scenarios::fuzz::{dump_post_mortem, replay_corpus};
 use adrias::scenarios::{
     find_qos_counterexample, generate_cases, load_corpus, run_case, run_suite, train_stack,
     FuzzConfig, StackOptions, SuiteVerdict, TrainedStack,
@@ -115,7 +115,8 @@ fn print_verdict(verdict: &SuiteVerdict) {
     println!("  suite digest: {:#018x}", verdict.suite_digest);
 }
 
-/// Persists a shrunk counterexample (corpus format + evidence JSONL).
+/// Persists a shrunk counterexample (corpus format + evidence JSONL +
+/// flight-recorder post-mortem bundle).
 fn persist_counterexample(
     stack: &TrainedStack,
     cfg: &FuzzConfig,
@@ -125,6 +126,8 @@ fn persist_counterexample(
     note: String,
 ) -> Result<(), String> {
     let outcome = run_case(stack, cfg, &case);
+    let pm_dir = out.join(format!("{id}.postmortem"));
+    let pm_violations = dump_post_mortem(stack, cfg, &case, &pm_dir)?;
     let entry = CorpusEntry {
         id: id.clone(),
         origin: CorpusOrigin::Counterexample,
@@ -140,6 +143,10 @@ fn persist_counterexample(
         "  counterexample persisted: {}/{id}.json ({} evidence line(s))",
         out.display(),
         outcome.qos_evidence.lines().count()
+    );
+    println!(
+        "  post-mortem bundle: {} ({pm_violations} violation(s) replayed)",
+        pm_dir.display()
     );
     Ok(())
 }
@@ -286,17 +293,47 @@ fn cmd_selfcheck(args: &Args) -> Result<bool, String> {
         cex.case, cex.shrink_steps
     );
     println!("  minimal case: {:?}", cex.minimal);
+    let id = format!("selfcheck-{base:04x}-{:03}", cex.case);
     persist_counterexample(
         &stack,
         &cfg,
         &args.out,
-        format!("selfcheck-{base:04x}-{:03}", cex.case),
+        id.clone(),
         cex.minimal.clone(),
         format!(
             "selfcheck: seeded qos bypass, shrunk from base seed {base:#x} case {} after {} step(s)",
             cex.case, cex.shrink_steps
         ),
     )?;
+    // The post-mortem bundle must be forensically useful: the flight
+    // recorder captured engine events leading up to the failure, and
+    // the evidence file contains the injected QoS violation itself.
+    let pm_dir = args.out.join(format!("{id}.postmortem"));
+    let read = |name: &str| -> Result<String, String> {
+        let path = pm_dir.join(name);
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+    };
+    let flight = read("flight.jsonl")?;
+    if flight.lines().count() <= 1 {
+        println!("FAIL: post-mortem flight recorder is empty");
+        return Ok(false);
+    }
+    let evidence = read("qos_counterexamples.jsonl")?;
+    if evidence.lines().count() == 0 {
+        println!("FAIL: post-mortem bundle carries no QoS counterexample evidence");
+        return Ok(false);
+    }
+    let spans = read("spans.jsonl")?;
+    if spans.lines().count() <= 1 {
+        println!("FAIL: post-mortem bundle closed no lifecycle spans");
+        return Ok(false);
+    }
+    println!(
+        "  post-mortem bundle is non-empty: {} flight line(s), {} evidence line(s), {} span line(s)",
+        flight.lines().count(),
+        evidence.lines().count(),
+        spans.lines().count()
+    );
     // The same minimal case must be clean without the bypass — the
     // violation is the injected bug, not the scenario.
     let clean = run_case(&stack, &FuzzConfig::default(), &cex.minimal);

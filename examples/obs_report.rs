@@ -8,14 +8,24 @@
 //! Environment:
 //!
 //! * `ADRIAS_OBS_DIR` — output directory for the exports
-//!   (`events.jsonl`, `decisions.jsonl`, `metrics.jsonl`, `trace.json`;
-//!   default `obs_out`). Load `trace.json` in Perfetto or
-//!   `chrome://tracing` to see the deployment timeline.
+//!   (`events.jsonl`, `decisions.jsonl`, `metrics.jsonl`, `trace.json`,
+//!   `adaptation.jsonl`, `spans.jsonl`; default `obs_out`). Load
+//!   `trace.json` in Perfetto or `chrome://tracing` to see the nested
+//!   deployment timeline.
 //! * `ADRIAS_OBS_SEED` — scenario seed (default `7`). Two runs with the
 //!   same seed produce byte-identical exports.
+//! * `ADRIAS_OBS_WORKERS` — inference worker count for the trained
+//!   models (default `1`). All exports must stay byte-identical at any
+//!   worker count (CI compares 1 vs 8).
 //! * `ADRIAS_SLOW_DECISIONS` — set to `1` to run the Adrias policy's
-//!   slow decision lane instead of the default fast lane. The exports
-//!   must stay byte-identical either way (CI compares them).
+//!   slow decision lane instead of the default fast lane. The flat
+//!   exports must stay byte-identical either way (CI compares them);
+//!   only `spans.jsonl` may differ, since spans record the lane.
+//! * `ADRIAS_OBS_WALL` — set to `1` to switch on the engine
+//!   self-profiler and additionally write `flame.folded`, a collapsed
+//!   stack attributing host wall time to engine phases. Wall numbers
+//!   are host-dependent by nature, so the flamegraph lives outside the
+//!   byte-compared export set.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -42,6 +52,7 @@ fn validate_exports(paths: &obs::ExportPaths) -> Result<(), String> {
     obs::validate_jsonl_metrics(&read(&paths.metrics)?)
         .map_err(|e| format!("metrics.jsonl: {e}"))?;
     obs::validate_chrome_trace(&read(&paths.trace)?).map_err(|e| format!("trace.json: {e}"))?;
+    obs::validate_jsonl_spans(&read(&paths.spans)?).map_err(|e| format!("spans.jsonl: {e}"))?;
     Ok(())
 }
 
@@ -54,14 +65,39 @@ fn main() -> ExitCode {
 
     let catalog = WorkloadCatalog::paper();
     let stack = train_stack(&catalog, &StackOptions::quick());
-    let mut policy = stack.policy(0.7, 5.0);
+    let workers: usize = env_or("ADRIAS_OBS_WORKERS", 1);
+    let mut policy = if workers == 1 {
+        stack.policy(0.7, 5.0)
+    } else {
+        // Rebuild the policy with the requested inference worker count
+        // without retraining: exports must not depend on it.
+        println!("({workers} inference workers via ADRIAS_OBS_WORKERS)\n");
+        let mut system_model = stack.system_model.clone();
+        let mut be_model = stack.be_model.clone();
+        let mut lc_model = stack.lc_model.clone();
+        system_model.set_workers(workers);
+        be_model.set_workers(workers);
+        lc_model.set_workers(workers);
+        adrias::orchestrator::AdriasPolicy::new(
+            system_model,
+            be_model,
+            lc_model,
+            stack.signatures.clone(),
+            0.7,
+            5.0,
+        )
+    };
     if std::env::var("ADRIAS_SLOW_DECISIONS").as_deref() == Ok("1") {
         policy.set_fast_path(false);
         println!("(slow decision lane forced via ADRIAS_SLOW_DECISIONS)\n");
     }
 
+    let profile_wall = std::env::var("ADRIAS_OBS_WALL").as_deref() == Ok("1");
     let spec = ScenarioSpec::new(5.0, 30.0, 700.0, seed);
-    let mut observer = Observer::new(ObsConfig::default());
+    let mut observer = Observer::new(ObsConfig {
+        record_wall: profile_wall,
+        ..ObsConfig::default()
+    });
     // The offline phase's training counters and epoch losses land in
     // the same registry as the run metrics.
     stack.record_obs(&mut observer);
@@ -92,8 +128,20 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "Exports written and validated under `{dir}/`:\n  events.jsonl decisions.jsonl metrics.jsonl trace.json\n"
+        "Exports written and validated under `{dir}/`:\n  events.jsonl decisions.jsonl metrics.jsonl trace.json adaptation.jsonl spans.jsonl\n"
     );
+    if profile_wall {
+        match obs::write_flamegraph(&observer, Path::new(&dir)) {
+            Ok(path) => println!(
+                "Self-profiler flamegraph (collapsed stacks): {}\n",
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("flamegraph export failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     print!("{}", obs::render_report(&observer));
     ExitCode::SUCCESS

@@ -9,7 +9,7 @@
 use std::path::Path;
 use std::sync::OnceLock;
 
-use adrias::obs::export::{to_jsonl_decisions, to_jsonl_events, to_jsonl_metrics};
+use adrias::obs::export::{to_jsonl_decisions, to_jsonl_events, to_jsonl_metrics, to_jsonl_spans};
 use adrias::obs::Observer;
 use adrias::orchestrator::engine::{run_schedule_observed_faulted_mode, EngineConfig, EngineMode};
 use adrias::orchestrator::AdriasPolicy;
@@ -60,7 +60,7 @@ fn run_fingerprint(
     seed: u64,
     workers: usize,
     mode: EngineMode,
-) -> [String; 4] {
+) -> [String; 5] {
     let spec = ScenarioSpec::new(5.0, 30.0, 700.0, seed);
     let schedule = build_schedule(&spec, catalog, PlacementStyle::PolicyDecided);
     let engine = EngineConfig {
@@ -84,6 +84,7 @@ fn run_fingerprint(
         to_jsonl_decisions(&obs),
         to_jsonl_events(&obs),
         to_jsonl_metrics(&obs),
+        to_jsonl_spans(&obs),
     ]
 }
 
@@ -156,9 +157,13 @@ fn event_engine_runs_are_byte_identical_to_step_loop_runs() {
             !golden[1].is_empty() && !golden[2].is_empty() && !golden[3].is_empty(),
             "observed step-loop run exported nothing for seed {seed}"
         );
+        assert!(
+            golden[4].lines().count() > 1,
+            "step-loop run closed no lifecycle spans for seed {seed}"
+        );
         for workers in [1usize, 2, 8] {
             let event = run_fingerprint(stack, catalog, seed, workers, EngineMode::EventHeap);
-            for (i, stream) in ["report", "decisions", "events", "metrics"]
+            for (i, stream) in ["report", "decisions", "events", "metrics", "spans"]
                 .iter()
                 .enumerate()
             {

@@ -130,8 +130,8 @@ fn engine() -> EngineConfig {
 }
 
 /// Runs the schedule under a freshly trained policy and returns the
-/// four export documents.
-fn exports_with_workers(workers: usize) -> (Observer, [String; 4]) {
+/// five export documents.
+fn exports_with_workers(workers: usize) -> (Observer, [String; 5]) {
     let mut policy = policy_with_workers(workers);
     let mut obs = Observer::new(ObsConfig::default());
     let _ = run_schedule_observed(
@@ -146,6 +146,7 @@ fn exports_with_workers(workers: usize) -> (Observer, [String; 4]) {
         export::to_jsonl_decisions(&obs),
         export::to_jsonl_metrics(&obs),
         export::to_chrome_trace(&obs),
+        export::to_jsonl_spans(&obs),
     ];
     (obs, docs)
 }
@@ -198,6 +199,20 @@ fn every_decision_is_audited_once_with_margin() {
     adrias::obs::validate_jsonl_decisions(&docs[1]).expect("decisions");
     adrias::obs::validate_jsonl_metrics(&docs[2]).expect("metrics");
     adrias::obs::validate_chrome_trace(&docs[3]).expect("trace");
+    adrias::obs::validate_jsonl_spans(&docs[4]).expect("spans");
+
+    // One closed lifecycle span per arrival, and every audited
+    // deployment id reappears in its span tree.
+    assert_eq!(obs.spans.len(), arrivals, "one lifecycle span per arrival");
+    for r in obs.audit.records() {
+        assert!(
+            obs.spans
+                .records()
+                .any(|s| s.deployment_id == r.input.deployment_id),
+            "audited deployment {} has no lifecycle span",
+            r.input.deployment_id
+        );
+    }
 }
 
 #[test]
