@@ -6,11 +6,11 @@
 //! Environment knobs on top of the harness's own:
 //!
 //! * `ADRIAS_BENCH_FILTER` — substring filter on section names
-//!   (`testbed_step`, `lstm`, `nn_forward`, `train_step_workers`,
-//!   `adrias_decision`, `decision_throughput`, `obs_intern`,
-//!   `obs_overhead`, `span_overhead`, `residual_overhead`,
-//!   `event_engine`); unmatched sections are skipped entirely,
-//!   including their setup.
+//!   (`testbed_step`, `lstm`, `gemm`, `nn_forward`,
+//!   `train_step_workers`, `adrias_decision`, `decision_throughput`,
+//!   `obs_intern`, `obs_overhead`, `span_overhead`,
+//!   `residual_overhead`, `event_engine`); unmatched sections are
+//!   skipped entirely, including their setup.
 //!
 //! The run always ends by writing `BENCH_nn.json` (the collected
 //! medians plus the derived batched-inference speedups) to the
@@ -60,6 +60,14 @@ fn bench_lstm(h: &mut Harness) {
     h.bench_function("lstm_forward_b32_t24_h32", |b| {
         b.iter(|| black_box(lstm.forward_last(&seq)))
     });
+    // The same forward with the SIMD kernel layer forced onto its
+    // scalar fallback — the bit-identical "before" column behind the
+    // derived `simd_lstm_speedup_x` metric.
+    adrias_nn::set_force_scalar(true);
+    h.bench_function("lstm_forward_scalar_b32_t24_h32", |b| {
+        b.iter(|| black_box(lstm.forward_last(&seq)))
+    });
+    adrias_nn::set_force_scalar(false);
     h.bench_function("lstm_forward_backward_b32_t24_h32", |b| {
         b.iter(|| {
             let out = lstm.forward_last(&seq);
@@ -67,6 +75,32 @@ fn bench_lstm(h: &mut Harness) {
             black_box(lstm.backward_last(&out));
         })
     });
+}
+
+/// The `matmul_transb` micro-kernel (the dot-product GEMM behind every
+/// `Linear::forward_into` on the decision fast lane), native vs
+/// forced-scalar — the A/B behind `simd_gemm_speedup_x`. The two paths
+/// produce bit-identical outputs (the lane-order accumulation
+/// contract), so the ratio is pure kernel throughput.
+fn bench_gemm(h: &mut Harness) {
+    let mut rng = Xoshiro256pp::seed_from_u64(13);
+    let a = adrias_nn::init::uniform(64, 128, 1.0, &mut rng);
+    let b_t = adrias_nn::init::uniform(64, 128, 1.0, &mut rng);
+    let mut out = Tensor::zeros(64, 64);
+    h.bench_function("gemm_transb_64x128x64", |b| {
+        b.iter(|| {
+            a.matmul_transb_into(&b_t, &mut out);
+            black_box(out.get(0, 0));
+        })
+    });
+    adrias_nn::set_force_scalar(true);
+    h.bench_function("gemm_transb_scalar_64x128x64", |b| {
+        b.iter(|| {
+            a.matmul_transb_into(&b_t, &mut out);
+            black_box(out.get(0, 0));
+        })
+    });
+    adrias_nn::set_force_scalar(false);
 }
 
 /// The full Adrias scheduling decision through both lanes.
@@ -637,22 +671,20 @@ fn bench_residual_overhead(h: &mut Harness) -> Option<f64> {
 /// short best-effort jobs through the engine with the full in-memory
 /// observer attached — arrival generation, heap scheduling, the policy
 /// decision, sim stepping, completion accounting and obs recording are
-/// all on the clock. Three legs over the *same* materialized arrival
+/// all on the clock. Two legs over the *same* materialized arrival
 /// sequence:
 ///
-/// * `step loop` — the legacy 1 Hz core on the pre-built schedule (the
-///   "before" column in EXPERIMENTS.md §event-engine);
-/// * `event heap` — the new core on the same schedule;
-/// * `streamed` — the new core pulling straight from the generator with
-///   O(1) arrivals in memory, the path the million-arrival example uses.
+/// * `schedule` — the event heap replaying the pre-built schedule;
+/// * `streamed` — the event heap pulling straight from the generator
+///   with O(1) arrivals in memory, the path the million-arrival example
+///   uses.
 ///
 /// The derived `decisions_per_sec` metric (streamed leg, median of 5)
 /// is the gate the ISSUE pins: CI fails if it falls below 1e5/s.
 fn bench_event_engine(h: &mut Harness) -> Vec<(&'static str, f64)> {
     use adrias_obs::{ObsConfig, Observer};
     use adrias_orchestrator::engine::{
-        run_schedule_hooked_mode, run_stream_hooked, EngineConfig, EngineMode, GeneratedStream,
-        ScheduledArrival,
+        run_schedule_hooked, run_stream_hooked, EngineConfig, GeneratedStream, ScheduledArrival,
     };
     use adrias_orchestrator::{ObservedRun, RoundRobinPolicy};
     use adrias_workloads::{ArrivalSource, PoissonSource};
@@ -683,18 +715,17 @@ fn bench_event_engine(h: &mut Harness) -> Vec<(&'static str, f64)> {
     let n = schedule.len();
     println!("  event-engine workload: {n} Poisson arrivals over {HORIZON_S} s");
 
-    let run_schedule_leg = |mode: EngineMode| -> f64 {
+    let run_schedule_leg = || -> f64 {
         let mut policy = RoundRobinPolicy::new();
         let mut obs = Observer::new(ObsConfig::default());
         let mut hooks = ObservedRun::new(&mut obs);
         let t = Instant::now();
-        let report = run_schedule_hooked_mode(
+        let report = run_schedule_hooked(
             TestbedConfig::paper(),
             engine(),
             &schedule,
             &mut policy,
             &mut hooks,
-            mode,
         );
         let elapsed = t.elapsed().as_secs_f64();
         assert_eq!(report.unfinished, 0, "arrivals left behind in bench run");
@@ -728,26 +759,14 @@ fn bench_event_engine(h: &mut Harness) -> Vec<(&'static str, f64)> {
         xs.sort_by(f64::total_cmp);
         xs[xs.len() / 2]
     };
-    let step = median(
-        (0..5)
-            .map(|_| run_schedule_leg(EngineMode::StepLoop))
-            .collect(),
-    );
-    let event = median(
-        (0..5)
-            .map(|_| run_schedule_leg(EngineMode::EventHeap))
-            .collect(),
-    );
+    let event = median((0..5).map(|_| run_schedule_leg()).collect());
     let streamed = median((0..5).map(|_| run_stream_leg()).collect());
-    println!("  step loop (schedule):  {step:>12.0} decisions/s");
     println!("  event heap (schedule): {event:>12.0} decisions/s");
     println!("  event heap (streamed): {streamed:>12.0} decisions/s");
-    h.record_ns("engine_arrival_step_loop", 1e9 / step);
     h.record_ns("engine_arrival_event_heap", 1e9 / event);
     h.record_ns("engine_arrival_streamed", 1e9 / streamed);
     vec![
         ("decisions_per_sec", streamed),
-        ("decisions_per_sec_step_loop", step),
         ("decisions_per_sec_event_schedule", event),
     ]
 }
@@ -762,6 +781,9 @@ fn main() {
     }
     if enabled("lstm") {
         bench_lstm(&mut h);
+    }
+    if enabled("gemm") {
+        bench_gemm(&mut h);
     }
     if enabled("nn_forward") {
         bench_batched_forward(&mut h);
@@ -793,6 +815,22 @@ fn main() {
     }
 
     let mut derived: Vec<(&str, f64)> = Vec::new();
+    if let (Some(scalar), Some(simd)) = (
+        h.median_ns("lstm_forward_scalar_b32_t24_h32"),
+        h.median_ns("lstm_forward_b32_t24_h32"),
+    ) {
+        let speedup = scalar / simd;
+        println!("  SIMD vs scalar LSTM forward:          {speedup:.2}x");
+        derived.push(("simd_lstm_speedup_x", speedup));
+    }
+    if let (Some(scalar), Some(simd)) = (
+        h.median_ns("gemm_transb_scalar_64x128x64"),
+        h.median_ns("gemm_transb_64x128x64"),
+    ) {
+        let speedup = scalar / simd;
+        println!("  SIMD vs scalar transb GEMM:           {speedup:.2}x");
+        derived.push(("simd_gemm_speedup_x", speedup));
+    }
     if let (Some(per_sample), Some(batched)) = (
         h.median_ns("nn_forward_per_sample_b32"),
         h.median_ns("nn_forward_batched_b32"),

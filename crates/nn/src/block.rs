@@ -82,7 +82,7 @@ impl NonLinearBlock {
     /// from [`NonLinearBlock::eval_inv_std`] on this same block.
     pub fn forward_eval_into(&self, input: &Tensor, out: &mut Tensor, inv_std: &[f32]) {
         self.linear.forward_into(input, out);
-        out.map_assign(|v| v.max(0.0));
+        crate::kernels::relu(out.data_mut());
         self.norm.forward_eval_assign(out, inv_std);
     }
 }

@@ -254,9 +254,7 @@ impl BatchNorm1d {
         let data = x.data_mut();
         for r in 0..n {
             let row = &mut data[r * d..(r + 1) * d];
-            for c in 0..d {
-                row[c] = gamma[c] * (row[c] - mean[c]) * inv_std[c] + beta[c];
-            }
+            crate::kernels::bn_affine(row, mean, inv_std, gamma, beta);
         }
     }
 }

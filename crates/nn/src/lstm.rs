@@ -20,6 +20,7 @@
 use adrias_core::rng::Rng;
 
 use crate::init;
+use crate::kernels::{self, GateCaches};
 use crate::tensor::Tensor;
 
 /// Reusable buffers for the allocation-free eval-mode forward pass
@@ -119,10 +120,6 @@ pub struct Lstm {
     cache: Vec<StepCache>,
 }
 
-fn sigmoid(x: f32) -> f32 {
-    1.0 / (1.0 + (-x).exp())
-}
-
 impl Lstm {
     /// Creates an LSTM mapping `input_size` features to a hidden state of
     /// `hidden_size`, with PyTorch-style `U(-1/√H, 1/√H)` initialization.
@@ -186,23 +183,13 @@ impl Lstm {
             assert_eq!(x.rows(), batch, "inconsistent batch size inside sequence");
             x.matmul_into(&w_ih_t, &mut zx);
             h_prev.matmul_into(&w_hh_t, &mut zh);
-            // z = zx + zh + bias (row broadcast), fused in place into zx.
-            {
-                let bias = self.bias.data();
-                let zhd = zh.data();
-                let zxd = zx.data_mut();
-                for r in 0..batch {
-                    let row = &mut zxd[r * hw..(r + 1) * hw];
-                    let zh_row = &zhd[r * hw..(r + 1) * hw];
-                    for ((v, &w), &b) in row.iter_mut().zip(zh_row).zip(bias) {
-                        *v = (*v + w) + b;
-                    }
-                }
-            }
-            // Fused gate pass: one sweep computes every gate, the new
-            // cell state and the hidden output, element-for-element in
-            // the same order (and with the same expressions) as the
-            // tensor-op formulation.
+            // z = zx + zh + bias (row broadcast), fused in place into zx
+            // via the vectorised whole-batch sweep.
+            kernels::add2_bias_rows(zx.data_mut(), zh.data(), self.bias.data());
+            // Fused vectorised gate pass: one whole-batch sweep computes
+            // every gate, the new cell state and the hidden output
+            // ([`kernels::lstm_gates_train_batch`] — the same canonical
+            // expressions on the SIMD and scalar paths).
             let mut i_t = Tensor::zeros(batch, h);
             let mut f_t = Tensor::zeros(batch, h);
             let mut g_t = Tensor::zeros(batch, h);
@@ -210,36 +197,20 @@ impl Lstm {
             let mut c_t = Tensor::zeros(batch, h);
             let mut tanh_c_t = Tensor::zeros(batch, h);
             let mut h_t = Tensor::zeros(batch, h);
-            for r in 0..batch {
-                let z_row = &zx.data()[r * hw..(r + 1) * hw];
-                let (zi, rest) = z_row.split_at(h);
-                let (zf, rest) = rest.split_at(h);
-                let (zg, zo) = rest.split_at(h);
-                let cp_row = &c_prev.data()[r * h..(r + 1) * h];
-                let span = r * h..(r + 1) * h;
-                let ir = &mut i_t.data_mut()[span.clone()];
-                let fr = &mut f_t.data_mut()[span.clone()];
-                let gr = &mut g_t.data_mut()[span.clone()];
-                let or_ = &mut o_t.data_mut()[span.clone()];
-                let cr = &mut c_t.data_mut()[span.clone()];
-                let tcr = &mut tanh_c_t.data_mut()[span.clone()];
-                let hr = &mut h_t.data_mut()[span];
-                for k in 0..h {
-                    let iv = sigmoid(zi[k]);
-                    let fv = sigmoid(zf[k]);
-                    let gv = zg[k].tanh();
-                    let ov = sigmoid(zo[k]);
-                    let cv = fv * cp_row[k] + iv * gv;
-                    let tc = cv.tanh();
-                    ir[k] = iv;
-                    fr[k] = fv;
-                    gr[k] = gv;
-                    or_[k] = ov;
-                    cr[k] = cv;
-                    tcr[k] = tc;
-                    hr[k] = ov * tc;
-                }
-            }
+            kernels::lstm_gates_train_batch(
+                zx.data(),
+                c_prev.data(),
+                h,
+                &mut GateCaches {
+                    i: i_t.data_mut(),
+                    f: f_t.data_mut(),
+                    g: g_t.data_mut(),
+                    o: o_t.data_mut(),
+                    c: c_t.data_mut(),
+                    tanh_c: tanh_c_t.data_mut(),
+                    h: h_t.data_mut(),
+                },
+            );
             self.cache.push(StepCache {
                 x: x.clone(),
                 h_prev: std::mem::replace(&mut h_prev, h_t.clone()),
@@ -320,44 +291,22 @@ impl Lstm {
             let h_prev = if t == 0 { &*h0 } else { &outputs[t - 1] };
             h_prev.matmul_into(w_hh_t, zh);
             // z = zx + zh + bias (row broadcast), fused in place into zx
-            // — the same expression as the training path.
-            {
-                let bias = self.bias.data();
-                let zhd = zh.data();
-                let zxd = zx.data_mut();
-                for r in 0..batch {
-                    let row = &mut zxd[r * hw..(r + 1) * hw];
-                    let zh_row = &zhd[r * hw..(r + 1) * hw];
-                    for ((v, &w), &b) in row.iter_mut().zip(zh_row).zip(bias) {
-                        *v = (*v + w) + b;
-                    }
-                }
-            }
-            // Fused gate sweep, element-for-element the expressions of
-            // `forward_seq`, writing only h_t and c_t (no BPTT cache).
+            // — the same vectorised whole-batch sweep as the training
+            // path.
+            kernels::add2_bias_rows(zx.data_mut(), zh.data(), self.bias.data());
+            // Fused vectorised gate sweep, element-for-element the
+            // expressions of `forward_seq`, writing only h_t and c_t
+            // (no BPTT cache).
             let h_t = &mut outputs[t];
             h_t.reshape_for(batch, h);
             c_next.reshape_for(batch, h);
-            for r in 0..batch {
-                let z_row = &zx.data()[r * hw..(r + 1) * hw];
-                let (zi, rest) = z_row.split_at(h);
-                let (zf, rest) = rest.split_at(h);
-                let (zg, zo) = rest.split_at(h);
-                let cp_row = &c.data()[r * h..(r + 1) * h];
-                let span = r * h..(r + 1) * h;
-                let cr = &mut c_next.data_mut()[span.clone()];
-                let hr = &mut h_t.data_mut()[span];
-                for k in 0..h {
-                    let iv = sigmoid(zi[k]);
-                    let fv = sigmoid(zf[k]);
-                    let gv = zg[k].tanh();
-                    let ov = sigmoid(zo[k]);
-                    let cv = fv * cp_row[k] + iv * gv;
-                    let tc = cv.tanh();
-                    cr[k] = cv;
-                    hr[k] = ov * tc;
-                }
-            }
+            kernels::lstm_gates_eval_batch(
+                zx.data(),
+                c.data(),
+                h,
+                c_next.data_mut(),
+                h_t.data_mut(),
+            );
             std::mem::swap(c, c_next);
         }
         &scratch.outputs[..seq.len()]

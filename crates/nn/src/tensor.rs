@@ -2,20 +2,15 @@
 
 use adrias_core::thread::map_chunks;
 
+use crate::kernels;
+
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
 
 /// Cache-block edge for the matmul kernels. 32×32 f32 tiles (4 KiB per
 /// operand tile) keep the working set inside L1 while leaving the
-/// in-order `k` accumulation untouched.
+/// element-wise accumulation contract untouched.
 const BLOCK: usize = 32;
-
-/// Column-unroll width of the `matmul_transb` register micro-kernel:
-/// four independent accumulators per A row, one per output element, so
-/// the dot products overlap in the FP pipeline while each element still
-/// sums over `k` in increasing order (bit-identical to the scalar
-/// kernel).
-const NR: usize = 4;
 
 /// A dense row-major matrix of `f32` values.
 ///
@@ -190,51 +185,42 @@ impl Tensor {
         let (m, kk, n) = (self.rows, self.cols, other.cols);
         out.reshape_for(m, n);
         out.data.iter_mut().for_each(|v| *v = 0.0);
-        // ikj with row blocking and a two-row micro-kernel: each B row
-        // loaded in the `k` loop feeds two output rows, halving B
+        // ikj with row blocking and a four-row micro-kernel: each B row
+        // loaded in the `k` loop feeds four output rows, quartering B
         // traffic. Output rows touch disjoint accumulators and each
         // element still adds its `a·b` terms in increasing `k` with the
-        // exact zero-skip of the single-row kernel, so results stay
-        // bit-identical.
+        // exact zero-skip of the single-row kernel; the whole
+        // (row-quad × k-tile) sweep is one [`kernels::axpy_panel4`]
+        // call, whose per-element dataflow is one multiply-add either
+        // way, so results stay bit-identical at any vector width.
         for r0 in (0..m).step_by(BLOCK) {
             let r1 = (r0 + BLOCK).min(m);
             for k0 in (0..kk).step_by(BLOCK) {
                 let k1 = (k0 + BLOCK).min(kk);
+                let b_panel = &other.data[k0 * n..k1 * n];
+                let a_col = |row: usize| &self.data[row * kk + k0..row * kk + k1];
                 let mut r = r0;
+                while r + 4 <= r1 {
+                    let (out0, rest) = out.data[r * n..(r + 4) * n].split_at_mut(n);
+                    let (out1, rest) = rest.split_at_mut(n);
+                    let (out2, out3) = rest.split_at_mut(n);
+                    kernels::axpy_panel4(
+                        [a_col(r), a_col(r + 1), a_col(r + 2), a_col(r + 3)],
+                        b_panel,
+                        out0,
+                        out1,
+                        out2,
+                        out3,
+                    );
+                    r += 4;
+                }
                 while r + 2 <= r1 {
                     let (out_lo, out_hi) = out.data[r * n..(r + 2) * n].split_at_mut(n);
-                    for k in k0..k1 {
-                        let a0 = self.data[r * kk + k];
-                        let a1 = self.data[(r + 1) * kk + k];
-                        if a0 == 0.0 && a1 == 0.0 {
-                            continue;
-                        }
-                        let b_row = &other.data[k * n..(k + 1) * n];
-                        if a0 != 0.0 {
-                            for (o, &b) in out_lo.iter_mut().zip(b_row) {
-                                *o += a0 * b;
-                            }
-                        }
-                        if a1 != 0.0 {
-                            for (o, &b) in out_hi.iter_mut().zip(b_row) {
-                                *o += a1 * b;
-                            }
-                        }
-                    }
+                    kernels::axpy_panel2(a_col(r), a_col(r + 1), b_panel, out_lo, out_hi);
                     r += 2;
                 }
                 if r < r1 {
-                    let a_row = &self.data[r * kk..(r + 1) * kk];
-                    let out_row = &mut out.data[r * n..(r + 1) * n];
-                    for (k, &a) in a_row.iter().enumerate().take(k1).skip(k0) {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let b_row = &other.data[k * n..(k + 1) * n];
-                        for (o, &b) in out_row.iter_mut().zip(b_row) {
-                            *o += a * b;
-                        }
-                    }
+                    kernels::axpy_panel(a_col(r), b_panel, &mut out.data[r * n..(r + 1) * n]);
                 }
             }
         }
@@ -255,9 +241,11 @@ impl Tensor {
 
     /// [`Tensor::matmul_transb`] into a reusable output buffer.
     ///
-    /// Each output element is a dot product accumulated over `k` in
-    /// increasing order, so a batched call is bit-identical, row for
-    /// row, to per-sample (batch = 1) calls.
+    /// Each output element is a canonical lane-ordered dot product
+    /// ([`kernels::dot`]): 8-way strided partial sums over `k` plus a
+    /// fixed tree reduction, identical on the SIMD and scalar paths. A
+    /// batched call is bit-identical, row for row, to per-sample
+    /// (batch = 1) calls.
     ///
     /// # Panics
     ///
@@ -313,10 +301,13 @@ impl Tensor {
     /// `[row0, row1)`, writing into `out_rows` (whose row 0 corresponds
     /// to output row `row0`).
     ///
-    /// Inside each cache tile, columns are processed [`NR`] at a time
-    /// with one independent register accumulator per output element;
-    /// every accumulator sums its `a·b` terms over `k` in increasing
-    /// order, so unrolling never changes a single bit of the result.
+    /// Each cache tile is one [`kernels::dot_rows`] sweep — columns
+    /// four at a time in the [`kernels::dot4`] shape, remainder singly;
+    /// every output element is a canonical lane-ordered dot product
+    /// (8-way strided partial sums over `k`, fixed tree reduction —
+    /// DESIGN.md §14), identical on the AVX2 and scalar paths, so
+    /// neither the grouping nor the vector width ever changes a single
+    /// bit of the result.
     fn transb_rows(&self, other: &Tensor, out_rows: &mut [f32], row0: usize, row1: usize) {
         let (kk, n) = (self.cols, other.rows);
         for r0 in (row0..row1).step_by(BLOCK) {
@@ -326,34 +317,7 @@ impl Tensor {
                 for r in r0..r1 {
                     let a_row = &self.data[r * kk..(r + 1) * kk];
                     let out_row = &mut out_rows[(r - row0) * n..(r - row0 + 1) * n];
-                    let mut c = c0;
-                    while c + NR <= c1 {
-                        let b = &other.data[c * kk..(c + NR) * kk];
-                        let (b0, rest) = b.split_at(kk);
-                        let (b1, rest) = rest.split_at(kk);
-                        let (b2, b3) = rest.split_at(kk);
-                        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-                        for (i, &a) in a_row.iter().enumerate() {
-                            s0 += a * b0[i];
-                            s1 += a * b1[i];
-                            s2 += a * b2[i];
-                            s3 += a * b3[i];
-                        }
-                        out_row[c] = s0;
-                        out_row[c + 1] = s1;
-                        out_row[c + 2] = s2;
-                        out_row[c + 3] = s3;
-                        c += NR;
-                    }
-                    while c < c1 {
-                        let b_row = &other.data[c * kk..(c + 1) * kk];
-                        let mut acc = 0.0f32;
-                        for (&a, &b) in a_row.iter().zip(b_row) {
-                            acc += a * b;
-                        }
-                        out_row[c] = acc;
-                        c += 1;
-                    }
+                    kernels::dot_rows(a_row, &other.data[c0 * kk..c1 * kk], &mut out_row[c0..c1]);
                 }
             }
         }
@@ -392,9 +356,7 @@ impl Tensor {
                     continue;
                 }
                 let out_row = &mut out.data[r * n..(r + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+                kernels::axpy(a, b_row, out_row);
             }
         }
     }
@@ -724,7 +686,19 @@ mod tests {
         // Odd sizes exercise partial tiles on every block edge.
         let a = Tensor::from_fn(37, 45, |_, _| next());
         let b = Tensor::from_fn(51, 45, |_, _| next());
-        assert_eq!(a.matmul_transb(&b), a.matmul(&b.transpose()));
+        // `matmul` accumulates in increasing `k` while `matmul_transb`
+        // uses the canonical lane order, so the comparison is
+        // approximate (both are correct summations of the same terms);
+        // the bit-exact spec for transb is `naive_transb` below.
+        let got = a.matmul_transb(&b);
+        let want = a.matmul(&b.transpose());
+        assert_eq!(got.shape(), want.shape());
+        for (x, y) in got.data().iter().zip(want.data()) {
+            assert!(
+                (x - y).abs() <= 1e-4 * y.abs().max(1.0),
+                "transb diverged from transpose product: {x} vs {y}"
+            );
+        }
     }
 
     #[test]
@@ -861,13 +835,23 @@ mod tests {
         })
     }
 
+    /// The lane-order accumulation contract (DESIGN.md §14), written
+    /// out longhand: 8 strided partial sums over `k` (lane `j` takes
+    /// the terms with `k ≡ j mod 8`, in increasing `k`), collapsed by
+    /// the fixed tree reduction. This is the bit-exact spec every
+    /// `matmul_transb` implementation — scalar or SIMD, any blocking,
+    /// any thread count — must reproduce.
     fn naive_transb(a: &Tensor, b: &Tensor) -> Tensor {
         Tensor::from_fn(a.rows(), b.rows(), |r, c| {
-            let mut acc = 0.0f32;
+            let mut lanes = [0.0f32; 8];
             for k in 0..a.cols() {
-                acc += a.get(r, k) * b.get(c, k);
+                lanes[k % 8] += a.get(r, k) * b.get(c, k);
             }
-            acc
+            let s04 = lanes[0] + lanes[4];
+            let s15 = lanes[1] + lanes[5];
+            let s26 = lanes[2] + lanes[6];
+            let s37 = lanes[3] + lanes[7];
+            (s04 + s26) + (s15 + s37)
         })
     }
 
@@ -916,6 +900,56 @@ mod tests {
                 want.data(),
                 "matmul micro-kernel diverged at {m}x{k} @ {k}x{n}"
             );
+        }
+    }
+
+    /// Property test for the tentpole contract at the matmul level:
+    /// the SIMD and forced-scalar paths agree bit for bit on ragged
+    /// shapes (rows/cols/k not multiples of the 8-lane width, empty
+    /// edges). On hosts without AVX2 both runs take the scalar path and
+    /// the assertion is trivially green.
+    #[test]
+    fn simd_and_scalar_matmuls_agree_bit_for_bit_on_ragged_shapes() {
+        for (m, k, n, salt) in [
+            (1usize, 1usize, 1usize, 41u64),
+            (0, 5, 3, 42), // empty row edge
+            (3, 0, 4, 43), // empty k: all dots reduce pure zeros
+            (5, 7, 9, 44),
+            (8, 8, 8, 45),
+            (9, 17, 33, 46),
+            (33, 35, 37, 47),
+            (66, 63, 41, 48),
+        ] {
+            let a = irregular(m, k, salt);
+            let b_t = irregular(n, k, salt ^ 0x5EED);
+            let b = irregular(k, n, salt ^ 0xF00D);
+            let grad_a = irregular(m, n, salt ^ 0x0DD);
+            let run = || {
+                let mut acc = Tensor::zeros(k, n);
+                a.matmul_transa_acc(&grad_a, &mut acc);
+                (a.matmul_transb(&b_t), a.matmul(&b), acc)
+            };
+            crate::kernels::set_force_scalar(false);
+            let native = run();
+            crate::kernels::set_force_scalar(true);
+            let scalar = run();
+            crate::kernels::set_force_scalar(false);
+            for (which, x, y) in [
+                ("transb", &native.0, &scalar.0),
+                ("matmul", &native.1, &scalar.1),
+                ("transa_acc", &native.2, &scalar.2),
+            ] {
+                assert_eq!(x.shape(), y.shape());
+                for (p, q) in x.data().iter().zip(y.data()) {
+                    assert_eq!(
+                        p.to_bits(),
+                        q.to_bits(),
+                        "{which} diverged between SIMD and scalar at {m}x{k}x{n}"
+                    );
+                }
+            }
+            // And the SIMD path must still meet the longhand spec.
+            assert_eq!(native.0.data(), naive_transb(&a, &b_t).data());
         }
     }
 

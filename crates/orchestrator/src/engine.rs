@@ -305,36 +305,6 @@ pub fn lc_load_spec(profile: &WorkloadProfile) -> LoadSpec {
     }
 }
 
-/// Selects which engine core replays a schedule.
-///
-/// The event-heap engine is the default. The legacy fixed 1 Hz step
-/// loop remains available behind `ADRIAS_STEP_LOOP=1` for one release
-/// so the parity battery (`tests/event_engine_parity.rs`) can pin the
-/// two byte-identical; it is slated for removal once the flag has
-/// shipped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum EngineMode {
-    /// Discrete-event simulation over the deterministic typed-event
-    /// heap ([`crate::event::EventHeap`]).
-    EventHeap,
-    /// The legacy fixed 1 Hz polling loop.
-    StepLoop,
-}
-
-impl EngineMode {
-    /// Resolves the mode from the environment: `ADRIAS_STEP_LOOP=1`
-    /// selects the legacy loop, anything else the event heap. Tests
-    /// that need a specific engine should call the explicit `*_mode`
-    /// entry points instead of mutating the (process-global)
-    /// environment.
-    pub fn from_env() -> Self {
-        match std::env::var("ADRIAS_STEP_LOOP") {
-            Ok(v) if v == "1" => EngineMode::StepLoop,
-            _ => EngineMode::EventHeap,
-        }
-    }
-}
-
 /// A pull-based stream of arrivals consumed by the event engine, so a
 /// million-arrival run never materialises its schedule: the engine
 /// holds at most a handful of future arrivals in its heap and pulls
@@ -363,9 +333,9 @@ pub trait ArrivalStream {
     fn is_exhausted(&self) -> bool;
 
     /// The instant of the final arrival when it is known upfront
-    /// (pre-built schedules), anchoring the drain deadline exactly as
-    /// the step loop computes it. `None` for generated streams — the
-    /// engine then extends the deadline from the last pulled arrival.
+    /// (pre-built schedules), anchoring the drain deadline. `None` for
+    /// generated streams — the engine then extends the deadline from
+    /// the last pulled arrival.
     fn final_arrival_hint(&self) -> Option<f64> {
         None
     }
@@ -418,8 +388,8 @@ impl ArrivalStream for ScheduleStream<'_> {
     }
 
     fn final_arrival_hint(&self) -> Option<f64> {
-        // `map_or(0.0, ..)` mirrors the step loop's empty-schedule
-        // deadline anchor exactly.
+        // `map_or(0.0, ..)` anchors an empty schedule's drain deadline
+        // at t = 0.
         Some(self.arrivals.last().map_or(0.0, |a| a.at_s))
     }
 
@@ -503,8 +473,9 @@ where
 /// measured from the contention environment averaged over their
 /// residency.
 ///
-/// Runs on the engine selected by [`EngineMode::from_env`]; the two
-/// engines are pinned byte-identical by `tests/event_engine_parity.rs`.
+/// Runs on the deterministic event-heap engine; same-seed runs are
+/// bit-identical regardless of worker count or host
+/// (`tests/event_engine_parity.rs`).
 ///
 /// # Panics
 ///
@@ -515,32 +486,8 @@ pub fn run_schedule(
     arrivals: &[ScheduledArrival],
     policy: &mut dyn Policy,
 ) -> RunReport {
-    run_schedule_mode(
-        testbed_cfg,
-        engine_cfg,
-        arrivals,
-        policy,
-        EngineMode::from_env(),
-    )
-}
-
-/// [`run_schedule`] on an explicitly chosen engine core.
-pub fn run_schedule_mode(
-    testbed_cfg: TestbedConfig,
-    engine_cfg: EngineConfig,
-    arrivals: &[ScheduledArrival],
-    policy: &mut dyn Policy,
-    mode: EngineMode,
-) -> RunReport {
-    dispatch(
-        testbed_cfg,
-        engine_cfg,
-        arrivals,
-        &[],
-        policy,
-        &mut (),
-        mode,
-    )
+    let mut stream = ScheduleStream::new(arrivals);
+    run_event_inner(testbed_cfg, engine_cfg, &mut stream, &[], policy, &mut ())
 }
 
 /// [`run_schedule`] with an attached [`adrias_obs::Observer`]: every
@@ -555,15 +502,8 @@ pub fn run_schedule_observed(
     obs: &mut adrias_obs::Observer,
 ) -> RunReport {
     let mut run = crate::engine_obs::ObservedRun::with_qos(obs, engine_cfg.qos_p99_ms);
-    dispatch(
-        testbed_cfg,
-        engine_cfg,
-        arrivals,
-        &[],
-        policy,
-        &mut run,
-        EngineMode::from_env(),
-    )
+    let mut stream = ScheduleStream::new(arrivals);
+    run_event_inner(testbed_cfg, engine_cfg, &mut stream, &[], policy, &mut run)
 }
 
 /// [`run_schedule_observed`] with a link-degradation schedule: each
@@ -582,37 +522,15 @@ pub fn run_schedule_observed_faulted(
     policy: &mut dyn Policy,
     obs: &mut adrias_obs::Observer,
 ) -> RunReport {
-    run_schedule_observed_faulted_mode(
-        testbed_cfg,
-        engine_cfg,
-        arrivals,
-        faults,
-        policy,
-        obs,
-        EngineMode::from_env(),
-    )
-}
-
-/// [`run_schedule_observed_faulted`] on an explicitly chosen engine
-/// core.
-pub fn run_schedule_observed_faulted_mode(
-    testbed_cfg: TestbedConfig,
-    engine_cfg: EngineConfig,
-    arrivals: &[ScheduledArrival],
-    faults: &[FaultEvent],
-    policy: &mut dyn Policy,
-    obs: &mut adrias_obs::Observer,
-    mode: EngineMode,
-) -> RunReport {
     let mut run = crate::engine_obs::ObservedRun::with_qos(obs, engine_cfg.qos_p99_ms);
-    dispatch(
+    let mut stream = ScheduleStream::new(arrivals);
+    run_event_inner(
         testbed_cfg,
         engine_cfg,
-        arrivals,
+        &mut stream,
         faults,
         policy,
         &mut run,
-        mode,
     )
 }
 
@@ -629,32 +547,13 @@ pub fn run_schedule_hooked<O: EngineObserver>(
     policy: &mut dyn Policy,
     obs: &mut O,
 ) -> RunReport {
-    dispatch(
-        testbed_cfg,
-        engine_cfg,
-        arrivals,
-        &[],
-        policy,
-        obs,
-        EngineMode::from_env(),
-    )
-}
-
-/// [`run_schedule_hooked`] on an explicitly chosen engine core.
-pub fn run_schedule_hooked_mode<O: EngineObserver>(
-    testbed_cfg: TestbedConfig,
-    engine_cfg: EngineConfig,
-    arrivals: &[ScheduledArrival],
-    policy: &mut dyn Policy,
-    obs: &mut O,
-    mode: EngineMode,
-) -> RunReport {
-    dispatch(testbed_cfg, engine_cfg, arrivals, &[], policy, obs, mode)
+    let mut stream = ScheduleStream::new(arrivals);
+    run_event_inner(testbed_cfg, engine_cfg, &mut stream, &[], policy, obs)
 }
 
 /// Drives an [`ArrivalStream`] through the event engine — the entry
 /// point for generated open/closed-loop traffic, which has no schedule
-/// slice to replay (and therefore no step-loop fallback).
+/// slice to replay.
 pub fn run_stream(
     testbed_cfg: TestbedConfig,
     engine_cfg: EngineConfig,
@@ -680,29 +579,8 @@ pub fn run_stream_hooked<O: EngineObserver>(
     run_event_inner(testbed_cfg, engine_cfg, stream, faults, policy, obs)
 }
 
-fn dispatch<O: EngineObserver>(
-    testbed_cfg: TestbedConfig,
-    engine_cfg: EngineConfig,
-    arrivals: &[ScheduledArrival],
-    faults: &[FaultEvent],
-    policy: &mut dyn Policy,
-    obs: &mut O,
-    mode: EngineMode,
-) -> RunReport {
-    match mode {
-        EngineMode::EventHeap => {
-            let mut stream = ScheduleStream::new(arrivals);
-            run_event_inner(testbed_cfg, engine_cfg, &mut stream, faults, policy, obs)
-        }
-        EngineMode::StepLoop => {
-            run_step_loop_inner(testbed_cfg, engine_cfg, arrivals, faults, policy, obs)
-        }
-    }
-}
-
 /// Consults the policy (or the forced mode), deploys the arrival at the
-/// current testbed instant, and records it — shared verbatim by both
-/// engine cores so their call sequences stay bitwise identical.
+/// current testbed instant, and records it.
 #[allow(clippy::too_many_arguments)]
 fn deploy_arrival<O: EngineObserver>(
     testbed: &mut Testbed,
@@ -884,7 +762,7 @@ fn run_event_inner<O: EngineObserver>(
     for f in faults {
         // Effective tick: the first watcher instant with `at_s <= t`,
         // i.e. ceil — same-tick faults keep slice order via seq, so the
-        // last one wins exactly as in the step loop.
+        // last one wins.
         heap.push(
             f.at_s.ceil(),
             crate::event::EventKind::FaultApply,
@@ -979,8 +857,8 @@ fn run_event_inner<O: EngineObserver>(
             }
         }
         EventPayload::Finish(done) => {
-            // Always folded in, even after the stop tick: the step loop
-            // processes the final step's completions before breaking.
+            // Always folded in, even after the stop tick: the final
+            // step's completions are processed before the run ends.
             let (policy_decided, profile) = decided
                 .remove(&done.id)
                 .expect("completion for unknown deployment");
@@ -1028,8 +906,8 @@ fn run_event_inner<O: EngineObserver>(
 }
 
 /// Pulls one arrival from `stream` into the heap. The event tick is
-/// `ceil(at_s)` — the first watcher instant with `at_s <= tick`,
-/// replicating the step loop's admission test — clamped to `floor_s`
+/// `ceil(at_s)` — the first watcher instant with `at_s <= tick` —
+/// clamped to `floor_s`
 /// so closed-loop submissions scheduled behind the post-step clock
 /// (a completion at `t + 0.4` thinking for less than the step
 /// remainder) land on the current tick rather than in the past.
@@ -1050,129 +928,6 @@ fn pull_arrival(
         );
         *arrivals_in_heap += 1;
     }
-}
-
-/// The legacy fixed 1 Hz polling loop — kept behind
-/// [`EngineMode::StepLoop`] for one release as the parity oracle.
-fn run_step_loop_inner<O: EngineObserver>(
-    testbed_cfg: TestbedConfig,
-    engine_cfg: EngineConfig,
-    arrivals: &[ScheduledArrival],
-    faults: &[FaultEvent],
-    policy: &mut dyn Policy,
-    obs: &mut O,
-) -> RunReport {
-    assert!(
-        arrivals.windows(2).all(|w| w[0].at_s <= w[1].at_s),
-        "arrivals must be sorted by time"
-    );
-    assert!(
-        faults.windows(2).all(|w| w[0].at_s <= w[1].at_s),
-        "faults must be sorted by time"
-    );
-    let mut testbed = Testbed::new(testbed_cfg, engine_cfg.seed);
-    let mut next_fault = 0usize;
-    let mut watcher = Watcher::new(engine_cfg.history_window_s.max(1));
-    let mut lc_rng = Xoshiro256pp::seed_from_u64(engine_cfg.seed ^ 0x1C);
-    let mut outcomes = Vec::new();
-    let mut samples = Vec::new();
-    let mut next_arrival = 0usize;
-    // Decision-path fast lane: one history buffer reused across every
-    // decision (refilled in place, no per-decision window allocation),
-    // plus the Watcher stamp that lets stamp-aware policies memoise
-    // their system-state forecast between arrivals of the same second.
-    let mut history_buf: Vec<MetricVec> = Vec::with_capacity(engine_cfg.history_window_s);
-    // Deployment id → (policy_decided, profile)
-    let mut decided: std::collections::HashMap<DeploymentId, (bool, WorkloadProfile)> =
-        std::collections::HashMap::new();
-
-    let last_arrival_s = arrivals.last().map_or(0.0, |a| a.at_s);
-    let deadline_s = last_arrival_s + engine_cfg.max_drain_s;
-
-    let profiling = obs.wall_profiling();
-    policy.set_wall_profiling(profiling);
-    obs.on_stream("schedule");
-    let mut sample_wall_ns = 0u64;
-
-    loop {
-        let now = testbed.time_s();
-        // Apply every link fault due at or before `now` (last one wins)
-        // before deployments consult the policy and the testbed steps.
-        let fault_lo = next_fault;
-        while next_fault < faults.len() && faults[next_fault].at_s <= now {
-            testbed.set_link(faults[next_fault].link);
-            next_fault += 1;
-        }
-        // Deploy everything due at or before `now`.
-        while next_arrival < arrivals.len() && arrivals[next_arrival].at_s <= now {
-            let arrival = &arrivals[next_arrival];
-            next_arrival += 1;
-            deploy_arrival(
-                &mut testbed,
-                &watcher,
-                &mut history_buf,
-                &engine_cfg,
-                arrival,
-                policy,
-                obs,
-                &mut decided,
-            );
-        }
-        // The event core ranks same-tick arrivals before faults, so the
-        // observer hears about this tick's faults only after its
-        // admissions — the link rewrite itself stayed above, which is
-        // output-invariant (nothing before the step reads it).
-        for _ in fault_lo..next_fault {
-            obs.on_fault(now);
-        }
-
-        let t0 = profiling.then(std::time::Instant::now);
-        let report = testbed.step();
-        watcher.record(report.sample);
-        samples.push(report.sample);
-        if let Some(t0) = t0 {
-            sample_wall_ns += t0.elapsed().as_nanos() as u64;
-        }
-        obs.on_step(&report);
-
-        for done in report.finished {
-            let (policy_decided, profile) = decided
-                .remove(&done.id)
-                .expect("completion for unknown deployment");
-            let id = done.id;
-            let outcome =
-                completed_outcome(done, policy_decided, &profile, &engine_cfg, &mut lc_rng);
-            obs.on_complete(id, &outcome);
-            outcomes.push(outcome);
-        }
-
-        // Ordered exactly like the event core's sample handler: natural
-        // idle wins over the deadline when both hold at the same tick,
-        // so `on_deadline` fires in precisely the same runs.
-        let all_arrived = next_arrival == arrivals.len();
-        if all_arrived && testbed.resident_count() == 0 {
-            break;
-        }
-        if testbed.time_s() >= deadline_s {
-            obs.on_deadline(testbed.time_s());
-            break;
-        }
-    }
-
-    if profiling {
-        obs.on_wall("engine;sample", sample_wall_ns);
-    }
-
-    let report = RunReport {
-        policy: policy.name().to_owned(),
-        outcomes,
-        samples,
-        link_bytes: testbed.link_bytes_total(),
-        end_time_s: testbed.time_s(),
-        unfinished: testbed.resident_count() + (arrivals.len() - next_arrival),
-    };
-    obs.on_run_end(&report, last_arrival_s);
-    report
 }
 
 /// Runs `profile` isolated on an empty testbed in `mode` and returns its
@@ -1509,7 +1264,7 @@ mod tests {
     }
 
     #[test]
-    fn both_engine_modes_agree_on_a_mixed_schedule() {
+    fn repeated_runs_of_a_mixed_schedule_are_byte_identical() {
         let app = spark::by_name("gmm").unwrap();
         let lc = adrias_workloads::keyvalue::redis();
         let arrivals = vec![
@@ -1518,18 +1273,17 @@ mod tests {
             ScheduledArrival::new(2.5, app.clone()).with_mode(MemoryMode::Remote),
             ScheduledArrival::new(30.0, app),
         ];
-        let run = |mode: EngineMode| {
+        let run = || {
             let mut policy = RoundRobinPolicy::new();
-            let report = run_schedule_mode(
+            let report = run_schedule(
                 TestbedConfig::paper(),
                 quick_engine(),
                 &arrivals,
                 &mut policy,
-                mode,
             );
             format!("{report:?}")
         };
-        assert_eq!(run(EngineMode::EventHeap), run(EngineMode::StepLoop));
+        assert_eq!(run(), run());
     }
 
     #[test]
@@ -1553,12 +1307,11 @@ mod tests {
             .collect();
         assert!(schedule.len() > 5);
         let mut policy = RoundRobinPolicy::new();
-        let scheduled = run_schedule_mode(
+        let scheduled = run_schedule(
             TestbedConfig::noiseless(),
             quick_engine(),
             &schedule,
             &mut policy,
-            EngineMode::EventHeap,
         );
 
         let mut stream = GeneratedStream::new(process.source(horizon, seed), |_, t| {

@@ -40,10 +40,9 @@ pub use adapt::{
 pub use adrias::{be_rule, lc_rule, AdriasPolicy};
 pub use baselines::{AllLocalPolicy, AllRemotePolicy, RandomPolicy, RoundRobinPolicy};
 pub use engine::{
-    run_schedule, run_schedule_hooked, run_schedule_hooked_mode, run_schedule_mode,
-    run_schedule_observed, run_schedule_observed_faulted, run_schedule_observed_faulted_mode,
-    run_stream, run_stream_hooked, AppOutcome, ArrivalStream, EngineConfig, EngineMode,
-    EngineObserver, FaultEvent, GeneratedStream, RunReport, ScheduleStream, ScheduledArrival,
+    run_schedule, run_schedule_hooked, run_schedule_observed, run_schedule_observed_faulted,
+    run_stream, run_stream_hooked, AppOutcome, ArrivalStream, EngineConfig, EngineObserver,
+    FaultEvent, GeneratedStream, RunReport, ScheduleStream, ScheduledArrival,
 };
 pub use engine_obs::ObservedRun;
 pub use event::{Event, EventHeap, EventKind};

@@ -4,10 +4,14 @@
 //! binary's global allocator and asserts that, after one warm-up
 //! decision, `decide_explained` allocates nothing on any of its lanes:
 //! cache hit (repeated stamp), cache miss (bumped stamp), warm-up
-//! (no history) and unknown-app remote-first.
+//! (no history) and unknown-app remote-first. A second test pins the
+//! numeric floor under the policy: `Lstm::forward_seq_scratch` and the
+//! SIMD kernels (both the native dispatch and the forced-scalar
+//! fallback) run allocation-free in steady state.
 
 use adrias_core::alloc::{start_counting, stop_counting, CountingAllocator};
 use adrias_core::rng::{Rng, SeedableRng, Xoshiro256pp};
+use adrias_nn::{kernels, set_force_scalar, Lstm, LstmScratch, Tensor};
 use adrias_orchestrator::{AdriasPolicy, DecisionContext, Policy};
 use adrias_predictor::dataset::{PerfRecord, HISTORY_S};
 use adrias_predictor::{
@@ -154,4 +158,58 @@ fn decision_fast_lane_is_allocation_free() {
     }
     let (degenerate_allocs, _) = stop_counting();
     assert_eq!(degenerate_allocs, 0, "degenerate lanes must not allocate");
+}
+
+/// The vectorised numeric floor never allocates: after the scratch is
+/// built, repeated `forward_seq_scratch` passes and every public SIMD
+/// kernel run with zero heap traffic — on the native dispatch path and
+/// on the forced-scalar fallback alike.
+#[test]
+fn lstm_scratch_forward_and_simd_kernels_are_allocation_free() {
+    let mut rng = Xoshiro256pp::seed_from_u64(11);
+    let lstm = Lstm::new(6, 16, &mut rng);
+    let seq: Vec<Tensor> = (0..12)
+        .map(|t| {
+            let mut x = Tensor::zeros(4, 6);
+            x.data_mut()
+                .iter_mut()
+                .enumerate()
+                .for_each(|(i, v)| *v = ((t * 31 + i) as f32 * 0.37).sin());
+            x
+        })
+        .collect();
+    let mut scratch = LstmScratch::new(&lstm, 4, 12);
+    // Warm-up sizes any lazily-grown buffer.
+    lstm.forward_seq_scratch(&seq, &mut scratch);
+
+    let mut a = vec![0.25f32; 37];
+    let b = vec![0.5f32; 37];
+    let bias = vec![0.125f32; 37];
+    let z_row = vec![0.3f32; 64];
+    let c_prev = vec![0.1f32; 16];
+    let mut c_state = vec![0.0f32; 16];
+    let mut h_state = vec![0.0f32; 16];
+
+    for force_scalar in [false, true] {
+        set_force_scalar(force_scalar);
+        start_counting();
+        for _ in 0..4 {
+            let hidden = lstm.forward_seq_scratch(&seq, &mut scratch);
+            assert_eq!(hidden.len(), 12);
+            let _ = kernels::dot(&a, &b);
+            let _ = kernels::dot4(&a, &b, &bias, &b, &bias);
+            kernels::axpy(0.5, &b, &mut a);
+            kernels::add2_bias(&mut a, &b, &bias);
+            kernels::relu(&mut a);
+            kernels::bn_affine(&mut a, &bias, &b, &bias, &b);
+            kernels::lstm_gates_eval(&z_row, &c_prev, &mut c_state, &mut h_state);
+        }
+        let (allocs, bytes) = stop_counting();
+        set_force_scalar(false);
+        assert_eq!(
+            (allocs, bytes),
+            (0, 0),
+            "numeric floor allocated (force_scalar = {force_scalar})"
+        );
+    }
 }

@@ -35,7 +35,7 @@ use adrias_core::rng::Xoshiro256pp;
 use adrias_core::thread::map_chunks;
 use adrias_obs::{DecisionRule, Observer};
 use adrias_orchestrator::engine::{
-    run_schedule_observed_faulted_mode, EngineConfig, EngineMode, FaultEvent, RunReport,
+    run_schedule_observed_faulted, EngineConfig, FaultEvent, RunReport,
 };
 use adrias_orchestrator::qos::count_violations;
 use adrias_orchestrator::{DecisionContext, Policy, RandomPolicy, RoundRobinPolicy};
@@ -562,14 +562,8 @@ impl Policy for AnyPolicy {
     }
 }
 
-/// Runs one policy over the case's faulted scenario, observed, on an
-/// explicit engine core.
-fn run_policy(
-    cfg: &FuzzConfig,
-    case: &FuzzCase,
-    policy: &mut AnyPolicy,
-    mode: EngineMode,
-) -> (RunReport, Observer) {
+/// Runs one policy over the case's faulted scenario, observed.
+fn run_policy(cfg: &FuzzConfig, case: &FuzzCase, policy: &mut AnyPolicy) -> (RunReport, Observer) {
     let spec = case.spec();
     let catalog = case.mix.catalog();
     let schedule = build_schedule(&spec, &catalog, PlacementStyle::PolicyDecided);
@@ -580,15 +574,8 @@ fn run_policy(
         ..EngineConfig::default()
     };
     let mut obs = Observer::default();
-    let report = run_schedule_observed_faulted_mode(
-        cfg.testbed,
-        engine,
-        &schedule,
-        &faults,
-        policy,
-        &mut obs,
-        mode,
-    );
+    let report =
+        run_schedule_observed_faulted(cfg.testbed, engine, &schedule, &faults, policy, &mut obs);
     (report, obs)
 }
 
@@ -619,21 +606,8 @@ pub fn audit_qos_violations(obs: &Observer, qos_p99_ms: f32) -> usize {
 }
 
 /// Runs one case under Adrias and both baselines and evaluates the
-/// per-case oracle. Bitwise deterministic in `(cfg, case)`. Uses the
-/// engine selected by [`EngineMode::from_env`].
+/// per-case oracle. Bitwise deterministic in `(cfg, case)`.
 pub fn run_case(stack: &TrainedStack, cfg: &FuzzConfig, case: &FuzzCase) -> CaseOutcome {
-    run_case_mode(stack, cfg, case, EngineMode::from_env())
-}
-
-/// [`run_case`] on an explicitly chosen engine core — the lever the
-/// parity battery uses to replay the committed corpus through both
-/// engines and compare digests.
-pub fn run_case_mode(
-    stack: &TrainedStack,
-    cfg: &FuzzConfig,
-    case: &FuzzCase,
-    mode: EngineMode,
-) -> CaseOutcome {
     let mut adrias = {
         let mut p = stack.policy(cfg.beta, cfg.qos_p99_ms);
         if cfg.qos_bypass {
@@ -641,7 +615,7 @@ pub fn run_case_mode(
         }
         AnyPolicy::Adrias(Box::new(p))
     };
-    let (adrias_report, adrias_obs) = run_policy(cfg, case, &mut adrias, mode);
+    let (adrias_report, adrias_obs) = run_policy(cfg, case, &mut adrias);
     let qos_violations = audit_qos_violations(&adrias_obs, cfg.qos_p99_ms);
     let qos_evidence = if qos_violations > 0 {
         adrias_obs::to_jsonl_qos_counterexamples(&adrias_obs, cfg.qos_p99_ms)
@@ -650,9 +624,9 @@ pub fn run_case_mode(
     };
 
     let mut random = AnyPolicy::Random(RandomPolicy::new(case.seed ^ 0xBA5E));
-    let (random_report, _) = run_policy(cfg, case, &mut random, mode);
+    let (random_report, _) = run_policy(cfg, case, &mut random);
     let mut rr = AnyPolicy::Rr(RoundRobinPolicy::new());
-    let (rr_report, _) = run_policy(cfg, case, &mut rr, mode);
+    let (rr_report, _) = run_policy(cfg, case, &mut rr);
 
     let digest = case_digest(
         &[&adrias_report, &random_report, &rr_report],
@@ -864,7 +838,7 @@ pub fn dump_post_mortem(
         }
         AnyPolicy::Adrias(Box::new(p))
     };
-    let (_, obs) = run_policy(cfg, case, &mut adrias, EngineMode::from_env());
+    let (_, obs) = run_policy(cfg, case, &mut adrias);
     let violations = audit_qos_violations(&obs, cfg.qos_p99_ms);
     adrias_obs::write_post_mortem(&obs, dir, cfg.qos_p99_ms).map_err(|e| e.to_string())?;
     Ok(violations)
@@ -881,7 +855,7 @@ fn qos_check(stack: &TrainedStack, cfg: &FuzzConfig, case: &FuzzCase) -> Result<
         }
         AnyPolicy::Adrias(Box::new(p))
     };
-    let (_, obs) = run_policy(cfg, case, &mut adrias, EngineMode::from_env());
+    let (_, obs) = run_policy(cfg, case, &mut adrias);
     let violations = audit_qos_violations(&obs, cfg.qos_p99_ms);
     if violations > 0 {
         Err(PropFail::new(

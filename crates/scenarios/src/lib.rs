@@ -45,9 +45,9 @@ pub use drift::{
     PhaseOutcome,
 };
 pub use fuzz::{
-    case_strategy, find_qos_counterexample, generate_cases, replay_corpus, run_case, run_case_mode,
-    run_suite, AppMix, ArrivalShape, CaseOutcome, FaultKind, FaultSpec, FuzzCase, FuzzConfig,
-    ReplayReport, SuiteReport, SuiteVerdict,
+    case_strategy, find_qos_counterexample, generate_cases, replay_corpus, run_case, run_suite,
+    AppMix, ArrivalShape, CaseOutcome, FaultKind, FaultSpec, FuzzCase, FuzzConfig, ReplayReport,
+    SuiteReport, SuiteVerdict,
 };
 pub use runner::{run_comparison, run_comparison_merged, run_observed, PolicyOutcome};
 pub use schedule::build_schedule;

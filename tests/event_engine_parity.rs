@@ -1,23 +1,26 @@
-//! Pins the event-heap engine bitwise against the legacy step loop:
-//! every committed corpus case and every seeded scenario must produce
-//! byte-identical RunReports, audit trails, and JSONL exports on both
-//! engine cores, across worker counts 1/2/8. This is the contract that
-//! lets the event engine replace the step loop without re-validating a
-//! single figure — the same harness shape as `tests/fastpath_parity.rs`
-//! uses for the decision fast lane.
+//! Pins the event-heap engine's determinism contract: every committed
+//! corpus case must match its manifest digest, every seeded scenario
+//! must produce byte-identical RunReports, audit trails, and JSONL
+//! exports across worker counts 1/2/8 and across repeated runs, and the
+//! SIMD kernel layer must be bitwise interchangeable with its forced-
+//! scalar fallback (the lane-order accumulation contract, DESIGN.md
+//! §14). This is the harness that once pinned the event engine against
+//! the retired 1 Hz step loop; the step loop is gone, so the oracle is
+//! now the corpus manifest plus self-consistency.
 
 use std::path::Path;
 use std::sync::OnceLock;
 
+use adrias::nn::set_force_scalar;
 use adrias::obs::export::{to_jsonl_decisions, to_jsonl_events, to_jsonl_metrics, to_jsonl_spans};
 use adrias::obs::Observer;
-use adrias::orchestrator::engine::{run_schedule_observed_faulted_mode, EngineConfig, EngineMode};
+use adrias::orchestrator::engine::{run_schedule_observed_faulted, EngineConfig};
 use adrias::orchestrator::AdriasPolicy;
 use adrias::scenarios::fuzz::replay_corpus;
 use adrias::scenarios::schedule::PlacementStyle;
 use adrias::scenarios::{
-    build_schedule, load_corpus, run_case_mode, train_stack, FuzzConfig, ScenarioSpec,
-    StackOptions, TrainedStack,
+    build_schedule, load_corpus, run_case, train_stack, FuzzConfig, ScenarioSpec, StackOptions,
+    TrainedStack,
 };
 use adrias::sim::TestbedConfig;
 use adrias::workloads::WorkloadCatalog;
@@ -50,16 +53,15 @@ fn policy(stack: &TrainedStack, workers: usize) -> AdriasPolicy {
     )
 }
 
-/// One full observed scenario run on the chosen engine core, rendered
-/// to every byte stream the engines must agree on: the exact RunReport
-/// debug form, the decision audit trail, the trace spans, and the
-/// metrics export.
+/// One full observed scenario run rendered to every byte stream the
+/// determinism contract covers: the exact RunReport debug form, the
+/// decision audit trail, the event log, the metrics export, and the
+/// lifecycle spans.
 fn run_fingerprint(
     stack: &TrainedStack,
     catalog: &WorkloadCatalog,
     seed: u64,
     workers: usize,
-    mode: EngineMode,
 ) -> [String; 5] {
     let spec = ScenarioSpec::new(5.0, 30.0, 700.0, seed);
     let schedule = build_schedule(&spec, catalog, PlacementStyle::PolicyDecided);
@@ -70,14 +72,13 @@ fn run_fingerprint(
     };
     let mut policy = policy(stack, workers);
     let mut obs = Observer::default();
-    let report = run_schedule_observed_faulted_mode(
+    let report = run_schedule_observed_faulted(
         TestbedConfig::noiseless(),
         engine,
         &schedule,
         &[],
         &mut policy,
         &mut obs,
-        mode,
     );
     [
         format!("{report:?}"),
@@ -88,39 +89,30 @@ fn run_fingerprint(
     ]
 }
 
-/// The committed regression corpus replays with identical digests on
-/// both engine cores — and both match the manifest that gates CI, so
-/// neither engine has drifted from the corpus ground truth.
+/// The committed regression corpus replays with digests identical to
+/// the manifest that gates CI — the engine has not drifted from the
+/// corpus ground truth.
 #[test]
-fn committed_corpus_cases_digest_identically_on_both_engines() {
+fn committed_corpus_cases_match_their_manifest_digests() {
     let (_, stack) = trained();
     let cfg = FuzzConfig::default();
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
     let entries = load_corpus(&dir).expect("committed corpus loads");
     assert_eq!(entries.len(), 20, "corpus size changed; update this test");
     for entry in &entries {
-        let event = run_case_mode(stack, &cfg, &entry.case, EngineMode::EventHeap);
-        let step = run_case_mode(stack, &cfg, &entry.case, EngineMode::StepLoop);
+        let outcome = run_case(stack, &cfg, &entry.case);
         assert_eq!(
-            event.digest, step.digest,
-            "engines diverged on corpus case {}",
-            entry.id
-        );
-        assert_eq!(
-            event.digest, entry.digest,
+            outcome.digest, entry.digest,
             "corpus case {} drifted from its manifest digest",
             entry.id
         );
-        assert_eq!(event.qos_violations, step.qos_violations);
-        assert_eq!(event.qos_evidence, step.qos_evidence);
-        assert_eq!(event.adrias_slowdowns, step.adrias_slowdowns);
     }
 }
 
-/// The replay harness itself (the CI gate) is worker-count invariant on
-/// the event engine and green against the committed manifest.
+/// The replay harness itself (the CI gate) is worker-count invariant
+/// and green against the committed manifest.
 #[test]
-fn corpus_replay_is_green_and_worker_invariant_on_the_event_engine() {
+fn corpus_replay_is_green_and_worker_invariant() {
     let (_, stack) = trained();
     let cfg = FuzzConfig::default();
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
@@ -141,53 +133,77 @@ fn corpus_replay_is_green_and_worker_invariant_on_the_event_engine() {
     }
 }
 
-/// Seeds {0,1,2} × workers {1,2,8}: the event engine's RunReport and
-/// all three JSONL exports are byte-identical to the step loop's, with
-/// the step loop at 1 worker as the golden reference.
+/// Seeds {0,1,2} × workers {1,2,8}: the RunReport and all four JSONL
+/// exports are byte-identical across worker counts, with the 1-worker
+/// run as the golden reference, and a repeated 1-worker run reproduces
+/// it exactly.
 #[test]
-fn event_engine_runs_are_byte_identical_to_step_loop_runs() {
+fn engine_runs_are_byte_identical_across_workers_and_repeats() {
     let (catalog, stack) = trained();
     for seed in [0u64, 1, 2] {
-        let golden = run_fingerprint(stack, catalog, seed, 1, EngineMode::StepLoop);
+        let golden = run_fingerprint(stack, catalog, seed, 1);
         assert!(
             golden[0].contains("outcomes"),
-            "step-loop run produced no outcomes for seed {seed}"
+            "run produced no outcomes for seed {seed}"
         );
         assert!(
             !golden[1].is_empty() && !golden[2].is_empty() && !golden[3].is_empty(),
-            "observed step-loop run exported nothing for seed {seed}"
+            "observed run exported nothing for seed {seed}"
         );
         assert!(
             golden[4].lines().count() > 1,
-            "step-loop run closed no lifecycle spans for seed {seed}"
+            "run closed no lifecycle spans for seed {seed}"
         );
         for workers in [1usize, 2, 8] {
-            let event = run_fingerprint(stack, catalog, seed, workers, EngineMode::EventHeap);
+            let other = run_fingerprint(stack, catalog, seed, workers);
             for (i, stream) in ["report", "decisions", "events", "metrics", "spans"]
                 .iter()
                 .enumerate()
             {
                 assert_eq!(
-                    golden[i], event[i],
-                    "event engine diverged from step loop on {stream} at seed {seed}, \
-                     {workers} workers"
+                    golden[i], other[i],
+                    "engine diverged on {stream} at seed {seed}, {workers} workers"
                 );
             }
         }
-        // The step loop itself also stays worker-count invariant.
-        let step_w8 = run_fingerprint(stack, catalog, seed, 8, EngineMode::StepLoop);
-        assert_eq!(
-            golden, step_w8,
-            "step loop diverged across workers at seed {seed}"
-        );
     }
 }
 
-/// Faulted runs (the fuzzer's engine path) hold parity too: a link
-/// collapse mid-scenario lands on the same tick with the same bytes on
-/// both cores.
+/// The forced-scalar kernel path reproduces the native (SIMD where
+/// available) byte streams exactly, across worker counts — the
+/// lane-order accumulation contract holds end to end, from GEMM
+/// micro-kernels through LSTM gates to the exported JSONL. The toggle
+/// is process-global; because both paths are bit-identical, tests
+/// running concurrently under either setting still agree.
 #[test]
-fn faulted_runs_hold_parity_across_engines() {
+fn forced_scalar_kernels_reproduce_native_runs_byte_for_byte() {
+    let (catalog, stack) = trained();
+    let seed = 1u64;
+    let native = run_fingerprint(stack, catalog, seed, 1);
+    set_force_scalar(true);
+    let scalar_runs: Vec<[String; 5]> = [1usize, 2, 8]
+        .iter()
+        .map(|&w| run_fingerprint(stack, catalog, seed, w))
+        .collect();
+    set_force_scalar(false);
+    for (scalar, workers) in scalar_runs.iter().zip([1usize, 2, 8]) {
+        for (i, stream) in ["report", "decisions", "events", "metrics", "spans"]
+            .iter()
+            .enumerate()
+        {
+            assert_eq!(
+                native[i], scalar[i],
+                "forced-scalar diverged from native on {stream} at {workers} workers"
+            );
+        }
+    }
+}
+
+/// Faulted runs (the fuzzer's engine path) are deterministic too: a
+/// link collapse mid-scenario lands on the same tick with the same
+/// bytes on every run.
+#[test]
+fn faulted_runs_are_deterministic() {
     use adrias::orchestrator::engine::FaultEvent;
     use adrias::sim::LinkConfig;
     let (catalog, stack) = trained();
@@ -212,19 +228,18 @@ fn faulted_runs_hold_parity_across_engines() {
             link: LinkConfig::paper(),
         },
     ];
-    let run = |mode: EngineMode| {
+    let run = || {
         let mut policy = policy(stack, 1);
         let mut obs = Observer::default();
-        let report = run_schedule_observed_faulted_mode(
+        let report = run_schedule_observed_faulted(
             TestbedConfig::noiseless(),
             engine,
             &schedule,
             &faults,
             &mut policy,
             &mut obs,
-            mode,
         );
         (format!("{report:?}"), to_jsonl_events(&obs))
     };
-    assert_eq!(run(EngineMode::EventHeap), run(EngineMode::StepLoop));
+    assert_eq!(run(), run());
 }
